@@ -1,0 +1,55 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints
+the rows/series it reproduces, asserts the *shape* claims (who wins, by
+roughly what factor, where crossovers fall) and saves the raw data as
+JSON under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Scale note: campaigns run at reduced rank/input scale so the suite
+finishes in minutes; the shape claims are scale-invariant (see
+EXPERIMENTS.md for the scaling argument per experiment).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _to_jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+@pytest.fixture
+def save_results():
+    """Persist a benchmark's reproduced rows for the experiment log."""
+
+    def _save(name: str, payload) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(_to_jsonable(payload), indent=2))
+
+    return _save
+
+
+def print_overhead_rows(title: str, rows: list) -> None:
+    print(f"\n=== {title} ===")
+    print(f"{'config':<26} {'fs':<7} {'msgs':>8} {'rate/s':>7} "
+          f"{'Darshan(s)':>11} {'dC(s)':>9} {'overhead':>9}")
+    for r in rows:
+        print(f"{r['config']:<26} {r['filesystem']:<7} {r['avg_messages']:>8} "
+              f"{r['rate_msgs_per_s']:>7.1f} {r['darshan_runtime_s']:>11.2f} "
+              f"{r['dC_runtime_s']:>9.2f} {r['overhead_percent']:>8.2f}%")

@@ -1,0 +1,39 @@
+"""Ablation A2: n-th-event sampling (the paper's future-work fix).
+
+Paper (Section VIII): "we will include an option for users to decide
+the rate of I/O events that the Darshan-LDMS Connector will collect and
+format into a json message ... without concern of the runtime
+performance."
+
+Shape claims: overhead decreases monotonically (within noise) as the
+stride grows; fidelity (fraction of events kept) decreases ~1/n; a
+stride around 100 brings HMMER's overhead to noise level.
+"""
+
+from repro.experiments import ablation_sampling
+
+
+def test_ablation_sampling(benchmark, save_results):
+    rows = benchmark.pedantic(
+        lambda: ablation_sampling(
+            sample_every=(1, 2, 5, 10, 50, 100), n_families=200
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation A2: n-th-event sampling (HMMER, Lustre) ===")
+    print(f"{'n':>5} {'overhead':>10} {'fidelity':>9} {'msgs':>8}")
+    for r in rows:
+        print(f"{r['sample_every']:>5} {r['overhead_percent']:>9.1f}% "
+              f"{r['fidelity']:>8.1%} {r['avg_messages']:>8}")
+    save_results("ablation_sampling", rows)
+
+    overheads = [r["overhead_percent"] for r in rows]
+    fidelities = [r["fidelity"] for r in rows]
+    assert overheads[0] > 100.0
+    assert overheads[-1] < 25.0
+    # Broadly monotone decline in both series.
+    assert overheads[-1] < overheads[0] / 10
+    assert all(f2 <= f1 + 1e-9 for f1, f2 in zip(fidelities, fidelities[1:]))
+    # Fidelity tracks ~1/n for data-op-dominated workloads.
+    assert fidelities[2] < 0.35  # n=5

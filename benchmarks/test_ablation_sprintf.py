@@ -1,0 +1,31 @@
+"""Ablation A1: the sprintf tax (Section VI-A's diagnostic experiment).
+
+Paper: "Additional tests have been performed without the sprintf()
+function to generate the json message (i.e. only LDMS Streams API is
+enabled and the Darshan-LDMS Connector send function is called) and the
+average overhead was 0.37%."
+
+Shape claims: with formatting the overhead is in the hundreds of
+percent; without it, low single digits — the overhead is the
+formatting, not LDMS.
+"""
+
+from repro.experiments import ablation_sprintf
+
+from benchmarks.conftest import print_overhead_rows
+
+
+def test_ablation_sprintf(benchmark, save_results):
+    rows = benchmark.pedantic(
+        lambda: ablation_sprintf(n_families=250, reps=2), rounds=1, iterations=1
+    )
+    print_overhead_rows("Ablation A1: JSON formatting on/off (HMMER)", rows)
+    save_results("ablation_sprintf", rows)
+
+    by_mode = {r["config"].split("=")[1]: r for r in rows}
+    assert by_mode["json"]["overhead_percent"] > 100.0
+    assert abs(by_mode["none"]["overhead_percent"]) < 10.0
+    # Two orders of magnitude between the modes.
+    assert by_mode["json"]["overhead_percent"] > 40 * max(
+        abs(by_mode["none"]["overhead_percent"]), 1.0
+    )

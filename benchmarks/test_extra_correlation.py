@@ -1,0 +1,68 @@
+"""Extra experiment: I/O-vs-system-load correlation (paper's §I promise).
+
+Not a numbered figure, but the capability the introduction motivates:
+"identify any correlations between the file system, network congestion
+or resource contentions and the I/O performance."  Both data paths —
+connector events and LDMS load telemetry — share absolute timestamps in
+DSOS, so the join is one bucketing away.
+
+Shape claims: the loaded file system's telemetry correlates strongly
+and significantly with the victim jobs' op durations; the idle file
+system's telemetry does not reach the same significance/strength.
+"""
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.experiments.figures import ANOMALY_SEED, FIGURE_LOAD_KWARGS
+from repro.webservices import correlate_durations_with_metric, rows_to_dataframe
+
+
+def _campaign():
+    world = World(WorldConfig(seed=ANOMALY_SEED, load_kwargs=dict(FIGURE_LOAD_KWARGS)))
+    world.start_samplers(interval_s=5.0)
+    job_ids = []
+    for _ in range(5):
+        result = run_job(
+            world,
+            MpiIoTest(n_nodes=4, ranks_per_node=4, iterations=10,
+                      block_size=2 * 2**20, collective=False),
+            "nfs",
+            connector_config=ConnectorConfig(),
+        )
+        job_ids.append(result.job_id)
+    world.stop_samplers()
+
+    rows = []
+    for j in job_ids:
+        rows.extend(r for r in world.query_job(j).rows if r["module"] == "POSIX")
+    io_df = rows_to_dataframe(rows)
+    metric_rows = world.query_metrics("load_factor").rows
+    out = {}
+    for source in ("fsload_nfs", "fsload_lustre"):
+        samples = [r for r in metric_rows if r["source"] == source]
+        out[source] = correlate_durations_with_metric(io_df, samples, bucket_s=20.0)
+    return out
+
+
+def test_extra_correlation(benchmark, save_results):
+    out = benchmark.pedantic(_campaign, rounds=1, iterations=1)
+    print("\n=== Extra: correlating I/O durations with sampled FS load ===")
+    for source, result in out.items():
+        print(f"{source:<16} r={result['pearson_r']:+.3f} "
+              f"p={result['p_value']:.2g} buckets={result['n_buckets']}")
+    save_results(
+        "extra_correlation",
+        {
+            s: {"pearson_r": r["pearson_r"], "p_value": r["p_value"],
+                "n_buckets": r["n_buckets"]}
+            for s, r in out.items()
+        },
+    )
+
+    nfs = out["fsload_nfs"]
+    lustre = out["fsload_lustre"]
+    assert nfs["pearson_r"] > 0.6
+    assert nfs["p_value"] < 0.01
+    # The idle FS's load is a weaker explanation than the loaded one's.
+    assert abs(lustre["pearson_r"]) < nfs["pearson_r"]

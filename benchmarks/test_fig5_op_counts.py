@@ -1,0 +1,45 @@
+"""Figure 5: mean I/O operation counts per HACC configuration, 95% CI.
+
+Paper's claim: "The same application can perform different amount of
+I/O operations during execution" — identical configurations produce
+different op counts across the five jobs, so the bars carry error bars.
+
+Shape claims: opens/closes are deterministic (one per rank), reads and
+writes vary across jobs (non-zero CI) because file-system pressure
+splits transfers; counts are identical *in expectation structure*
+across configurations of the same rank count.
+"""
+
+from repro.experiments import fig5_op_counts
+
+SCALE = dict(seed=42, reps=5, n_nodes=4, ranks_per_node=4,
+             particles_per_rank=(200_000, 400_000))
+
+
+def test_fig5_op_counts(benchmark, save_results):
+    out = benchmark.pedantic(
+        lambda: fig5_op_counts(**SCALE), rounds=1, iterations=1
+    )
+    print("\n=== Figure 5: mean op occurrences per HACC config (95% CI) ===")
+    for label, counts in out.items():
+        line = "  ".join(
+            f"{op}={counts[op]['mean']:.0f}±{counts[op]['ci']:.1f}"
+            for op in ("open", "close", "read", "write")
+        )
+        print(f"{label:<16} {line}")
+    save_results("fig5_op_counts", out)
+
+    n_ranks = SCALE["n_nodes"] * SCALE["ranks_per_node"]
+    varying_configs = 0
+    for counts in out.values():
+        # One open/close per rank, always.
+        assert counts["open"]["mean"] == n_ranks
+        assert counts["close"]["mean"] == n_ranks
+        assert counts["open"]["ci"] == 0.0
+        # Data ops: at least one per variable per rank.
+        assert counts["write"]["mean"] >= 9 * n_ranks
+        assert counts["read"]["mean"] >= 9 * n_ranks
+        if counts["write"]["ci"] > 0 or counts["read"]["ci"] > 0:
+            varying_configs += 1
+    # The figure's point: run-to-run variation exists.
+    assert varying_configs >= 2

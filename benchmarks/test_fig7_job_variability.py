@@ -1,0 +1,48 @@
+"""Figure 7: read/write duration variability across identical jobs.
+
+Paper's finding: of five identical MPI-IO-TEST (independent) jobs, one
+("job_id 2") had mean read duration 6.75s vs 0.05s for the others
+(135x) while writes were 78s vs 54s (1.4x) — reads suffered far more
+than writes.
+
+Shape claims: exactly one of five jobs is anomalous; its read slowdown
+factor is much larger than its write slowdown factor; the others
+cluster tightly.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7_duration_variability
+
+
+def test_fig7_job_variability(benchmark, save_results):
+    out = benchmark.pedantic(
+        fig7_duration_variability, rounds=1, iterations=1
+    )
+    stats, anomalous = out["stats"], out["anomalous"]
+    print("\n=== Figure 7: per-job mean op durations (s) ===")
+    print(f"{'job':>8} {'reads':>10} {'writes':>10}")
+    for job in out["job_ids"]:
+        s = stats[job]
+        marker = "  <-- anomalous" if job in anomalous else ""
+        print(f"{job:>8} {s['read']['mean']:>10.3f} {s['write']['mean']:>10.3f}{marker}")
+    save_results(
+        "fig7_job_variability",
+        {
+            "anomalous": anomalous,
+            "means": {
+                j: {op: stats[j][op]["mean"] for op in ("read", "write")}
+                for j in out["job_ids"]
+            },
+        },
+    )
+
+    assert len(anomalous) == 1
+    bad = anomalous[0]
+    others_read = [stats[j]["read"]["mean"] for j in out["job_ids"] if j != bad]
+    others_write = [stats[j]["write"]["mean"] for j in out["job_ids"] if j != bad]
+    read_factor = stats[bad]["read"]["mean"] / np.median(others_read)
+    write_factor = stats[bad]["write"]["mean"] / np.median(others_write)
+    # The anomaly is read-dominant, like the paper's job 2.
+    assert read_factor > 5.0
+    assert read_factor > write_factor

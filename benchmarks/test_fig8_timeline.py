@@ -1,0 +1,45 @@
+"""Figure 8: distribution of reads/writes through the anomalous job.
+
+Paper's reading of the figure: "the application I/O pattern of
+performing writings during ten phases, and then reads at the end.
+Also, this application run faster writes at the beginning and slower
+at the end, with the slowest writting after 250 seconds."
+
+Shape claims: ten write phases; reads strictly after the writes; the
+slowest operations cluster in the late part of the run (where the
+congestion incident sits).
+"""
+
+import numpy as np
+
+from repro.experiments import fig8_timeline
+
+
+def test_fig8_timeline(benchmark, save_results):
+    tl = benchmark.pedantic(fig8_timeline, rounds=1, iterations=1)
+    writes = tl["op"] == "write"
+    reads = tl["op"] == "read"
+    print(f"\n=== Figure 8: job {tl['job_id']} timeline ===")
+    print(f"events: {len(tl['t'])}  write phases: {tl['write_phases']}")
+    print(f"writes span [{tl['t'][writes].min():.0f}, {tl['t'][writes].max():.0f}]s, "
+          f"reads span [{tl['t'][reads].min():.0f}, {tl['t'][reads].max():.0f}]s")
+    # Coarse phase print: mean duration per decile of the run.
+    deciles = np.linspace(0, tl["t"].max(), 11)
+    means = []
+    for lo, hi in zip(deciles, deciles[1:]):
+        m = (tl["t"] >= lo) & (tl["t"] < hi)
+        means.append(float(tl["duration"][m].mean()) if m.any() else 0.0)
+    print("mean op duration per run-decile:",
+          " ".join(f"{m:.2f}" for m in means))
+    save_results(
+        "fig8_timeline",
+        {"job_id": tl["job_id"], "write_phases": tl["write_phases"],
+         "decile_mean_durations": means},
+    )
+
+    assert tl["write_phases"] == 10
+    assert tl["t"][reads].min() >= tl["t"][writes].max() * 0.95
+    # Slower late than early (the incident hits the tail of the run).
+    early = tl["duration"][tl["t"] < tl["t"].max() / 3]
+    late = tl["duration"][tl["t"] > 2 * tl["t"].max() / 3]
+    assert late.mean() > early.mean() * 2.0

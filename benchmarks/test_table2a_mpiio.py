@@ -1,0 +1,52 @@
+"""Table IIa: MPI-IO-TEST overhead, NFS/Lustre x collective/independent.
+
+Paper's numbers (22 nodes, 16 MiB blocks, 10 iterations, 5 reps):
+
+=========== ========== =========== ========== ===========
+            NFS coll   NFS indep   LFS coll   LFS indep
+Darshan (s)  1376.67     880.46     249.97     428.18
+dC (s)       1355.35     858.68     270.98     414.35
+overhead      -1.55%     -2.47%      8.41%     -3.23%
+=========== ========== =========== ========== ===========
+
+Shape claims checked: NFS is several-fold slower than Lustre; on NFS
+collective is slower than independent (data sieving), on Lustre the
+opposite (seek-free aggregation); every |overhead| stays small compared
+to HMMER's (Table IIc), because the message rate is low.
+"""
+
+from repro.experiments import table2a_mpiio
+
+from benchmarks.conftest import print_overhead_rows
+
+# Reduced scale: 8 ranks/node -> 4, 3 reps; shape is scale-invariant.
+SCALE = dict(seed=42, reps=3, n_nodes=22, ranks_per_node=4, iterations=10,
+             block_size=16 * 2**20)
+
+
+def test_table2a_mpiio(benchmark, save_results):
+    cells = benchmark.pedantic(
+        lambda: table2a_mpiio(**SCALE), rounds=1, iterations=1
+    )
+    rows = [c.as_row() for c in cells]
+    print_overhead_rows("Table IIa: MPI-IO-TEST", rows)
+    save_results("table2a_mpiio", rows)
+
+    by_key = {(r["filesystem"], r["config"].split("/")[1]): r for r in rows}
+    nfs_coll = by_key[("nfs", "collective")]["dC_runtime_s"]
+    nfs_indep = by_key[("nfs", "independent")]["dC_runtime_s"]
+    lfs_coll = by_key[("lustre", "collective")]["dC_runtime_s"]
+    lfs_indep = by_key[("lustre", "independent")]["dC_runtime_s"]
+
+    # Crossover: collective loses on NFS, wins on Lustre.
+    assert nfs_coll > nfs_indep * 1.15
+    assert lfs_coll < lfs_indep
+    # File-system ordering.
+    assert lfs_coll < nfs_coll / 2
+    assert lfs_indep < nfs_indep
+    # Overheads are noise-scale (the paper's range is -3.2%..+8.4%).
+    for r in rows:
+        assert abs(r["overhead_percent"]) < 40.0
+    # Low message rates (paper: 7..95 msg/s).
+    for r in rows:
+        assert r["rate_msgs_per_s"] < 500.0

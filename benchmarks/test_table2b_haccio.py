@@ -1,0 +1,52 @@
+"""Table IIb: HACC-IO overhead, NFS/Lustre x {5M, 10M} particles/rank.
+
+Paper's numbers (16 nodes, 5 reps):
+
+=========== ========= ========== ========= ==========
+            NFS 5M    NFS 10M    LFS 5M    LFS 10M
+Darshan (s)  882.46    1353.87    417.14    1616.87
+dC (s)       775.24    1365.24    467.24    1027.44
+overhead    -12.15%      0.84%    12.01%    -36.45%
+=========== ========= ========== ========= ==========
+
+Shape claims: runtime roughly doubles from 5M to 10M particles;
+message counts are low thousands at single-digit rates; overheads are
+noise (the paper's own vary from -36% to +12% because the two
+campaigns ran weeks apart — our campaign-drift model reproduces that
+spread).
+"""
+
+from repro.experiments import table2b_haccio
+
+from benchmarks.conftest import print_overhead_rows
+
+# Reduced scale: 500k/1M particles per rank instead of 5M/10M, 4
+# ranks/node instead of 8 — byte volumes shrink 20x, ratios survive.
+SCALE = dict(
+    seed=43, reps=3, n_nodes=16, ranks_per_node=4,
+    particle_counts=(500_000, 1_000_000),
+)
+
+
+def test_table2b_haccio(benchmark, save_results):
+    cells = benchmark.pedantic(
+        lambda: table2b_haccio(**SCALE), rounds=1, iterations=1
+    )
+    rows = [c.as_row() for c in cells]
+    print_overhead_rows("Table IIb: HACC-IO", rows)
+    save_results("table2b_haccio", rows)
+
+    by_key = {(r["filesystem"], r["config"].split("/")[1]): r for r in rows}
+    small, big = "0M", "1M"  # labels from particles//1e6 at reduced scale
+
+    # Doubling the checkpoint roughly doubles the runtime.
+    for fs in ("nfs", "lustre"):
+        ratio = by_key[(fs, big)]["dC_runtime_s"] / by_key[(fs, small)]["dC_runtime_s"]
+        assert 1.5 < ratio < 3.0
+    # Lustre beats NFS for this large-sequential-write workload.
+    for size in (small, big):
+        assert by_key[("lustre", size)]["dC_runtime_s"] < by_key[("nfs", size)]["dC_runtime_s"]
+    # Single-digit-to-low message rates, noise-scale overheads.
+    for r in rows:
+        assert r["rate_msgs_per_s"] < 300.0
+        assert abs(r["overhead_percent"]) < 40.0

@@ -1,0 +1,52 @@
+"""Table IIc: HMMER hmmbuild overhead — the paper's headline result.
+
+Paper's numbers (1 node, 32 ranks, Pfam-A.seed, 5 reps):
+
+=========== =========== ============
+            NFS         Lustre
+messages     3,117,342   4,461,738
+rate (/s)        1,483       2,396
+Darshan (s)     749.88      135.40
+dC (s)         2826.01     1863.98
+overhead       276.86%    1276.67%
+=========== =========== ============
+
+Shape claims: overhead far beyond 100% on both file systems; *larger*
+on the faster file system (the fixed per-event formatting tax dominates
+a smaller base); event rates in the low thousands per second; the
+Darshan-only baseline is several-fold faster on Lustre.
+
+Scaling: we run a reduced Pfam input (n_families).  Both the baseline
+runtime and the event count scale linearly with the input, so the
+overhead percentage and the message *rate* are preserved (EXPERIMENTS.md
+details the argument).
+"""
+
+from repro.experiments import table2c_hmmer
+
+from benchmarks.conftest import print_overhead_rows
+
+SCALE = dict(seed=44, reps=2, n_families=400, ranks_per_node=32)
+
+
+def test_table2c_hmmer(benchmark, save_results):
+    cells = benchmark.pedantic(
+        lambda: table2c_hmmer(**SCALE), rounds=1, iterations=1
+    )
+    rows = [c.as_row() for c in cells]
+    print_overhead_rows("Table IIc: HMMER", rows)
+    save_results("table2c_hmmer", rows)
+
+    by_fs = {r["filesystem"]: r for r in rows}
+    nfs, lustre = by_fs["nfs"], by_fs["lustre"]
+
+    # The headline: enormous overhead on both file systems.
+    assert nfs["overhead_percent"] > 100.0
+    assert lustre["overhead_percent"] > 100.0
+    # Larger on the faster FS (paper: 1277% vs 277%).
+    assert lustre["overhead_percent"] > nfs["overhead_percent"] * 1.5
+    # Baseline ordering: Lustre several-fold faster (paper: 5.5x).
+    assert nfs["darshan_runtime_s"] > lustre["darshan_runtime_s"] * 2.0
+    # Event rates in the paper's regime (1.5k-2.4k msg/s).
+    for r in rows:
+        assert 500.0 < r["rate_msgs_per_s"] < 5000.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Connector overhead across workloads — a miniature Table II.
+
+Demonstrates the paper's central finding: the connector is free for
+low-event-rate applications (HACC-IO, MPI-IO-TEST) and brutal for
+high-event-rate ones (HMMER at ~2k events/s), because every event pays
+the JSON int→string formatting tax — and the proposed n-th-event
+sampling buys the overhead back.
+
+Run:  python examples/overhead_study.py          (~1 minute)
+"""
+
+from repro.apps import HaccIO, Hmmer, MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import ablation_sampling, run_overhead_cell
+
+
+def show(rows) -> None:
+    print(f"  {'config':<28} {'fs':<7} {'Darshan(s)':>11} {'dC(s)':>9} "
+          f"{'overhead':>9} {'msgs':>8} {'rate/s':>7}")
+    for r in rows:
+        print(f"  {r['config']:<28} {r['filesystem']:<7} "
+              f"{r['darshan_runtime_s']:>11.1f} {r['dC_runtime_s']:>9.1f} "
+              f"{r['overhead_percent']:>8.1f}% {r['avg_messages']:>8} "
+              f"{r['rate_msgs_per_s']:>7.0f}")
+
+
+def main() -> None:
+    rows = []
+    # Low event rate: the I/O proxy writes few, huge blocks.
+    rows.append(
+        run_overhead_cell(
+            lambda: HaccIO(n_nodes=4, ranks_per_node=4, particles_per_rank=500_000),
+            "lustre", label="hacc-io/500k", seed=43, reps=2,
+        ).as_row()
+    )
+    # Medium: the MPI-IO benchmark.
+    rows.append(
+        run_overhead_cell(
+            lambda: MpiIoTest(n_nodes=4, ranks_per_node=4, iterations=10,
+                              block_size=4 * 2**20, collective=True),
+            "lustre", label="mpi-io-test/collective", seed=42, reps=2,
+        ).as_row()
+    )
+    # High event rate: hmmbuild streams tiny records.
+    rows.append(
+        run_overhead_cell(
+            lambda: Hmmer(ranks_per_node=16, n_families=150),
+            "lustre", label="hmmer/Pfam(scaled)", seed=44, reps=2,
+        ).as_row()
+    )
+    print("connector overhead by workload (Table II, miniature):")
+    show(rows)
+
+    # The fix the paper proposes: publish every n-th event.
+    print("\nn-th-event sampling on HMMER (future work, implemented):")
+    print(f"  {'n':>4} {'overhead':>9} {'events kept':>12}")
+    for r in ablation_sampling(sample_every=(1, 5, 20, 100), n_families=100):
+        print(f"  {r['sample_every']:>4} {r['overhead_percent']:>8.0f}% "
+              f"{r['fidelity']:>11.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Correlating I/O performance with system behaviour.
+
+The paper's introduction motivates exactly this: "identify any
+correlations between the file system, network congestion or resource
+contentions and the I/O performance".  Two independent data paths flow
+into DSOS with absolute timestamps —
+
+* application I/O events via the Darshan-LDMS connector, and
+* file-system load telemetry via classic LDMS samplers —
+
+so they can be joined on time.  This example runs a five-job campaign
+on a busy NFS, then computes the Pearson correlation between bucketed
+op durations and the sampled load factor, and shows that the *other*
+file system's load does not explain the variability (a negative
+control).
+
+Run:  python examples/system_correlation.py
+"""
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.experiments.figures import FIGURE_LOAD_KWARGS
+from repro.webservices import correlate_durations_with_metric, rows_to_dataframe
+
+
+def main() -> None:
+    world = World(WorldConfig(seed=4, load_kwargs=dict(FIGURE_LOAD_KWARGS)))
+    world.start_samplers(interval_s=5.0)
+
+    job_ids = []
+    for _ in range(5):
+        app = MpiIoTest(
+            n_nodes=4, ranks_per_node=4, iterations=10,
+            block_size=2 * 2**20, collective=False,
+        )
+        result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
+        job_ids.append(result.job_id)
+    world.stop_samplers()
+
+    rows = []
+    for j in job_ids:
+        rows.extend(r for r in world.query_job(j).rows if r["module"] == "POSIX")
+    io_df = rows_to_dataframe(rows)
+    metric_rows = world.query_metrics("load_factor").rows
+    print(f"{len(io_df)} I/O events and "
+          f"{len(metric_rows)} telemetry samples in DSOS\n")
+
+    for source, label in (("fsload_nfs", "NFS load (the FS the jobs used)"),
+                          ("fsload_lustre", "Lustre load (negative control)")):
+        samples = [r for r in metric_rows if r["source"] == source]
+        result = correlate_durations_with_metric(io_df, samples, bucket_s=20.0)
+        verdict = "EXPLAINS" if abs(result["pearson_r"]) > 0.5 and result["p_value"] < 0.01 else "does not explain"
+        print(f"{label}:")
+        print(f"  pearson r = {result['pearson_r']:+.3f}  "
+              f"(p = {result['p_value']:.2g}, {result['n_buckets']} joint buckets)"
+              f"  -> {verdict} the I/O variability")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` needs PEP 660 editable-wheel support; on machines
+without `wheel`, run `python setup.py develop` instead.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — the LDMS Darshan Connector, reproduced in simulation.
+
+A full Python reproduction of *"LDMS Darshan Connector: For Run Time
+Diagnosis of HPC Application I/O Performance"* (IEEE CLUSTER 2022) on a
+deterministic discrete-event-simulated HPC substrate.
+
+Package map (bottom of the stack upward):
+
+* :mod:`repro.sim` — the DES kernel (events, processes, resources,
+  seeded RNG streams);
+* :mod:`repro.cluster` — nodes, network, scheduler;
+* :mod:`repro.fs` — NFS/Lustre queueing models + shared-load weather;
+* :mod:`repro.mpi`, :mod:`repro.hdf5` — the I/O middleware layers;
+* :mod:`repro.darshan` — the characterization tool (runtime, modules,
+  DXT, HEATMAP, logs, job summary);
+* :mod:`repro.ldms` — streams, daemons, aggregation, samplers, stores;
+* :mod:`repro.dsos` — the indexed object store;
+* :mod:`repro.core` — **the paper's contribution**: the Darshan-LDMS
+  connector;
+* :mod:`repro.webservices` — analyses + headless Grafana;
+* :mod:`repro.apps` — the evaluated workloads;
+* :mod:`repro.experiments` — campaign worlds, Table II / Figures 5–9
+  and the ablations.
+
+Start with ``examples/quickstart.py`` or
+``from repro.experiments import World, WorldConfig, run_job``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,35 @@
+"""Application workloads from the paper's evaluation (Section V-A).
+
+Each application generates the I/O *pattern* of its real counterpart
+through the simulated POSIX/STDIO/MPI-IO/HDF5 layers:
+
+* :class:`~repro.apps.hacc_io.HaccIO` — N-body checkpoint proxy: every
+  rank writes its particle block (nine variables) then reads it back
+  for validation;
+* :class:`~repro.apps.hmmer.Hmmer` — ``hmmbuild`` over Pfam-A.seed:
+  a master rank streams millions of tiny stdio reads/writes while
+  workers compute — the event-rate monster of Table IIc;
+* :class:`~repro.apps.mpi_io_test.MpiIoTest` — Darshan's MPI-IO
+  benchmark: iterations of fixed-size blocks, collective or
+  independent;
+* :class:`~repro.apps.sw4.Sw4` — seismic-wave solver writing 3-D mesh
+  snapshots through HDF5 (exercises the H5F/H5D metrics of Table I).
+"""
+
+from repro.apps.base import AppContext, Application
+from repro.apps.hacc_io import HaccIO
+from repro.apps.hmmer import Hmmer
+from repro.apps.mpi_io_test import MpiIoTest
+from repro.apps.sw4 import Sw4
+from repro.apps.synthetic import Phase, SyntheticWorkload
+
+__all__ = [
+    "AppContext",
+    "Application",
+    "HaccIO",
+    "Hmmer",
+    "MpiIoTest",
+    "Phase",
+    "Sw4",
+    "SyntheticWorkload",
+]

@@ -1,0 +1,80 @@
+"""Application interface.
+
+An :class:`Application` declares its node/rank layout and, given an
+:class:`AppContext` (communicator, file system, Darshan runtime, job
+identity), returns one generator per rank — the simulated MPI program.
+The experiment runner drives those generators to completion and the
+job's runtime is the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.fs.base import FileSystem
+from repro.mpi.communicator import Communicator
+from repro.sim import Environment
+
+__all__ = ["AppContext", "Application"]
+
+
+@dataclass
+class AppContext:
+    """Everything a workload needs to run."""
+
+    env: Environment
+    comm: Communicator
+    fs: FileSystem
+    job: Job
+    #: The (instrumented) Darshan runtime for this run.
+    runtime: object
+    #: Per-job RNG (forked from the campaign registry).
+    rng: np.random.Generator
+    #: Scratch directory on the target file system.
+    scratch: str = "/scratch"
+
+
+class Application:
+    """Base class for workload generators."""
+
+    #: Human name, also used as the job name.
+    name: str = "app"
+    #: Absolute path reported as the executable (Table I "exe").
+    exe: str = "/apps/app"
+    #: Node allocation requested from the scheduler.
+    n_nodes: int = 1
+    #: MPI ranks per node.
+    ranks_per_node: int = 1
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+    def build(self, ctx: AppContext) -> list:
+        """One generator per rank.  Subclasses implement
+        :meth:`rank_process`; override this only for collective setup."""
+        return [self.rank_process(ctx, rank) for rank in range(ctx.comm.size)]
+
+    def rank_process(self, ctx: AppContext, rank: int):  # pragma: no cover
+        raise NotImplementedError
+
+    # -- small helpers shared by the workloads ------------------------------
+
+    @staticmethod
+    def compute(ctx: AppContext, seconds: float):
+        """Charge pure-compute time (no I/O) to the calling rank."""
+        if seconds > 0:
+            yield ctx.env.timeout(seconds)
+
+    def describe(self) -> dict:
+        """Run-sheet entry (used by the experiment reports)."""
+        return {
+            "name": self.name,
+            "exe": self.exe,
+            "n_nodes": self.n_nodes,
+            "ranks_per_node": self.ranks_per_node,
+            "n_ranks": self.n_ranks,
+        }

@@ -1,0 +1,119 @@
+"""HACC-IO: the checkpoint I/O proxy of the HACC cosmology code.
+
+"It takes a number of particles per rank as input, writes out a
+simulated checkpoint information into a file, and then read it for
+validation."  Real HACC-IO serializes nine particle variables
+(xx, yy, zz, vx, vy, vz, phi, pid, mask — 38 bytes/particle); each
+rank's block is written variable by variable at the rank's region of a
+shared file, then read back.
+
+Paper configuration (Table IIb): 16 nodes, 5 M or 10 M particles/rank,
+NFS vs Lustre, MPI independent I/O.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppContext, Application
+from repro.mpi.io import MPIIOFile
+
+__all__ = ["HaccIO"]
+
+#: float32 x/y/z/vx/vy/vz/phi (7*4) + int64 pid (8) + uint16 mask (2).
+BYTES_PER_PARTICLE = 38
+
+#: (name, bytes per particle) of the nine checkpoint variables.
+VARIABLES = (
+    ("xx", 4),
+    ("yy", 4),
+    ("zz", 4),
+    ("vx", 4),
+    ("vy", 4),
+    ("vz", 4),
+    ("phi", 4),
+    ("pid", 8),
+    ("mask", 2),
+)
+
+
+class HaccIO(Application):
+    """The HACC checkpoint I/O proxy (Table IIb workload)."""
+
+    name = "hacc-io"
+    exe = "/apps/hacc/hacc_io"
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 16,
+        ranks_per_node: int = 8,
+        particles_per_rank: int = 5_000_000,
+        validate: bool = True,
+        partial_io_model: bool = True,
+        max_splits: int = 3,
+    ):
+        if particles_per_rank <= 0:
+            raise ValueError("particles_per_rank must be positive")
+        self.n_nodes = n_nodes
+        self.ranks_per_node = ranks_per_node
+        self.particles_per_rank = particles_per_rank
+        self.validate = validate
+        #: Under file-system pressure, write()/read() complete
+        #: partially and the application loops — so the *number* of
+        #: recorded operations varies run to run even for identical
+        #: configurations.  This is the variability Figure 5's error
+        #: bars and Figure 6's per-node differences show.
+        self.partial_io_model = partial_io_model
+        self.max_splits = max_splits
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return self.particles_per_rank * BYTES_PER_PARTICLE
+
+    def build(self, ctx: AppContext) -> list:
+        path = f"{ctx.scratch}/hacc-checkpoint.{ctx.job.job_id}.dat"
+        mpifile = MPIIOFile(ctx.comm, path)
+        ctx.runtime.instrument(mpifile)
+        return [self._rank_body(ctx, mpifile, rank) for rank in range(ctx.comm.size)]
+
+    def _segments(self, ctx: AppContext, nbytes: int) -> list[int]:
+        """Split one logical transfer into 1..max_splits partial ops.
+
+        The split count grows with the file system's current load — a
+        busy server returns short writes more often.
+        """
+        if not self.partial_io_model:
+            return [nbytes]
+        load = ctx.fs.load.factor(ctx.env.now)
+        p = min(0.6, max(0.0, 0.25 * (load - 0.9)))
+        k = 1 + int(ctx.rng.binomial(self.max_splits - 1, p))
+        if k == 1:
+            return [nbytes]
+        base = nbytes // k
+        sizes = [base] * k
+        sizes[-1] += nbytes - base * k
+        return sizes
+
+    def _rank_body(self, ctx: AppContext, mpifile: MPIIOFile, rank: int):
+        n = self.particles_per_rank
+        rank_base = rank * self.bytes_per_rank
+        yield from mpifile.open_all(rank)
+
+        # Checkpoint write: nine variables, contiguous per rank.
+        offset = rank_base
+        for _name, width in VARIABLES:
+            nbytes = n * width
+            for part in self._segments(ctx, nbytes):
+                yield from mpifile.write_at(rank, offset, part)
+                offset += part
+
+        # Validation read-back of the same regions.
+        if self.validate:
+            yield from ctx.comm.barrier(rank)
+            offset = rank_base
+            for _name, width in VARIABLES:
+                nbytes = n * width
+                for part in self._segments(ctx, nbytes):
+                    yield from mpifile.read_at(rank, offset, part)
+                    offset += part
+
+        yield from mpifile.close_all(rank)

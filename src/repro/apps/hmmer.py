@@ -1,0 +1,126 @@
+"""HMMER ``hmmbuild``: the event-rate monster of Table IIc.
+
+"hmmbuild ... uses MPI to build a database by concatenating multiple
+profiles Stockholm alignment files" — rank 0 (the master) streams the
+Pfam-A.seed alignments with line-sized stdio reads, farms the profile
+computation to workers, and appends every finished HMM to the output
+database with small stdio writes plus a flush per record.
+
+The I/O character that matters for the paper: *millions* of tiny
+library-level events concentrated on the master rank, at 1–2 k
+events/second.  Every one of them becomes a connector message, and the
+JSON formatting cost lands on rank 0's critical path — which is exactly
+why the paper measures 277 % (NFS) and 1277 % (Lustre) overhead.
+
+``n_families`` scales the input: Pfam-A.seed has ~19,000 families; test
+and benchmark configurations use a reduced family count, which
+preserves message *rate* and overhead *percentage* (both runtime and
+event count scale together — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppContext, Application
+from repro.fs.posix import StdioClient
+
+__all__ = ["Hmmer"]
+
+
+class Hmmer(Application):
+    """hmmbuild over Pfam-A.seed (Table IIc workload)."""
+
+    name = "hmmer-hmmbuild"
+    exe = "/apps/hmmer/bin/hmmbuild"
+    n_nodes = 1
+
+    def __init__(
+        self,
+        *,
+        ranks_per_node: int = 32,
+        n_families: int = 19_000,
+        #: Stockholm alignment lines read per family (line-buffered stdio).
+        reads_per_family: int = 110,
+        #: HMM record lines written per family.
+        writes_per_family: int = 40,
+        line_bytes: int = 112,
+        #: Worker CPU seconds to build one profile HMM.
+        compute_per_family_s: float = 0.040,
+        #: Master CPU seconds to parse/serialize one family.
+        master_parse_s: float = 0.0005,
+    ):
+        if n_families <= 0:
+            raise ValueError("n_families must be positive")
+        if ranks_per_node < 2:
+            raise ValueError("hmmbuild --mpi needs a master and >=1 worker")
+        self.ranks_per_node = ranks_per_node
+        self.n_families = n_families
+        self.reads_per_family = reads_per_family
+        self.writes_per_family = writes_per_family
+        self.line_bytes = line_bytes
+        self.compute_per_family_s = compute_per_family_s
+        self.master_parse_s = master_parse_s
+
+    @property
+    def events_per_family(self) -> int:
+        return self.reads_per_family + self.writes_per_family
+
+    def build(self, ctx: AppContext) -> list:
+        # Pre-create the seed file so the master's reads see real bytes.
+        seed_path = f"{ctx.scratch}/Pfam-A.seed"
+        db_path = f"{ctx.scratch}/Pfam-A.hmm"
+        seed_bytes = self.n_families * self.reads_per_family * self.line_bytes
+        file = ctx.fs._lookup(seed_path, create=True)
+        file.size = seed_bytes
+
+        bodies = []
+        for rank in range(ctx.comm.size):
+            if rank == 0:
+                bodies.append(self._master(ctx, rank, seed_path, db_path))
+            else:
+                bodies.append(self._worker(ctx, rank))
+        return bodies
+
+    # -- rank bodies -------------------------------------------------------
+
+    def _master(self, ctx: AppContext, rank: int, seed_path: str, db_path: str):
+        """Rank 0: read alignments line by line, write HMM records."""
+        posix = ctx.comm.rank_context(rank).posix
+        # Reads stream through libc's default 64 KiB buffer; the output
+        # database uses a small line buffer (hmmbuild writes records
+        # with line-buffered fprintf), so writes hit the FS often.
+        stdio_in = StdioClient(posix, buffer_size=64 * 1024)
+        stdio_out = StdioClient(posix, buffer_size=1024)
+        ctx.runtime.instrument(stdio_in)
+        ctx.runtime.instrument(stdio_out)
+        n_workers = ctx.comm.size - 1
+
+        seed = yield from stdio_in.fopen(seed_path, "r")
+        db = yield from stdio_out.fopen(db_path, "w")
+
+        # Worker pipeline: the master blocks on computation only when
+        # all workers are busy; model as periodic waits every n_workers
+        # families for the compute time of one batch.
+        for family in range(self.n_families):
+            for _ in range(self.reads_per_family):
+                yield from stdio_in.fread(seed, self.line_bytes)
+            yield from Application.compute(ctx, self.master_parse_s)
+            if family % n_workers == n_workers - 1:
+                # Wait for the worker batch to finish building.
+                yield from Application.compute(ctx, self.compute_per_family_s)
+            for _ in range(self.writes_per_family):
+                yield from stdio_out.fwrite(db, self.line_bytes)
+            # hmmbuild flushes each completed HMM record.
+            yield from stdio_out.fflush(db)
+
+        yield from stdio_in.fclose(seed)
+        yield from stdio_out.fclose(db)
+        yield from ctx.comm.barrier(rank)
+
+    def _worker(self, ctx: AppContext, rank: int):
+        """Workers: pure computation (their I/O is negligible)."""
+        n_workers = ctx.comm.size - 1
+        my_share = self.n_families // n_workers
+        yield from Application.compute(
+            ctx, my_share * self.compute_per_family_s
+        )
+        yield from ctx.comm.barrier(rank)

@@ -1,0 +1,124 @@
+"""Synthetic, phase-structured workload generator (IOR-style).
+
+Downstream users rarely run the paper's exact applications; they want
+to ask "what would the connector cost *my* code?".  A
+:class:`SyntheticWorkload` is declared as a list of :class:`Phase`
+objects — each a compute/write/read/rewrite stage with an op size, op
+count per rank, sharing mode and collectivity — and runs through the
+same instrumented stack as the real apps, so every analysis and
+overhead tool in the repository applies to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppContext, Application
+from repro.mpi.io import MPIIOFile
+
+__all__ = ["Phase", "SyntheticWorkload"]
+
+_KINDS = ("compute", "write", "read")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stage of the synthetic program."""
+
+    kind: str  # compute | write | read
+    #: compute: seconds per rank.  read/write: ops per rank.
+    amount: float = 1.0
+    op_bytes: int = 2**20
+    #: "shared" = one file, rank-strided regions; "per_rank" = file per rank.
+    file_mode: str = "shared"
+    collective: bool = False
+    #: Phase label, used in file names.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"phase kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.amount <= 0:
+            raise ValueError("amount must be positive")
+        if self.kind != "compute":
+            if self.op_bytes <= 0:
+                raise ValueError("op_bytes must be positive")
+            if self.file_mode not in ("shared", "per_rank"):
+                raise ValueError(f"unknown file_mode {self.file_mode!r}")
+            if self.collective and self.file_mode == "per_rank":
+                raise ValueError("collective I/O requires a shared file")
+
+
+class SyntheticWorkload(Application):
+    """An application assembled from phases."""
+
+    name = "synthetic"
+    exe = "/apps/synthetic"
+
+    def __init__(self, phases: list[Phase], *, n_nodes: int = 4, ranks_per_node: int = 4):
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = list(phases)
+        self.n_nodes = n_nodes
+        self.ranks_per_node = ranks_per_node
+
+    def build(self, ctx: AppContext) -> list:
+        # Pre-create the shared MPIIO files (one per shared-file phase)
+        # so collective state is common across ranks.
+        shared_files: dict[int, MPIIOFile] = {}
+        for i, phase in enumerate(self.phases):
+            if phase.kind != "compute" and phase.file_mode == "shared":
+                label = phase.name or f"phase{i}"
+                f = MPIIOFile(
+                    ctx.comm, f"{ctx.scratch}/synthetic.{ctx.job.job_id}.{label}.dat"
+                )
+                ctx.runtime.instrument(f)
+                shared_files[i] = f
+        return [
+            self._rank_body(ctx, shared_files, rank)
+            for rank in range(ctx.comm.size)
+        ]
+
+    def _rank_body(self, ctx: AppContext, shared_files: dict, rank: int):
+        posix = ctx.comm.rank_context(rank).posix
+        for i, phase in enumerate(self.phases):
+            if phase.kind == "compute":
+                yield from self.compute(ctx, phase.amount)
+                yield from ctx.comm.barrier(rank)
+                continue
+
+            n_ops = int(phase.amount)
+            if phase.file_mode == "shared":
+                f = shared_files[i]
+                yield from f.open_all(rank)
+                stride = ctx.comm.size * phase.op_bytes
+                for k in range(n_ops):
+                    offset = k * stride + rank * phase.op_bytes
+                    if phase.kind == "write":
+                        if phase.collective:
+                            yield from f.write_at_all(rank, offset, phase.op_bytes)
+                        else:
+                            yield from f.write_at(rank, offset, phase.op_bytes)
+                    else:
+                        if phase.collective:
+                            yield from f.read_at_all(rank, offset, phase.op_bytes)
+                        else:
+                            yield from f.read_at(rank, offset, phase.op_bytes)
+                yield from f.close_all(rank)
+            else:  # per-rank files, plain POSIX
+                label = phase.name or f"phase{i}"
+                path = f"{ctx.scratch}/synthetic.{ctx.job.job_id}.{label}.r{rank}.dat"
+                flags = "w" if phase.kind == "write" else "r"
+                if phase.kind == "read" and not ctx.fs.exists(path):
+                    # Reading a file nobody wrote: create it first so
+                    # the phase measures reads, not ENOENT.
+                    handle = yield from posix.open(path, "w")
+                    yield from posix.write(handle, n_ops * phase.op_bytes)
+                    yield from posix.close(handle)
+                handle = yield from posix.open(path, flags)
+                for k in range(n_ops):
+                    if phase.kind == "write":
+                        yield from posix.write(handle, phase.op_bytes)
+                    else:
+                        yield from posix.read(handle, phase.op_bytes, k * phase.op_bytes)
+                yield from posix.close(handle)

@@ -1,0 +1,175 @@
+"""Experiment CLI: regenerate the paper's tables, figures and ablations.
+
+Usage::
+
+    python -m repro.cli table2a [--reps 3] [--seed 42]
+    python -m repro.cli table2b
+    python -m repro.cli table2c [--families 400]
+    python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
+    python -m repro.cli ablations
+
+All commands print the reproduced rows/series to stdout; scale flags
+trade fidelity for wall-clock time (see EXPERIMENTS.md for the
+scale-invariance argument).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["main"]
+
+
+def _print_overhead(rows: list[dict]) -> None:
+    print(f"{'config':<28} {'fs':<7} {'msgs':>8} {'rate/s':>7} "
+          f"{'Darshan(s)':>11} {'dC(s)':>9} {'overhead':>9}")
+    for r in rows:
+        print(f"{r['config']:<28} {r['filesystem']:<7} {r['avg_messages']:>8} "
+              f"{r['rate_msgs_per_s']:>7.1f} {r['darshan_runtime_s']:>11.2f} "
+              f"{r['dC_runtime_s']:>9.2f} {r['overhead_percent']:>8.2f}%")
+
+
+def _cmd_table2a(args) -> None:
+    from repro.experiments import table2a_mpiio
+
+    cells = table2a_mpiio(seed=args.seed, reps=args.reps,
+                          ranks_per_node=args.ranks_per_node)
+    _print_overhead([c.as_row() for c in cells])
+
+
+def _cmd_table2b(args) -> None:
+    from repro.experiments import table2b_haccio
+
+    cells = table2b_haccio(
+        seed=args.seed, reps=args.reps, ranks_per_node=args.ranks_per_node,
+        particle_counts=(args.particles, 2 * args.particles),
+    )
+    _print_overhead([c.as_row() for c in cells])
+
+
+def _cmd_table2c(args) -> None:
+    from repro.experiments import table2c_hmmer
+
+    cells = table2c_hmmer(seed=args.seed, reps=args.reps, n_families=args.families)
+    _print_overhead([c.as_row() for c in cells])
+
+
+def _cmd_fig5(args) -> None:
+    from repro.experiments import fig5_op_counts
+
+    out = fig5_op_counts(seed=args.seed, reps=args.reps)
+    for label, counts in out.items():
+        line = "  ".join(
+            f"{op}={counts[op]['mean']:.0f}±{counts[op]['ci']:.1f}"
+            for op in sorted(counts)
+        )
+        print(f"{label:<16} {line}")
+
+
+def _cmd_fig6(args) -> None:
+    from repro.experiments import fig6_per_node
+
+    for job_id, nodes in fig6_per_node(seed=args.seed).items():
+        print(f"job {job_id}:")
+        for node, ops in sorted(nodes.items()):
+            print(f"  {node}: {ops}")
+
+
+def _cmd_fig7(args) -> None:
+    from repro.experiments import fig7_duration_variability
+
+    out = fig7_duration_variability()
+    print(f"{'job':>8} {'reads(s)':>10} {'writes(s)':>10}")
+    for job in out["job_ids"]:
+        s = out["stats"][job]
+        mark = "  <-- anomalous" if job in out["anomalous"] else ""
+        print(f"{job:>8} {s['read']['mean']:>10.3f} {s['write']['mean']:>10.3f}{mark}")
+
+
+def _cmd_fig8(args) -> None:
+    from repro.experiments import fig8_timeline
+
+    tl = fig8_timeline()
+    writes = tl["op"] == "write"
+    reads = tl["op"] == "read"
+    print(f"job {tl['job_id']}: {tl['write_phases']} write phases "
+          f"over [0, {tl['t'][writes].max():.0f}]s; "
+          f"reads in [{tl['t'][reads].min():.0f}, {tl['t'][reads].max():.0f}]s")
+
+
+def _cmd_fig9(args) -> None:
+    from repro.experiments import fig9_grafana_series
+
+    s = fig9_grafana_series(bucket_s=10.0)
+    print(f"job {s['job_id']} (MiB per 10s bucket):")
+    for op in ("write", "read"):
+        print(f"  {op:>6}: " + " ".join(f"{v / 2**20:.0f}" for v in s[op]["bytes"]))
+
+
+def _cmd_ablations(args) -> None:
+    from repro.experiments import (
+        ablation_dsos_index,
+        ablation_push_pull,
+        ablation_sampling,
+        ablation_sprintf,
+    )
+
+    print("== A1: JSON formatting on/off ==")
+    _print_overhead(ablation_sprintf(n_families=args.families, reps=1))
+    print("\n== A2: n-th-event sampling ==")
+    for r in ablation_sampling(sample_every=(1, 5, 20, 100), n_families=args.families):
+        print(f"  n={r['sample_every']:<4} overhead={r['overhead_percent']:.0f}% "
+              f"fidelity={r['fidelity']:.0%}")
+    print("\n== A3: DSOS index choice ==")
+    for r in ablation_dsos_index():
+        print(f"  {r['index']:<32} scanned={r['rows_scanned']:<7} "
+              f"latency={r['est_latency_s'] * 1e6:.0f}us")
+    print("\n== A4: push vs pull ==")
+    for r in ablation_push_pull():
+        print(f"  {r['mode']:<5} buffered={r['peak_buffered']:<6} lost={r['lost']:<7} "
+              f"latency={r['mean_latency_s']:.2f}s")
+
+
+def _cmd_report(args) -> None:
+    from pathlib import Path
+
+    from repro.experiments.report import generate_report
+
+    results_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    print(generate_report(results_dir))
+
+
+_COMMANDS = {
+    "report": _cmd_report,
+    "table2a": _cmd_table2a,
+    "table2b": _cmd_table2b,
+    "table2c": _cmd_table2c,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "ablations": _cmd_ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.cli`` / ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--ranks-per-node", type=int, default=4)
+    parser.add_argument("--families", type=int, default=200,
+                        help="HMMER Pfam families (scaled input)")
+    parser.add_argument("--particles", type=int, default=500_000,
+                        help="HACC particles per rank (scaled input)")
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

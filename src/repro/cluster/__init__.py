@@ -1,0 +1,27 @@
+"""Simulated HPC cluster substrate.
+
+Models the paper's evaluation platform — the Voltrino Cray XC40 at
+Sandia (24 diskless compute nodes, dual 16-core Haswell, Aries
+DragonFly interconnect) plus the analysis cluster ("Shirley") that hosts
+the DSOS database and the Grafana web services — as named nodes joined
+by a latency/bandwidth network, with a small Slurm-like job scheduler
+allocating nodes and job ids.
+"""
+
+from repro.cluster.network import Link, Network
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.cluster import Cluster, ClusterSpec, VOLTRINO
+from repro.cluster.job import Job, JobScheduler, AllocationError
+
+__all__ = [
+    "AllocationError",
+    "Cluster",
+    "ClusterSpec",
+    "Job",
+    "JobScheduler",
+    "Link",
+    "Network",
+    "Node",
+    "NodeSpec",
+    "VOLTRINO",
+]

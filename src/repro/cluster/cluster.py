@@ -1,0 +1,130 @@
+"""Cluster assembly.
+
+:class:`Cluster` wires nodes and network into the topology of the
+paper's environment section:
+
+* N diskless compute nodes ``nid00001..nidN`` (samplers run here),
+* a head node (first-level LDMS aggregator),
+* a remote analysis node ``shirley`` (second-level aggregator, DSOS
+  daemons and the Grafana web services),
+
+with Aries-class links among compute/head nodes and a slower WAN-ish
+uplink from the head node to the analysis cluster.  File systems are
+attached by name ("nfs", "lustre") so experiments can select the target
+FS per run exactly like the paper's campaign does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import JobScheduler
+from repro.cluster.network import Network
+from repro.cluster.node import Node, NodeSpec
+from repro.sim import Environment, RngRegistry
+
+__all__ = ["Cluster", "ClusterSpec", "VOLTRINO"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and link parameters of a cluster build."""
+
+    name: str = "voltrino"
+    n_compute_nodes: int = 24
+    node: NodeSpec = NodeSpec()
+    #: Aries-class compute fabric.
+    fabric_latency_s: float = 1.5e-6
+    fabric_bandwidth_bps: float = 10e9
+    #: Head-node → analysis-cluster uplink (crosses security domains).
+    uplink_latency_s: float = 250e-6
+    uplink_bandwidth_bps: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.n_compute_nodes < 1:
+            raise ValueError("need at least one compute node")
+
+
+#: The paper's evaluation system: 24 diskless XC40 nodes.
+VOLTRINO = ClusterSpec()
+
+
+class Cluster:
+    """A built cluster: nodes, network, scheduler and file systems."""
+
+    HEAD_NAME = "head"
+    ANALYSIS_NAME = "shirley"
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngRegistry,
+        spec: ClusterSpec = VOLTRINO,
+    ):
+        self.env = env
+        self.rng = rng
+        self.spec = spec
+
+        self.compute_nodes: list[Node] = [
+            Node(env, f"nid{i:05d}", spec.node)
+            for i in range(1, spec.n_compute_nodes + 1)
+        ]
+        self.head_node = Node(env, self.HEAD_NAME, spec.node)
+        self.analysis_node = Node(env, self.ANALYSIS_NAME, spec.node)
+
+        self.network = Network(env)
+        for node in self.all_nodes:
+            self.network.add_node(node.name)
+        # Star fabric through the head node approximates the low-diameter
+        # DragonFly at message scales the experiments use.
+        for node in self.compute_nodes:
+            self.network.add_link(
+                node.name,
+                self.HEAD_NAME,
+                latency_s=spec.fabric_latency_s,
+                bandwidth_bps=spec.fabric_bandwidth_bps,
+                channels=4,
+            )
+        self.network.add_link(
+            self.HEAD_NAME,
+            self.ANALYSIS_NAME,
+            latency_s=spec.uplink_latency_s,
+            bandwidth_bps=spec.uplink_bandwidth_bps,
+            channels=2,
+        )
+
+        self.scheduler = JobScheduler(self.compute_nodes)
+        self._filesystems: dict[str, object] = {}
+
+    # -- nodes ----------------------------------------------------------
+
+    @property
+    def all_nodes(self) -> list[Node]:
+        return [*self.compute_nodes, self.head_node, self.analysis_node]
+
+    def node(self, name: str) -> Node:
+        """Look up any node by name."""
+        for node in self.all_nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    # -- file systems -----------------------------------------------------
+
+    def attach_filesystem(self, name: str, fs: object) -> None:
+        """Mount a file system under ``name`` ("nfs", "lustre")."""
+        if name in self._filesystems:
+            raise ValueError(f"file system {name!r} already attached")
+        self._filesystems[name] = fs
+
+    def filesystem(self, name: str) -> object:
+        try:
+            return self._filesystems[name]
+        except KeyError:
+            raise KeyError(
+                f"no file system {name!r}; attached: {sorted(self._filesystems)}"
+            ) from None
+
+    @property
+    def filesystems(self) -> dict[str, object]:
+        return dict(self._filesystems)

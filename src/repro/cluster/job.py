@@ -1,0 +1,95 @@
+"""Jobs and a minimal Slurm-like allocator.
+
+The paper identifies every run by its ``job_id`` (a first-class metric
+in the connector's JSON messages and a component of every DSOS joint
+index).  :class:`JobScheduler` hands out monotonically increasing job
+ids and exclusive node allocations, mirroring how the 110 submissions of
+the evaluation were laid out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+
+__all__ = ["Job", "JobScheduler", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a job asks for more nodes than are free."""
+
+
+@dataclass
+class Job:
+    """A scheduled application run."""
+
+    job_id: int
+    name: str
+    nodes: list[Node]
+    uid: int
+    start_time: float | None = None
+    end_time: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def runtime(self) -> float:
+        """Elapsed seconds; only valid after the job finished."""
+        if self.start_time is None or self.end_time is None:
+            raise RuntimeError(f"job {self.job_id} has not finished")
+        return self.end_time - self.start_time
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+
+class JobScheduler:
+    """Exclusive-node allocator with sequential job ids."""
+
+    def __init__(self, nodes: list[Node], first_job_id: int = 259900):
+        self._all_nodes = list(nodes)
+        self._free = list(nodes)
+        self._next_id = first_job_id
+        self._running: dict[int, Job] = {}
+        #: Completed jobs, in completion order.
+        self.history: list[Job] = []
+
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    def submit(self, name: str, n_nodes: int, uid: int = 99066) -> Job:
+        """Allocate ``n_nodes`` and return the new :class:`Job`."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if n_nodes > len(self._free):
+            raise AllocationError(
+                f"job {name!r} wants {n_nodes} nodes, only {len(self._free)} free"
+            )
+        nodes, self._free = self._free[:n_nodes], self._free[n_nodes:]
+        job = Job(job_id=self._next_id, name=name, nodes=nodes, uid=uid)
+        self._next_id += 1
+        self._running[job.job_id] = job
+        return job
+
+    def start(self, job: Job, now: float) -> None:
+        """Record the job's start time."""
+        if job.job_id not in self._running:
+            raise RuntimeError(f"job {job.job_id} is not scheduled")
+        job.start_time = now
+
+    def complete(self, job: Job, now: float) -> None:
+        """Mark the job finished and release its nodes."""
+        if job.job_id not in self._running:
+            raise RuntimeError(f"job {job.job_id} is not running")
+        if job.start_time is None:
+            raise RuntimeError(f"job {job.job_id} was never started")
+        job.end_time = now
+        del self._running[job.job_id]
+        self._free.extend(job.nodes)
+        self.history.append(job)

@@ -1,0 +1,146 @@
+"""Interconnect model.
+
+The Aries DragonFly network of the XC40 is modelled at the fidelity the
+experiments need: a graph of :class:`Link` objects (latency + bandwidth,
+serialized per link), over which point-to-point transfers pick the
+shortest path and charge propagation latency per hop plus serialization
+on every traversed link.  Intra-node transfers are free.
+
+The topology used by :class:`~repro.cluster.cluster.Cluster` is a
+two-level star (compute nodes → head node → remote analysis cluster),
+which is exactly the multi-hop LDMS aggregation route of the paper's
+environment section: samplers on compute nodes, one aggregator on the
+head node, a second-level aggregator on Shirley.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.sim import Environment, Resource
+
+__all__ = ["Link", "Network", "TransferResult"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one point-to-point transfer."""
+
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Link:
+    """A physical link: propagation latency plus serialized bandwidth."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency_s: float,
+        bandwidth_bps: float,
+        channels: int = 1,
+    ):
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._server = Resource(env, capacity=channels)
+
+    def transmit_time(self, nbytes: int) -> float:
+        """Serialization time for ``nbytes`` on this link."""
+        return nbytes / self.bandwidth_bps
+
+    def transmit(self, nbytes: int):
+        """Generator: occupy one channel for the serialization time."""
+        yield from self._server.use(self.transmit_time(nbytes))
+
+    def transmit_scaled(self, nbytes: int, factor: float):
+        """Like :meth:`transmit`, with a congestion multiplier."""
+        yield from self._server.use(self.transmit_time(nbytes) * factor)
+
+
+class Network:
+    """A graph of named endpoints joined by :class:`Link` objects."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.graph = nx.Graph()
+        # Optional shared-fabric congestion: a LoadProcess-like object
+        # whose factor(t) multiplies serialization times ("network
+        # congestion" is one of the paper's named variability sources).
+        self._congestion = None
+
+    def set_congestion(self, load_process) -> None:
+        """Attach a time-varying congestion factor to every link."""
+        if not hasattr(load_process, "factor"):
+            raise TypeError("congestion source needs a factor(t) method")
+        self._congestion = load_process
+
+    def congestion_factor(self) -> float:
+        return (
+            self._congestion.factor(self.env.now)
+            if self._congestion is not None
+            else 1.0
+        )
+
+    def add_node(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency_s: float = 1.5e-6,
+        bandwidth_bps: float = 10e9,
+        channels: int = 1,
+    ) -> Link:
+        """Join endpoints ``a`` and ``b`` with a new link."""
+        link = Link(self.env, latency_s, bandwidth_bps, channels)
+        self.graph.add_edge(a, b, link=link)
+        return link
+
+    def path(self, src: str, dst: str) -> list[str]:
+        """Node sequence of the route used for ``src`` → ``dst``."""
+        try:
+            return nx.shortest_path(self.graph, src, dst)
+        except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+            raise ValueError(f"no route {src!r} -> {dst!r}") from exc
+
+    def links_on_path(self, src: str, dst: str) -> list[Link]:
+        nodes = self.path(src, dst)
+        return [
+            self.graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
+        ]
+
+    def one_way_latency(self, src: str, dst: str) -> float:
+        """Pure propagation latency of the route (no queueing)."""
+        return sum(l.latency_s for l in self.links_on_path(src, dst))
+
+    def transfer(self, src: str, dst: str, nbytes: int):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Charges propagation latency per hop and serialization (with
+        contention) per link, store-and-forward.  Returns a
+        :class:`TransferResult`.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        start = self.env.now
+        if src != dst:
+            factor = self.congestion_factor()
+            for link in self.links_on_path(src, dst):
+                yield self.env.timeout(link.latency_s * factor)
+                if nbytes:
+                    yield from link.transmit_scaled(nbytes, factor)
+        return TransferResult(src, dst, nbytes, start, self.env.now)

@@ -1,0 +1,71 @@
+"""Compute / service nodes.
+
+A :class:`Node` is a named machine with cores and memory.  Cores are a
+:class:`~repro.sim.resources.Resource` so CPU-bound work (e.g. the
+connector's JSON formatting) can contend when more runnable tasks exist
+than cores; memory is tracked as a byte budget used by stream buffering.
+Daemons (ldmsd, dsosd, web services) register themselves on the node so
+experiments can introspect what runs where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Container, Environment, Resource
+
+__all__ = ["Node", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a node's hardware."""
+
+    cores: int = 32
+    threads_per_core: int = 2
+    mem_bytes: int = 64 * 2**30  # 64 GiB DDR3, per the paper
+    ghz: float = 2.3
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads_per_core < 1:
+            raise ValueError("cores and threads_per_core must be >= 1")
+        if self.mem_bytes <= 0:
+            raise ValueError("mem_bytes must be positive")
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(self, env: Environment, name: str, spec: NodeSpec | None = None):
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.env = env
+        self.name = name
+        self.spec = spec or NodeSpec()
+        #: Hardware threads as schedulable slots.
+        self.cpus = Resource(env, capacity=self.spec.cores * self.spec.threads_per_core)
+        #: Memory budget (bytes); stream buffers draw from this.
+        self.memory = Container(env, capacity=self.spec.mem_bytes, init=0.0)
+        #: Daemons registered on this node, keyed by daemon name.
+        self.daemons: dict[str, object] = {}
+
+    def register_daemon(self, name: str, daemon: object) -> None:
+        """Attach a daemon (ldmsd, dsosd, ...) under a unique name."""
+        if name in self.daemons:
+            raise ValueError(f"daemon {name!r} already registered on {self.name}")
+        self.daemons[name] = daemon
+
+    def daemon(self, name: str) -> object:
+        """Look up a registered daemon by name."""
+        try:
+            return self.daemons[name]
+        except KeyError:
+            raise KeyError(f"no daemon {name!r} on node {self.name}") from None
+
+    @property
+    def mem_in_use(self) -> float:
+        """Bytes currently drawn from the memory budget."""
+        return self.memory.level
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name!r}, cores={self.spec.cores})"

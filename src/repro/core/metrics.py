@@ -1,0 +1,85 @@
+"""Table I: the metrics published in every connector message.
+
+``METRIC_DEFINITIONS`` reproduces the table verbatim (name →
+definition); ``MESSAGE_FIELDS`` / ``SEG_FIELDS`` fix the field order of
+the JSON message shown in Figure 3.  Tests assert the message builder
+emits exactly this vocabulary, so the wire format cannot silently
+drift from the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_DEFINITIONS", "MESSAGE_FIELDS", "SEG_FIELDS"]
+
+#: Table I, verbatim.
+METRIC_DEFINITIONS: dict[str, str] = {
+    "uid": "User ID of the job run",
+    "exe": "Absolute directory of the application executable",
+    "module": "Name of the Darshan module data being collected",
+    "ProducerName": "Name of the compute node the application is running on",
+    "switches": "Number of times access alternated between read and write",
+    "file": "Absolute directory of the filename where the operations are performed",
+    "rank": "Rank of the processes at I/O",
+    "flushes": (
+        "Number of 'flush' operations. It is the HDF5 file flush operations "
+        "for H5F, and the dataset flush operations for H5D"
+    ),
+    "record_id": "Darshan file record ID of the file the dataset belongs to",
+    "max_byte": "Highest offset byte read and written per operation",
+    "type": (
+        "The type of JSON data being published: MOD for gathering module "
+        "data or MET for gathering static meta data"
+    ),
+    "job_id": "The Job ID of the application run",
+    "op": "Type of operation being performed (i.e. read, write, open, close)",
+    "cnt": (
+        "The count of the operations performed per module per rank. "
+        "Resets to 0 after each 'close' operation"
+    ),
+    "seg": "A list containing metrics names per operation per rank",
+    "seg:pt_sel": "HDF5 number of different access selections",
+    "seg:dur": (
+        "Duration of each operation performed for the given rank (i.e. a "
+        "rank takes 'X' time to perform a r/w/o/c operation)"
+    ),
+    "seg:len": "Number of bytes read/written per operation per rank",
+    "seg:ndims": "HDF5 number of dimensions in dataset's dataspace",
+    "seg:reg_hslab": "HDF5 number of regular hyperslabs",
+    "seg:irreg_hslab": "HDF5 number of irregular hyperslabs",
+    "seg:data_set": "HDF5 dataset name",
+    "seg:npoints": "HDF5 number of points in dataset's dataspace",
+    "seg:timestamp": "End time of given operation per rank (in epoch time)",
+}
+
+#: Top-level JSON field order (Figure 3).
+MESSAGE_FIELDS = (
+    "uid",
+    "exe",
+    "job_id",
+    "rank",
+    "ProducerName",
+    "file",
+    "record_id",
+    "module",
+    "type",
+    "max_byte",
+    "switches",
+    "flushes",
+    "cnt",
+    "op",
+    "seg",
+)
+
+#: Per-segment field order (Figure 3).
+SEG_FIELDS = (
+    "data_set",
+    "pt_sel",
+    "irreg_hslab",
+    "reg_hslab",
+    "ndims",
+    "npoints",
+    "off",
+    "len",
+    "dur",
+    "timestamp",
+)

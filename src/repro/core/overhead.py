@@ -1,0 +1,75 @@
+"""Overhead arithmetic for Table II.
+
+The paper computes ``% Overhead`` from mean runtimes over five
+repetitions of "Darshan only" vs "Darshan-LDMS Connector" (dC) runs,
+and plots Figure 5 with 95 % confidence intervals.  These helpers hold
+exactly that math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _stats
+
+__all__ = ["percent_overhead", "mean_confidence_interval", "OverheadResult"]
+
+
+def percent_overhead(baseline_s: float, with_connector_s: float) -> float:
+    """``(dC - Darshan) / Darshan × 100``; negative when dC ran faster
+    (the paper's campaign-drift artefact)."""
+    if baseline_s <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return (with_connector_s - baseline_s) / baseline_s * 100.0
+
+
+def mean_confidence_interval(samples, confidence: float = 0.95):
+    """(mean, half-width) of the Student-t CI used by Figure 5."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    if sem == 0.0:
+        return mean, 0.0
+    half = float(sem * _stats.t.ppf((1 + confidence) / 2.0, arr.size - 1))
+    return mean, half
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """One Table II cell group: a (config, file system) column."""
+
+    label: str
+    filesystem: str
+    darshan_runtimes: tuple
+    connector_runtimes: tuple
+    avg_messages: float
+    message_rate: float
+
+    @property
+    def darshan_mean(self) -> float:
+        return float(np.mean(self.darshan_runtimes))
+
+    @property
+    def connector_mean(self) -> float:
+        return float(np.mean(self.connector_runtimes))
+
+    @property
+    def overhead_percent(self) -> float:
+        return percent_overhead(self.darshan_mean, self.connector_mean)
+
+    def as_row(self) -> dict:
+        """Flat dict in the shape of one Table II column."""
+        return {
+            "config": self.label,
+            "filesystem": self.filesystem,
+            "avg_messages": round(self.avg_messages),
+            "rate_msgs_per_s": self.message_rate,
+            "darshan_runtime_s": self.darshan_mean,
+            "dC_runtime_s": self.connector_mean,
+            "overhead_percent": self.overhead_percent,
+        }

@@ -1,0 +1,53 @@
+"""n-th-event sampling — the paper's proposed overhead fix (§VIII).
+
+"we plan to further develop the Darshan LDMS Integration framework to
+allow users to collect every n-th I/O event detected by Darshan."
+
+Design decisions (documented because the paper leaves them open):
+
+* sampling applies to data ops (read/write) only — open/close events
+  carry the static metadata analyses join on, and there are few of
+  them, so they are always published;
+* the counter is per (module, rank), so every rank's I/O pattern stays
+  uniformly represented rather than starving late ranks;
+* the *first* data event of each stride is published (``k % n == 1``),
+  so n=1 means "publish everything".
+"""
+
+from __future__ import annotations
+
+from repro.darshan.runtime import IOEvent
+
+__all__ = ["EventSampler"]
+
+
+class EventSampler:
+    """Admit every n-th read/write event per (module, rank)."""
+
+    def __init__(self, every_n: int = 1):
+        if every_n < 1:
+            raise ValueError(f"every_n must be >= 1, got {every_n}")
+        self.every_n = every_n
+        self._counts: dict[tuple[str, int], int] = {}
+        self.admitted = 0
+        self.suppressed = 0
+
+    def admit(self, event: IOEvent) -> bool:
+        """True when this event should be published."""
+        if event.op not in ("read", "write") or self.every_n == 1:
+            self.admitted += 1
+            return True
+        key = (event.module, event.context.rank)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count % self.every_n == 1:
+            self.admitted += 1
+            return True
+        self.suppressed += 1
+        return False
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Fraction of observed events actually admitted so far."""
+        total = self.admitted + self.suppressed
+        return self.admitted / total if total else 1.0

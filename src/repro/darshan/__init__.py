@@ -1,0 +1,45 @@
+"""Darshan: application-level I/O characterization (reimplemented).
+
+Mirrors the structure of the real tool the paper modifies:
+
+* ``darshan-runtime`` (:mod:`repro.darshan.runtime`,
+  :mod:`repro.darshan.modules`) — per-module instrumentation wrapping
+  the POSIX/STDIO/MPIIO/HDF5 layers, accumulating per-(file, rank)
+  counter records and, when DXT is enabled, full per-operation segment
+  traces;
+* ``darshan-util`` (:mod:`repro.darshan.logfile`) — the end-of-job log
+  writer and a ``darshan-parser``-style reader;
+* the paper's **timestamp modification**: vanilla Darshan keeps only
+  times relative to job start (from ``clock_gettime``); the modified
+  runtime threads an absolute-timestamp struct pointer through every
+  module, exposed here as the ``absolute_timestamps`` flag and the
+  :class:`~repro.darshan.runtime.IOEvent` objects delivered to run-time
+  event listeners (which is where the Darshan-LDMS connector attaches).
+"""
+
+from repro.darshan.counters import MODULE_COUNTERS, MODULE_FCOUNTERS, record_id_for
+from repro.darshan.records import DarshanRecord, NameRecord
+from repro.darshan.dxt import DxtSegment, DxtTracer
+from repro.darshan.heatmap import Heatmap
+from repro.darshan.runtime import DarshanConfig, DarshanRuntime, IOEvent
+from repro.darshan.logfile import DarshanLog, parse_log, write_log
+from repro.darshan.summary import job_summary, render_job_summary
+
+__all__ = [
+    "DarshanConfig",
+    "DarshanLog",
+    "DarshanRecord",
+    "DarshanRuntime",
+    "DxtSegment",
+    "DxtTracer",
+    "Heatmap",
+    "IOEvent",
+    "MODULE_COUNTERS",
+    "MODULE_FCOUNTERS",
+    "NameRecord",
+    "job_summary",
+    "parse_log",
+    "record_id_for",
+    "render_job_summary",
+    "write_log",
+]

@@ -1,0 +1,95 @@
+"""darshan-parser: command-line log inspection.
+
+Usage::
+
+    python -m repro.darshan.cli <logfile> [--module POSIX] [--dxt]
+
+Prints the job header, per-module totals and (optionally) per-record
+counters and DXT segments, in the spirit of the real ``darshan-parser``
+text output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.darshan.logfile import DarshanLog, LogFormatError, parse_log
+
+__all__ = ["main", "render_log"]
+
+
+def render_log(log: DarshanLog, module: str | None = None, show_dxt: bool = False) -> str:
+    """The parser's text rendering (returned, not printed, for tests)."""
+    lines = [
+        "# darshan log (reproduction format)",
+        f"# exe: {log.exe}",
+        f"# uid: {log.uid}",
+        f"# jobid: {log.job_id}",
+        f"# nprocs: {log.nprocs}",
+        f"# start_time: {log.start_time:.6f}",
+        f"# end_time: {log.end_time:.6f}",
+        f"# run time: {log.runtime_seconds:.6f}",
+        f"# modules: {', '.join(log.modules())}",
+        "",
+    ]
+    summary = log.summary()
+    for mod in log.modules():
+        if module is not None and mod != module:
+            continue
+        lines.append(f"# *** {mod} module totals ***")
+        for name, value in sorted(summary[mod].items()):
+            if isinstance(value, float):
+                lines.append(f"total_{name}: {value:.6f}")
+            else:
+                lines.append(f"total_{name}: {value}")
+        lines.append("")
+        lines.append(f"# *** {mod} per-record counters ***")
+        for rec in log.records_for(mod):
+            path = log.path_for(rec.record_id)
+            for name, value in rec.counters.items():
+                lines.append(f"{mod}\t{rec.rank}\t{rec.record_id}\t{name}\t{value}\t{path}")
+        lines.append("")
+    if show_dxt:
+        lines.append("# *** DXT segments ***")
+        lines.append("# module\trank\trecord_id\top\toffset\tlength\tstart\tend")
+        for (mod, rank, rid), segments in sorted(log.dxt_segments.items()):
+            if module is not None and mod != module:
+                continue
+            for seg in segments:
+                lines.append(
+                    f"{mod}\t{rank}\t{rid}\t{seg.op}\t{seg.offset}\t"
+                    f"{seg.length}\t{seg.start:.6f}\t{seg.end:.6f}"
+                )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.darshan.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="darshan-parser", description="Parse a reproduction Darshan log."
+    )
+    parser.add_argument("logfile", help="path to a log written by write_log()")
+    parser.add_argument("--module", help="restrict output to one module")
+    parser.add_argument("--dxt", action="store_true", help="include DXT segments")
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="darshan-job-summary style report instead of raw counters",
+    )
+    args = parser.parse_args(argv)
+    try:
+        log = parse_log(args.logfile)
+    except (LogFormatError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.summary:
+        from repro.darshan.summary import render_job_summary
+
+        print(render_job_summary(log))
+    else:
+        print(render_log(log, module=args.module, show_dxt=args.dxt))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

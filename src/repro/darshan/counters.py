@@ -1,0 +1,146 @@
+"""Counter vocabularies per Darshan module.
+
+A faithful subset of the real tool's counter names (darshan-log-format
+headers), covering everything the connector's JSON messages and the
+paper's analyses consume.  Integer counters accumulate occurrences and
+byte totals; ``F_``-prefixed float counters hold (job-relative) times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "MODULE_COUNTERS",
+    "MODULE_FCOUNTERS",
+    "SIZE_BUCKETS",
+    "SUPPORTED_MODULES",
+    "record_id_for",
+    "size_bucket_suffix",
+]
+
+#: Access-size histogram bucket upper bounds (bytes), like the real
+#: tool's ``*_SIZE_READ_0_100`` .. ``*_SIZE_READ_1G_PLUS`` counters.
+SIZE_BUCKETS = [
+    (0, 100, "0_100"),
+    (100, 1024, "100_1K"),
+    (1024, 10 * 1024, "1K_10K"),
+    (10 * 1024, 100 * 1024, "10K_100K"),
+    (100 * 1024, 2**20, "100K_1M"),
+    (2**20, 4 * 2**20, "1M_4M"),
+    (4 * 2**20, 10 * 2**20, "4M_10M"),
+    (10 * 2**20, 100 * 2**20, "10M_100M"),
+    (100 * 2**20, 2**30, "100M_1G"),
+    (2**30, None, "1G_PLUS"),
+]
+
+
+def size_bucket_suffix(op: str, nbytes: int) -> str:
+    """The histogram counter suffix for an access of ``nbytes``."""
+    label = SIZE_BUCKETS[-1][2]
+    for lo, hi, name in SIZE_BUCKETS:
+        if hi is None or nbytes < hi:
+            label = name
+            break
+    return f"SIZE_{op.upper()}_{label}"
+
+
+_SIZE_COUNTERS = [
+    f"SIZE_{op}_{name}" for op in ("READ", "WRITE") for _, _, name in SIZE_BUCKETS
+]
+
+_COMMON_COUNTERS = [
+    "OPENS",
+    "CLOSES",
+    "READS",
+    "WRITES",
+    "BYTES_READ",
+    "BYTES_WRITTEN",
+    "MAX_BYTE_READ",
+    "MAX_BYTE_WRITTEN",
+    "RW_SWITCHES",
+    # Access-pattern counters: SEQ = at a higher offset than the
+    # previous op; CONSEC = immediately adjacent to it.
+    "SEQ_READS",
+    "SEQ_WRITES",
+    "CONSEC_READS",
+    "CONSEC_WRITES",
+] + _SIZE_COUNTERS
+
+_COMMON_FCOUNTERS = [
+    "F_OPEN_START_TIMESTAMP",
+    "F_OPEN_END_TIMESTAMP",
+    "F_CLOSE_START_TIMESTAMP",
+    "F_CLOSE_END_TIMESTAMP",
+    "F_READ_START_TIMESTAMP",
+    "F_READ_END_TIMESTAMP",
+    "F_WRITE_START_TIMESTAMP",
+    "F_WRITE_END_TIMESTAMP",
+    "F_READ_TIME",
+    "F_WRITE_TIME",
+    "F_META_TIME",
+]
+
+
+def _prefixed(prefix: str, names: list[str]) -> list[str]:
+    return [f"{prefix}_{n}" for n in names]
+
+
+#: Integer counters per module.
+MODULE_COUNTERS: dict[str, list[str]] = {
+    "POSIX": _prefixed("POSIX", _COMMON_COUNTERS)
+    + ["POSIX_SEEKS", "POSIX_STATS", "POSIX_FSYNCS"],
+    "STDIO": _prefixed("STDIO", _COMMON_COUNTERS) + ["STDIO_FLUSHES"],
+    "MPIIO": _prefixed("MPIIO", ["OPENS", "CLOSES", "RW_SWITCHES"])
+    + [
+        "MPIIO_INDEP_READS",
+        "MPIIO_INDEP_WRITES",
+        "MPIIO_COLL_READS",
+        "MPIIO_COLL_WRITES",
+        "MPIIO_BYTES_READ",
+        "MPIIO_BYTES_WRITTEN",
+        "MPIIO_MAX_BYTE_READ",
+        "MPIIO_MAX_BYTE_WRITTEN",
+    ],
+    "H5F": ["H5F_OPENS", "H5F_CLOSES", "H5F_FLUSHES"],
+    "H5D": _prefixed("H5D", _COMMON_COUNTERS)
+    + [
+        "H5D_FLUSHES",
+        "H5D_POINT_SELECTS",
+        "H5D_REGULAR_HYPERSLAB_SELECTS",
+        "H5D_IRREGULAR_HYPERSLAB_SELECTS",
+        "H5D_DATASPACE_NDIMS",
+        "H5D_DATASPACE_NPOINTS",
+    ],
+    # LUSTRE is a "static" module: striping layout, no op counters.
+    "LUSTRE": [
+        "LUSTRE_STRIPE_SIZE",
+        "LUSTRE_STRIPE_WIDTH",
+        "LUSTRE_STRIPE_OFFSET",
+        "LUSTRE_OSTS",
+    ],
+}
+
+#: Float (time) counters per module.
+MODULE_FCOUNTERS: dict[str, list[str]] = {
+    "POSIX": _prefixed("POSIX", _COMMON_FCOUNTERS),
+    "STDIO": _prefixed("STDIO", _COMMON_FCOUNTERS),
+    "MPIIO": _prefixed("MPIIO", _COMMON_FCOUNTERS),
+    "H5F": _prefixed("H5F", _COMMON_FCOUNTERS),
+    "H5D": _prefixed("H5D", _COMMON_FCOUNTERS),
+    "LUSTRE": [],
+}
+
+SUPPORTED_MODULES = tuple(MODULE_COUNTERS)
+
+
+def record_id_for(path: str) -> int:
+    """Darshan file record id: a stable 64-bit hash of the path.
+
+    The real tool hashes the path with a 64-bit jenkins hash; any stable
+    64-bit digest preserves the semantics (equal paths collide across
+    ranks and modules, which is what joins records together).
+    """
+    digest = hashlib.blake2b(path.encode("utf-8"), digest_size=8).digest()
+    # Mask to 63 bits so the id survives signed-int64 columns downstream.
+    return int.from_bytes(digest, "little") & 0x7FFF_FFFF_FFFF_FFFF

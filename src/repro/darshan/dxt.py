@@ -1,0 +1,89 @@
+"""DXT: Darshan eXtended Tracing.
+
+Where the base modules keep *aggregate* counters, DXT records every
+individual operation as a segment — (op, offset, length, start, end) —
+per (module, rank, file record).  The paper's connector exists exactly
+because DXT gives per-event fidelity; the connector adds the *absolute*
+timestamp and run-time delivery that DXT's post-mortem trace lacks.
+
+Like the real implementation, the tracer bounds memory per record
+(``max_segments_per_record``); overflowing records stop tracing and are
+flagged, so tests can exercise the truncation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DxtSegment", "DxtTracer"]
+
+_TRACED_OPS = ("read", "write")
+
+
+@dataclass(frozen=True)
+class DxtSegment:
+    """One traced I/O segment (times are job-relative, like real DXT)."""
+
+    op: str
+    offset: int
+    length: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class DxtTracer:
+    """Per-(module, rank, record) segment store with a memory bound."""
+
+    #: Modules real DXT traces (POSIX and MPI-IO layers only).
+    TRACED_MODULES = ("POSIX", "MPIIO")
+
+    def __init__(self, max_segments_per_record: int = 1 << 20):
+        if max_segments_per_record < 1:
+            raise ValueError("max_segments_per_record must be >= 1")
+        self.max_segments_per_record = max_segments_per_record
+        self._segments: dict[tuple[str, int, int], list[DxtSegment]] = {}
+        self._overflowed: set[tuple[str, int, int]] = set()
+
+    def trace(
+        self,
+        module: str,
+        rank: int,
+        record_id: int,
+        op: str,
+        offset: int,
+        length: int,
+        start: float,
+        end: float,
+    ) -> bool:
+        """Record one segment.  Returns False when dropped (not a traced
+        module/op, or the record hit its memory bound)."""
+        if module not in self.TRACED_MODULES or op not in _TRACED_OPS:
+            return False
+        key = (module, rank, record_id)
+        if key in self._overflowed:
+            return False
+        segs = self._segments.setdefault(key, [])
+        if len(segs) >= self.max_segments_per_record:
+            self._overflowed.add(key)
+            return False
+        segs.append(DxtSegment(op, offset, length, start, end))
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def segments(self, module: str, rank: int, record_id: int) -> list[DxtSegment]:
+        return list(self._segments.get((module, rank, record_id), ()))
+
+    def all_segments(self) -> dict[tuple[str, int, int], list[DxtSegment]]:
+        return {k: list(v) for k, v in self._segments.items()}
+
+    def overflowed(self, module: str, rank: int, record_id: int) -> bool:
+        return (module, rank, record_id) in self._overflowed
+
+    @property
+    def total_segments(self) -> int:
+        return sum(len(v) for v in self._segments.values())

@@ -1,0 +1,169 @@
+"""darshan-util: the end-of-job log and its writer/parser.
+
+The real tool writes a compressed binary log that ``darshan-parser``
+renders as text.  We keep the same lifecycle — runtime finalizes into a
+:class:`DarshanLog`, :func:`write_log` persists it (magic header +
+zlib-compressed JSON payload), :func:`parse_log` loads it back — and
+provide the ``darshan-parser``-style per-module aggregation via
+:meth:`DarshanLog.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.darshan.dxt import DxtSegment
+from repro.darshan.records import DarshanRecord, NameRecord
+
+__all__ = ["DarshanLog", "write_log", "parse_log", "LogFormatError"]
+
+_MAGIC = b"DSHNRPR1"
+
+
+class LogFormatError(RuntimeError):
+    """The file is not a log this parser understands."""
+
+
+@dataclass
+class DarshanLog:
+    """Everything darshan-runtime knows at shutdown."""
+
+    job_id: int
+    uid: int
+    exe: str
+    nprocs: int
+    start_time: float
+    end_time: float
+    records: list[DarshanRecord]
+    names: dict[int, NameRecord]
+    dxt_segments: dict[tuple[str, int, int], list[DxtSegment]] = field(
+        default_factory=dict
+    )
+    #: HEATMAP module data (None when the module was disabled).
+    heatmap: object = None
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.end_time - self.start_time
+
+    # -- darshan-parser-style views -------------------------------------------
+
+    def modules(self) -> list[str]:
+        """Module names present, sorted."""
+        return sorted({r.module for r in self.records})
+
+    def records_for(self, module: str) -> list[DarshanRecord]:
+        return [r for r in self.records if r.module == module]
+
+    def path_for(self, record_id: int) -> str:
+        try:
+            return self.names[record_id].path
+        except KeyError:
+            raise KeyError(f"record id {record_id} not in name table") from None
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-module aggregate totals (the parser's 'total' lines)."""
+        out: dict[str, dict[str, float]] = {}
+        for rec in self.records:
+            agg = out.setdefault(rec.module, {})
+            for name, value in rec.counters.items():
+                if name.endswith(("MAX_BYTE_READ", "MAX_BYTE_WRITTEN")):
+                    agg[name] = max(agg.get(name, 0), value)
+                else:
+                    agg[name] = agg.get(name, 0) + value
+            for name, value in rec.fcounters.items():
+                if name.endswith("_TIME"):
+                    agg[name] = agg.get(name, 0.0) + value
+        return out
+
+    def dxt_record_count(self) -> int:
+        return sum(len(v) for v in self.dxt_segments.values())
+
+
+def write_log(log: DarshanLog, path: str | Path) -> None:
+    """Serialize ``log`` to ``path`` (magic + zlib-compressed JSON)."""
+    payload = {
+        "job": {
+            "job_id": log.job_id,
+            "uid": log.uid,
+            "exe": log.exe,
+            "nprocs": log.nprocs,
+            "start_time": log.start_time,
+            "end_time": log.end_time,
+        },
+        "names": {str(rid): nr.path for rid, nr in log.names.items()},
+        "records": [
+            {
+                "module": r.module,
+                "record_id": r.record_id,
+                "rank": r.rank,
+                "counters": r.counters,
+                "fcounters": r.fcounters,
+            }
+            for r in log.records
+        ],
+        "dxt": [
+            {
+                "module": module,
+                "rank": rank,
+                "record_id": rid,
+                "segments": [
+                    [s.op, s.offset, s.length, s.start, s.end] for s in segs
+                ],
+            }
+            for (module, rank, rid), segs in log.dxt_segments.items()
+        ],
+        "heatmap": log.heatmap.to_payload() if log.heatmap is not None else None,
+    }
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    Path(path).write_bytes(_MAGIC + zlib.compress(raw, level=6))
+
+
+def parse_log(path: str | Path) -> DarshanLog:
+    """Load a log written by :func:`write_log`."""
+    blob = Path(path).read_bytes()
+    if not blob.startswith(_MAGIC):
+        raise LogFormatError(f"{path}: bad magic (not a reproduction Darshan log)")
+    try:
+        payload = json.loads(zlib.decompress(blob[len(_MAGIC):]))
+    except (zlib.error, json.JSONDecodeError) as exc:
+        raise LogFormatError(f"{path}: corrupt log payload") from exc
+
+    job = payload["job"]
+    records = [
+        DarshanRecord(
+            module=r["module"],
+            record_id=r["record_id"],
+            rank=r["rank"],
+            counters=r["counters"],
+            fcounters=r["fcounters"],
+        )
+        for r in payload["records"]
+    ]
+    names = {
+        int(rid): NameRecord(int(rid), p) for rid, p in payload["names"].items()
+    }
+    dxt: dict[tuple[str, int, int], list[DxtSegment]] = {}
+    for entry in payload["dxt"]:
+        key = (entry["module"], entry["rank"], entry["record_id"])
+        dxt[key] = [DxtSegment(*seg) for seg in entry["segments"]]
+    heatmap = None
+    if payload.get("heatmap") is not None:
+        from repro.darshan.heatmap import Heatmap
+
+        heatmap = Heatmap.from_payload(payload["heatmap"])
+    return DarshanLog(
+        job_id=job["job_id"],
+        uid=job["uid"],
+        exe=job["exe"],
+        nprocs=job["nprocs"],
+        start_time=job["start_time"],
+        end_time=job["end_time"],
+        records=records,
+        names=names,
+        dxt_segments=dxt,
+        heatmap=heatmap,
+    )

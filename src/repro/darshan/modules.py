@@ -1,0 +1,204 @@
+"""Module hooks: the wrappers darshan-runtime interposes per layer.
+
+One :class:`ModuleHook` instance wraps one client (POSIX, STDIO, MPIIO
+file or HDF5 file).  It translates completed operations into counter
+updates on the right :class:`~repro.darshan.records.DarshanRecord`,
+feeds DXT, emits LUSTRE striping records for files living on Lustre,
+and forwards every event through
+:meth:`~repro.darshan.runtime.DarshanRuntime.observe` to run-time
+listeners (the connector).
+"""
+
+from __future__ import annotations
+
+from repro.darshan.counters import size_bucket_suffix
+from repro.darshan.records import DarshanRecord
+from repro.fs.base import OpRecord
+from repro.fs.lustre import LustreFileSystem
+from repro.fs.posix import IOContext
+
+__all__ = ["ModuleHook"]
+
+#: Modules that carry the common size-histogram / access-pattern counters.
+_PATTERN_MODULES = ("POSIX", "STDIO", "H5D")
+
+
+class ModuleHook:
+    """Instrumentation hook bound to one client."""
+
+    def __init__(self, runtime, client):
+        self.runtime = runtime
+        self.client = client
+        # The file system underneath, when discoverable (PosixClient has
+        # .fs; StdioClient has .posix.fs; MPIIO/H5 resolve per rank).
+        self.fs = getattr(client, "fs", None)
+        if self.fs is None and hasattr(client, "posix"):
+            self.fs = client.posix.fs
+
+    # -- hook contract ------------------------------------------------------
+
+    def after_op(self, module: str, context: IOContext, record: OpRecord, handle):
+        runtime = self.runtime
+        if module not in runtime.config.enabled_modules:
+            return
+        rec = runtime.record_for(module, record.path, context.rank)
+        self._update_counters(module, rec, record, runtime)
+        if module == "POSIX":
+            self._maybe_emit_lustre(context, record)
+        hdf5 = self._hdf5_meta(record)
+        yield from runtime.observe(module, context, record, rec, hdf5)
+
+    # -- counter bookkeeping ----------------------------------------------------
+
+    def _update_counters(
+        self, module: str, rec: DarshanRecord, record: OpRecord, runtime
+    ) -> None:
+        op = record.op
+        rel_start = record.start - runtime.start_time
+        rel_end = record.end - runtime.start_time
+
+        if module == "MPIIO":
+            self._update_mpiio(rec, record, rel_start, rel_end)
+            return
+
+        if op == "open":
+            rec.inc("OPENS")
+            rec.stamp("F_OPEN_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_OPEN_END_TIMESTAMP", rel_end)
+            rec.add_time("F_META_TIME", record.duration)
+        elif op == "close":
+            rec.inc("CLOSES")
+            rec.stamp("F_CLOSE_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_CLOSE_END_TIMESTAMP", rel_end)
+            rec.add_time("F_META_TIME", record.duration)
+        elif op == "read":
+            rec.inc("READS")
+            rec.inc("BYTES_READ", record.nbytes)
+            if record.nbytes:
+                rec.maximize("MAX_BYTE_READ", record.offset + record.nbytes - 1)
+            rec.stamp("F_READ_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_READ_END_TIMESTAMP", rel_end)
+            rec.add_time("F_READ_TIME", record.duration)
+            self._rw_switch(module, rec, "read")
+            self._access_pattern(module, rec, "read", record)
+        elif op == "write":
+            rec.inc("WRITES")
+            rec.inc("BYTES_WRITTEN", record.nbytes)
+            if record.nbytes:
+                rec.maximize("MAX_BYTE_WRITTEN", record.offset + record.nbytes - 1)
+            rec.stamp("F_WRITE_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_WRITE_END_TIMESTAMP", rel_end)
+            rec.add_time("F_WRITE_TIME", record.duration)
+            self._rw_switch(module, rec, "write")
+            self._access_pattern(module, rec, "write", record)
+        elif op == "fsync":
+            if module == "POSIX":
+                rec.inc("FSYNCS")
+            else:  # STDIO fflush / H5 flush
+                rec.inc("FLUSHES")
+            rec.add_time("F_META_TIME", record.duration)
+        elif op == "flush":
+            rec.inc("FLUSHES")
+        elif op == "stat":
+            if module == "POSIX":
+                rec.inc("STATS")
+            rec.add_time("F_META_TIME", record.duration)
+
+        if module == "H5D":
+            h5 = self._hdf5_meta(record)
+            if h5 is not None:
+                # Selection counters are cumulative on the dataset; flush
+                # records carry -1 sentinels, which must not clobber them.
+                if h5["pt_sel"] >= 0:
+                    rec.maximize("POINT_SELECTS", h5["pt_sel"])
+                if h5["reg_hslab"] >= 0:
+                    rec.maximize("REGULAR_HYPERSLAB_SELECTS", h5["reg_hslab"])
+                if h5["irreg_hslab"] >= 0:
+                    rec.maximize("IRREGULAR_HYPERSLAB_SELECTS", h5["irreg_hslab"])
+                if h5["ndims"] >= 0:
+                    rec.set_counter("DATASPACE_NDIMS", h5["ndims"])
+                if h5["npoints"] >= 0:
+                    rec.maximize("DATASPACE_NPOINTS", h5["npoints"])
+
+    def _update_mpiio(self, rec, record, rel_start, rel_end) -> None:
+        op = record.op
+        if op == "open":
+            rec.inc("OPENS")
+            rec.stamp("F_OPEN_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_OPEN_END_TIMESTAMP", rel_end)
+            rec.add_time("F_META_TIME", record.duration)
+        elif op == "close":
+            rec.inc("CLOSES")
+            rec.stamp("F_CLOSE_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_CLOSE_END_TIMESTAMP", rel_end)
+            rec.add_time("F_META_TIME", record.duration)
+        elif op == "read":
+            rec.inc("COLL_READS" if record.collective else "INDEP_READS")
+            rec.inc("BYTES_READ", record.nbytes)
+            if record.nbytes:
+                rec.maximize("MAX_BYTE_READ", record.offset + record.nbytes - 1)
+            rec.stamp("F_READ_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_READ_END_TIMESTAMP", rel_end)
+            rec.add_time("F_READ_TIME", record.duration)
+            self._rw_switch("MPIIO", rec, "read")
+        elif op == "write":
+            rec.inc("COLL_WRITES" if record.collective else "INDEP_WRITES")
+            rec.inc("BYTES_WRITTEN", record.nbytes)
+            if record.nbytes:
+                rec.maximize("MAX_BYTE_WRITTEN", record.offset + record.nbytes - 1)
+            rec.stamp("F_WRITE_START_TIMESTAMP", rel_start, first=True)
+            rec.stamp("F_WRITE_END_TIMESTAMP", rel_end)
+            rec.add_time("F_WRITE_TIME", record.duration)
+            self._rw_switch("MPIIO", rec, "write")
+
+    def _rw_switch(self, module: str, rec: DarshanRecord, direction: str) -> None:
+        key = (module, rec.record_id, rec.rank)
+        last = self.runtime._last_rw.get(key)
+        if last is not None and last != direction:
+            rec.inc("RW_SWITCHES")
+        self.runtime._last_rw[key] = direction
+
+    def _access_pattern(
+        self, module: str, rec: DarshanRecord, direction: str, record: OpRecord
+    ) -> None:
+        """Size histogram + sequential/consecutive access counters."""
+        if module not in _PATTERN_MODULES:
+            return
+        rec.inc(size_bucket_suffix(direction, record.nbytes))
+        key = (module, rec.record_id, rec.rank, direction)
+        last_end = self.runtime._last_extent.get(key)
+        if last_end is not None:
+            if record.offset >= last_end:
+                rec.inc(f"SEQ_{direction.upper()}S")
+            if record.offset == last_end:
+                rec.inc(f"CONSEC_{direction.upper()}S")
+        self.runtime._last_extent[key] = record.offset + record.nbytes
+
+    # -- LUSTRE static module -------------------------------------------------------
+
+    def _maybe_emit_lustre(self, context: IOContext, record: OpRecord) -> None:
+        if record.op != "open" or not isinstance(self.fs, LustreFileSystem):
+            return
+        if "LUSTRE" not in self.runtime.config.enabled_modules:
+            return
+        rec = self.runtime.record_for("LUSTRE", record.path, context.rank)
+        params = self.fs.params
+        rec.set_counter("STRIPE_SIZE", params.stripe_size_bytes)
+        rec.set_counter("STRIPE_WIDTH", params.stripe_count)
+        rec.set_counter("STRIPE_OFFSET", self.fs.stripe_offset(record.path))
+        rec.set_counter("OSTS", params.n_osts)
+
+    # -- HDF5 metadata ---------------------------------------------------------------
+
+    @staticmethod
+    def _hdf5_meta(record: OpRecord) -> dict | None:
+        if not hasattr(record, "data_set"):
+            return None
+        return {
+            "data_set": record.data_set,
+            "ndims": record.ndims,
+            "npoints": record.npoints,
+            "pt_sel": record.pt_sel,
+            "reg_hslab": record.reg_hslab,
+            "irreg_hslab": record.irreg_hslab,
+        }

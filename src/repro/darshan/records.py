@@ -1,0 +1,86 @@
+"""Per-(module, file, rank) counter records and the name table.
+
+A :class:`DarshanRecord` is the unit the real tool stores in its log:
+one bundle of counters for one file record id, one rank and one module.
+:class:`NameRecord` maps record ids back to paths (the log's name table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.darshan.counters import MODULE_COUNTERS, MODULE_FCOUNTERS
+
+__all__ = ["DarshanRecord", "NameRecord"]
+
+
+@dataclass(frozen=True)
+class NameRecord:
+    """Record-id → path mapping entry."""
+
+    record_id: int
+    path: str
+
+
+@dataclass
+class DarshanRecord:
+    """Counters for one (module, record_id, rank) triple."""
+
+    module: str
+    record_id: int
+    rank: int
+    counters: dict = field(default_factory=dict)
+    fcounters: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.module not in MODULE_COUNTERS:
+            raise ValueError(f"unknown Darshan module {self.module!r}")
+        for name in MODULE_COUNTERS[self.module]:
+            self.counters.setdefault(name, 0)
+        for name in MODULE_FCOUNTERS[self.module]:
+            self.fcounters.setdefault(name, 0.0)
+
+    # -- counter updates ----------------------------------------------------
+
+    def inc(self, suffix: str, amount: int = 1) -> None:
+        """Increment the module-prefixed counter ``<MODULE>_<suffix>``."""
+        self.counters[self._key(suffix)] += amount
+
+    def maximize(self, suffix: str, value: int) -> None:
+        """Raise the module-prefixed counter to ``value`` if larger."""
+        key = self._key(suffix)
+        if value > self.counters[key]:
+            self.counters[key] = value
+
+    def set_counter(self, suffix: str, value: int) -> None:
+        self.counters[self._key(suffix)] = value
+
+    def add_time(self, suffix: str, seconds: float) -> None:
+        self.fcounters[self._key(suffix)] += seconds
+
+    def stamp(self, suffix: str, when: float, *, first: bool = False) -> None:
+        """Record a timestamp fcounter.
+
+        With ``first=True`` only the earliest value is kept (START
+        timestamps); otherwise the latest wins (END timestamps).
+        """
+        key = self._key(suffix)
+        current = self.fcounters[key]
+        if first:
+            if current == 0.0 or when < current:
+                self.fcounters[key] = when
+        else:
+            if when > current:
+                self.fcounters[key] = when
+
+    def get(self, suffix: str) -> int:
+        return self.counters[self._key(suffix)]
+
+    def fget(self, suffix: str) -> float:
+        return self.fcounters[self._key(suffix)]
+
+    def _key(self, suffix: str) -> str:
+        key = f"{self.module}_{suffix}"
+        if key not in self.counters and key not in self.fcounters:
+            raise KeyError(f"module {self.module} has no counter {key}")
+        return key

@@ -1,0 +1,151 @@
+"""darshan-job-summary: the human-readable per-job report.
+
+The real tool renders a PDF; we render structured text with the same
+content blocks: the job header, per-module I/O volumes and time
+breakdown, an estimated aggregate performance figure, the access-size
+histogram, access-pattern ratios, the busiest files, and (when the
+HEATMAP module ran) an ASCII intensity strip per op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.darshan.counters import SIZE_BUCKETS
+from repro.darshan.logfile import DarshanLog
+
+__all__ = ["job_summary", "render_job_summary"]
+
+
+def job_summary(log: DarshanLog) -> dict:
+    """The report's data, as a dict (render separately)."""
+    summary = log.summary()
+    modules = {}
+    for mod in log.modules():
+        agg = summary[mod]
+        bytes_read = agg.get(f"{mod}_BYTES_READ", 0)
+        bytes_written = agg.get(f"{mod}_BYTES_WRITTEN", 0)
+        read_time = agg.get(f"{mod}_F_READ_TIME", 0.0)
+        write_time = agg.get(f"{mod}_F_WRITE_TIME", 0.0)
+        meta_time = agg.get(f"{mod}_F_META_TIME", 0.0)
+        io_time = read_time + write_time + meta_time
+        modules[mod] = {
+            "bytes_read": bytes_read,
+            "bytes_written": bytes_written,
+            "reads": agg.get(f"{mod}_READS", 0),
+            "writes": agg.get(f"{mod}_WRITES", 0),
+            "opens": agg.get(f"{mod}_OPENS", 0),
+            "read_time_s": read_time,
+            "write_time_s": write_time,
+            "meta_time_s": meta_time,
+            # The classic darshan-job-summary "estimated performance":
+            # moved bytes over cumulative I/O time.
+            "est_mib_per_s": (
+                (bytes_read + bytes_written) / 2**20 / io_time if io_time > 0 else 0.0
+            ),
+        }
+
+    histogram = {"read": {}, "write": {}}
+    posix = summary.get("POSIX", {})
+    for _, _, name in SIZE_BUCKETS:
+        histogram["read"][name] = posix.get(f"POSIX_SIZE_READ_{name}", 0)
+        histogram["write"][name] = posix.get(f"POSIX_SIZE_WRITE_{name}", 0)
+
+    total_reads = posix.get("POSIX_READS", 0)
+    total_writes = posix.get("POSIX_WRITES", 0)
+    patterns = {
+        "seq_read_pct": _pct(posix.get("POSIX_SEQ_READS", 0), total_reads),
+        "seq_write_pct": _pct(posix.get("POSIX_SEQ_WRITES", 0), total_writes),
+        "consec_read_pct": _pct(posix.get("POSIX_CONSEC_READS", 0), total_reads),
+        "consec_write_pct": _pct(posix.get("POSIX_CONSEC_WRITES", 0), total_writes),
+    }
+
+    # Busiest files by moved bytes (POSIX layer).
+    per_file: dict[int, int] = {}
+    for rec in log.records_for("POSIX"):
+        moved = rec.get("BYTES_READ") + rec.get("BYTES_WRITTEN")
+        per_file[rec.record_id] = per_file.get(rec.record_id, 0) + moved
+    busiest = [
+        {"path": log.path_for(rid), "bytes": moved}
+        for rid, moved in sorted(per_file.items(), key=lambda kv: -kv[1])[:5]
+    ]
+
+    return {
+        "job": {
+            "job_id": log.job_id,
+            "uid": log.uid,
+            "exe": log.exe,
+            "nprocs": log.nprocs,
+            "runtime_s": log.runtime_seconds,
+        },
+        "modules": modules,
+        "size_histogram": histogram,
+        "access_patterns": patterns,
+        "busiest_files": busiest,
+        "heatmap": log.heatmap,
+    }
+
+
+def _pct(part: float, whole: float) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+def render_job_summary(log: DarshanLog, width: int = 72) -> str:
+    """The report as text."""
+    data = job_summary(log)
+    job = data["job"]
+    lines = [
+        "=" * width,
+        f"darshan job summary — job {job['job_id']} ({job['exe']})",
+        "=" * width,
+        f"uid: {job['uid']}   nprocs: {job['nprocs']}   "
+        f"runtime: {job['runtime_s']:.2f} s",
+        "",
+        "per-module I/O:",
+        f"  {'module':<8} {'opens':>7} {'reads':>8} {'writes':>8} "
+        f"{'MiB read':>10} {'MiB written':>12} {'est MiB/s':>10}",
+    ]
+    for mod, m in sorted(data["modules"].items()):
+        lines.append(
+            f"  {mod:<8} {m['opens']:>7} {m['reads']:>8} {m['writes']:>8} "
+            f"{m['bytes_read'] / 2**20:>10.1f} {m['bytes_written'] / 2**20:>12.1f} "
+            f"{m['est_mib_per_s']:>10.1f}"
+        )
+    lines += ["", "POSIX access sizes:"]
+    hist = data["size_histogram"]
+    top = max(
+        [*hist["read"].values(), *hist["write"].values(), 1]
+    )
+    for _, _, name in SIZE_BUCKETS:
+        r, w = hist["read"][name], hist["write"][name]
+        if r == 0 and w == 0:
+            continue
+        bar_r = "#" * max(int(r / top * 24), 1 if r else 0)
+        bar_w = "#" * max(int(w / top * 24), 1 if w else 0)
+        lines.append(f"  {name:>9}  R {r:>8} {bar_r:<24} W {w:>8} {bar_w}")
+    p = data["access_patterns"]
+    lines += [
+        "",
+        "access patterns (POSIX):",
+        f"  sequential: {p['seq_read_pct']:.0f}% of reads, "
+        f"{p['seq_write_pct']:.0f}% of writes",
+        f"  consecutive: {p['consec_read_pct']:.0f}% of reads, "
+        f"{p['consec_write_pct']:.0f}% of writes",
+        "",
+        "busiest files:",
+    ]
+    for f in data["busiest_files"]:
+        lines.append(f"  {f['bytes'] / 2**20:>10.1f} MiB  {f['path']}")
+    if data["heatmap"] is not None and data["heatmap"].ranks():
+        lines += ["", "I/O intensity over time (all ranks):"]
+        hm = data["heatmap"]
+        for op in ("read", "write"):
+            series = hm.matrix(op).sum(axis=0)
+            peak = series.max() or 1.0
+            strip = "".join(
+                "▁▂▃▄▅▆▇█"[min(int(v / peak * 7.999), 7)] if v > 0 else " "
+                for v in series[: width - 10]
+            )
+            lines.append(f"  {op:>5} |{strip}|")
+    lines.append("=" * width)
+    return "\n".join(lines)

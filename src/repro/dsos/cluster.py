@@ -1,0 +1,66 @@
+"""A DSOS cluster: several dsosd daemons behind one ingest/query façade."""
+
+from __future__ import annotations
+
+from repro.dsos.daemon import Dsosd
+from repro.dsos.query import Query
+from repro.dsos.schema import Schema, SchemaError
+
+__all__ = ["DsosCluster"]
+
+
+class DsosCluster:
+    """N daemons; ingest round-robins, queries fan out to all."""
+
+    def __init__(self, name: str, n_daemons: int = 4):
+        if n_daemons < 1:
+            raise ValueError("need at least one dsosd")
+        self.name = name
+        self.daemons = [Dsosd(f"{name}-dsosd{i}") for i in range(n_daemons)]
+        self.schemas: dict[str, Schema] = {}
+        self._rr = 0
+
+    def attach_schema(self, schema: Schema) -> None:
+        """Register a schema on every daemon."""
+        if schema.name in self.schemas:
+            raise SchemaError(f"schema {schema.name!r} already attached")
+        self.schemas[schema.name] = schema
+        for d in self.daemons:
+            d.attach_schema(schema)
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self.schemas[name]
+        except KeyError:
+            raise SchemaError(f"cluster has no schema {name!r}") from None
+
+    # -- ingest -----------------------------------------------------------
+
+    def insert(self, schema_name: str, obj: dict, *, validate: bool = True) -> None:
+        """Store one object on the next daemon (round-robin)."""
+        self.schema(schema_name)  # existence check with good error
+        daemon = self.daemons[self._rr]
+        self._rr = (self._rr + 1) % len(self.daemons)
+        daemon.insert(schema_name, obj, validate=validate)
+
+    def insert_many(self, schema_name: str, objs, *, validate: bool = True) -> int:
+        n = 0
+        for obj in objs:
+            self.insert(schema_name, obj, validate=validate)
+            n += 1
+        return n
+
+    def count(self, schema_name: str) -> int:
+        return sum(d.count(schema_name) for d in self.daemons)
+
+    # -- query ------------------------------------------------------------
+
+    def query(self, schema_name: str, index_name: str) -> Query:
+        """Start building a query against ``index_name``."""
+        schema = self.schema(schema_name)
+        if index_name not in schema.indices:
+            raise SchemaError(
+                f"schema {schema_name!r} has no index {index_name!r}; "
+                f"available: {sorted(schema.indices)}"
+            )
+        return Query(self, schema_name, index_name)

@@ -1,0 +1,127 @@
+"""dsosd: one storage daemon holding object shards.
+
+Each daemon stores a shard of every schema's objects together with the
+schema's indices over *its* shard.  Cluster-level queries fan out to
+daemons and merge; the per-daemon work (rows scanned in index order) is
+what the latency model charges.
+"""
+
+from __future__ import annotations
+
+from repro.dsos.index import SortedIndex
+from repro.dsos.schema import Schema, SchemaError
+
+__all__ = ["Dsosd"]
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _Shard:
+    """One schema's objects + indices on one daemon."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.objects: list[dict] = []
+        self.indices = {
+            name: SortedIndex(name, attrs)
+            for name, attrs in schema.indices.items()
+        }
+
+    def add(self, obj: dict) -> int:
+        oid = len(self.objects)
+        self.objects.append(obj)
+        for name, index in self.indices.items():
+            index.add(self.schema.key_for(name, obj), oid)
+        return oid
+
+
+class Dsosd:
+    """One DSOS storage daemon."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._shards: dict[str, _Shard] = {}
+        #: Ingest accounting.
+        self.objects_stored = 0
+
+    def attach_schema(self, schema: Schema) -> None:
+        if schema.name in self._shards:
+            raise SchemaError(f"schema {schema.name!r} already attached to {self.name}")
+        self._shards[schema.name] = _Shard(schema)
+
+    def has_schema(self, schema_name: str) -> bool:
+        return schema_name in self._shards
+
+    def _shard(self, schema_name: str) -> _Shard:
+        try:
+            return self._shards[schema_name]
+        except KeyError:
+            raise SchemaError(
+                f"daemon {self.name} has no schema {schema_name!r}"
+            ) from None
+
+    # -- ingest ---------------------------------------------------------------
+
+    def insert(self, schema_name: str, obj: dict, *, validate: bool = True) -> None:
+        shard = self._shard(schema_name)
+        if validate:
+            shard.schema.validate(obj)
+        shard.add(obj)
+        self.objects_stored += 1
+
+    def count(self, schema_name: str) -> int:
+        return len(self._shard(schema_name).objects)
+
+    # -- shard-local query -------------------------------------------------------
+
+    def query_shard(
+        self,
+        schema_name: str,
+        index_name: str,
+        *,
+        begin: tuple | None = None,
+        end: tuple | None = None,
+        prefix: tuple | None = None,
+        filters: list[tuple] | None = None,
+    ) -> tuple[list[tuple], int]:
+        """Sorted (key, object) pairs matching the query, plus the number
+        of index entries scanned (pre-filter) for the cost model."""
+        shard = self._shard(schema_name)
+        if index_name not in shard.indices:
+            raise SchemaError(
+                f"schema {schema_name!r} has no index {index_name!r}"
+            )
+        index = shard.indices[index_name]
+        if prefix is not None:
+            if begin is not None or end is not None:
+                raise ValueError("prefix is exclusive with begin/end")
+            oids = index.prefix_range(prefix)
+        else:
+            oids = index.range(begin, end)
+        scanned = len(oids)
+        out = []
+        for oid in oids:
+            obj = shard.objects[oid]
+            if filters and not self._matches(obj, filters):
+                continue
+            out.append((shard.schema.key_for(index_name, obj), obj))
+        return out, scanned
+
+    @staticmethod
+    def _matches(obj: dict, filters: list[tuple]) -> bool:
+        for attr, op, value in filters:
+            fn = _OPS.get(op)
+            if fn is None:
+                raise ValueError(f"unknown filter op {op!r} (use {sorted(_OPS)})")
+            if attr not in obj:
+                raise SchemaError(f"filter references unknown attribute {attr!r}")
+            if not fn(obj[attr], value):
+                return False
+        return True

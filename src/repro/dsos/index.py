@@ -1,0 +1,102 @@
+"""Sorted indices with lazy batch materialization.
+
+DSOS ingests at high rates and queries with sorted iterators.  We get
+both properties by appending new keys to a pending buffer and merging
+it into the sorted backbone on first query (timsort exploits the
+presortedness of timestamp-ordered ingest, so this is near-linear).
+Range lookups are binary searches returning positions, and the scan
+count is surfaced for the index-choice ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["SortedIndex"]
+
+
+class SortedIndex:
+    """Maps sort keys (tuples) to object ids, in key order."""
+
+    def __init__(self, name: str, key_attrs: tuple):
+        self.name = name
+        self.key_attrs = tuple(key_attrs)
+        self._keys: list[tuple] = []
+        self._oids: list[int] = []
+        self._pending: list[tuple[tuple, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._pending)
+
+    def add(self, key: tuple, oid: int) -> None:
+        """O(1) append; ordering is restored lazily."""
+        if len(key) != len(self.key_attrs):
+            raise ValueError(
+                f"index {self.name!r} expects {len(self.key_attrs)}-part keys, "
+                f"got {key!r}"
+            )
+        self._pending.append((key, oid))
+
+    def _materialize(self) -> None:
+        if not self._pending:
+            return
+        merged = list(zip(self._keys, self._oids))
+        merged.extend(self._pending)
+        self._pending.clear()
+        merged.sort(key=lambda kv: kv[0])
+        self._keys = [k for k, _ in merged]
+        self._oids = [o for _, o in merged]
+
+    # -- range scans ----------------------------------------------------------
+
+    def range(self, begin: tuple | None = None, end: tuple | None = None):
+        """Object ids with ``begin <= key < end``, in key order.
+
+        ``begin``/``end`` may be key *prefixes* (shorter than the full
+        key); prefix semantics follow tuple comparison: a begin prefix
+        includes all completions, an end prefix excludes them (use
+        :meth:`prefix_range` for inclusive prefix matching).
+        """
+        self._materialize()
+        lo = 0 if begin is None else bisect.bisect_left(self._keys, tuple(begin))
+        hi = len(self._keys) if end is None else bisect.bisect_left(self._keys, tuple(end))
+        return self._oids[lo:hi]
+
+    def prefix_range(self, prefix: tuple):
+        """Object ids whose key starts with ``prefix``, in key order."""
+        prefix = tuple(prefix)
+        if len(prefix) > len(self.key_attrs):
+            raise ValueError(f"prefix longer than index key: {prefix!r}")
+        self._materialize()
+        lo = bisect.bisect_left(self._keys, prefix)
+        hi = bisect.bisect_right(self._keys, prefix + (_Infinity(),))
+        return self._oids[lo:hi]
+
+    def iter_sorted(self):
+        """(key, oid) pairs in key order."""
+        self._materialize()
+        return zip(self._keys, self._oids)
+
+    def min_key(self) -> tuple | None:
+        self._materialize()
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> tuple | None:
+        self._materialize()
+        return self._keys[-1] if self._keys else None
+
+
+class _Infinity:
+    """Compares greater than every concrete key component."""
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return 0

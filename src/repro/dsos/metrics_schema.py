@@ -1,0 +1,33 @@
+"""DSOS schema for LDMS metric-set samples.
+
+The classic LDMS data path (periodic node/system telemetry) lands in
+its own schema, so analyses can join application I/O events against
+system state — the correlation use case the paper's introduction
+motivates ("identify any correlations between the file system, network
+congestion or resource contentions and the I/O performance").
+"""
+
+from __future__ import annotations
+
+from repro.dsos.schema import Attr, Schema
+
+__all__ = ["LDMS_METRICS_SCHEMA"]
+
+
+def _metrics_schema() -> Schema:
+    attrs = [
+        Attr("producer", "string"),   # node the sample came from
+        Attr("source", "string"),     # sampler plugin name
+        Attr("metric", "string"),     # metric name within the set
+        Attr("value", "float"),
+        Attr("timestamp", "float"),
+    ]
+    indices = {
+        "time": ("timestamp",),
+        "metric_time": ("metric", "timestamp"),
+        "producer_time": ("producer", "timestamp"),
+    }
+    return Schema("ldms_metrics", attrs, indices)
+
+
+LDMS_METRICS_SCHEMA = _metrics_schema()

@@ -1,0 +1,154 @@
+"""DSOS partitions: time-windowed storage with retention.
+
+Production DSOS containers are divided into partitions (typically one
+per day); old partitions are taken offline or deleted to bound storage.
+:class:`PartitionedContainer` wraps a :class:`~repro.dsos.cluster.DsosCluster`
+per time window, routing each inserted object to the partition owning
+its ``timestamp`` attribute, fanning queries across the active
+partitions, and enforcing a retention limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dsos.cluster import DsosCluster
+from repro.dsos.schema import Schema, SchemaError
+
+__all__ = ["PartitionedContainer", "PartitionInfo"]
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    """Descriptor of one partition."""
+
+    index: int
+    t_begin: float
+    t_end: float
+    state: str  # "active" | "offline"
+    objects: int
+
+
+class PartitionedContainer:
+    """Time-partitioned object storage with bounded retention."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        partition_seconds: float = 86400.0,
+        max_active_partitions: int = 7,
+        n_daemons: int = 2,
+        time_attr: str = "timestamp",
+    ):
+        if partition_seconds <= 0:
+            raise ValueError("partition_seconds must be positive")
+        if max_active_partitions < 1:
+            raise ValueError("max_active_partitions must be >= 1")
+        if time_attr not in schema.attrs:
+            raise SchemaError(f"schema has no time attribute {time_attr!r}")
+        self.name = name
+        self.schema = schema
+        self.partition_seconds = partition_seconds
+        self.max_active_partitions = max_active_partitions
+        self.n_daemons = n_daemons
+        self.time_attr = time_attr
+        self._active: dict[int, DsosCluster] = {}
+        self._offline: set[int] = set()
+        #: Objects lost to retention (stored in partitions taken offline).
+        self.objects_retired = 0
+
+    # -- partition management ------------------------------------------------
+
+    def _partition_index(self, timestamp: float) -> int:
+        return int(math.floor(timestamp / self.partition_seconds))
+
+    def _partition_for(self, timestamp: float) -> DsosCluster:
+        index = self._partition_index(timestamp)
+        if index in self._offline:
+            raise SchemaError(
+                f"partition {index} is offline; cannot insert at t={timestamp}"
+            )
+        cluster = self._active.get(index)
+        if cluster is None:
+            cluster = DsosCluster(f"{self.name}-p{index}", self.n_daemons)
+            cluster.attach_schema(self.schema)
+            self._active[index] = cluster
+            self._enforce_retention()
+        return cluster
+
+    def _enforce_retention(self) -> None:
+        while len(self._active) > self.max_active_partitions:
+            oldest = min(self._active)
+            retired = self._active.pop(oldest)
+            self._offline.add(oldest)
+            self.objects_retired += retired.count(self.schema.name)
+
+    def partitions(self) -> list[PartitionInfo]:
+        """Descriptors of all partitions ever seen, oldest first."""
+        out = []
+        for index in sorted(self._active):
+            out.append(
+                PartitionInfo(
+                    index=index,
+                    t_begin=index * self.partition_seconds,
+                    t_end=(index + 1) * self.partition_seconds,
+                    state="active",
+                    objects=self._active[index].count(self.schema.name),
+                )
+            )
+        for index in sorted(self._offline):
+            out.append(
+                PartitionInfo(
+                    index=index,
+                    t_begin=index * self.partition_seconds,
+                    t_end=(index + 1) * self.partition_seconds,
+                    state="offline",
+                    objects=0,
+                )
+            )
+        return sorted(out, key=lambda p: p.index)
+
+    # -- ingest / query -------------------------------------------------------
+
+    def insert(self, obj: dict, *, validate: bool = True) -> None:
+        timestamp = obj.get(self.time_attr)
+        if not isinstance(timestamp, (int, float)):
+            raise SchemaError(
+                f"object lacks a numeric {self.time_attr!r}: {timestamp!r}"
+            )
+        self._partition_for(float(timestamp)).insert(
+            self.schema.name, obj, validate=validate
+        )
+
+    def count(self) -> int:
+        """Objects across active partitions."""
+        return sum(c.count(self.schema.name) for c in self._active.values())
+
+    def query(
+        self,
+        index_name: str,
+        *,
+        prefix: tuple | None = None,
+        begin: tuple | None = None,
+        end: tuple | None = None,
+        where: list | None = None,
+    ) -> list[dict]:
+        """Fan the query across active partitions, oldest first.
+
+        Partition order preserves time order for time-leading indices;
+        for other indices the caller gets per-partition index order.
+        """
+        rows: list[dict] = []
+        for index in sorted(self._active):
+            q = self._active[index].query(self.schema.name, index_name)
+            if prefix is not None:
+                q.prefix(*prefix)
+            if begin is not None or end is not None:
+                q.range(begin, end)
+            for clause in where or ():
+                q.where(*clause)
+            rows.extend(q.execute().rows)
+        return rows

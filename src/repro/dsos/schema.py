@@ -1,0 +1,138 @@
+"""Schemas: typed attributes and joint indices.
+
+A DSOS schema names its attributes and declares *indices*; a joint
+index like ``job_rank_time`` orders objects by (job_id, rank,
+timestamp), so "search the data by a specific rank within a specific
+job over time" (the paper's example) is a prefix range scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Attr", "Schema", "SchemaError", "DARSHAN_DATA_SCHEMA"]
+
+_TYPES = {
+    "int": int,
+    "float": float,
+    "string": str,
+}
+
+
+class SchemaError(ValueError):
+    """Schema definition or object-validation failure."""
+
+
+@dataclass(frozen=True)
+class Attr:
+    """One typed attribute."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise SchemaError(
+                f"attribute {self.name!r}: unknown type {self.type!r} "
+                f"(expected one of {sorted(_TYPES)})"
+            )
+
+    def validate(self, value) -> None:
+        expected = _TYPES[self.type]
+        # ints are acceptable where floats are declared.
+        if expected is float and isinstance(value, int):
+            return
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"attribute {self.name!r} expects {self.type}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+
+
+class Schema:
+    """Attribute set + named joint indices."""
+
+    def __init__(self, name: str, attrs: list[Attr], indices: dict[str, tuple]):
+        if not name:
+            raise SchemaError("schema name must be non-empty")
+        if not attrs:
+            raise SchemaError("schema needs at least one attribute")
+        self.name = name
+        self.attrs = {a.name: a for a in attrs}
+        if len(self.attrs) != len(attrs):
+            raise SchemaError("duplicate attribute names")
+        self.indices: dict[str, tuple] = {}
+        for index_name, key_attrs in indices.items():
+            key_attrs = tuple(key_attrs)
+            missing = [k for k in key_attrs if k not in self.attrs]
+            if missing:
+                raise SchemaError(
+                    f"index {index_name!r} references unknown attrs {missing}"
+                )
+            if not key_attrs:
+                raise SchemaError(f"index {index_name!r} has an empty key")
+            self.indices[index_name] = key_attrs
+
+    def validate(self, obj: dict) -> None:
+        """Check an object against the schema (extra keys rejected)."""
+        for key, value in obj.items():
+            attr = self.attrs.get(key)
+            if attr is None:
+                raise SchemaError(f"object has unknown attribute {key!r}")
+            attr.validate(value)
+        missing = set(self.attrs) - set(obj)
+        if missing:
+            raise SchemaError(f"object missing attributes {sorted(missing)}")
+
+    def key_for(self, index_name: str, obj: dict) -> tuple:
+        """The sort key of ``obj`` under ``index_name``."""
+        try:
+            key_attrs = self.indices[index_name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no index {index_name!r}; "
+                f"available: {sorted(self.indices)}"
+            ) from None
+        return tuple(obj[a] for a in key_attrs)
+
+
+def _darshan_data_schema() -> Schema:
+    """The schema the connector's messages land in (Fig 3 flattened)."""
+    attrs = [
+        Attr("module", "string"),
+        Attr("uid", "int"),
+        Attr("ProducerName", "string"),
+        Attr("switches", "int"),
+        Attr("file", "string"),
+        Attr("rank", "int"),
+        Attr("flushes", "int"),
+        Attr("record_id", "int"),
+        Attr("exe", "string"),
+        Attr("max_byte", "int"),
+        Attr("type", "string"),
+        Attr("job_id", "int"),
+        Attr("op", "string"),
+        Attr("cnt", "int"),
+        Attr("seg_off", "int"),
+        Attr("seg_pt_sel", "int"),
+        Attr("seg_dur", "float"),
+        Attr("seg_len", "int"),
+        Attr("seg_ndims", "int"),
+        Attr("seg_reg_hslab", "int"),
+        Attr("seg_irreg_hslab", "int"),
+        Attr("seg_data_set", "string"),
+        Attr("seg_npoints", "int"),
+        Attr("timestamp", "float"),
+    ]
+    indices = {
+        # The paper's worked example: order by job, rank, then time.
+        "job_rank_time": ("job_id", "rank", "timestamp"),
+        "job_time_rank": ("job_id", "timestamp", "rank"),
+        "time_job_rank": ("timestamp", "job_id", "rank"),
+        "job_id": ("job_id",),
+    }
+    return Schema("darshan_data", attrs, indices)
+
+
+#: Shared instance used across the pipeline.
+DARSHAN_DATA_SCHEMA = _darshan_data_schema()

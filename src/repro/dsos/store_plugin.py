@@ -1,0 +1,75 @@
+"""LDMS → DSOS store plugin.
+
+Terminal stage of the paper's pipeline (Figure 4): subscribes to the
+connector's stream tag on the final aggregator, flattens each JSON
+message (one database object per ``seg`` entry, like the CSV store) and
+inserts it into the ``darshan_data`` schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.dsos.client import DsosClient
+from repro.dsos.schema import DARSHAN_DATA_SCHEMA
+
+__all__ = ["DsosStreamStore"]
+
+# Defaults for attributes absent from a message (mirrors the "N/A"/-1
+# conventions of Figure 3).
+_INT_DEFAULT = -1
+_STR_DEFAULT = "N/A"
+_FLOAT_DEFAULT = -1.0
+
+
+class DsosStreamStore:
+    """Streams-subscriber that lands connector messages in DSOS."""
+
+    def __init__(self, daemon, tag: str, client: DsosClient, schema=DARSHAN_DATA_SCHEMA):
+        self.tag = tag
+        self.client = client
+        self.schema = schema
+        client.ensure_schema(schema)
+        self.parse_errors = 0
+        self.objects_stored = 0
+        daemon.streams.subscribe(tag, self.on_message)
+
+    def on_message(self, message) -> None:
+        try:
+            data = json.loads(message.payload)
+        except json.JSONDecodeError:
+            self.parse_errors += 1
+            return
+        if not isinstance(data, dict):
+            self.parse_errors += 1
+            return
+        for obj in self._flatten(data):
+            # _flatten+_coerce already guarantee schema conformance;
+            # skip per-object validation on this hot ingest path.
+            self.client.cluster.insert(self.schema.name, obj, validate=False)
+            self.objects_stored += 1
+
+    def _flatten(self, data: dict):
+        segments = data.get("seg") or [{}]
+        for seg in segments:
+            obj = {}
+            for attr in self.schema.attrs.values():
+                if attr.name == "timestamp":
+                    raw = seg.get("timestamp")
+                elif attr.name.startswith("seg_"):
+                    raw = seg.get(attr.name[4:])
+                else:
+                    raw = data.get(attr.name)
+                obj[attr.name] = self._coerce(raw, attr.type)
+            yield obj
+
+    @staticmethod
+    def _coerce(raw, type_name: str):
+        if type_name == "string":
+            return str(raw) if raw is not None else _STR_DEFAULT
+        if raw is None or raw == "N/A":
+            return _INT_DEFAULT if type_name == "int" else _FLOAT_DEFAULT
+        try:
+            return int(raw) if type_name == "int" else float(raw)
+        except (TypeError, ValueError):
+            return _INT_DEFAULT if type_name == "int" else _FLOAT_DEFAULT

@@ -1,0 +1,57 @@
+"""Experiment harness: the paper's evaluation, reproduced end to end.
+
+* :mod:`repro.experiments.world` — builds one "campaign world": the
+  simulated Voltrino cluster, both file systems with shared-load
+  variability, the LDMS aggregation fabric, and the DSOS database with
+  its store plugin;
+* :mod:`repro.experiments.runner` — submits and drives one application
+  job (Darshan-only or with the connector) and collects its results;
+* :mod:`repro.experiments.overhead` — Table IIa/IIb/IIc campaigns
+  (5 repetitions, Darshan-only campaign run at an earlier epoch than
+  the connector campaign, like the paper's 1–2-week gap);
+* :mod:`repro.experiments.figures` — Figures 5–9 reproduction.
+"""
+
+from repro.experiments.world import World, WorldConfig, STREAM_TAG
+from repro.experiments.runner import JobResult, run_job, run_jobs_concurrently
+from repro.experiments.overhead import (
+    run_overhead_cell,
+    table2a_mpiio,
+    table2b_haccio,
+    table2c_hmmer,
+)
+from repro.experiments.figures import (
+    fig5_op_counts,
+    fig6_per_node,
+    fig7_duration_variability,
+    fig8_timeline,
+    fig9_grafana_series,
+)
+from repro.experiments.ablations import (
+    ablation_dsos_index,
+    ablation_push_pull,
+    ablation_sampling,
+    ablation_sprintf,
+)
+
+__all__ = [
+    "JobResult",
+    "ablation_dsos_index",
+    "ablation_push_pull",
+    "ablation_sampling",
+    "ablation_sprintf",
+    "STREAM_TAG",
+    "World",
+    "WorldConfig",
+    "fig5_op_counts",
+    "fig6_per_node",
+    "fig7_duration_variability",
+    "fig8_timeline",
+    "fig9_grafana_series",
+    "run_job",
+    "run_jobs_concurrently",
+    "run_overhead_cell",
+    "table2a_mpiio",
+    "table2b_haccio",
+    "table2c_hmmer",
+]

@@ -1,0 +1,250 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* :func:`ablation_sprintf` — A1: JSON formatting on/off (the paper's
+  "only the Streams API" measurement, 0.37 % overhead);
+* :func:`ablation_sampling` — A2: the future-work n-th-event sampling,
+  sweeping n against overhead and retained-event fidelity;
+* :func:`ablation_dsos_index` — A3: joint-index choice vs query work
+  ("each index provided a different query performance");
+* :func:`ablation_push_pull` — A4: push-based streams vs a pull-based
+  poller (Section IV-B's design argument: pull needs buffering memory
+  and adds latency between event and recording).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import Hmmer
+from repro.core import ConnectorConfig
+from repro.experiments.overhead import run_overhead_cell
+from repro.sim import Environment, Store
+
+__all__ = [
+    "ablation_dsos_index",
+    "ablation_push_pull",
+    "ablation_sampling",
+    "ablation_sprintf",
+]
+
+
+# -- A1: sprintf on/off -----------------------------------------------------
+
+
+def ablation_sprintf(
+    *,
+    n_families: int = 150,
+    ranks_per_node: int = 16,
+    seed: int = 44,
+    reps: int = 2,
+    fs_name: str = "lustre",
+) -> list[dict]:
+    """Connector overhead with and without JSON formatting."""
+    rows = []
+    for mode in ("json", "none"):
+        cell = run_overhead_cell(
+            lambda: Hmmer(ranks_per_node=ranks_per_node, n_families=n_families),
+            fs_name,
+            label=f"hmmer/format={mode}",
+            seed=seed,
+            reps=reps,
+            connector_config=ConnectorConfig(format_mode=mode),
+            world_kwargs={"quiet": True},
+        )
+        rows.append(cell.as_row())
+    return rows
+
+
+# -- A2: n-th-event sampling ---------------------------------------------------
+
+
+def ablation_sampling(
+    *,
+    sample_every: tuple = (1, 2, 5, 10, 50, 100),
+    n_families: int = 120,
+    ranks_per_node: int = 16,
+    seed: int = 44,
+    reps: int = 1,
+    fs_name: str = "lustre",
+) -> list[dict]:
+    """Overhead and fidelity as the sampling stride grows.
+
+    Fidelity = fraction of observed I/O events actually published.
+    """
+    rows = []
+    for n in sample_every:
+        cell = run_overhead_cell(
+            lambda n=n: Hmmer(ranks_per_node=ranks_per_node, n_families=n_families),
+            fs_name,
+            label=f"hmmer/sample_every={n}",
+            seed=seed,
+            reps=reps,
+            connector_config=ConnectorConfig(sample_every=n),
+            world_kwargs={"quiet": True},
+        )
+        row = cell.as_row()
+        row["sample_every"] = n
+        # With stride n, read/write events thin out ~n-fold while
+        # open/close are always published.
+        row["fidelity"] = float(cell.avg_messages)
+        rows.append(row)
+    # Normalize fidelity to the unsampled run.
+    full = rows[0]["fidelity"]
+    for row in rows:
+        row["fidelity"] = row["fidelity"] / full if full else 1.0
+    return rows
+
+
+# -- A3: DSOS joint-index choice --------------------------------------------------
+
+
+def ablation_dsos_index(
+    *,
+    n_jobs: int = 8,
+    ranks: int = 16,
+    events_per_rank: int = 120,
+    seed: int = 0,
+) -> list[dict]:
+    """Query work per index for the paper's worked example: one rank of
+    one job over time."""
+    from repro.dsos import DARSHAN_DATA_SCHEMA, DsosClient, DsosCluster
+
+    rng = np.random.default_rng(seed)
+    client = DsosClient(DsosCluster("bench", n_daemons=4))
+    client.ensure_schema(DARSHAN_DATA_SCHEMA)
+
+    base = {a.name: -1 for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "int"}
+    base.update(
+        {a.name: "N/A" for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "string"}
+    )
+    base.update(
+        {a.name: -1.0 for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "float"}
+    )
+    t = 0.0
+    for job in range(n_jobs):
+        for rank in range(ranks):
+            for _ in range(events_per_rank):
+                t += float(rng.exponential(0.5))
+                obj = dict(base)
+                obj.update(
+                    job_id=100 + job,
+                    rank=rank,
+                    timestamp=t,
+                    op="write",
+                    module="POSIX",
+                    ProducerName=f"nid{rank:05d}",
+                    seg_len=4096,
+                    seg_dur=0.01,
+                )
+                client.cluster.insert("darshan_data", obj, validate=False)
+
+    target_job, target_rank = 100 + n_jobs // 2, ranks // 2
+    rows = []
+    # Matched index: prefix scan.
+    res = client.query("darshan_data", "job_rank_time", prefix=(target_job, target_rank))
+    rows.append(
+        {
+            "index": "job_rank_time (prefix)",
+            "rows_returned": res.stats.rows_returned,
+            "rows_scanned": res.stats.rows_scanned,
+            "est_latency_s": res.stats.est_latency_s,
+        }
+    )
+    # Partially matched: job prefix + rank filter.
+    res = client.query(
+        "darshan_data", "job_time_rank", prefix=(target_job,),
+        where=[("rank", "==", target_rank)],
+    )
+    rows.append(
+        {
+            "index": "job_time_rank (prefix+filter)",
+            "rows_returned": res.stats.rows_returned,
+            "rows_scanned": res.stats.rows_scanned,
+            "est_latency_s": res.stats.est_latency_s,
+        }
+    )
+    # Mismatched: time index, filter everything.
+    res = client.query(
+        "darshan_data", "time_job_rank",
+        where=[("job_id", "==", target_job), ("rank", "==", target_rank)],
+    )
+    rows.append(
+        {
+            "index": "time_job_rank (full scan)",
+            "rows_returned": res.stats.rows_returned,
+            "rows_scanned": res.stats.rows_scanned,
+            "est_latency_s": res.stats.est_latency_s,
+        }
+    )
+    return rows
+
+
+# -- A4: push vs pull -----------------------------------------------------------
+
+
+def ablation_push_pull(
+    *,
+    event_rate_per_s: float = 2000.0,
+    duration_s: float = 60.0,
+    pull_interval_s: float = 5.0,
+    buffer_capacity: int = 4096,
+    seed: int = 1,
+) -> list[dict]:
+    """Compare push-based streams with a pull-based poller.
+
+    Push hands each event to the daemon immediately; pull buffers events
+    on the node between polls (bounded buffer — overflow is lost).
+    Reported: peak node-side buffering, mean event→record latency, and
+    loss.
+    """
+    rng = np.random.default_rng(seed)
+    n_events = int(event_rate_per_s * duration_s)
+    gaps = rng.exponential(1.0 / event_rate_per_s, size=n_events)
+
+    rows = []
+    for mode in ("push", "pull"):
+        env = Environment()
+        buffer = Store(env, capacity=buffer_capacity)
+        latencies: list[float] = []
+        peak = 0
+        lost = 0
+
+        def producer():
+            nonlocal peak, lost
+            for gap in gaps:
+                yield env.timeout(float(gap))
+                if mode == "push":
+                    latencies.append(0.0)  # recorded at publish time
+                else:
+                    if buffer.try_put(env.now):
+                        peak = max(peak, len(buffer))
+                    else:
+                        lost += 1
+
+        def puller():
+            while True:
+                yield env.timeout(pull_interval_s)
+                while True:
+                    stamped = buffer.try_get()
+                    if stamped is None:
+                        break
+                    latencies.append(env.now - stamped)
+                if env.now > duration_s + pull_interval_s:
+                    return
+
+        env.process(producer())
+        if mode == "pull":
+            env.process(puller())
+        env.run(until=duration_s + 2 * pull_interval_s)
+
+        rows.append(
+            {
+                "mode": mode,
+                "events": n_events,
+                "peak_buffered": peak,
+                "lost": lost,
+                "mean_latency_s": float(np.mean(latencies)) if latencies else 0.0,
+                "max_latency_s": float(np.max(latencies)) if latencies else 0.0,
+            }
+        )
+    return rows

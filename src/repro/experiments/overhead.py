@@ -1,0 +1,169 @@
+"""Table II campaigns: overhead of the connector vs plain Darshan.
+
+Faithful to the paper's methodology:
+
+* every cell is 5 repetitions of each mode;
+* the Darshan-only campaign runs at an earlier point of the shared
+  load timeline than the connector campaign ("performed and recorded
+  1–2 weeks before"), so file-system drift can produce the paper's
+  negative overheads;
+* ``Avg. Messages`` and ``Rate`` come from the connector runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConnectorConfig, OverheadResult
+from repro.experiments.runner import run_job
+from repro.experiments.world import World, WorldConfig
+
+__all__ = [
+    "run_overhead_cell",
+    "table2a_mpiio",
+    "table2b_haccio",
+    "table2c_hmmer",
+]
+
+
+def run_overhead_cell(
+    app_factory,
+    fs_name: str,
+    *,
+    label: str,
+    seed: int = 42,
+    reps: int = 5,
+    connector_config: ConnectorConfig | None = None,
+    campaign_gap_days: float = 12.0,
+    world_kwargs: dict | None = None,
+) -> OverheadResult:
+    """One (configuration, file system) column of Table II."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    connector_config = connector_config or ConnectorConfig()
+    world_kwargs = dict(world_kwargs or {})
+
+    # Campaign A: Darshan only, earlier in the load timeline.
+    world_a = World(WorldConfig(seed=seed, campaign_offset_days=0.0, **world_kwargs))
+    darshan_times = [
+        run_job(world_a, app_factory(), fs_name).runtime_s for _ in range(reps)
+    ]
+
+    # Campaign B: with the connector, `campaign_gap_days` later.
+    world_b = World(
+        WorldConfig(seed=seed, campaign_offset_days=campaign_gap_days, **world_kwargs)
+    )
+    results = [
+        run_job(world_b, app_factory(), fs_name, connector_config=connector_config)
+        for _ in range(reps)
+    ]
+
+    avg_messages = float(np.mean([r.messages_published for r in results]))
+    mean_runtime = float(np.mean([r.runtime_s for r in results]))
+    rate = avg_messages / mean_runtime if mean_runtime > 0 else 0.0
+    return OverheadResult(
+        label=label,
+        filesystem=fs_name,
+        darshan_runtimes=tuple(darshan_times),
+        connector_runtimes=tuple(r.runtime_s for r in results),
+        avg_messages=avg_messages,
+        message_rate=rate,
+    )
+
+
+# -- the three tables ----------------------------------------------------------
+
+
+def table2a_mpiio(
+    *,
+    seed: int = 42,
+    reps: int = 5,
+    n_nodes: int = 22,
+    ranks_per_node: int = 16,
+    iterations: int = 10,
+    block_size: int = 16 * 2**20,
+) -> list[OverheadResult]:
+    """Table IIa: MPI-IO-TEST, {NFS, Lustre} x {collective, independent}."""
+    from repro.apps import MpiIoTest
+
+    cells = []
+    for fs_name in ("nfs", "lustre"):
+        for collective in (True, False):
+            label = "collective" if collective else "independent"
+            cells.append(
+                run_overhead_cell(
+                    lambda c=collective: MpiIoTest(
+                        n_nodes=n_nodes,
+                        ranks_per_node=ranks_per_node,
+                        block_size=block_size,
+                        iterations=iterations,
+                        collective=c,
+                    ),
+                    fs_name,
+                    label=f"mpi-io-test/{label}",
+                    seed=seed,
+                    reps=reps,
+                )
+            )
+    return cells
+
+
+def table2b_haccio(
+    *,
+    seed: int = 43,
+    reps: int = 5,
+    n_nodes: int = 16,
+    ranks_per_node: int = 8,
+    particle_counts: tuple = (5_000_000, 10_000_000),
+) -> list[OverheadResult]:
+    """Table IIb: HACC-IO, {NFS, Lustre} x particles/rank."""
+    from repro.apps import HaccIO
+
+    cells = []
+    for fs_name in ("nfs", "lustre"):
+        for particles in particle_counts:
+            cells.append(
+                run_overhead_cell(
+                    lambda p=particles: HaccIO(
+                        n_nodes=n_nodes,
+                        ranks_per_node=ranks_per_node,
+                        particles_per_rank=p,
+                    ),
+                    fs_name,
+                    label=f"hacc-io/{particles // 1_000_000}M",
+                    seed=seed,
+                    reps=reps,
+                )
+            )
+    return cells
+
+
+def table2c_hmmer(
+    *,
+    seed: int = 44,
+    reps: int = 5,
+    n_families: int = 19_000,
+    ranks_per_node: int = 32,
+    connector_config: ConnectorConfig | None = None,
+) -> list[OverheadResult]:
+    """Table IIc: HMMER hmmbuild on one node, NFS and Lustre.
+
+    ``n_families`` scales the Pfam-A.seed input; overhead percentages
+    are scale-invariant (runtime and event count shrink together), so
+    reduced inputs reproduce the table's shape quickly.
+    """
+    from repro.apps import Hmmer
+
+    cells = []
+    for fs_name in ("nfs", "lustre"):
+        cells.append(
+            run_overhead_cell(
+                lambda: Hmmer(ranks_per_node=ranks_per_node, n_families=n_families),
+                fs_name,
+                label="hmmer/Pfam-A.seed",
+                seed=seed,
+                reps=reps,
+                connector_config=connector_config,
+            )
+        )
+    return cells

@@ -1,0 +1,145 @@
+"""Markdown report generation from saved benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` saves every reproduced table
+and figure as JSON under ``benchmarks/results/``; this module renders
+them into one paper-vs-measured markdown report, so EXPERIMENTS.md can
+be refreshed from an actual run (``python -m repro.cli report``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["generate_report", "load_results"]
+
+#: The paper's own numbers, for the side-by-side columns.
+PAPER_TABLES = {
+    "table2a_mpiio": {
+        ("nfs", "collective"): (1376.67, 1355.35, -1.55),
+        ("nfs", "independent"): (880.46, 858.68, -2.47),
+        ("lustre", "collective"): (249.97, 270.98, 8.41),
+        ("lustre", "independent"): (428.18, 414.35, -3.23),
+    },
+    "table2c_hmmer": {
+        ("nfs", "hmmer/Pfam-A.seed"): (749.88, 2826.01, 276.86),
+        ("lustre", "hmmer/Pfam-A.seed"): (135.40, 1863.98, 1276.67),
+    },
+}
+
+
+def load_results(results_dir: str | Path) -> dict:
+    """All saved benchmark payloads, keyed by experiment name."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(
+            f"{results_dir} does not exist — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    out = {}
+    for path in sorted(results_dir.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def _overhead_section(name: str, title: str, rows: list[dict]) -> list[str]:
+    paper = PAPER_TABLES.get(name, {})
+    lines = [f"## {title}", ""]
+    lines.append(
+        "| config | fs | msgs | rate/s | Darshan (s) | dC (s) | overhead "
+        "| paper overhead |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        key_variants = [
+            (r["filesystem"], r["config"].split("/")[-1]),
+            (r["filesystem"], r["config"]),
+        ]
+        paper_ov = next(
+            (f"{paper[k][2]:+.2f} %" for k in key_variants if k in paper), "—"
+        )
+        lines.append(
+            f"| {r['config']} | {r['filesystem']} | {r['avg_messages']} "
+            f"| {r['rate_msgs_per_s']:.1f} | {r['darshan_runtime_s']:.2f} "
+            f"| {r['dC_runtime_s']:.2f} | {r['overhead_percent']:+.2f} % "
+            f"| {paper_ov} |"
+        )
+    lines.append("")
+    return lines
+
+
+def generate_report(results_dir: str | Path) -> str:
+    """The full markdown report for one benchmark run."""
+    results = load_results(results_dir)
+    lines = [
+        "# Reproduction report (generated from benchmarks/results/)",
+        "",
+        "Shapes, not absolute numbers, are the reproduction target; "
+        "see EXPERIMENTS.md for the per-claim analysis.",
+        "",
+    ]
+    for name, title in (
+        ("table2a_mpiio", "Table IIa — MPI-IO-TEST"),
+        ("table2b_haccio", "Table IIb — HACC-IO"),
+        ("table2c_hmmer", "Table IIc — HMMER"),
+        ("ablation_sprintf", "Ablation A1 — sprintf on/off"),
+    ):
+        if name in results:
+            lines += _overhead_section(name, title, results[name])
+
+    if "ablation_sampling" in results:
+        lines += ["## Ablation A2 — n-th-event sampling", ""]
+        lines.append("| n | overhead | fidelity |")
+        lines.append("|---|---|---|")
+        for r in results["ablation_sampling"]:
+            lines.append(
+                f"| {r['sample_every']} | {r['overhead_percent']:.1f} % "
+                f"| {r['fidelity']:.0%} |"
+            )
+        lines.append("")
+
+    if "ablation_dsos_index" in results:
+        lines += ["## Ablation A3 — DSOS index choice", ""]
+        lines.append("| index | scanned | returned | est. latency |")
+        lines.append("|---|---|---|---|")
+        for r in results["ablation_dsos_index"]:
+            lines.append(
+                f"| {r['index']} | {r['rows_scanned']} | {r['rows_returned']} "
+                f"| {r['est_latency_s'] * 1e6:.0f} µs |"
+            )
+        lines.append("")
+
+    if "ablation_push_pull" in results:
+        lines += ["## Ablation A4 — push vs pull", ""]
+        lines.append("| mode | peak buffered | lost | mean latency |")
+        lines.append("|---|---|---|---|")
+        for r in results["ablation_push_pull"]:
+            lines.append(
+                f"| {r['mode']} | {r['peak_buffered']} | {r['lost']} "
+                f"| {r['mean_latency_s']:.2f} s |"
+            )
+        lines.append("")
+
+    if "fig7_job_variability" in results:
+        f7 = results["fig7_job_variability"]
+        lines += ["## Figure 7 — per-job duration means", ""]
+        lines.append("| job | read mean (s) | write mean (s) | anomalous |")
+        lines.append("|---|---|---|---|")
+        for job, means in sorted(f7["means"].items()):
+            mark = "yes" if int(job) in f7["anomalous"] else ""
+            lines.append(
+                f"| {job} | {means['read']:.3f} | {means['write']:.3f} | {mark} |"
+            )
+        lines.append("")
+
+    if "fig8_timeline" in results:
+        f8 = results["fig8_timeline"]
+        lines += [
+            "## Figure 8 — anomalous job timeline",
+            "",
+            f"Job {f8['job_id']}: **{f8['write_phases']} write phases**; "
+            "mean op duration per run-decile: "
+            + " ".join(f"{d:.2f}" for d in f8["decile_mean_durations"]),
+            "",
+        ]
+    return "\n".join(lines)

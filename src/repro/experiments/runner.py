@@ -1,0 +1,197 @@
+"""Job runner: submit, instrument, drive, collect.
+
+This is the procedural analogue of Section V-C's environment: the job
+gets exclusive nodes, every rank's POSIX client is wrapped by Darshan
+(the dynamic-link ``LD_PRELOAD`` step), and — for connector runs — the
+Darshan-LDMS connector is attached before the application starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppContext, Application
+from repro.core import ConnectorConfig, DarshanLdmsConnector
+from repro.darshan import DarshanConfig, DarshanRuntime
+from repro.fs.posix import IOContext, PosixClient
+from repro.mpi import Communicator, RankContext
+from repro.experiments.world import World
+
+__all__ = ["JobResult", "run_job", "run_jobs_concurrently"]
+
+_DEFAULT_UID = 99066
+
+
+@dataclass
+class JobResult:
+    """Everything one run produced."""
+
+    job: object
+    app: Application
+    fs_name: str
+    runtime_s: float
+    darshan_log: object
+    connector: DarshanLdmsConnector | None
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def messages_published(self) -> int:
+        return self.connector.stats.messages_published if self.connector else 0
+
+    @property
+    def message_rate(self) -> float:
+        if not self.connector or self.runtime_s <= 0:
+            return 0.0
+        return self.messages_published / self.runtime_s
+
+
+def _prepare_job(
+    world: World,
+    app: Application,
+    fs_name: str,
+    connector_config: ConnectorConfig | None,
+    darshan_config: DarshanConfig | None,
+    uid: int,
+):
+    """Submit, instrument and start one job; returns the pieces the
+    caller drives to completion."""
+    env = world.env
+    fs = world.filesystem(fs_name)
+    job = world.cluster.scheduler.submit(app.name, app.n_nodes, uid=uid)
+    darshan_config = darshan_config or DarshanConfig()
+    runtime = DarshanRuntime(
+        env,
+        job_id=job.job_id,
+        uid=uid,
+        exe=app.exe,
+        nprocs=app.n_ranks,
+        config=darshan_config,
+    )
+
+    ranks = []
+    for r in range(app.n_ranks):
+        node = job.nodes[r // app.ranks_per_node]
+        ctx = IOContext(
+            job_id=job.job_id,
+            uid=uid,
+            rank=r,
+            node_name=node.name,
+            exe=app.exe,
+            app=app.name,
+        )
+        client = PosixClient(env, fs, ctx)
+        runtime.instrument(client)
+        ranks.append(RankContext(rank=r, node=node, posix=client))
+    comm = Communicator(env, ranks)
+
+    connector = None
+    if connector_config is not None:
+        connector = DarshanLdmsConnector(
+            runtime, world.fabric.daemon_for, connector_config
+        )
+
+    app_ctx = AppContext(
+        env=env,
+        comm=comm,
+        fs=fs,
+        job=job,
+        runtime=runtime,
+        rng=world.rng.fork(f"job-{job.job_id}").stream("app"),
+        scratch=f"/{fs_name}/scratch",
+    )
+    bodies = app.build(app_ctx)
+    if len(bodies) != app.n_ranks:
+        raise RuntimeError(
+            f"{app.name} built {len(bodies)} rank bodies for {app.n_ranks} ranks"
+        )
+    world.cluster.scheduler.start(job, env.now)
+    procs = [env.process(body) for body in bodies]
+    return job, app, fs_name, runtime, connector, procs
+
+
+def _finish(world: World, prepared) -> JobResult:
+    job, app, fs_name, runtime, connector, _ = prepared
+    return JobResult(
+        job=job,
+        app=app,
+        fs_name=fs_name,
+        runtime_s=job.runtime,
+        darshan_log=runtime.finalize(),
+        connector=connector,
+    )
+
+
+def run_job(
+    world: World,
+    app: Application,
+    fs_name: str,
+    *,
+    connector_config: ConnectorConfig | None = None,
+    darshan_config: DarshanConfig | None = None,
+    uid: int = _DEFAULT_UID,
+    inter_job_gap_s: float = 120.0,
+) -> JobResult:
+    """Run ``app`` against ``fs_name``; returns when the job (and all
+    in-flight monitoring data) has finished.
+
+    ``connector_config=None`` is a "Darshan only" run (the baseline
+    column of Table II); passing a config attaches the connector.
+    ``inter_job_gap_s`` advances the clock before submission, modelling
+    scheduler queue time between campaign repetitions (and decorrelating
+    the file-system weather of consecutive jobs).
+    """
+    env = world.env
+    if inter_job_gap_s > 0:
+        gap_done = env.process(_sleep(env, inter_job_gap_s))
+        env.run(gap_done)
+
+    prepared = _prepare_job(
+        world, app, fs_name, connector_config, darshan_config, uid
+    )
+    job, _, _, _, _, procs = prepared
+    env.run(env.all_of(procs))
+    world.cluster.scheduler.complete(job, env.now)
+    world.drain()  # let the tail of the stream reach DSOS
+    return _finish(world, prepared)
+
+
+def run_jobs_concurrently(
+    world: World,
+    specs: list[tuple[Application, str]],
+    *,
+    connector_config: ConnectorConfig | None = None,
+    darshan_config: DarshanConfig | None = None,
+    uid: int = _DEFAULT_UID,
+) -> list[JobResult]:
+    """Run several jobs *at the same time* on disjoint node allocations.
+
+    This is how shared-file-system interference happens in production:
+    jobs that never share a node still share the NFS server / Lustre
+    OSTs, and one job's traffic inflates another's runtimes.  Every job
+    must fit simultaneously (the scheduler enforces exclusivity).
+    """
+    env = world.env
+    prepared = [
+        _prepare_job(world, app, fs_name, connector_config, darshan_config, uid)
+        for app, fs_name in specs
+    ]
+    # One waiter per job marks completion at that job's own finish time.
+    waiters = []
+    for p in prepared:
+        job, _, _, _, _, procs = p
+
+        def waiter(job=job, procs=procs):
+            yield env.all_of(procs)
+            world.cluster.scheduler.complete(job, env.now)
+
+        waiters.append(env.process(waiter()))
+    env.run(env.all_of(waiters))
+    world.drain()
+    return [_finish(world, p) for p in prepared]
+
+
+def _sleep(env, seconds: float):
+    yield env.timeout(seconds)

@@ -1,0 +1,175 @@
+"""Campaign worlds: one fully wired simulated environment.
+
+A :class:`World` holds everything Section V's environment describes:
+Voltrino's nodes and network, NFS and Lustre with their shared-load
+variability processes, LDMS daemons on every compute node aggregating
+through the head node to Shirley, and the DSOS cluster fed by the
+stream store plugin.
+
+Two worlds built from the same seed share the *structure* of their
+randomness (the same incident timeline, the same Fourier wander), so a
+campaign run at ``campaign_offset_days=12`` experiences genuinely
+different — but reproducible — file-system weather than one at offset
+0.  That is the paper's "Darshan-only runs were performed 1–2 weeks
+before the connector runs" situation, and the mechanism behind its
+negative overhead cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.dsos import DsosClient, DsosCluster, DsosStreamStore
+from repro.fs import (
+    LoadProcess,
+    LustreFileSystem,
+    LustreParams,
+    NFSFileSystem,
+    NFSParams,
+)
+from repro.ldms import AggregationFabric, CsvStreamStore
+from repro.sim import Environment, RngRegistry
+
+__all__ = ["World", "WorldConfig", "STREAM_TAG"]
+
+#: The connector's single stream tag (Section IV-C).
+STREAM_TAG = "darshanConnector"
+
+#: Absolute epoch the simulated clocks are anchored to.
+EPOCH_BASE = 1_650_000_000.0
+
+_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Reproducible description of one campaign world."""
+
+    seed: int = 42
+    n_compute_nodes: int = 24
+    #: Where in the shared load timeline this campaign runs.
+    campaign_offset_days: float = 0.0
+    #: Variability knobs (None = defaults; dict of LoadProcess kwargs).
+    load_kwargs: dict = field(default_factory=dict)
+    quiet: bool = False  # True = flat load (unit tests, ablations)
+    nfs_params: NFSParams = field(default_factory=NFSParams)
+    lustre_params: LustreParams = field(default_factory=LustreParams)
+    dsos_daemons: int = 4
+    keep_csv: bool = False  # also attach the CSV store plugin
+
+    @property
+    def epoch(self) -> float:
+        return EPOCH_BASE + self.campaign_offset_days * _DAY
+
+
+class World:
+    """One wired-up campaign environment."""
+
+    def __init__(self, config: WorldConfig = WorldConfig()):
+        self.config = config
+        self.env = Environment(initial_time=config.epoch)
+        self.rng = RngRegistry(config.seed)
+        self.cluster = Cluster(
+            self.env, self.rng, ClusterSpec(n_compute_nodes=config.n_compute_nodes)
+        )
+
+        # Shared-load processes, one per file system, anchored so the
+        # campaign's absolute clock indexes into their timeline.
+        self.loads = {}
+        for fs_name in ("nfs", "lustre"):
+            kwargs = dict(config.load_kwargs)
+            if config.quiet:
+                kwargs.update(
+                    diurnal_amplitude=0.0,
+                    noise_sigma=0.0,
+                    n_modes=0,
+                    incident_rate=0.0,
+                )
+            self.loads[fs_name] = LoadProcess(
+                self.rng.stream(f"{fs_name}.load"),
+                origin=EPOCH_BASE,
+                **kwargs,
+            )
+
+        nfs = NFSFileSystem(
+            self.env, self.loads["nfs"], self.rng.stream("nfs.service"),
+            config.nfs_params,
+        )
+        lustre = LustreFileSystem(
+            self.env, self.loads["lustre"], self.rng.stream("lustre.service"),
+            config.lustre_params,
+        )
+        self.cluster.attach_filesystem("nfs", nfs)
+        self.cluster.attach_filesystem("lustre", lustre)
+
+        # Monitoring and storage pipeline.
+        self.fabric = AggregationFabric(self.cluster, STREAM_TAG)
+        self.dsos = DsosClient(DsosCluster("shirley-dsos", config.dsos_daemons))
+        self.store = DsosStreamStore(self.fabric.l2, STREAM_TAG, self.dsos)
+        self.csv_store = (
+            CsvStreamStore(self.fabric.l2, STREAM_TAG) if config.keep_csv else None
+        )
+        self.metric_store = None
+        self._samplers_running = False
+
+    # -- system telemetry (classic LDMS samplers) -----------------------------
+
+    def start_samplers(self, interval_s: float = 5.0) -> None:
+        """Start the LDMS system-telemetry path: the head-node daemon
+        samples each file system's load factor and the samples land in
+        the ``ldms_metrics`` DSOS schema, joinable against I/O events
+        by absolute timestamp."""
+        if self._samplers_running:
+            raise RuntimeError("samplers already running")
+        from repro.dsos.metric_store import MetricStreamStore
+
+        tags = []
+        for fs_name, load in self.loads.items():
+            sampler = _NamedLoadSampler(load, f"fsload_{fs_name}")
+            self.fabric.l1.add_sampler(sampler, interval_s)
+            tag = f"metrics/{sampler.name}"
+            self.fabric.l1.add_stream_forward(tag, self.fabric.l2)
+            tags.append(tag)
+        if self.metric_store is None:
+            self.metric_store = MetricStreamStore(self.fabric.l2, tags, self.dsos)
+        self._samplers_running = True
+
+    def stop_samplers(self) -> None:
+        self.fabric.l1.stop()
+        self._samplers_running = False
+
+    def query_metrics(self, metric: str):
+        """All samples of one metric, in time order."""
+        return self.dsos.query("ldms_metrics", "metric_time", prefix=(metric,))
+
+    # -- conveniences --------------------------------------------------------
+
+    def filesystem(self, name: str):
+        return self.cluster.filesystem(name)
+
+    def drain(self) -> None:
+        """Let in-flight stream messages reach the database.
+
+        With samplers running, the event queue never empties, so drain
+        a bounded horizon instead.
+        """
+        if self._samplers_running:
+            self.env.run(until=self.env.now + 2.0)
+        else:
+            self.env.run()
+
+    def query_job(self, job_id: int):
+        """All stored events of one job, in (rank, time) order."""
+        return self.dsos.query("darshan_data", "job_rank_time", prefix=(job_id,))
+
+
+class _NamedLoadSampler:
+    """A LoadSampler publishing under a per-file-system plugin name."""
+
+    def __init__(self, load, name: str):
+        self.load = load
+        self.name = name
+
+    def sample(self, now: float) -> dict:
+        return {"load_factor": float(self.load.factor(now))}

@@ -1,0 +1,44 @@
+"""Simulated parallel file systems.
+
+The paper's experiments run every application against two file systems
+with very different performance characters — NFS (single-server, high
+latency, modest shared bandwidth) and Lustre (metadata server plus
+striped object storage targets, high parallel bandwidth).  I/O
+performance *variability* caused by shared usage is the paper's central
+motivation, so both models are driven by a :class:`LoadProcess`, a
+deterministic-but-noisy multiplicative slowdown factor over time with a
+diurnal component and heavy-tailed congestion incidents.
+
+Layering:
+
+* :mod:`repro.fs.base` — files, handles, the abstract queueing model;
+* :mod:`repro.fs.nfs` / :mod:`repro.fs.lustre` — the two concrete models;
+* :mod:`repro.fs.posix` — the POSIX syscall veneer that applications
+  call and Darshan instruments.
+"""
+
+from repro.fs.base import (
+    File,
+    FileHandle,
+    FileSystem,
+    FileSystemError,
+    OpRecord,
+)
+from repro.fs.lustre import LustreFileSystem, LustreParams
+from repro.fs.nfs import NFSFileSystem, NFSParams
+from repro.fs.posix import PosixClient
+from repro.fs.variability import LoadProcess
+
+__all__ = [
+    "File",
+    "FileHandle",
+    "FileSystem",
+    "FileSystemError",
+    "LoadProcess",
+    "LustreFileSystem",
+    "LustreParams",
+    "NFSFileSystem",
+    "NFSParams",
+    "OpRecord",
+    "PosixClient",
+]

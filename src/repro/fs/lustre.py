@@ -1,0 +1,165 @@
+"""Lustre model: metadata server plus striped object storage targets.
+
+Metadata ops (open/close/stat) serialize on the MDS; data extents are
+split along stripe boundaries, the chunks land on their OSTs
+round-robin, and chunks on *different* OSTs proceed in parallel.  That
+gives Lustre its signature behaviours, both visible in the paper's
+tables: far higher aggregate bandwidth than NFS, and a strong preference
+for aligned, collective access (two-phase collective I/O aligns with
+stripes and wins; unaligned independent access from hundreds of ranks
+makes OSTs seek-thrash, modelled as an unaligned-access surcharge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fs.base import File, FileSystem
+from repro.fs.variability import LoadProcess
+from repro.sim import Distributions, Environment, Resource
+
+__all__ = ["LustreFileSystem", "LustreParams"]
+
+
+@dataclass(frozen=True)
+class LustreParams:
+    """Tunable service model of the Lustre deployment."""
+
+    n_osts: int = 8
+    stripe_size_bytes: int = 1 * 2**20
+    stripe_count: int = 4
+    mds_threads: int = 4
+    mds_latency_s: float = 0.5e-3
+    ost_latency_s: float = 0.35e-3
+    ost_bandwidth_bps: float = 150e6
+    cv: float = 0.3
+    #: Per-chunk surcharge when the access is not stripe-aligned
+    #: (read-modify-write & extra seeks on the OST).
+    unaligned_penalty: float = 1.8
+    #: Head-seek time charged when an OST's next chunk is not contiguous
+    #: with its previous one.  This is what makes many independent
+    #: writers slower than a few aggregators streaming long runs — the
+    #: collective-I/O advantage of Table IIa.
+    seek_s: float = 8.0e-3
+
+    def __post_init__(self) -> None:
+        if self.n_osts < 1:
+            raise ValueError("need at least one OST")
+        if not 1 <= self.stripe_count <= self.n_osts:
+            raise ValueError("stripe_count must be in [1, n_osts]")
+        if self.stripe_size_bytes < 2**16:
+            raise ValueError("stripe size unreasonably small")
+
+
+class LustreFileSystem(FileSystem):
+    """MDS + OST queueing model with round-robin striping."""
+
+    name = "lustre"
+
+    def __init__(
+        self,
+        env: Environment,
+        load: LoadProcess,
+        rng: np.random.Generator,
+        params: LustreParams = LustreParams(),
+    ):
+        super().__init__(env, load)
+        self.params = params
+        self.rng = rng
+        self._mds = Resource(env, capacity=params.mds_threads)
+        self._osts = [Resource(env, capacity=1) for _ in range(params.n_osts)]
+        # Stripe-offset assignment per file (round-robin across files,
+        # like the MDS's OST allocator).
+        self._next_stripe_offset = 0
+        self._file_stripe_offset: dict[str, int] = {}
+        # Last end-offset served per (OST, path), for the seek model:
+        # non-contiguous access *within a file's placement on an OST*
+        # costs a seek; streaming through a file does not.
+        self._ost_last_pos: dict[tuple[int, str], int] = {}
+
+    # -- striping ------------------------------------------------------------
+
+    def stripe_offset(self, path: str) -> int:
+        """First OST index assigned to ``path`` (stable per file)."""
+        off = self._file_stripe_offset.get(path)
+        if off is None:
+            off = self._next_stripe_offset
+            self._file_stripe_offset[path] = off
+            self._next_stripe_offset = (off + self.params.stripe_count) % self.params.n_osts
+        return off
+
+    def chunks_for_extent(self, path: str, offset: int, nbytes: int):
+        """Split ``[offset, offset+nbytes)`` into
+        (ost_index, chunk_offset, chunk_bytes, aligned) tuples.
+
+        Chunk boundaries are stripe boundaries; the OST for stripe ``k``
+        of a file with stripe offset ``o`` and stripe count ``c`` is
+        ``(o + k mod c) mod n_osts``.
+        """
+        p = self.params
+        first_ost = self.stripe_offset(path)
+        out = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_index = pos // p.stripe_size_bytes
+            within = pos % p.stripe_size_bytes
+            chunk = min(remaining, p.stripe_size_bytes - within)
+            ost = (first_ost + stripe_index % p.stripe_count) % p.n_osts
+            aligned = within == 0 and (
+                chunk == p.stripe_size_bytes or remaining == chunk
+            )
+            out.append((ost, pos, chunk, aligned))
+            pos += chunk
+            remaining -= chunk
+        return out
+
+    # -- service model ---------------------------------------------------------
+
+    def _jitter(self, mean: float) -> float:
+        return Distributions.lognormal(self.rng, mean, self.params.cv)
+
+    def _meta_op(self, op: str, node_name: str):
+        slow = self.load.factor(self.env.now)
+        service = self._jitter(self.params.mds_latency_s) * slow
+        yield from self._mds.use(service)
+
+    def _data_op(self, op: str, file: File, offset: int, nbytes: int, node_name: str):
+        p = self.params
+        slow = self.load.factor(self.env.now)
+        chunks = self.chunks_for_extent(file.path, offset, nbytes)
+        # Chunks on distinct OSTs proceed in parallel; we spawn one child
+        # process per chunk and join.
+        children = []
+        for ost_index, chunk_offset, chunk, aligned in chunks:
+            service = self._jitter(p.ost_latency_s + chunk / p.ost_bandwidth_bps)
+            if not aligned:
+                service *= p.unaligned_penalty
+            # Seek model: compare positions in the OST's *object* space
+            # (each OST stores its stripes of a file contiguously), so
+            # streaming a striped file round-robin is seek-free while
+            # scattered offsets pay.
+            stripe_index = chunk_offset // p.stripe_size_bytes
+            obj_offset = (
+                (stripe_index // p.stripe_count) * p.stripe_size_bytes
+                + chunk_offset % p.stripe_size_bytes
+            )
+            key = (ost_index, file.path)
+            last = self._ost_last_pos.get(key)
+            if last is not None and last != obj_offset:
+                service += p.seek_s
+            self._ost_last_pos[key] = obj_offset + chunk
+            service *= slow
+            children.append(
+                self.env.process(self._osts[ost_index].use(service))
+            )
+        if children:
+            yield self.env.all_of(children)
+
+    # -- introspection -----------------------------------------------------------
+
+    def ost_queue_lengths(self) -> list[int]:
+        """Current wait-queue depth per OST."""
+        return [ost.queue_length for ost in self._osts]

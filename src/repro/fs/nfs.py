@@ -1,0 +1,100 @@
+"""NFS model: one server, shared threads, shared bandwidth.
+
+The character that matters for the paper's tables: *every* client on
+*every* node funnels through a single server, so per-client throughput
+collapses as concurrency rises, and per-op latencies are high (each op
+is an RPC), with fsync paying a full server-side COMMIT.  Collective
+MPI-IO on NFS is notoriously poor — without exposed striping, ROMIO
+falls back to data sieving, doubling the bytes through the server —
+which is why the paper's MPI-IO-TEST runs *slower* collectively on NFS
+(1376 s) than independently (880 s) while Lustre shows the opposite.
+(The sieving itself is modelled in the MPI-IO layer.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import File, FileSystem
+from repro.fs.variability import LoadProcess
+from repro.sim import Distributions, Environment, Resource
+
+import numpy as np
+
+__all__ = ["NFSFileSystem", "NFSParams"]
+
+
+@dataclass(frozen=True)
+class NFSParams:
+    """Tunable service model of the NFS server."""
+
+    server_threads: int = 8
+    meta_latency_s: float = 1.2e-3
+    data_latency_s: float = 0.8e-3
+    #: NFS COMMIT forces a server-side disk sync; fsync pays this.
+    commit_latency_s: float = 12.0e-3
+    server_bandwidth_bps: float = 150e6
+    #: Service-time coefficient of variation (per-op jitter).
+    cv: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.server_threads < 1:
+            raise ValueError("server_threads must be >= 1")
+        if self.server_bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+class NFSFileSystem(FileSystem):
+    """Single-server NFS with FIFO thread pool and shared bandwidth."""
+
+    name = "nfs"
+
+    def __init__(
+        self,
+        env: Environment,
+        load: LoadProcess,
+        rng: np.random.Generator,
+        params: NFSParams = NFSParams(),
+    ):
+        super().__init__(env, load)
+        self.params = params
+        self.rng = rng
+        # Threads absorb per-RPC latency in parallel; the byte pipe is
+        # the server's single disk/network path, so aggregate
+        # throughput is bounded by server_bandwidth_bps no matter how
+        # many clients are active.
+        self._server = Resource(env, capacity=params.server_threads)
+        self._pipe = Resource(env, capacity=1)
+
+    # -- service model -----------------------------------------------------
+
+    def _jitter(self, mean: float) -> float:
+        return Distributions.lognormal(self.rng, mean, self.params.cv)
+
+    def _meta_op(self, op: str, node_name: str):
+        slow = self.load.factor(self.env.now)
+        base = (
+            self.params.commit_latency_s
+            if op == "fsync"
+            else self.params.meta_latency_s
+        )
+        service = self._jitter(base) * slow
+        yield from self._server.use(service)
+
+    def _data_op(self, op: str, file: File, offset: int, nbytes: int, node_name: str):
+        p = self.params
+        slow = self.load.factor(self.env.now)
+        # RPC latency on a server thread (parallel across threads)...
+        latency = self._jitter(p.data_latency_s) * slow
+        yield from self._server.use(latency)
+        # ...then the bytes through the shared server pipe (serialized).
+        transfer = nbytes / p.server_bandwidth_bps
+        if transfer > 0:
+            yield from self._pipe.use(transfer * slow)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def server_queue_length(self) -> int:
+        """Requests currently waiting for a server thread."""
+        return self._server.queue_length

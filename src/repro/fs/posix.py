@@ -1,0 +1,201 @@
+"""POSIX syscall veneer with instrumentation hooks.
+
+Applications (and the MPI-IO layer) do their I/O through a
+:class:`PosixClient`.  Every call forwards to the mounted file system's
+queueing model and then runs the registered *hooks* — this is the seam
+where Darshan's wrappers attach, exactly like the real Darshan
+interposes on POSIX symbols via ``LD_PRELOAD`` (the linking mode the
+paper's environment section describes).
+
+Hooks are generator-based so an instrument can charge simulated CPU
+time to the calling process — the mechanism by which the connector's
+JSON-formatting cost slows the application down (the paper's central
+overhead finding).
+
+Hook contract: an object with a generator method
+``after_op(module: str, context: IOContext, record: OpRecord, handle)``
+invoked after each operation completes, on the calling process's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import FileHandle, FileSystem, OpRecord
+from repro.sim import Environment
+
+__all__ = ["IOContext", "PosixClient", "StdioClient"]
+
+
+@dataclass(frozen=True)
+class IOContext:
+    """Identity of the I/O-issuing process (who/where/what job)."""
+
+    job_id: int
+    uid: int
+    rank: int
+    node_name: str
+    exe: str
+    app: str = ""
+
+
+class PosixClient:
+    """Per-rank POSIX interface bound to one file system and node."""
+
+    #: Module name reported to instrumentation hooks.
+    module = "POSIX"
+
+    def __init__(self, env: Environment, fs: FileSystem, context: IOContext):
+        self.env = env
+        self.fs = fs
+        self.context = context
+        #: Instrumentation hooks (see module docstring for the contract).
+        self.hooks: list = []
+
+    def add_hook(self, hook) -> None:
+        """Register an instrumentation hook (e.g. a Darshan module)."""
+        if not hasattr(hook, "after_op"):
+            raise TypeError(f"hook {hook!r} lacks an after_op method")
+        self.hooks.append(hook)
+
+    def _dispatch(self, record: OpRecord, handle: FileHandle | None):
+        for hook in self.hooks:
+            yield from hook.after_op(self.module, self.context, record, handle)
+
+    # -- syscalls ------------------------------------------------------------
+
+    def open(self, path: str, flags: str = "r"):
+        """Open; returns the handle.  The open's OpRecord reaches hooks."""
+        handle, record = yield from self.fs.open(path, self.context.node_name, flags)
+        yield from self._dispatch(record, handle)
+        return handle
+
+    def read(self, handle: FileHandle, nbytes: int, offset: int | None = None):
+        """pread-like; short at EOF.  Returns the OpRecord."""
+        record = yield from self.fs.read(handle, nbytes, offset)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def write(self, handle: FileHandle, nbytes: int, offset: int | None = None):
+        """pwrite-like; extends the file.  Returns the OpRecord."""
+        record = yield from self.fs.write(handle, nbytes, offset)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def close(self, handle: FileHandle):
+        record = yield from self.fs.close(handle)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def fsync(self, handle: FileHandle):
+        record = yield from self.fs.fsync(handle)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def stat(self, path: str):
+        size, record = yield from self.fs.stat(path, self.context.node_name)
+        yield from self._dispatch(record, None)
+        return size
+
+
+class StdioClient:
+    """Buffered stdio layer (``fopen``/``fread``/``fwrite``) over POSIX.
+
+    Darshan's STDIO module sees each library call; the underlying
+    file system only sees buffer-sized operations.  Writes accumulate in
+    a user-space buffer flushed at ``buffer_size``; this is why stdio
+    workloads (HMMER's database concatenation) generate enormous event
+    *counts* with modest *byte* traffic per event.
+    """
+
+    module = "STDIO"
+
+    def __init__(self, posix: PosixClient, buffer_size: int = 64 * 1024):
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.env = posix.env
+        self.posix = posix
+        self.context = posix.context
+        self.buffer_size = buffer_size
+        self.hooks: list = []
+        self._buffered: dict[int, int] = {}  # fd -> unflushed bytes
+
+    def add_hook(self, hook) -> None:
+        if not hasattr(hook, "after_op"):
+            raise TypeError(f"hook {hook!r} lacks an after_op method")
+        self.hooks.append(hook)
+
+    def _dispatch(self, record: OpRecord, handle: FileHandle | None):
+        for hook in self.hooks:
+            yield from hook.after_op(self.module, self.context, record, handle)
+
+    def fopen(self, path: str, flags: str = "r"):
+        start = self.env.now
+        handle = yield from self.posix.open(path, flags)
+        self._buffered[handle.fd] = 0
+        record = OpRecord("open", path, 0, 0, start, self.env.now)
+        yield from self._dispatch(record, handle)
+        return handle
+
+    def fwrite(self, handle: FileHandle, nbytes: int):
+        """Buffered write; flushes to POSIX when the buffer fills."""
+        start = self.env.now
+        pos = handle.position
+        pending = self._buffered.get(handle.fd, 0) + nbytes
+        while pending >= self.buffer_size:
+            yield from self.posix.write(handle, self.buffer_size)
+            pending -= self.buffer_size
+        self._buffered[handle.fd] = pending
+        record = OpRecord("write", handle.file.path, pos, nbytes, start, self.env.now)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def fread(self, handle: FileHandle, nbytes: int):
+        """Read through (reads are buffered too, one fs op per buffer).
+
+        Refills are buffer-aligned, so sequential small freads cost one
+        contiguous POSIX read per buffer window (libc behaviour).
+        """
+        start = self.env.now
+        pos = handle.position
+        window = pos % self.buffer_size
+        if window == 0 or nbytes > self.buffer_size - window:
+            aligned = pos - window
+            under = yield from self.posix.read(handle, self.buffer_size + (
+                nbytes if nbytes > self.buffer_size else 0
+            ), aligned)
+            avail_from_pos = max(under.nbytes - window, 0)
+            actual = min(nbytes, avail_from_pos) if under.nbytes else min(
+                nbytes, max(handle.file.size - pos, 0)
+            )
+            handle.position = pos + actual
+        else:
+            actual = min(nbytes, max(handle.file.size - pos, 0))
+            handle.position = pos + actual
+        record = OpRecord("read", handle.file.path, pos, actual, start, self.env.now)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def fflush(self, handle: FileHandle, sync: bool = True):
+        """Flush the user buffer; with ``sync`` also commit to stable
+        storage (the close-to-open consistency round trip that makes
+        record-at-a-time writers so expensive on NFS)."""
+        start = self.env.now
+        pending = self._buffered.get(handle.fd, 0)
+        if pending:
+            yield from self.posix.write(handle, pending)
+            self._buffered[handle.fd] = 0
+        if sync:
+            yield from self.posix.fsync(handle)
+        record = OpRecord("fsync", handle.file.path, 0, 0, start, self.env.now)
+        yield from self._dispatch(record, handle)
+        return record
+
+    def fclose(self, handle: FileHandle):
+        start = self.env.now
+        yield from self.fflush(handle)
+        yield from self.posix.close(handle)
+        self._buffered.pop(handle.fd, None)
+        record = OpRecord("close", handle.file.path, 0, 0, start, self.env.now)
+        yield from self._dispatch(record, handle)
+        return record

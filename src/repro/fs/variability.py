@@ -1,0 +1,179 @@
+"""Time-varying file-system load.
+
+Production file systems are shared: the slowdown an application sees
+depends on *when* it runs (time of day, who else is hammering the
+servers) — the very phenomenon the paper's absolute timestamps exist to
+expose.  :class:`LoadProcess` models this as a multiplicative service
+-time factor
+
+``factor(t) = base · diurnal(t) · exp(noise(t)) · incidents(t)``
+
+where
+
+* ``diurnal`` is a 24 h sinusoid (systems are busier during the day),
+* ``noise`` is a random Fourier series in log space (smooth,
+  band-limited wander over minutes-to-hours),
+* ``incidents`` are Poisson-arriving congestion bursts with lognormal
+  durations and Pareto severities (another user's huge job, a failing
+  OST, network congestion).
+
+``factor`` is a *pure function of t* for a given seed, so two campaigns
+run weeks apart (as the paper's Darshan-only vs connector campaigns
+were) deterministically experience different conditions — reproducing
+the paper's "negative overhead" artefacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LoadProcess"]
+
+_DAY = 86400.0
+
+
+class LoadProcess:
+    """Deterministic noisy slowdown factor over simulated time.
+
+    Parameters
+    ----------
+    rng:
+        Source of the (frozen) random structure.
+    base:
+        Baseline multiplier (1.0 = nominal service times).
+    diurnal_amplitude:
+        Relative swing of the 24 h component.
+    noise_sigma:
+        Std-dev of the log-space Fourier wander.
+    n_modes:
+        Number of Fourier modes (periods drawn log-uniform between
+        ``noise_period_range``).
+    incident_rate:
+        Mean congestion-incident arrivals per second.
+    incident_mean_duration:
+        Mean incident length in seconds.
+    incident_severity_alpha / incident_max_severity:
+        Pareto tail of the slowdown during an incident.
+    horizon:
+        Length of simulated time (seconds) for which incidents are
+        materialized.  Queries beyond the horizon see no incidents.
+    origin:
+        Clock offset: ``factor(t)`` is evaluated at ``t - origin`` on
+        the process's internal timeline.  Experiment worlds whose
+        simulated clock is epoch-based pass their epoch here so the
+        45-day incident horizon covers the campaign.
+    """
+
+    MIN_FACTOR = 0.05
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        base: float = 1.0,
+        diurnal_amplitude: float = 0.15,
+        noise_sigma: float = 0.18,
+        n_modes: int = 8,
+        noise_period_range: tuple[float, float] = (120.0, 7200.0),
+        incident_rate: float = 1.0 / 2400.0,
+        incident_mean_duration: float = 150.0,
+        incident_severity_alpha: float = 1.4,
+        incident_max_severity: float = 60.0,
+        horizon: float = 45.0 * _DAY,
+        origin: float = 0.0,
+    ):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if not 0 <= diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.base = float(base)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.horizon = float(horizon)
+        self.origin = float(origin)
+
+        # Fourier wander (frozen structure).
+        lo, hi = noise_period_range
+        if not 0 < lo < hi:
+            raise ValueError("noise_period_range must be increasing and positive")
+        self._periods = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_modes))
+        self._phases = rng.uniform(0.0, 2 * np.pi, size=n_modes)
+        self._amps = (
+            rng.normal(0.0, 1.0, size=n_modes)
+            * (noise_sigma / max(np.sqrt(n_modes), 1.0))
+        )
+        self._diurnal_phase = rng.uniform(0.0, 2 * np.pi)
+
+        # Congestion incidents over [0, horizon).
+        n_expected = incident_rate * horizon
+        n_incidents = int(rng.poisson(n_expected)) if n_expected > 0 else 0
+        starts = np.sort(rng.uniform(0.0, horizon, size=n_incidents))
+        durations = rng.lognormal(
+            mean=np.log(max(incident_mean_duration, 1e-9)) - 0.5,
+            sigma=1.0,
+            size=n_incidents,
+        )
+        severities = np.minimum(
+            1.0 + rng.pareto(incident_severity_alpha, size=n_incidents),
+            incident_max_severity,
+        )
+        self._incident_starts = starts
+        self._incident_ends = starts + durations
+        self._incident_severities = severities
+
+    # -- queries ---------------------------------------------------------
+
+    def factor(self, t: float) -> float:
+        """Slowdown multiplier at simulated time ``t`` (>= MIN_FACTOR)."""
+        return float(self.factor_array(np.asarray([t], dtype=float))[0])
+
+    def factor_array(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`factor` for batched event generation."""
+        ts = np.asarray(ts, dtype=float) - self.origin
+        diurnal = 1.0 + self.diurnal_amplitude * np.sin(
+            2 * np.pi * ts / _DAY + self._diurnal_phase
+        )
+        if len(self._periods):
+            angles = (
+                2 * np.pi * ts[..., None] / self._periods + self._phases
+            )
+            noise = np.exp((self._amps * np.sin(angles)).sum(axis=-1))
+        else:
+            noise = np.ones_like(ts)
+        out = self.base * diurnal * noise * self._incident_factor(ts)
+        return np.maximum(out, self.MIN_FACTOR)
+
+    def _incident_factor(self, ts: np.ndarray) -> np.ndarray:
+        if not len(self._incident_starts):
+            return np.ones_like(ts)
+        out = np.ones_like(ts)
+        # Incidents may overlap; severities multiply (searchsorted window
+        # keeps this O(len(ts) · active incidents)).
+        idx_hi = np.searchsorted(self._incident_starts, ts, side="right")
+        max_span = 32  # only look back a bounded number of incidents
+        for offset in range(1, max_span + 1):
+            idx = idx_hi - offset
+            valid = idx >= 0
+            if not valid.any():
+                break
+            safe = np.where(valid, idx, 0)
+            inside = valid & (ts < self._incident_ends[safe])
+            if inside.any():
+                out[inside] *= self._incident_severities[safe][inside]
+        return out
+
+    def incidents_between(self, t0: float, t1: float) -> list[tuple[float, float, float]]:
+        """(start, end, severity) of incidents overlapping ``[t0, t1)``.
+
+        Inputs and outputs are in external (origin-shifted) time.
+        """
+        if t1 < t0:
+            raise ValueError("require t0 <= t1")
+        out = []
+        for s, e, sev in zip(
+            self._incident_starts, self._incident_ends, self._incident_severities
+        ):
+            if s < t1 - self.origin and e > t0 - self.origin:
+                out.append((float(s + self.origin), float(e + self.origin), float(sev)))
+        return out

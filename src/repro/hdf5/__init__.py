@@ -1,0 +1,15 @@
+"""Minimal HDF5-like layer over POSIX.
+
+Table I of the paper includes HDF5-specific metrics in every connector
+message (``seg:pt_sel``, ``seg:ndims``, ``seg:reg_hslab``,
+``seg:irreg_hslab``, ``seg:data_set``, ``seg:npoints``); they are
+``-1``/``"N/A"`` for POSIX traffic and populated for H5F/H5D traffic.
+This package provides the smallest HDF5 data model that makes those
+fields real: files containing named datasets with an N-dimensional
+dataspace, accessed via regular hyperslabs, irregular hyperslabs or
+point selections, stored contiguously through a POSIX client.
+"""
+
+from repro.hdf5.file import H5Dataset, H5File, H5OpRecord, HDF5Error
+
+__all__ = ["H5Dataset", "H5File", "H5OpRecord", "HDF5Error"]

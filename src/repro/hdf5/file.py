@@ -1,0 +1,310 @@
+"""HDF5 file/dataset objects and their instrumentation records.
+
+An :class:`H5File` owns named :class:`H5Dataset` objects laid out
+contiguously in the underlying POSIX file after a fixed-size superblock.
+Dataset selections translate to byte extents:
+
+* a *regular hyperslab* (start/count per dimension) is contiguous in
+  the slowest dimension blocks — we model it as one extent per
+  outermost-slab row, coalesced when adjacent;
+* an *irregular hyperslab* (union of regular slabs) is multiple extents;
+* a *point selection* is ``npoints`` scattered element accesses,
+  coalesced into a single gather extent with a seek surcharge borne by
+  the file system model's unaligned-access costs.
+
+Every call dispatches an :class:`H5OpRecord` (an
+:class:`~repro.fs.base.OpRecord` extended with dataset metadata) to
+hooks under module ``H5F`` (file lifecycle) or ``H5D`` (dataset I/O).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fs.base import FileHandle, OpRecord
+from repro.fs.posix import PosixClient
+
+__all__ = ["H5File", "H5Dataset", "H5OpRecord", "HDF5Error"]
+
+_SUPERBLOCK_BYTES = 2048
+_OBJECT_HEADER_BYTES = 512
+
+
+class HDF5Error(RuntimeError):
+    """Invalid HDF5-layer usage (bad selection, closed file, ...)."""
+
+
+@dataclass(frozen=True)
+class H5OpRecord(OpRecord):
+    """OpRecord plus the HDF5 metadata of Table I."""
+
+    data_set: str = "N/A"
+    ndims: int = -1
+    npoints: int = -1
+    pt_sel: int = -1
+    reg_hslab: int = -1
+    irreg_hslab: int = -1
+
+
+class H5Dataset:
+    """A named N-dimensional dataset with fixed element size."""
+
+    def __init__(self, file: "H5File", name: str, shape: tuple[int, ...], element_size: int):
+        if not shape or any(s <= 0 for s in shape):
+            raise HDF5Error(f"invalid dataset shape {shape!r}")
+        if element_size <= 0:
+            raise HDF5Error("element_size must be positive")
+        self.file = file
+        self.name = name
+        self.shape = tuple(shape)
+        self.element_size = element_size
+        self.base_offset = 0  # assigned by H5File
+        #: Selection counters for this dataset (per Table I semantics).
+        self.pt_selects = 0
+        self.reg_hslab_selects = 0
+        self.irreg_hslab_selects = 0
+        self.flushes = 0
+
+    @property
+    def ndims(self) -> int:
+        return len(self.shape)
+
+    @property
+    def npoints_total(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.npoints_total * self.element_size
+
+    # -- selection geometry --------------------------------------------------
+
+    def _slab_extents(self, start: tuple[int, ...], count: tuple[int, ...]):
+        """Byte extents of a regular hyperslab, coalescing full rows."""
+        if len(start) != self.ndims or len(count) != self.ndims:
+            raise HDF5Error(
+                f"selection rank mismatch: dataset is {self.ndims}-d, "
+                f"got start={start!r} count={count!r}"
+            )
+        for s, c, dim in zip(start, count, self.shape):
+            if s < 0 or c <= 0 or s + c > dim:
+                raise HDF5Error(
+                    f"selection [{s}:{s + c}) out of bounds for dim {dim}"
+                )
+        # Contiguous when the slab spans whole trailing dimensions.
+        row_elems = math.prod(self.shape[1:]) if self.ndims > 1 else 1
+        inner_full = all(
+            s == 0 and c == dim
+            for s, c, dim in zip(start[1:], count[1:], self.shape[1:])
+        )
+        if inner_full:
+            offset = self.base_offset + start[0] * row_elems * self.element_size
+            length = count[0] * row_elems * self.element_size
+            return [(offset, length)]
+        # Otherwise one extent per outermost index (bounded fan-out).
+        extents = []
+        inner_elems = math.prod(count[1:])
+        inner_offset_elems = 0
+        for s, dim_stride in zip(
+            start[1:], self._strides()[1:]
+        ):
+            inner_offset_elems += s * dim_stride
+        stride0 = self._strides()[0]
+        for i in range(count[0]):
+            elem_off = (start[0] + i) * stride0 + inner_offset_elems
+            extents.append(
+                (
+                    self.base_offset + elem_off * self.element_size,
+                    inner_elems * self.element_size,
+                )
+            )
+        return extents
+
+    def _strides(self) -> list[int]:
+        strides = [1] * self.ndims
+        for i in range(self.ndims - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.shape[i + 1]
+        return strides
+
+
+class H5File:
+    """An HDF5 container bound to one rank's POSIX client."""
+
+    def __init__(self, posix: PosixClient, path: str):
+        self.posix = posix
+        self.env = posix.env
+        self.path = path
+        self.datasets: dict[str, H5Dataset] = {}
+        self._handle: FileHandle | None = None
+        self._next_offset = _SUPERBLOCK_BYTES
+        self.hooks: list = []
+
+    def add_hook(self, hook) -> None:
+        if not hasattr(hook, "after_op"):
+            raise TypeError(f"hook {hook!r} lacks an after_op method")
+        self.hooks.append(hook)
+
+    def _dispatch(self, module: str, record: H5OpRecord):
+        for hook in self.hooks:
+            yield from hook.after_op(module, self.posix.context, record, self._handle)
+
+    def _require_open(self) -> FileHandle:
+        if self._handle is None:
+            raise HDF5Error(f"HDF5 file {self.path!r} is not open")
+        return self._handle
+
+    # -- file lifecycle (H5F) ---------------------------------------------------
+
+    def open(self, flags: str = "w"):
+        if self._handle is not None:
+            raise HDF5Error(f"{self.path!r} already open")
+        start = self.env.now
+        self._handle = yield from self.posix.open(self.path, flags)
+        # Superblock write on create.
+        if "w" in flags:
+            yield from self.posix.write(self._handle, _SUPERBLOCK_BYTES, 0)
+        record = H5OpRecord("open", self.path, 0, 0, start, self.env.now)
+        yield from self._dispatch("H5F", record)
+        return self
+
+    def flush(self):
+        handle = self._require_open()
+        start = self.env.now
+        yield from self.posix.fsync(handle)
+        record = H5OpRecord("flush", self.path, 0, 0, start, self.env.now)
+        yield from self._dispatch("H5F", record)
+
+    def close(self):
+        handle = self._require_open()
+        start = self.env.now
+        yield from self.posix.close(handle)
+        self._handle = None
+        record = H5OpRecord("close", self.path, 0, 0, start, self.env.now)
+        yield from self._dispatch("H5F", record)
+
+    # -- datasets (H5D) ------------------------------------------------------------
+
+    def create_dataset(self, name: str, shape: tuple[int, ...], element_size: int = 8):
+        """Create a dataset; writes its object header."""
+        handle = self._require_open()
+        if name in self.datasets:
+            raise HDF5Error(f"dataset {name!r} already exists in {self.path!r}")
+        ds = H5Dataset(self, name, shape, element_size)
+        ds.base_offset = self._next_offset + _OBJECT_HEADER_BYTES
+        self._next_offset = ds.base_offset + ds.nbytes
+        self.datasets[name] = ds
+        start = self.env.now
+        yield from self.posix.write(handle, _OBJECT_HEADER_BYTES, ds.base_offset - _OBJECT_HEADER_BYTES)
+        record = H5OpRecord(
+            "open",
+            self.path,
+            0,
+            0,
+            start,
+            self.env.now,
+            data_set=name,
+            ndims=ds.ndims,
+            npoints=ds.npoints_total,
+        )
+        yield from self._dispatch("H5D", record)
+        return ds
+
+    def _io_extents(self, op: str, ds: H5Dataset, extents, meta: dict):
+        handle = self._require_open()
+        start = self.env.now
+        total = 0
+        min_off = None
+        for offset, length in extents:
+            if op == "write":
+                yield from self.posix.write(handle, length, offset)
+            else:
+                yield from self.posix.read(handle, length, offset)
+            total += length
+            min_off = offset if min_off is None else min(min_off, offset)
+        record = H5OpRecord(
+            op,
+            self.path,
+            min_off if min_off is not None else 0,
+            total,
+            start,
+            self.env.now,
+            data_set=ds.name,
+            ndims=ds.ndims,
+            npoints=meta["npoints"],
+            pt_sel=ds.pt_selects,
+            reg_hslab=ds.reg_hslab_selects,
+            irreg_hslab=ds.irreg_hslab_selects,
+        )
+        yield from self._dispatch("H5D", record)
+        return record
+
+    def write_hyperslab(self, ds_name: str, start: tuple, count: tuple):
+        """Write a regular hyperslab selection."""
+        ds = self._dataset(ds_name)
+        ds.reg_hslab_selects += 1
+        extents = ds._slab_extents(tuple(start), tuple(count))
+        npoints = math.prod(count)
+        record = yield from self._io_extents("write", ds, extents, {"npoints": npoints})
+        return record
+
+    def read_hyperslab(self, ds_name: str, start: tuple, count: tuple):
+        """Read a regular hyperslab selection."""
+        ds = self._dataset(ds_name)
+        ds.reg_hslab_selects += 1
+        extents = ds._slab_extents(tuple(start), tuple(count))
+        npoints = math.prod(count)
+        record = yield from self._io_extents("read", ds, extents, {"npoints": npoints})
+        return record
+
+    def write_irregular(self, ds_name: str, slabs: list[tuple[tuple, tuple]]):
+        """Write a union of regular hyperslabs (an irregular selection)."""
+        if not slabs:
+            raise HDF5Error("irregular selection needs at least one slab")
+        ds = self._dataset(ds_name)
+        ds.irreg_hslab_selects += 1
+        extents = []
+        npoints = 0
+        for start, count in slabs:
+            extents.extend(ds._slab_extents(tuple(start), tuple(count)))
+            npoints += math.prod(count)
+        record = yield from self._io_extents("write", ds, extents, {"npoints": npoints})
+        return record
+
+    def write_points(self, ds_name: str, npoints: int):
+        """Write a scattered point selection (modelled as one gather)."""
+        if npoints <= 0:
+            raise HDF5Error("npoints must be positive")
+        ds = self._dataset(ds_name)
+        if npoints > ds.npoints_total:
+            raise HDF5Error("selection larger than dataspace")
+        ds.pt_selects += 1
+        extents = [(ds.base_offset, npoints * ds.element_size)]
+        record = yield from self._io_extents("write", ds, extents, {"npoints": npoints})
+        return record
+
+    def flush_dataset(self, ds_name: str):
+        """H5D-level flush (counted separately per Table I)."""
+        ds = self._dataset(ds_name)
+        handle = self._require_open()
+        start = self.env.now
+        ds.flushes += 1
+        yield from self.posix.fsync(handle)
+        record = H5OpRecord(
+            "flush",
+            self.path,
+            0,
+            0,
+            start,
+            self.env.now,
+            data_set=ds.name,
+            ndims=ds.ndims,
+            npoints=ds.npoints_total,
+        )
+        yield from self._dispatch("H5D", record)
+
+    def _dataset(self, name: str) -> H5Dataset:
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise HDF5Error(f"no dataset {name!r} in {self.path!r}") from None

@@ -1,0 +1,40 @@
+"""LDMS: the Lightweight Distributed Metric Service (reimplemented).
+
+The pieces of LDMS the paper leverages and enhances:
+
+* **LDMS Streams** (:mod:`repro.ldms.streams`) — the tag-addressed
+  publish/subscribe bus for event data.  Faithful semantics: push-based,
+  best-effort (no reconnect/resend), *no caching* — data published
+  before a subscription exists is lost; variable-length string or JSON
+  payloads.
+* **ldmsd** (:mod:`repro.ldms.daemon`) — daemons on every compute node
+  and aggregators at multiple levels; stream data is *pushed* hop by
+  hop over the cluster network with bounded forwarding queues (overflow
+  is dropped, which is what best-effort means operationally).
+* **samplers** (:mod:`repro.ldms.sampler`) — periodic metric-set
+  collection (meminfo/vmstat style), the classic LDMS data path that
+  rides the same aggregation topology.
+* **store plugins** (:mod:`repro.ldms.store`) — terminal subscribers
+  that persist stream data; the CSV store reproduces Figure 3's
+  flattened header, and the DSOS store feeds the paper's database.
+"""
+
+from repro.ldms.streams import StreamMessage, StreamsBus
+from repro.ldms.daemon import Ldmsd
+from repro.ldms.aggregator import AggregationFabric, FabricTotals
+from repro.ldms.sampler import LoadSampler, MeminfoSampler, SamplerPlugin
+from repro.ldms.store import CSV_HEADER, CsvStreamStore, StorePluginError
+
+__all__ = [
+    "AggregationFabric",
+    "CSV_HEADER",
+    "CsvStreamStore",
+    "FabricTotals",
+    "Ldmsd",
+    "LoadSampler",
+    "MeminfoSampler",
+    "SamplerPlugin",
+    "StorePluginError",
+    "StreamMessage",
+    "StreamsBus",
+]

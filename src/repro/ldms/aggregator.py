@@ -1,0 +1,93 @@
+"""Multi-level aggregation topology builder.
+
+Reproduces the paper's environment: sampler ldmsds on every compute
+node push Darshan stream data (and metric sets) to a first-level
+aggregator on Voltrino's head node, which pushes to a second-level
+aggregator on the analysis cluster (Shirley) where storage and the web
+services live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.ldms.daemon import Ldmsd
+
+__all__ = ["AggregationFabric", "FabricTotals"]
+
+
+@dataclass(frozen=True)
+class FabricTotals:
+    """Fleet-wide delivery accounting."""
+
+    published_on_compute: int
+    received_at_l2: int
+    dropped_overflow: int
+    bytes_forwarded: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.published_on_compute == 0:
+            return 1.0
+        return self.received_at_l2 / self.published_on_compute
+
+
+class AggregationFabric:
+    """All daemons + forwarding rules for one stream tag."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tag: str,
+        *,
+        queue_depth: int = 65536,
+        daemon_name: str = "ldmsd",
+    ):
+        self.cluster = cluster
+        self.tag = tag
+        env = cluster.env
+        net = cluster.network
+
+        self.l2 = Ldmsd(env, cluster.analysis_node, net, name=daemon_name)
+        self.l1 = Ldmsd(env, cluster.head_node, net, name=daemon_name)
+        self.l1.add_stream_forward(tag, self.l2, queue_depth)
+
+        self.compute_daemons: dict[str, Ldmsd] = {}
+        for node in cluster.compute_nodes:
+            d = Ldmsd(env, node, net, name=daemon_name)
+            d.add_stream_forward(tag, self.l1, queue_depth)
+            self.compute_daemons[node.name] = d
+
+    def daemon_for(self, node_name: str) -> Ldmsd:
+        """The compute-node daemon an application on ``node_name`` uses."""
+        try:
+            return self.compute_daemons[node_name]
+        except KeyError:
+            raise KeyError(f"no compute ldmsd on {node_name!r}") from None
+
+    def stop(self) -> None:
+        """Stop sampler loops on every daemon."""
+        for d in (*self.compute_daemons.values(), self.l1, self.l2):
+            d.stop()
+
+    def totals(self) -> FabricTotals:
+        published = sum(
+            d.streams.stats.published for d in self.compute_daemons.values()
+        )
+        dropped = sum(
+            s.dropped_overflow
+            for d in (*self.compute_daemons.values(), self.l1)
+            for s in d.forward_stats()
+        )
+        bytes_fwd = sum(
+            s.bytes_forwarded
+            for d in (*self.compute_daemons.values(), self.l1)
+            for s in d.forward_stats()
+        )
+        return FabricTotals(
+            published_on_compute=published,
+            received_at_l2=self.l2.streams.stats.published,
+            dropped_overflow=dropped,
+            bytes_forwarded=bytes_fwd,
+        )

@@ -1,0 +1,197 @@
+"""ldmsd deployment configuration language.
+
+Real LDMS fleets are wired by configuration files (producer/updater/
+storage-policy directives); this module provides the equivalent for the
+simulated fleet, so a whole monitoring topology is declared as text:
+
+::
+
+    # comments and blank lines are ignored
+    ldmsd host=nid*                        # daemon on every matching node
+    ldmsd host=head
+    ldmsd host=shirley
+    stream_forward from=nid* to=head tag=darshanConnector
+    stream_forward from=head to=shirley tag=darshanConnector
+    sampler host=head plugin=meminfo interval=5.0
+    store host=shirley type=csv tag=darshanConnector
+
+Host patterns are shell globs matched against node names.  The
+:func:`build_fleet` entry point validates the whole file before any
+daemon is created, so configuration errors surface with line numbers.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.ldms.daemon import Ldmsd
+from repro.ldms.sampler import MeminfoSampler
+from repro.ldms.store import CsvStreamStore
+
+__all__ = ["ConfigError", "Directive", "Fleet", "build_fleet", "parse_config"]
+
+
+class ConfigError(ValueError):
+    """Malformed configuration; message carries the line number."""
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed configuration line."""
+
+    line_no: int
+    verb: str
+    args: dict
+
+    def require(self, *names: str) -> None:
+        missing = [n for n in names if n not in self.args]
+        if missing:
+            raise ConfigError(
+                f"line {self.line_no}: {self.verb} missing {', '.join(missing)}"
+            )
+
+
+_VERBS = ("ldmsd", "stream_forward", "sampler", "store")
+
+_SAMPLER_PLUGINS = {"meminfo": MeminfoSampler}
+
+
+def parse_config(text: str) -> list[Directive]:
+    """Parse the config text into directives (syntax only)."""
+    directives = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        verb = parts[0]
+        if verb not in _VERBS:
+            raise ConfigError(
+                f"line {line_no}: unknown directive {verb!r} (expected one of {_VERBS})"
+            )
+        args = {}
+        for token in parts[1:]:
+            if "=" not in token:
+                raise ConfigError(
+                    f"line {line_no}: expected key=value, got {token!r}"
+                )
+            key, value = token.split("=", 1)
+            if not key or not value:
+                raise ConfigError(f"line {line_no}: empty key or value in {token!r}")
+            if key in args:
+                raise ConfigError(f"line {line_no}: duplicate key {key!r}")
+            args[key] = value
+        directives.append(Directive(line_no, verb, args))
+    return directives
+
+
+@dataclass
+class Fleet:
+    """The daemons and stores a configuration produced."""
+
+    daemons: dict = field(default_factory=dict)  # node name -> Ldmsd
+    stores: list = field(default_factory=list)
+
+    def daemon_for(self, node_name: str) -> Ldmsd:
+        try:
+            return self.daemons[node_name]
+        except KeyError:
+            raise KeyError(f"no configured ldmsd on {node_name!r}") from None
+
+    def stop(self) -> None:
+        for d in self.daemons.values():
+            d.stop()
+
+
+def _match_nodes(cluster: Cluster, pattern: str, line_no: int) -> list:
+    nodes = [n for n in cluster.all_nodes if fnmatch.fnmatch(n.name, pattern)]
+    if not nodes:
+        raise ConfigError(f"line {line_no}: host pattern {pattern!r} matches no node")
+    return nodes
+
+
+def build_fleet(cluster: Cluster, text: str) -> Fleet:
+    """Validate and instantiate the configured monitoring fleet."""
+    directives = parse_config(text)
+    fleet = Fleet()
+
+    # Pass 1: daemons (so forwards can resolve in pass 2 regardless of order).
+    for d in directives:
+        if d.verb != "ldmsd":
+            continue
+        d.require("host")
+        for node in _match_nodes(cluster, d.args["host"], d.line_no):
+            if node.name in fleet.daemons:
+                raise ConfigError(
+                    f"line {d.line_no}: duplicate ldmsd on {node.name}"
+                )
+            fleet.daemons[node.name] = Ldmsd(
+                cluster.env, node, cluster.network,
+                name=f"ldmsd@{node.name}",
+            )
+
+    # Pass 2: wiring.
+    for d in directives:
+        if d.verb == "stream_forward":
+            d.require("from", "to", "tag")
+            dst_nodes = _match_nodes(cluster, d.args["to"], d.line_no)
+            if len(dst_nodes) != 1:
+                raise ConfigError(
+                    f"line {d.line_no}: 'to' must match exactly one node, "
+                    f"got {len(dst_nodes)}"
+                )
+            dst = fleet.daemons.get(dst_nodes[0].name)
+            if dst is None:
+                raise ConfigError(
+                    f"line {d.line_no}: no ldmsd configured on {dst_nodes[0].name}"
+                )
+            for node in _match_nodes(cluster, d.args["from"], d.line_no):
+                src = fleet.daemons.get(node.name)
+                if src is None:
+                    raise ConfigError(
+                        f"line {d.line_no}: no ldmsd configured on {node.name}"
+                    )
+                if src is not dst:
+                    src.add_stream_forward(d.args["tag"], dst)
+        elif d.verb == "sampler":
+            d.require("host", "plugin", "interval")
+            plugin_cls = _SAMPLER_PLUGINS.get(d.args["plugin"])
+            if plugin_cls is None:
+                raise ConfigError(
+                    f"line {d.line_no}: unknown sampler plugin "
+                    f"{d.args['plugin']!r} (have {sorted(_SAMPLER_PLUGINS)})"
+                )
+            try:
+                interval = float(d.args["interval"])
+            except ValueError:
+                raise ConfigError(
+                    f"line {d.line_no}: interval must be a number"
+                ) from None
+            for node in _match_nodes(cluster, d.args["host"], d.line_no):
+                daemon = fleet.daemons.get(node.name)
+                if daemon is None:
+                    raise ConfigError(
+                        f"line {d.line_no}: no ldmsd configured on {node.name}"
+                    )
+                daemon.add_sampler(plugin_cls(node), interval)
+        elif d.verb == "store":
+            d.require("host", "type", "tag")
+            if d.args["type"] != "csv":
+                raise ConfigError(
+                    f"line {d.line_no}: unknown store type {d.args['type']!r} "
+                    "(config supports 'csv'; attach DSOS stores via the API)"
+                )
+            nodes = _match_nodes(cluster, d.args["host"], d.line_no)
+            if len(nodes) != 1:
+                raise ConfigError(
+                    f"line {d.line_no}: store host must match exactly one node"
+                )
+            daemon = fleet.daemons.get(nodes[0].name)
+            if daemon is None:
+                raise ConfigError(
+                    f"line {d.line_no}: no ldmsd configured on {nodes[0].name}"
+                )
+            fleet.stores.append(CsvStreamStore(daemon, d.args["tag"]))
+    return fleet

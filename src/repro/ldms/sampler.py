@@ -1,0 +1,58 @@
+"""Sampler plugins: periodic node-level metric sets.
+
+LDMS's original job is synchronous system telemetry; the paper's
+framework rides the same daemons.  We provide the sampler interface and
+a meminfo-style plugin so experiments can correlate application I/O
+events with node state — the cross-correlation use case the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+
+__all__ = ["SamplerPlugin", "MeminfoSampler", "LoadSampler"]
+
+
+class SamplerPlugin:
+    """Interface: ``sample(now) -> dict[str, float]``."""
+
+    #: Plugin name; metric sets publish on tag ``metrics/<name>``.
+    name = "sampler"
+
+    def sample(self, now: float) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class MeminfoSampler(SamplerPlugin):
+    """Reports the node's simulated memory occupancy."""
+
+    name = "meminfo"
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    def sample(self, now: float) -> dict:
+        total = self.node.memory.capacity
+        used = self.node.memory.level
+        return {
+            "MemTotal": float(total),
+            "MemUsed": float(used),
+            "MemFree": float(total - used),
+        }
+
+
+class LoadSampler(SamplerPlugin):
+    """Reports the shared file-system load factor seen from this node.
+
+    This is the "system behaviour" series the paper's Grafana dashboards
+    put next to the I/O timeline to explain variability.
+    """
+
+    name = "fsload"
+
+    def __init__(self, load_process):
+        self.load = load_process
+
+    def sample(self, now: float) -> dict:
+        return {"load_factor": float(self.load.factor(now))}

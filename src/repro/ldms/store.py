@@ -1,0 +1,96 @@
+"""Store plugins: terminal subscribers that persist stream data.
+
+:class:`CsvStreamStore` reproduces the pipeline stage shown in the
+paper's Figure 3: the JSON message published to LDMS Streams is
+flattened into CSV rows — one row per ``seg`` entry — under exactly the
+header the figure prints.  (The DSOS store plugin lives in
+:mod:`repro.dsos.store_plugin` since it needs the database client.)
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ldms.streams import StreamMessage
+
+__all__ = ["CsvStreamStore", "StorePluginError", "CSV_HEADER"]
+
+#: The exact flattened header of Figure 3 (bottom).
+CSV_HEADER = [
+    "module",
+    "uid",
+    "ProducerName",
+    "switches",
+    "file",
+    "rank",
+    "flushes",
+    "record_id",
+    "exe",
+    "max_byte",
+    "type",
+    "job_id",
+    "op",
+    "cnt",
+    "seg:off",
+    "seg:pt_sel",
+    "seg:dur",
+    "seg:len",
+    "seg:ndims",
+    "seg:reg_hslab",
+    "seg:irreg_hslab",
+    "seg:data_set",
+    "seg:npoints",
+    "seg:timestamp",
+]
+
+
+class StorePluginError(RuntimeError):
+    """Raised for store misconfiguration (not per-message parse noise)."""
+
+
+class CsvStreamStore:
+    """Flattens JSON stream messages into Figure-3-style CSV rows."""
+
+    def __init__(self, daemon, tag: str):
+        self.tag = tag
+        self.rows: list[dict] = []
+        self.parse_errors = 0
+        self.messages_stored = 0
+        daemon.streams.subscribe(tag, self.on_message)
+
+    def on_message(self, message: StreamMessage) -> None:
+        """Bus callback: parse, flatten, append.  Bad payloads are
+        counted and skipped (the pipeline must not die on one datum)."""
+        try:
+            data = json.loads(message.payload)
+        except json.JSONDecodeError:
+            self.parse_errors += 1
+            return
+        if not isinstance(data, dict):
+            self.parse_errors += 1
+            return
+        segments = data.get("seg") or [{}]
+        for seg in segments:
+            row = {}
+            for column in CSV_HEADER:
+                if column.startswith("seg:"):
+                    row[column] = seg.get(column[4:], "N/A")
+                else:
+                    row[column] = data.get(column, "N/A")
+            self.rows.append(row)
+        self.messages_stored += 1
+
+    # -- output ------------------------------------------------------------
+
+    def header_line(self) -> str:
+        """The CSV header exactly as Figure 3 prints it."""
+        return "#" + ",".join(CSV_HEADER)
+
+    def to_csv(self) -> str:
+        lines = [self.header_line()]
+        for row in self.rows:
+            lines.append(",".join(str(row[c]) for c in CSV_HEADER))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,83 @@
+"""LDMS Streams: the tag-addressed publish/subscribe bus.
+
+One bus lives inside each ldmsd.  Publishing is synchronous, local and
+best-effort: each message is handed to the callbacks subscribed to its
+tag *at that moment*; if none exist the message is dropped and counted.
+There is no replay — exactly the "no caching, subscribe before publish"
+behaviour the paper calls out in Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StreamMessage", "StreamsBus"]
+
+
+@dataclass(frozen=True)
+class StreamMessage:
+    """One stream datum: a tagged string/JSON payload with provenance."""
+
+    tag: str
+    payload: str
+    fmt: str = "json"  # "json" or "string", per the Streams API
+    src_node: str = ""
+    publish_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fmt not in ("json", "string"):
+            raise ValueError(f"stream format must be json or string, got {self.fmt!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class BusStats:
+    """Delivery accounting for one bus."""
+
+    published: int = 0
+    delivered: int = 0
+    dropped_no_subscriber: int = 0
+    bytes_published: int = 0
+
+
+class StreamsBus:
+    """Per-daemon pub/sub fabric."""
+
+    def __init__(self):
+        self._subscribers: dict[str, list] = {}
+        self.stats = BusStats()
+
+    def subscribe(self, tag: str, callback) -> None:
+        """Register ``callback(message)`` for messages matching ``tag``."""
+        if not callable(callback):
+            raise TypeError(f"subscriber callback {callback!r} is not callable")
+        self._subscribers.setdefault(tag, []).append(callback)
+
+    def unsubscribe(self, tag: str, callback) -> None:
+        try:
+            self._subscribers.get(tag, []).remove(callback)
+        except ValueError:
+            raise KeyError(f"callback not subscribed to tag {tag!r}") from None
+
+    def subscriber_count(self, tag: str) -> int:
+        return len(self._subscribers.get(tag, ()))
+
+    def publish(self, message: StreamMessage) -> int:
+        """Deliver to current subscribers; returns the delivery count.
+
+        Zero subscribers means the datum is gone — counted, not raised,
+        because best-effort delivery is the protocol.
+        """
+        self.stats.published += 1
+        self.stats.bytes_published += message.size_bytes
+        callbacks = self._subscribers.get(message.tag)
+        if not callbacks:
+            self.stats.dropped_no_subscriber += 1
+            return 0
+        for callback in list(callbacks):
+            callback(message)
+        self.stats.delivered += len(callbacks)
+        return len(callbacks)

@@ -1,0 +1,19 @@
+"""Simulated MPI runtime.
+
+Applications in the paper are MPI codes; this package provides the
+subset of MPI semantics their I/O patterns need: per-rank processes on
+allocated nodes, barriers, time-charged collectives, and an MPI-IO file
+API with both *independent* (``write_at``) and *collective two-phase*
+(``write_at_all``) data movement — the axis the paper's MPI-IO-TEST
+benchmark sweeps.
+
+The MPI-IO layer sits on top of each rank's POSIX client, so Darshan's
+POSIX module observes the file-system-level operations of collective
+aggregators while the MPIIO module observes every rank's library-level
+call, matching real Darshan's layered records.
+"""
+
+from repro.mpi.communicator import Communicator, RankContext
+from repro.mpi.io import MPIIOFile, CollectiveError
+
+__all__ = ["CollectiveError", "Communicator", "MPIIOFile", "RankContext"]

@@ -1,0 +1,131 @@
+"""Communicators, rank contexts and collective-time models.
+
+Collective costs use the standard log-tree model: a ``size``-rank
+collective moving ``nbytes`` per rank costs
+``ceil(log2(size)) · (alpha + nbytes / beta)`` where ``alpha`` is the
+per-hop launch latency and ``beta`` the fabric bandwidth.  Barriers are
+exact synchronization points (counting barrier + sync cost); every rank
+must call every collective in the same order, as in MPI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.node import Node
+from repro.fs.posix import PosixClient
+from repro.sim import Environment
+
+__all__ = ["Communicator", "RankContext"]
+
+
+@dataclass
+class RankContext:
+    """One MPI rank: its index, host node and POSIX client."""
+
+    rank: int
+    node: Node
+    posix: PosixClient
+
+
+class Communicator:
+    """A fixed group of ranks with barrier/collective operations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ranks: list[RankContext],
+        *,
+        alpha_s: float = 2.0e-6,
+        beta_bps: float = 8e9,
+    ):
+        if not ranks:
+            raise ValueError("communicator needs at least one rank")
+        got = [rc.rank for rc in ranks]
+        if got != list(range(len(ranks))):
+            raise ValueError(f"ranks must be 0..n-1 in order, got {got}")
+        self.env = env
+        self.ranks = list(ranks)
+        self.alpha_s = alpha_s
+        self.beta_bps = beta_bps
+        self._barrier_count = 0
+        self._barrier_event = env.event()
+        #: Scratch used by collective I/O to gather per-rank payloads.
+        self._gather_buffers: dict[str, dict[int, object]] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rank_context(self, rank: int) -> RankContext:
+        return self.ranks[rank]
+
+    def nodes(self) -> list[Node]:
+        """Distinct nodes hosting ranks, in rank order."""
+        seen: dict[str, Node] = {}
+        for rc in self.ranks:
+            seen.setdefault(rc.node.name, rc.node)
+        return list(seen.values())
+
+    # -- synchronization ---------------------------------------------------
+
+    def _rounds(self) -> int:
+        return max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+
+    def sync_cost(self) -> float:
+        """Latency of one full synchronization (dissemination barrier)."""
+        return self._rounds() * self.alpha_s
+
+    def barrier(self, rank: int):
+        """Counting barrier; all ranks block until the last arrives."""
+        if self.size == 1:
+            return
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            self._barrier_count = 0
+            release, self._barrier_event = self._barrier_event, self.env.event()
+            release.succeed()
+        else:
+            yield self._barrier_event
+        yield self.env.timeout(self.sync_cost())
+
+    # -- collectives (time-charged models) -----------------------------------
+
+    def _collective_cost(self, nbytes: int, rounds_factor: int = 1) -> float:
+        return self._rounds() * rounds_factor * (
+            self.alpha_s + nbytes / self.beta_bps
+        )
+
+    def bcast(self, rank: int, nbytes: int):
+        """Broadcast ``nbytes`` from root; synchronizing, log-tree cost."""
+        yield from self.barrier(rank)
+        yield self.env.timeout(self._collective_cost(nbytes))
+
+    def allreduce(self, rank: int, nbytes: int):
+        """Reduce-then-broadcast: two tree traversals."""
+        yield from self.barrier(rank)
+        yield self.env.timeout(self._collective_cost(nbytes, rounds_factor=2))
+
+    def alltoall(self, rank: int, nbytes_per_pair: int):
+        """Every rank exchanges ``nbytes_per_pair`` with every other rank."""
+        yield from self.barrier(rank)
+        volume = nbytes_per_pair * max(self.size - 1, 0)
+        yield self.env.timeout(
+            self._rounds() * self.alpha_s + volume / self.beta_bps
+        )
+
+    # -- gather scratch for collective I/O ------------------------------------
+
+    def gather_put(self, key: str, rank: int, value: object) -> dict | None:
+        """Deposit this rank's contribution; returns the full map when
+        the last rank deposits, else None."""
+        buf = self._gather_buffers.setdefault(key, {})
+        if rank in buf:
+            raise RuntimeError(
+                f"rank {rank} deposited twice into gather buffer {key!r}"
+            )
+        buf[rank] = value
+        if len(buf) == self.size:
+            return self._gather_buffers.pop(key)
+        return None

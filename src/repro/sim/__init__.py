@@ -1,0 +1,51 @@
+"""Deterministic discrete-event simulation (DES) kernel.
+
+This package is the foundation every other subsystem builds on.  It
+provides a process-based simulation model in the style of SimPy:
+
+* :class:`~repro.sim.engine.Environment` — the event loop and simulated
+  clock.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  schedulable occurrences that processes wait on.
+* :class:`~repro.sim.process.Process` — a generator-driven simulated
+  process (``yield env.timeout(dt)`` style).
+* :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.Container` — contention primitives used to
+  model file-system servers, network links and queues.
+* :class:`~repro.sim.rng.RngRegistry` — named, reproducible random
+  sub-streams derived from one root seed, so that a whole experiment
+  campaign is a pure function of ``(seed, config)``.
+
+The kernel is intentionally small and fully deterministic: two events
+scheduled for the same simulated time fire in scheduling order (FIFO),
+never in hash or heap-tiebreak order.
+"""
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RngRegistry, Distributions
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Distributions",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

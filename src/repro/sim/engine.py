@@ -1,0 +1,144 @@
+"""The simulation event loop.
+
+:class:`Environment` owns the simulated clock and a priority queue of
+triggered events.  Determinism guarantee: events scheduled for the same
+simulated time are processed in the order they were scheduled (a
+monotonically increasing sequence number breaks ties), so simulation
+results depend only on the model and the seed — never on hash ordering
+or heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level errors (e.g. running a finished sim)."""
+
+
+class Environment:
+    """Event loop, simulated clock and factory for events/processes.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock.  Experiments use an epoch
+        offset here so that "absolute timestamps" look like wall-clock
+        epochs (the quantity the paper's connector exposes).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, seq, event)
+        self._seq = 0  # tie-breaker; also counts scheduled events
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event to be processed after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event succeeding after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new simulated process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition succeeding when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition succeeding when any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event._defused:
+            # An event failed and nothing was waiting on it: surface the
+            # error instead of silently dropping it.
+            raise event.value
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until the clock reaches it) or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and not self._queue:
+            # Queue drained before the requested horizon: clock stays at
+            # the last processed event, which is the standard DES rule.
+            pass
+        return None

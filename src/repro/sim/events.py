@@ -1,0 +1,210 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is the unit of coordination: processes ``yield`` events
+and are resumed when the event *succeeds* (optionally carrying a value)
+or *fails* (carrying an exception).  :class:`Timeout` is an event that
+succeeds after a fixed simulated delay.  :class:`AllOf` / :class:`AnyOf`
+are condition events composing several child events.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Interrupt", "EventError"]
+
+# Sentinel distinguishing "not yet triggered" from a ``None`` value.
+_PENDING = object()
+
+
+class EventError(RuntimeError):
+    """Raised on invalid event-state transitions (double trigger etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary, caller-supplied object
+    describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Lifecycle: *pending* → *triggered* (scheduled on the event queue) →
+    *processed* (callbacks have run).  An event may only be triggered
+    once; triggering it a second time raises :class:`EventError`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        self.callbacks: list | None = []
+        self._value: object = _PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful when triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise EventError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- state transitions --------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise EventError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise EventError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine does not re-raise.
+
+        The engine raises unhandled failures at the end of the step in
+        which they are processed; waiting on a failed event (a process
+        yield or a condition) defuses it automatically.
+        """
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for events that fire as a function of several child events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events):
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        self._pending_count = sum(1 for ev in self.events if not ev.processed)
+        # Check already-processed children first (e.g. AnyOf over a
+        # finished timeout must fire immediately).
+        if self._check_now():
+            return
+        for ev in self.events:
+            if ev.processed:
+                continue
+            ev.callbacks.append(self._on_child)
+
+    # Subclasses decide when the condition is satisfied.
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        """Values of all processed-and-ok child events, in order."""
+        return {
+            i: ev.value
+            for i, ev in enumerate(self.events)
+            if ev.processed and ev.ok
+        }
+
+    def _check_now(self) -> bool:
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _on_child(self, child: Event) -> None:
+        self._pending_count -= 1
+        if self.triggered:
+            return
+        if not child.ok:
+            child.defuse()
+            self.fail(child.value)
+            return
+        self._check_now()
+
+
+class AllOf(_Condition):
+    """Condition event that succeeds when *all* child events have."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        # ``processed`` (not ``triggered``): a Timeout is triggered at
+        # construction but only *fires* when the clock reaches it.
+        return all(ev.processed and ev.ok for ev in self.events)
+
+
+class AnyOf(_Condition):
+    """Condition event that succeeds when *any* child event has.
+
+    With zero children it succeeds immediately (vacuous truth mirrors
+    SimPy semantics).
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        if not self.events:
+            return True
+        return any(ev.processed and ev.ok for ev in self.events)

@@ -1,0 +1,132 @@
+"""Generator-driven simulated processes.
+
+A :class:`Process` wraps a Python generator; every value the generator
+yields must be an :class:`~repro.sim.events.Event`, and the process is
+resumed with the event's value when it fires (or has the event's
+exception thrown into it when the event failed).  A process is itself an
+event — it triggers when the generator returns — so processes can wait
+on each other (fork/join).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated process.  Also an event: fires on return."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when
+        #: ready to run or finished).
+        self._target: Event | None = None
+        self.name = getattr(generator, "__name__", "process")
+        # Kick off at the current simulated time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a dead process is an error; interrupting yourself is
+        too (it would re-enter the running generator).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        # Detach from whatever the process was waiting on, then schedule
+        # an immediate resume that raises.
+        target, self._target = self._target, None
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # already detached
+                pass
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume_interrupt)
+        wakeup._value = Interrupt(cause)
+        wakeup._ok = True  # carried as a value; _resume_interrupt throws it
+        self.env.schedule(wakeup)
+
+    # -- driving the generator ----------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._step(event, throw=not event.ok)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        self._step(event, throw=True)
+
+    def _step(self, event: Event, throw: bool) -> None:
+        env = self.env
+        prev, env._active_process = env._active_process, self
+        try:
+            if throw:
+                if not event.ok:
+                    event.defuse()
+                try:
+                    target = self._generator.throw(event.value)
+                except StopIteration as stop:
+                    self._finish(stop.value)
+                    return
+                except BaseException as exc:
+                    self._crash(exc)
+                    return
+            else:
+                try:
+                    target = self._generator.send(event.value)
+                except StopIteration as stop:
+                    self._finish(stop.value)
+                    return
+                except BaseException as exc:
+                    self._crash(exc)
+                    return
+            if not isinstance(target, Event):
+                self._crash(
+                    TypeError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes may only yield Event instances"
+                    )
+                )
+                return
+            self._target = target
+            if target.processed:
+                # Already fired: resume immediately (next engine step).
+                wake = Event(env)
+                wake._ok = target.ok
+                wake._value = target._value
+                wake.callbacks.append(self._resume)
+                env.schedule(wake)
+            else:
+                target.callbacks.append(self._resume)
+        finally:
+            env._active_process = prev
+
+    def _finish(self, value: object) -> None:
+        self._target = None
+        self.succeed(value)
+
+    def _crash(self, exc: BaseException) -> None:
+        self._target = None
+        self.fail(exc)

@@ -1,0 +1,246 @@
+"""Contention primitives: resources, stores and containers.
+
+These model the queueing behaviour of shared hardware: a file-system
+server is a :class:`Resource` with some number of service slots, a
+network link is a :class:`Resource` whose holders charge transmission
+time, a mailbox between daemons is a :class:`Store`, and a byte budget
+(e.g. a node's memory for stream buffering) is a :class:`Container`.
+
+All wait queues are strict FIFO, which together with the engine's
+deterministic tie-breaking makes every simulation replayable.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical service slots with a FIFO wait queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    or the one-shot helper ``yield from resource.use(env, service_time)``.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: set = set()
+        self._waiting: deque = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Granting the next waiter happens immediately."""
+        if request in self._holders:
+            self._holders.remove(request)
+        else:
+            # Cancelling a queued request is allowed (e.g. interrupted
+            # process backing out).
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise RuntimeError("releasing a request that was never granted")
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold for ``duration``, release."""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of Python objects.
+
+    ``put`` events fire when the item is accepted; ``get`` events fire
+    with the item when one is available.  Used for daemon mailboxes and
+    stream delivery queues.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # of (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: object) -> Event:
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters and len(self.items) < self.capacity:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_put(self, item: object) -> bool:
+        """Non-blocking put; returns False (item dropped) when full.
+
+        This is the primitive behind best-effort delivery: a bounded
+        daemon queue that is full loses the message rather than
+        back-pressuring the publisher.
+        """
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
+    def try_get(self) -> object | None:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        if self._putters and len(self.items) < self.capacity:
+            put_ev, queued = self._putters.popleft()
+            self.items.append(queued)
+            put_ev.succeed()
+        return item
+
+
+class Container:
+    """A continuous quantity (bytes, tokens) with blocking put/get.
+
+    Models bounded buffers where the *amount* matters rather than item
+    identity — e.g. a compute node's stream-buffer memory budget.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque = deque()  # of (event, amount)
+        self._putters: deque = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    progress = True

@@ -1,0 +1,130 @@
+"""Reproducible named random streams.
+
+Every stochastic component of the simulation (each file system, each
+application rank, the variability process, the network) draws from its
+own named sub-stream derived from a single root seed via
+``numpy.random.SeedSequence``.  Adding a new component therefore never
+perturbs the draws of existing ones, and a campaign is a pure function
+of ``(seed, config)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RngRegistry", "Distributions"]
+
+
+def _name_to_int(name: str) -> int:
+    """Stable 32-bit hash of a stream name (not Python's salted hash)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class RngRegistry:
+    """Factory for named ``numpy.random.Generator`` sub-streams."""
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root seed must be an int, got {root_seed!r}")
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name``, created on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object (so draws advance), while a fresh registry with the same
+        root seed reproduces the identical sequence per name.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence(
+                entropy=self.root_seed, spawn_key=(_name_to_int(name),)
+            )
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of the parent.
+
+        Used to give each job run in a campaign its own seed universe.
+        """
+        child_seed = int(
+            np.random.SeedSequence(
+                entropy=self.root_seed, spawn_key=(_name_to_int(name), 0xC0FFEE)
+            ).generate_state(1)[0]
+        )
+        return RngRegistry(child_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(root_seed={self.root_seed}, streams={len(self._streams)})"
+
+
+class Distributions:
+    """Service-time distribution helpers parameterized by mean and CV.
+
+    Queueing models are most naturally specified by a mean service time
+    and a coefficient of variation; these helpers translate that into
+    the underlying distribution parameters.
+    """
+
+    @staticmethod
+    def lognormal(rng: np.random.Generator, mean: float, cv: float) -> float:
+        """One lognormal draw with the given mean and coefficient of variation."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if cv <= 0:
+            return float(mean)
+        sigma2 = np.log1p(cv * cv)
+        mu = np.log(mean) - 0.5 * sigma2
+        return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
+
+    @staticmethod
+    def lognormal_array(
+        rng: np.random.Generator, mean: float, cv: float, size: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`lognormal` (used by batched event generators)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if cv <= 0:
+            return np.full(size, float(mean))
+        sigma2 = np.log1p(cv * cv)
+        mu = np.log(mean) - 0.5 * sigma2
+        return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=size)
+
+    @staticmethod
+    def exponential(rng: np.random.Generator, mean: float) -> float:
+        """One exponential draw with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return float(rng.exponential(mean))
+
+    @staticmethod
+    def pareto_bounded(
+        rng: np.random.Generator, minimum: float, alpha: float, cap: float
+    ) -> float:
+        """Heavy-tailed draw in ``[minimum, cap]`` (congestion bursts)."""
+        if minimum <= 0 or cap < minimum:
+            raise ValueError("require 0 < minimum <= cap")
+        draw = minimum * (1.0 + rng.pareto(alpha))
+        return float(min(draw, cap))
+
+    @staticmethod
+    def truncated_normal(
+        rng: np.random.Generator,
+        mean: float,
+        std: float,
+        low: float,
+        high: float,
+    ) -> float:
+        """Normal draw clipped by rejection to ``[low, high]``."""
+        if low >= high:
+            raise ValueError("require low < high")
+        for _ in range(64):
+            x = rng.normal(mean, std)
+            if low <= x <= high:
+                return float(x)
+        return float(min(max(mean, low), high))

@@ -1,0 +1,73 @@
+"""HPC Web Services: analysis + visualization infrastructure.
+
+The paper's front end is Grafana with Python analysis modules behind it
+("queried data is converted into a pandas dataframe to allow for easier
+application of complex calculations").  We reproduce the stack
+headlessly:
+
+* :mod:`repro.webservices.dataframe` — a small column-store DataFrame
+  on NumPy arrays (pandas is not available offline; only the operations
+  the analyses need are implemented);
+* :mod:`repro.webservices.analysis` — the Python analysis modules that
+  generate Figures 5–9 from DSOS query results;
+* :mod:`repro.webservices.grafana` — dashboards/panels with a DSOS data
+  source, rendering to data series (and ASCII, for terminal viewing).
+"""
+
+from repro.webservices.dataframe import DataFrame, DataFrameError
+from repro.webservices.analysis import (
+    count_write_phases,
+    detect_anomalous_jobs,
+    duration_stats_per_job,
+    op_counts_with_ci,
+    ops_per_node,
+    rows_to_dataframe,
+    throughput_series,
+    timeline,
+    timeline_from_dxt,
+)
+from repro.webservices.variability import op_dispersion, variability_report
+from repro.webservices.correlation import (
+    bucket_series,
+    correlate_durations_with_metric,
+)
+from repro.webservices.grafana import (
+    Dashboard,
+    DsosDataSource,
+    Panel,
+    PanelData,
+    render_ascii,
+)
+from repro.webservices.html import render_html
+from repro.webservices.signatures import (
+    classify_workload,
+    compare_signatures,
+    io_signature,
+)
+
+__all__ = [
+    "DataFrame",
+    "DataFrameError",
+    "Dashboard",
+    "DsosDataSource",
+    "Panel",
+    "PanelData",
+    "bucket_series",
+    "classify_workload",
+    "compare_signatures",
+    "correlate_durations_with_metric",
+    "count_write_phases",
+    "io_signature",
+    "op_dispersion",
+    "detect_anomalous_jobs",
+    "duration_stats_per_job",
+    "op_counts_with_ci",
+    "ops_per_node",
+    "render_ascii",
+    "render_html",
+    "rows_to_dataframe",
+    "throughput_series",
+    "timeline",
+    "timeline_from_dxt",
+    "variability_report",
+]

@@ -1,0 +1,128 @@
+"""Grafana, headless: dashboards, panels, a DSOS data source.
+
+The real front end queries DSOS through a storage plugin, pipes rows
+through a named Python analysis module, and renders the result.  Here a
+:class:`Panel` binds a query spec to an analysis callable; rendering a
+:class:`Dashboard` executes every panel against the data source and
+returns :class:`PanelData` (the series Grafana would draw).
+:func:`render_ascii` draws a panel in the terminal so examples have
+something to show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsos.client import DsosClient
+from repro.webservices.analysis import rows_to_dataframe
+from repro.webservices.dataframe import DataFrame
+
+__all__ = ["Dashboard", "DsosDataSource", "Panel", "PanelData", "render_ascii"]
+
+
+class DsosDataSource:
+    """The DSOS storage plugin the paper implemented for Grafana."""
+
+    def __init__(self, client: DsosClient, schema_name: str = "darshan_data"):
+        self.client = client
+        self.schema_name = schema_name
+
+    def query(
+        self,
+        index: str = "job_rank_time",
+        prefix: tuple | None = None,
+        begin: tuple | None = None,
+        end: tuple | None = None,
+        where: list | None = None,
+    ) -> DataFrame:
+        """Run the query and hand back a DataFrame (the pandas step)."""
+        result = self.client.query(
+            self.schema_name, index, prefix=prefix, begin=begin, end=end, where=where
+        )
+        return rows_to_dataframe(result.rows)
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One dashboard cell: a query plus an analysis module."""
+
+    title: str
+    query: dict
+    #: ``analysis(df) -> payload`` — one of repro.webservices.analysis
+    #: functions (possibly partially applied).
+    analysis: object
+    viz: str = "timeseries"  # timeseries | bars | scatter | table
+
+
+@dataclass
+class PanelData:
+    """Rendered panel payload."""
+
+    title: str
+    viz: str
+    payload: object
+    rows_queried: int = 0
+
+
+@dataclass
+class Dashboard:
+    """A named collection of panels."""
+
+    title: str
+    panels: list = field(default_factory=list)
+
+    def add_panel(self, panel: Panel) -> None:
+        self.panels.append(panel)
+
+    def render(self, source: DsosDataSource) -> list[PanelData]:
+        """Execute every panel's query + analysis."""
+        out = []
+        for panel in self.panels:
+            df = source.query(**panel.query)
+            payload = panel.analysis(df)
+            out.append(
+                PanelData(
+                    title=panel.title,
+                    viz=panel.viz,
+                    payload=payload,
+                    rows_queried=len(df),
+                )
+            )
+        return out
+
+
+def render_ascii(data: PanelData, width: int = 64, height: int = 12) -> str:
+    """Terminal rendering for bar/series payloads (examples only).
+
+    Supports payloads shaped like Figure 5 (``{label: {"mean": ...}}``)
+    and Figure 9 (``{"edges": ..., op: {"bytes"/"count": array}}``).
+    """
+    lines = [f"== {data.title} =="]
+    payload = data.payload
+    if isinstance(payload, dict) and payload and all(
+        isinstance(v, dict) and "mean" in v for v in payload.values()
+    ):
+        top = max(v["mean"] for v in payload.values()) or 1.0
+        for label, v in sorted(payload.items()):
+            bar = "#" * max(int(v["mean"] / top * width), 1)
+            lines.append(f"{label:>10} | {bar} {v['mean']:.1f} ±{v.get('ci', 0):.1f}")
+        return "\n".join(lines)
+    if isinstance(payload, dict) and "edges" in payload:
+        series = {
+            k: v["bytes"] for k, v in payload.items() if isinstance(v, dict) and "bytes" in v
+        }
+        top = max((s.max() for s in series.values() if len(s)), default=1.0) or 1.0
+        for name, s in sorted(series.items()):
+            lines.append(f"-- {name} (bytes/bucket) --")
+            n = min(len(s), width)
+            resampled = s[: n]
+            row = "".join(
+                "▁▂▃▄▅▆▇█"[min(int(v / top * 7.999), 7)] if v > 0 else " "
+                for v in resampled
+            )
+            lines.append(row)
+        return "\n".join(lines)
+    lines.append(repr(payload))
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Static HTML rendering of dashboards — Grafana output, headless.
+
+:func:`render_html` turns rendered :class:`~repro.webservices.grafana.PanelData`
+into a self-contained HTML page with inline SVG charts (no external
+assets, viewable offline).  Supported payload shapes:
+
+* Figure-5 style — ``{label: {"mean": m, "ci": h}}`` → bar chart with
+  error bars;
+* Figure-9 style — ``{"edges": arr, op: {"bytes"/"count": arr}}`` →
+  stacked area-ish step series per op;
+* anything else → a ``<pre>`` dump.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+import numpy as np
+
+from repro.webservices.grafana import PanelData
+
+__all__ = ["render_html"]
+
+_SERIES_COLORS = {"write": "#3274d9", "read": "#56a64b"}  # Grafana blue/green
+_PANEL_W, _PANEL_H = 640, 240
+_MARGIN = 40
+
+
+def _svg_header() -> str:
+    return (
+        f'<svg viewBox="0 0 {_PANEL_W} {_PANEL_H}" '
+        f'width="{_PANEL_W}" height="{_PANEL_H}" '
+        'xmlns="http://www.w3.org/2000/svg" role="img">'
+    )
+
+
+def _bars_svg(payload: dict) -> str:
+    labels = sorted(payload)
+    means = [payload[k]["mean"] for k in labels]
+    cis = [payload[k].get("ci", 0.0) for k in labels]
+    top = max((m + c for m, c in zip(means, cis)), default=1.0) or 1.0
+    plot_w = _PANEL_W - 2 * _MARGIN
+    plot_h = _PANEL_H - 2 * _MARGIN
+    bar_w = plot_w / max(len(labels), 1) * 0.6
+    gap = plot_w / max(len(labels), 1)
+    parts = [_svg_header()]
+    for i, (label, mean, ci) in enumerate(zip(labels, means, cis)):
+        x = _MARGIN + i * gap + (gap - bar_w) / 2
+        h = mean / top * plot_h
+        y = _PANEL_H - _MARGIN - h
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{h:.1f}" fill="{_SERIES_COLORS["write"]}" />'
+        )
+        if ci > 0:
+            cx = x + bar_w / 2
+            y_hi = _PANEL_H - _MARGIN - (mean + ci) / top * plot_h
+            y_lo = _PANEL_H - _MARGIN - max(mean - ci, 0) / top * plot_h
+            parts.append(
+                f'<line x1="{cx:.1f}" y1="{y_hi:.1f}" x2="{cx:.1f}" '
+                f'y2="{y_lo:.1f}" stroke="#333" stroke-width="1.5" />'
+            )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{_PANEL_H - _MARGIN + 16}" '
+            f'text-anchor="middle" font-size="11">{_html.escape(str(label))}</text>'
+        )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+            f'text-anchor="middle" font-size="10">{mean:.0f}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _series_svg(payload: dict) -> str:
+    edges = np.asarray(payload["edges"], dtype=float)
+    series = {
+        op: np.asarray(v["bytes"], dtype=float)
+        for op, v in payload.items()
+        if isinstance(v, dict) and "bytes" in v
+    }
+    top = max((s.max() for s in series.values() if len(s)), default=1.0) or 1.0
+    t0, t1 = edges[0], edges[-1]
+    span = (t1 - t0) or 1.0
+    plot_w = _PANEL_W - 2 * _MARGIN
+    plot_h = _PANEL_H - 2 * _MARGIN
+
+    def x_of(t):
+        return _MARGIN + (t - t0) / span * plot_w
+
+    def y_of(v):
+        return _PANEL_H - _MARGIN - v / top * plot_h
+
+    parts = [_svg_header()]
+    # Axis line.
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_PANEL_H - _MARGIN}" '
+        f'x2="{_PANEL_W - _MARGIN}" y2="{_PANEL_H - _MARGIN}" stroke="#999" />'
+    )
+    for op, values in sorted(series.items()):
+        color = _SERIES_COLORS.get(op, "#d9a439")
+        points = []
+        for i, v in enumerate(values):
+            points.append(f"{x_of(edges[i]):.1f},{y_of(v):.1f}")
+            points.append(f"{x_of(edges[i + 1]):.1f},{y_of(v):.1f}")
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{" ".join(points)}" />'
+        )
+    # Legend.
+    lx = _MARGIN
+    for op in sorted(series):
+        color = _SERIES_COLORS.get(op, "#d9a439")
+        parts.append(f'<rect x="{lx}" y="8" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{lx + 14}" y="17" font-size="11">{_html.escape(op)}</text>'
+        )
+        lx += 70
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _panel_html(panel: PanelData) -> str:
+    payload = panel.payload
+    if isinstance(payload, dict) and payload and all(
+        isinstance(v, dict) and "mean" in v for v in payload.values()
+    ):
+        body = _bars_svg(payload)
+    elif isinstance(payload, dict) and "edges" in payload:
+        body = _series_svg(payload)
+    else:
+        body = f"<pre>{_html.escape(repr(payload))}</pre>"
+    return (
+        '<section class="panel">'
+        f"<h2>{_html.escape(panel.title)}</h2>"
+        f'<div class="meta">{panel.rows_queried} rows queried · viz: '
+        f"{_html.escape(panel.viz)}</div>"
+        f"{body}</section>"
+    )
+
+
+def render_html(title: str, panels: list[PanelData]) -> str:
+    """A complete, self-contained dashboard page."""
+    sections = "\n".join(_panel_html(p) for p in panels)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_html.escape(title)}</title>
+<style>
+  body {{ font-family: system-ui, sans-serif; background: #f4f5f5;
+         margin: 0; padding: 24px; }}
+  h1 {{ font-size: 20px; }}
+  .panel {{ background: #fff; border: 1px solid #d8d9da; border-radius: 4px;
+            padding: 12px 16px; margin-bottom: 16px; max-width: 700px; }}
+  .panel h2 {{ font-size: 14px; margin: 0 0 4px; }}
+  .meta {{ color: #777; font-size: 11px; margin-bottom: 8px; }}
+</style>
+</head>
+<body>
+<h1>{_html.escape(title)}</h1>
+{sections}
+</body>
+</html>
+"""

@@ -1,0 +1,81 @@
+"""Quantifying I/O variability across repetitive jobs.
+
+The paper's opening citation (Costa et al., SC'21) infers I/O
+variability by examining repetitive job behaviour; this module provides
+the quantitative core of that workflow over connector data: per-job and
+cross-job dispersion statistics for operation durations, and a campaign
+verdict on which ops are unstable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.webservices.dataframe import DataFrame, DataFrameError
+
+__all__ = ["variability_report", "op_dispersion"]
+
+
+def op_dispersion(durations: np.ndarray) -> dict:
+    """Dispersion statistics of one duration sample.
+
+    Keys: ``mean``, ``cov`` (coefficient of variation), ``iqr``,
+    ``p50``, ``p95``, ``tail_ratio`` (p95/p50 — long-tail indicator).
+    """
+    durations = np.asarray(durations, dtype=float)
+    if durations.size == 0:
+        raise ValueError("need at least one duration")
+    mean = float(durations.mean())
+    std = float(durations.std(ddof=1)) if durations.size > 1 else 0.0
+    p25, p50, p75, p95 = np.percentile(durations, [25, 50, 75, 95])
+    return {
+        "mean": mean,
+        "cov": std / mean if mean > 0 else 0.0,
+        "iqr": float(p75 - p25),
+        "p50": float(p50),
+        "p95": float(p95),
+        "tail_ratio": float(p95 / p50) if p50 > 0 else float("inf"),
+    }
+
+
+def variability_report(df: DataFrame, ops: tuple = ("read", "write")) -> dict:
+    """Cross-job variability of a campaign of repetitive jobs.
+
+    For each op: per-job mean durations, the **cross-job CoV** of those
+    means (the repetitive-job variability measure), and the pooled
+    within-job dispersion.  ``verdict`` labels each op ``stable``
+    (cross-job CoV < 0.25), ``variable`` (< 1.0) or ``highly-variable``.
+    """
+    mask = np.isin(df.col("op"), list(ops))
+    sub = df.filter(mask)
+    if len(sub) == 0:
+        raise DataFrameError("no matching operations in the campaign")
+    out: dict = {}
+    for op in ops:
+        op_mask = sub.col("op") == op
+        if not op_mask.any():
+            continue
+        op_df = sub.filter(op_mask)
+        per_job_means = {}
+        for (job_id,), idx in op_df.groupby("job_id").groups().items():
+            per_job_means[int(job_id)] = float(
+                op_df.col("seg_dur")[idx].astype(float).mean()
+            )
+        means = np.asarray(list(per_job_means.values()))
+        cross_cov = (
+            float(means.std(ddof=1) / means.mean())
+            if len(means) > 1 and means.mean() > 0
+            else 0.0
+        )
+        verdict = (
+            "stable"
+            if cross_cov < 0.25
+            else "variable" if cross_cov < 1.0 else "highly-variable"
+        )
+        out[op] = {
+            "per_job_mean": per_job_means,
+            "cross_job_cov": cross_cov,
+            "pooled": op_dispersion(op_df.col("seg_dur").astype(float)),
+            "verdict": verdict,
+        }
+    return out

@@ -1,0 +1,225 @@
+"""Workload-generator tests: each app produces its documented pattern."""
+
+import pytest
+
+from repro.apps import HaccIO, Hmmer, MpiIoTest, Sw4
+from repro.apps.hacc_io import BYTES_PER_PARTICLE, VARIABLES
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+
+
+@pytest.fixture
+def world():
+    return World(WorldConfig(seed=5, quiet=True, n_compute_nodes=8))
+
+
+def _run(world, app, fs="nfs", connector=True):
+    cfg = ConnectorConfig() if connector else None
+    return run_job(world, app, fs, connector_config=cfg)
+
+
+# ----------------------------------------------------------------- HACC-IO
+
+
+def test_hacc_writes_then_reads_back(world):
+    app = HaccIO(
+        n_nodes=2, ranks_per_node=2, particles_per_rank=10_000,
+        partial_io_model=False,
+    )
+    result = _run(world, app)
+    summary = result.darshan_log.summary()
+    posix = summary["POSIX"]
+    expected = 4 * 10_000 * BYTES_PER_PARTICLE
+    assert posix["POSIX_BYTES_WRITTEN"] == expected
+    assert posix["POSIX_BYTES_READ"] == expected
+    mpiio = summary["MPIIO"]
+    assert mpiio["MPIIO_INDEP_WRITES"] == 4 * len(VARIABLES)
+    assert mpiio["MPIIO_INDEP_READS"] == 4 * len(VARIABLES)
+    assert mpiio["MPIIO_COLL_WRITES"] == 0
+
+
+def test_hacc_bytes_per_particle_layout():
+    assert sum(width for _, width in VARIABLES) == BYTES_PER_PARTICLE
+
+
+def test_hacc_validate_off_skips_reads(world):
+    app = HaccIO(n_nodes=2, ranks_per_node=2, particles_per_rank=10_000, validate=False)
+    result = _run(world, app)
+    posix = result.darshan_log.summary()["POSIX"]
+    assert posix["POSIX_BYTES_READ"] == 0
+
+
+def test_hacc_partial_io_preserves_bytes(world):
+    """Splitting changes op counts, never byte totals."""
+    app = HaccIO(
+        n_nodes=2, ranks_per_node=2, particles_per_rank=10_000,
+        partial_io_model=True,
+    )
+    result = _run(world, app)
+    posix = result.darshan_log.summary()["POSIX"]
+    expected = 4 * 10_000 * BYTES_PER_PARTICLE
+    assert posix["POSIX_BYTES_WRITTEN"] == expected
+    assert posix["POSIX_BYTES_READ"] == expected
+
+
+def test_hacc_validation():
+    with pytest.raises(ValueError):
+        HaccIO(particles_per_rank=0)
+
+
+# --------------------------------------------------------------- MPI-IO-TEST
+
+
+def test_mpiio_test_independent_event_structure(world):
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=3, block_size=2**20, collective=False
+    )
+    result = _run(world, app)
+    mpiio = result.darshan_log.summary()["MPIIO"]
+    assert mpiio["MPIIO_INDEP_WRITES"] == 4 * 3
+    assert mpiio["MPIIO_INDEP_READS"] == 4 * 3
+    assert mpiio["MPIIO_BYTES_WRITTEN"] == 4 * 3 * 2**20
+
+
+def test_mpiio_test_collective_uses_aggregators(world):
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=3, block_size=2**20, collective=True
+    )
+    result = _run(world, app)
+    summary = result.darshan_log.summary()
+    assert summary["MPIIO"]["MPIIO_COLL_WRITES"] == 12
+    # Aggregators did the POSIX work: fewer, larger accesses.
+    assert summary["POSIX"]["POSIX_WRITES"] < 12
+
+
+def test_mpiio_collective_slower_than_independent_on_nfs():
+    """Table IIa's NFS column ordering (data sieving tax)."""
+    times = {}
+    for coll in (True, False):
+        world = World(WorldConfig(seed=5, quiet=True, n_compute_nodes=8))
+        app = MpiIoTest(
+            n_nodes=4, ranks_per_node=4, iterations=5, block_size=4 * 2**20,
+            collective=coll, sync_per_iteration=False,
+        )
+        times[coll] = _run(world, app, fs="nfs", connector=False).runtime_s
+    assert times[True] > times[False] * 1.2
+
+
+def test_mpiio_collective_faster_than_independent_on_lustre():
+    """Table IIa's Lustre column ordering (seek-free aggregation)."""
+    times = {}
+    for coll in (True, False):
+        world = World(WorldConfig(seed=5, quiet=True, n_compute_nodes=8))
+        app = MpiIoTest(
+            n_nodes=4, ranks_per_node=4, iterations=5, block_size=4 * 2**20,
+            collective=coll,
+        )
+        times[coll] = _run(world, app, fs="lustre", connector=False).runtime_s
+    assert times[True] < times[False]
+
+
+def test_mpiio_test_validation():
+    with pytest.raises(ValueError):
+        MpiIoTest(block_size=0)
+    with pytest.raises(ValueError):
+        MpiIoTest(iterations=0)
+
+
+# -------------------------------------------------------------------- HMMER
+
+
+def test_hmmer_event_counts_scale_with_families(world):
+    app = Hmmer(ranks_per_node=4, n_families=20)
+    result = _run(world, app)
+    # Master publishes ~events_per_family per family plus file lifecycle.
+    expected = 20 * app.events_per_family
+    assert result.messages_published == pytest.approx(expected, rel=0.05)
+
+
+def test_hmmer_events_concentrate_on_rank0(world):
+    app = Hmmer(ranks_per_node=4, n_families=10)
+    result = _run(world, app)
+    rows = world.query_job(result.job_id).rows
+    ranks = {r["rank"] for r in rows}
+    assert ranks == {0}  # only the master does I/O
+
+
+def test_hmmer_faster_on_lustre():
+    times = {}
+    for fs in ("nfs", "lustre"):
+        world = World(WorldConfig(seed=5, quiet=True, n_compute_nodes=8))
+        times[fs] = _run(
+            world, Hmmer(ranks_per_node=8, n_families=60), fs=fs, connector=False
+        ).runtime_s
+    assert times["lustre"] < times["nfs"] / 1.5
+
+
+def test_hmmer_validation():
+    with pytest.raises(ValueError):
+        Hmmer(n_families=0)
+    with pytest.raises(ValueError):
+        Hmmer(ranks_per_node=1)  # needs master + worker
+
+
+# ---------------------------------------------------------------------- sw4
+
+
+def test_sw4_writes_h5_snapshots(world):
+    app = Sw4(
+        n_nodes=2,
+        ranks_per_node=2,
+        grid=(16, 16, 16),
+        timesteps=4,
+        snapshot_every=2,
+        compute_per_step_s=0.01,
+    )
+    result = _run(world, app)
+    summary = result.darshan_log.summary()
+    assert summary["H5F"]["H5F_OPENS"] == 4 * 2  # 4 ranks x 2 snapshots
+    assert summary["H5D"]["H5D_WRITES"] == 8
+    # Each rank writes its slab of the volume per snapshot.
+    slab_bytes = (16 // 4) * 16 * 16 * 8
+    assert summary["H5D"]["H5D_BYTES_WRITTEN"] == 8 * slab_bytes
+
+
+def test_sw4_connector_messages_carry_hdf5_metadata(world):
+    app = Sw4(
+        n_nodes=2,
+        ranks_per_node=2,
+        grid=(16, 16, 16),
+        timesteps=2,
+        snapshot_every=2,
+        compute_per_step_s=0.01,
+    )
+    result = _run(world, app)
+    rows = world.query_job(result.job_id).rows
+    h5d_writes = [r for r in rows if r["module"] == "H5D" and r["op"] == "write"]
+    assert h5d_writes
+    assert all(r["seg_data_set"] == "u" for r in h5d_writes)
+    assert all(r["seg_ndims"] == 3 for r in h5d_writes)
+    assert all(r["seg_npoints"] > 0 for r in h5d_writes)
+
+
+def test_sw4_validation():
+    with pytest.raises(ValueError):
+        Sw4(grid=(0, 4, 4))
+    with pytest.raises(ValueError):
+        Sw4(timesteps=0)
+    with pytest.raises(ValueError):
+        Sw4(grid=(4, 4))
+
+
+def test_sw4_grid_must_divide_by_ranks(world):
+    app = Sw4(n_nodes=2, ranks_per_node=3, grid=(16, 8, 8), timesteps=2)
+    with pytest.raises(ValueError, match="divide"):
+        _run(world, app)
+
+
+# ------------------------------------------------------------------ describe
+
+
+def test_describe_run_sheet():
+    app = MpiIoTest(n_nodes=4, ranks_per_node=8)
+    d = app.describe()
+    assert d["n_ranks"] == 32
+    assert d["name"] == "mpi-io-test"

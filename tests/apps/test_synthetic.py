@@ -1,0 +1,94 @@
+"""Tests for the synthetic phase-structured workload generator."""
+
+import pytest
+
+from repro.apps import Phase, SyntheticWorkload
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+
+
+@pytest.fixture
+def world():
+    return World(WorldConfig(seed=8, quiet=True, n_compute_nodes=4))
+
+
+def _run(world, phases, **kw):
+    app = SyntheticWorkload(phases, n_nodes=2, ranks_per_node=2)
+    return run_job(world, app, "nfs", connector_config=ConnectorConfig(), **kw)
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        Phase(kind="dance")
+    with pytest.raises(ValueError):
+        Phase(kind="write", amount=0)
+    with pytest.raises(ValueError):
+        Phase(kind="write", op_bytes=0)
+    with pytest.raises(ValueError):
+        Phase(kind="write", file_mode="weird")
+    with pytest.raises(ValueError):
+        Phase(kind="write", collective=True, file_mode="per_rank")
+    with pytest.raises(ValueError):
+        SyntheticWorkload([])
+
+
+def test_compute_phase_costs_time(world):
+    result = _run(world, [Phase(kind="compute", amount=5.0)])
+    assert result.runtime_s >= 5.0
+    assert result.messages_published == 0  # no I/O, no events
+
+
+def test_shared_write_phase_volume(world):
+    result = _run(
+        world,
+        [Phase(kind="write", amount=3, op_bytes=2**20, file_mode="shared")],
+    )
+    posix = result.darshan_log.summary()["POSIX"]
+    assert posix["POSIX_BYTES_WRITTEN"] == 4 * 3 * 2**20
+
+
+def test_per_rank_files_created(world):
+    result = _run(
+        world,
+        [Phase(kind="write", amount=2, op_bytes=1000, file_mode="per_rank", name="ckpt")],
+    )
+    fs = world.filesystem("nfs")
+    paths = [p for p in fs.files if "ckpt" in p]
+    assert len(paths) == 4  # one per rank
+
+
+def test_collective_phase_uses_aggregators(world):
+    result = _run(
+        world,
+        [Phase(kind="write", amount=2, op_bytes=2**20, collective=True)],
+    )
+    summary = result.darshan_log.summary()
+    assert summary["MPIIO"]["MPIIO_COLL_WRITES"] == 8
+    assert summary["POSIX"]["POSIX_WRITES"] < 8
+
+
+def test_read_phase_self_seeds(world):
+    result = _run(
+        world,
+        [Phase(kind="read", amount=3, op_bytes=1000, file_mode="per_rank")],
+    )
+    posix = result.darshan_log.summary()["POSIX"]
+    assert posix["POSIX_BYTES_READ"] == 4 * 3 * 1000
+
+
+def test_multi_phase_checkpoint_pattern(world):
+    """compute -> collective checkpoint -> read-back, like a mini app."""
+    phases = [
+        Phase(kind="compute", amount=1.0),
+        Phase(kind="write", amount=4, op_bytes=2**20, collective=True, name="ck"),
+        Phase(kind="compute", amount=1.0),
+        Phase(kind="read", amount=4, op_bytes=2**20, collective=True, name="ck2"),
+    ]
+    result = _run(world, phases)
+    summary = result.darshan_log.summary()
+    assert summary["MPIIO"]["MPIIO_COLL_WRITES"] == 16
+    assert summary["MPIIO"]["MPIIO_COLL_READS"] == 16
+    assert result.runtime_s > 2.0
+    # Events are queryable like any app's.
+    rows = world.query_job(result.job_id).rows
+    assert rows

@@ -1,0 +1,246 @@
+"""Tests for nodes, network topology and the job scheduler."""
+
+import pytest
+
+from repro.cluster import (
+    AllocationError,
+    Cluster,
+    ClusterSpec,
+    JobScheduler,
+    Network,
+    Node,
+    NodeSpec,
+    VOLTRINO,
+)
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, RngRegistry(1), ClusterSpec(n_compute_nodes=4))
+
+
+# ----------------------------------------------------------------- Node
+
+
+def test_node_cpu_capacity_from_spec(env):
+    node = Node(env, "n1", NodeSpec(cores=16, threads_per_core=2))
+    assert node.cpus.capacity == 32
+
+
+def test_node_requires_name(env):
+    with pytest.raises(ValueError):
+        Node(env, "")
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0)
+    with pytest.raises(ValueError):
+        NodeSpec(mem_bytes=0)
+
+
+def test_daemon_registration(env):
+    node = Node(env, "n1")
+    sentinel = object()
+    node.register_daemon("ldmsd", sentinel)
+    assert node.daemon("ldmsd") is sentinel
+    with pytest.raises(ValueError):
+        node.register_daemon("ldmsd", object())
+    with pytest.raises(KeyError):
+        node.daemon("missing")
+
+
+def test_node_memory_budget(env):
+    node = Node(env, "n1", NodeSpec(mem_bytes=1000))
+
+    def proc():
+        yield node.memory.put(400)
+
+    env.process(proc())
+    env.run()
+    assert node.mem_in_use == 400
+
+
+# ---------------------------------------------------------------- Network
+
+
+def test_network_latency_single_hop(env):
+    net = Network(env)
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency_s=1e-3, bandwidth_bps=1e6)
+    assert net.one_way_latency("a", "b") == pytest.approx(1e-3)
+
+
+def test_network_transfer_time(env):
+    net = Network(env)
+    for n in "ab":
+        net.add_node(n)
+    net.add_link("a", "b", latency_s=0.001, bandwidth_bps=1000.0)
+
+    def proc():
+        result = yield from net.transfer("a", "b", 500)
+        return result
+
+    result = env.run(env.process(proc()))
+    # 1 ms latency + 500 B / 1000 B/s = 0.501 s
+    assert result.duration == pytest.approx(0.501)
+
+
+def test_network_transfer_same_node_free(env):
+    net = Network(env)
+    net.add_node("a")
+
+    def proc():
+        result = yield from net.transfer("a", "a", 10**9)
+        return result
+
+    assert env.run(env.process(proc())).duration == 0.0
+
+
+def test_network_multihop_latency_adds(env):
+    net = Network(env)
+    for n in "abc":
+        net.add_node(n)
+    net.add_link("a", "b", latency_s=0.5)
+    net.add_link("b", "c", latency_s=0.25)
+    assert net.one_way_latency("a", "c") == pytest.approx(0.75)
+    assert net.path("a", "c") == ["a", "b", "c"]
+
+
+def test_network_no_route_raises(env):
+    net = Network(env)
+    net.add_node("a")
+    net.add_node("island")
+    with pytest.raises(ValueError):
+        net.path("a", "island")
+    with pytest.raises(ValueError):
+        net.path("a", "ghost")
+
+
+def test_link_contention_serializes(env):
+    net = Network(env)
+    for n in "ab":
+        net.add_node(n)
+    net.add_link("a", "b", latency_s=0.0, bandwidth_bps=100.0, channels=1)
+    ends = []
+
+    def sender():
+        yield from net.transfer("a", "b", 100)  # 1 s serialization
+        ends.append(env.now)
+
+    env.process(sender())
+    env.process(sender())
+    env.run()
+    assert ends == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_negative_transfer_rejected(env):
+    net = Network(env)
+    net.add_node("a")
+
+    def proc():
+        yield from net.transfer("a", "a", -1)
+
+    with pytest.raises(ValueError):
+        env.run(env.process(proc()))
+
+
+def test_link_validation(env):
+    from repro.cluster.network import Link
+
+    with pytest.raises(ValueError):
+        Link(env, latency_s=-1, bandwidth_bps=1)
+    with pytest.raises(ValueError):
+        Link(env, latency_s=0, bandwidth_bps=0)
+
+
+# ---------------------------------------------------------------- Cluster
+
+
+def test_cluster_builds_paper_topology(env):
+    cluster = Cluster(env, RngRegistry(0), VOLTRINO)
+    assert len(cluster.compute_nodes) == 24
+    assert cluster.compute_nodes[0].name == "nid00001"
+    assert cluster.node("head") is cluster.head_node
+    assert cluster.node("shirley") is cluster.analysis_node
+    # Compute -> head -> shirley is the aggregation route.
+    assert cluster.network.path("nid00001", "shirley") == [
+        "nid00001",
+        "head",
+        "shirley",
+    ]
+
+
+def test_cluster_unknown_node_raises(cluster):
+    with pytest.raises(KeyError):
+        cluster.node("nid99999")
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(n_compute_nodes=0)
+
+
+def test_filesystem_attachment(cluster):
+    fs = object()
+    cluster.attach_filesystem("nfs", fs)
+    assert cluster.filesystem("nfs") is fs
+    assert "nfs" in cluster.filesystems
+    with pytest.raises(ValueError):
+        cluster.attach_filesystem("nfs", object())
+    with pytest.raises(KeyError):
+        cluster.filesystem("lustre")
+
+
+# ---------------------------------------------------------------- Scheduler
+
+
+def test_scheduler_sequential_job_ids(cluster):
+    s = cluster.scheduler
+    j1 = s.submit("app-a", 2)
+    j2 = s.submit("app-b", 1)
+    assert j2.job_id == j1.job_id + 1
+    assert s.free_nodes == 1
+
+
+def test_scheduler_exclusive_allocation(cluster):
+    s = cluster.scheduler
+    j1 = s.submit("big", 4)
+    with pytest.raises(AllocationError):
+        s.submit("more", 1)
+    s.start(j1, 10.0)
+    s.complete(j1, 110.0)
+    assert s.free_nodes == 4
+    assert j1.runtime == 100.0
+    assert s.history == [j1]
+
+
+def test_scheduler_validation(cluster):
+    s = cluster.scheduler
+    with pytest.raises(ValueError):
+        s.submit("zero", 0)
+    job = s.submit("ok", 1)
+    with pytest.raises(RuntimeError):
+        s.complete(job, 5.0)  # never started
+    foreign = type(job)(job_id=-1, name="x", nodes=[], uid=0)
+    with pytest.raises(RuntimeError):
+        s.start(foreign, 0.0)
+    with pytest.raises(RuntimeError):
+        job.runtime  # not finished
+
+
+def test_job_metadata_and_flags(cluster):
+    job = cluster.scheduler.submit("meta", 2, uid=12345)
+    assert job.uid == 12345
+    assert job.n_nodes == 2
+    assert not job.finished
+    cluster.scheduler.start(job, 0.0)
+    cluster.scheduler.complete(job, 1.0)
+    assert job.finished

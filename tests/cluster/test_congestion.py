@@ -1,0 +1,94 @@
+"""Tests for the network-congestion variability source."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Network
+from repro.fs import LoadProcess
+from repro.sim import Environment
+
+
+def _quiet_load(base=1.0):
+    return LoadProcess(
+        np.random.default_rng(0),
+        base=base,
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+
+
+def _transfer_time(env, net, nbytes):
+    def proc():
+        result = yield from net.transfer("a", "b", nbytes)
+        return result.duration
+
+    return env.run(env.process(proc()))
+
+
+def _make_net(env):
+    net = Network(env)
+    for n in "ab":
+        net.add_node(n)
+    net.add_link("a", "b", latency_s=0.001, bandwidth_bps=1e6)
+    return net
+
+
+def test_no_congestion_by_default():
+    env = Environment()
+    net = _make_net(env)
+    assert net.congestion_factor() == 1.0
+
+
+def test_congestion_scales_transfer_time():
+    env1 = Environment()
+    net1 = _make_net(env1)
+    base = _transfer_time(env1, net1, 10**6)
+
+    env2 = Environment()
+    net2 = _make_net(env2)
+    net2.set_congestion(_quiet_load(base=3.0))
+    congested = _transfer_time(env2, net2, 10**6)
+    assert congested == pytest.approx(3 * base, rel=0.01)
+
+
+def test_congestion_source_validated():
+    env = Environment()
+    net = _make_net(env)
+    with pytest.raises(TypeError):
+        net.set_congestion(object())
+
+
+def test_congestion_slows_stream_delivery_not_application():
+    """Congestion delays monitoring delivery; the app-side publish
+    cost is unchanged (push-based decoupling)."""
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.ldms import Ldmsd
+    from repro.sim import RngRegistry
+
+    def build(congested):
+        env = Environment()
+        cluster = Cluster(env, RngRegistry(0), ClusterSpec(n_compute_nodes=2))
+        if congested:
+            cluster.network.set_congestion(_quiet_load(base=50.0))
+        src = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+        dst = Ldmsd(env, cluster.head_node, cluster.network, name="agg")
+        src.add_stream_forward("t", dst)
+        arrivals = []
+        dst.streams.subscribe("t", lambda m: arrivals.append(env.now - m.publish_time))
+        publish_cost = []
+
+        def app():
+            t0 = env.now
+            yield from src.publish("t", {"x": "y" * 1000})
+            publish_cost.append(env.now - t0)
+
+        env.process(app())
+        env.run()
+        return publish_cost[0], arrivals[0]
+
+    cost_free, latency_free = build(congested=False)
+    cost_busy, latency_busy = build(congested=True)
+    assert cost_busy == pytest.approx(cost_free)  # app unaffected
+    assert latency_busy > latency_free * 5  # delivery delayed

@@ -1,0 +1,81 @@
+"""Fixtures assembling the full pipeline on a small cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import ConnectorConfig, DarshanLdmsConnector
+from repro.darshan import DarshanRuntime
+from repro.dsos import DsosClient, DsosCluster, DsosStreamStore
+from repro.fs import LoadProcess, NFSFileSystem, NFSParams
+from repro.fs.posix import IOContext, PosixClient
+from repro.ldms import AggregationFabric
+from repro.sim import Environment, RngRegistry
+
+TAG = "darshanConnector"
+
+
+@pytest.fixture
+def env():
+    return Environment(initial_time=1_650_000_000.0)
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, RngRegistry(11), ClusterSpec(n_compute_nodes=2))
+
+
+@pytest.fixture
+def nfs(env, cluster):
+    reg = cluster.rng
+    quiet = LoadProcess(
+        reg.stream("load"),
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+    fs = NFSFileSystem(env, quiet, reg.stream("nfs"), NFSParams(cv=0.0))
+    cluster.attach_filesystem("nfs", fs)
+    return fs
+
+
+@pytest.fixture
+def fabric(cluster):
+    return AggregationFabric(cluster, TAG)
+
+
+@pytest.fixture
+def dsos_client():
+    return DsosClient(DsosCluster("shirley", n_daemons=2))
+
+
+@pytest.fixture
+def dsos_store(fabric, dsos_client):
+    return DsosStreamStore(fabric.l2, TAG, dsos_client)
+
+
+@pytest.fixture
+def runtime(env):
+    return DarshanRuntime(
+        env, job_id=259903, uid=99066, exe="/apps/test-app", nprocs=1
+    )
+
+
+@pytest.fixture
+def posix(env, nfs, cluster, runtime):
+    ctx = IOContext(
+        job_id=259903,
+        uid=99066,
+        rank=0,
+        node_name=cluster.compute_nodes[0].name,
+        exe="/apps/test-app",
+        app="test-app",
+    )
+    client = PosixClient(env, nfs, ctx)
+    runtime.instrument(client)
+    return client
+
+
+@pytest.fixture
+def connector(runtime, fabric):
+    return DarshanLdmsConnector(runtime, fabric.daemon_for, ConnectorConfig())

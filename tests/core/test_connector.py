@@ -1,0 +1,198 @@
+"""Connector tests: sampling, cost charging, end-to-end pipeline."""
+
+import pytest
+
+from repro.core import ConnectorConfig, DarshanLdmsConnector, EventSampler
+from repro.core.json_format import FormatCostModel
+from repro.darshan import DarshanConfig, DarshanRuntime
+from tests.core.conftest import TAG
+
+
+def _io_script(posix, n_writes=3):
+    def proc():
+        h = yield from posix.open("/scratch/out.dat", "w")
+        for _ in range(n_writes):
+            yield from posix.write(h, 2**20)
+        yield from posix.read(h, 2**20, offset=0)
+        yield from posix.close(h)
+
+    return proc()
+
+
+# --------------------------------------------------------------- sampler
+
+
+def test_sampler_n1_admits_everything():
+    s = EventSampler(1)
+
+    class E:
+        op = "write"
+        module = "POSIX"
+
+        class context:
+            rank = 0
+
+    for _ in range(10):
+        assert s.admit(E())
+    assert s.sampling_fraction == 1.0
+
+
+def test_sampler_every_n(posix, runtime, env, fabric):
+    config = ConnectorConfig(sample_every=3)
+    connector = DarshanLdmsConnector(runtime, fabric.daemon_for, config)
+    env.process(_io_script(posix, n_writes=9))
+    env.run()
+    # open + close always published; 10 data ops (9w+1r) sampled 1-in-3.
+    # Data events: k % 3 == 1 -> events 1,4,7,10 = 4 admitted.
+    assert connector.stats.messages_published == 2 + 4
+    assert connector.stats.messages_suppressed == 6
+    assert connector.sampler.sampling_fraction < 1.0
+
+
+def test_sampler_validation():
+    with pytest.raises(ValueError):
+        EventSampler(0)
+    with pytest.raises(ValueError):
+        ConnectorConfig(sample_every=0)
+
+
+# -------------------------------------------------------------- connector
+
+
+def test_connector_requires_modified_darshan(env, fabric):
+    vanilla = DarshanRuntime(
+        env,
+        job_id=1,
+        uid=1,
+        exe="/x",
+        nprocs=1,
+        config=DarshanConfig(absolute_timestamps=False),
+    )
+    with pytest.raises(ValueError, match="absolute-timestamp"):
+        DarshanLdmsConnector(vanilla, fabric.daemon_for)
+
+
+def test_connector_publishes_all_events(env, posix, runtime, fabric, connector):
+    env.process(_io_script(posix))
+    env.run()
+    assert connector.stats.events_seen == 6  # open + 3w + 1r + close
+    assert connector.stats.messages_published == 6
+    assert connector.stats.bytes_published > 0
+    assert connector.stats.numeric_conversions == 6 * 17
+
+
+def test_connector_charges_format_cost_to_app(env, posix, runtime, cluster, fabric, nfs):
+    """The same I/O takes longer with the connector than without."""
+    # Run once WITHOUT connector.
+    env.process(_io_script(posix, n_writes=5))
+    env.run()
+    t_plain = env.now - 1_650_000_000.0
+
+    # Fresh world WITH connector, expensive formatting to be visible.
+    from repro.sim import Environment
+    from tests.core import conftest
+
+    env2 = Environment(initial_time=1_650_000_000.0)
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.fs import LoadProcess, NFSFileSystem, NFSParams
+    from repro.fs.posix import IOContext, PosixClient
+    from repro.ldms import AggregationFabric
+    from repro.sim import RngRegistry
+
+    cluster2 = Cluster(env2, RngRegistry(11), ClusterSpec(n_compute_nodes=2))
+    reg = cluster2.rng
+    quiet = LoadProcess(
+        reg.stream("load"), diurnal_amplitude=0, noise_sigma=0, n_modes=0, incident_rate=0
+    )
+    fs2 = NFSFileSystem(env2, quiet, reg.stream("nfs"), NFSParams(cv=0.0))
+    runtime2 = DarshanRuntime(env2, job_id=1, uid=1, exe="/x", nprocs=1)
+    ctx = IOContext(1, 1, 0, cluster2.compute_nodes[0].name, "/x", "t")
+    posix2 = PosixClient(env2, fs2, ctx)
+    runtime2.instrument(posix2)
+    fabric2 = AggregationFabric(cluster2, TAG)
+    config = ConnectorConfig(
+        cost_model=FormatCostModel(per_numeric_field_s=5e-3)  # exaggerated
+    )
+    connector2 = DarshanLdmsConnector(runtime2, fabric2.daemon_for, config)
+    env2.process(_io_script(posix2, n_writes=5))
+    env2.run()
+    t_with = env2.now - 1_650_000_000.0
+    assert t_with > t_plain
+    assert connector2.stats.format_seconds > 0.3  # 7 events * 17 * 5 ms
+
+
+def test_connector_none_mode_near_zero_overhead(env, posix, runtime, fabric):
+    config = ConnectorConfig(format_mode="none")
+    connector = DarshanLdmsConnector(runtime, fabric.daemon_for, config)
+    env.process(_io_script(posix))
+    env.run()
+    assert connector.stats.messages_published == 6
+    assert connector.stats.numeric_conversions == 0
+    assert connector.stats.format_seconds < 1e-4
+
+
+def test_connector_config_validation():
+    with pytest.raises(ValueError):
+        ConnectorConfig(format_mode="yaml")
+
+
+def test_message_rate(connector):
+    connector.stats.messages_published = 100
+    assert connector.message_rate(50.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        connector.message_rate(0)
+
+
+# ----------------------------------------------------------- end-to-end
+
+
+def test_end_to_end_pipeline_app_to_dsos(
+    env, posix, runtime, fabric, connector, dsos_store, dsos_client
+):
+    """App I/O -> Darshan -> connector -> streams -> aggregation -> DSOS."""
+    env.process(_io_script(posix, n_writes=4))
+    env.run()
+
+    assert connector.stats.messages_published == 7
+    totals = fabric.totals()
+    assert totals.received_at_l2 == 7
+    assert dsos_store.objects_stored == 7
+    assert dsos_client.count("darshan_data") == 7
+
+    # Query it back the way the paper's analyses do: one job, one rank,
+    # ordered by time.
+    res = dsos_client.query("darshan_data", "job_rank_time", prefix=(259903, 0))
+    assert len(res) == 7
+    stamps = [r["timestamp"] for r in res.rows]
+    assert stamps == sorted(stamps)
+    assert stamps[0] >= 1_650_000_000.0  # absolute epoch timestamps
+    ops = [r["op"] for r in res.rows]
+    assert ops[0] == "open"
+    assert ops[-1] == "close"
+    assert ops.count("write") == 4
+    # MET/MOD typing survived the pipeline.
+    types = {r["op"]: r["type"] for r in res.rows}
+    assert types["open"] == "MET"
+    assert types["write"] == "MOD"
+    # Byte counts survive end to end.
+    total_written = sum(r["seg_len"] for r in res.rows if r["op"] == "write")
+    assert total_written == 4 * 2**20
+
+
+def test_end_to_end_latency_bounded(env, posix, runtime, fabric, connector, dsos_store):
+    """Events land in the database milliseconds after they happen —
+    the run-time property the whole paper is about."""
+    arrival_gaps = []
+    original = dsos_store.on_message
+
+    def timing_wrapper(message):
+        arrival_gaps.append(env.now - message.publish_time)
+        original(message)
+
+    fabric.l2.streams.unsubscribe(TAG, original)
+    fabric.l2.streams.subscribe(TAG, timing_wrapper)
+
+    env.process(_io_script(posix))
+    env.run()
+    assert arrival_gaps, "no messages arrived"
+    assert max(arrival_gaps) < 0.1  # well under run time scale

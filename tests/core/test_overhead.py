@@ -1,0 +1,68 @@
+"""Tests for the Table II overhead arithmetic."""
+
+import pytest
+
+from repro.core import OverheadResult, mean_confidence_interval, percent_overhead
+
+
+def test_percent_overhead_positive():
+    assert percent_overhead(100.0, 110.0) == pytest.approx(10.0)
+
+
+def test_percent_overhead_negative_like_paper():
+    # Table IIa NFS collective: 1376.67 -> 1355.35 = -1.55 %.
+    assert percent_overhead(1376.67, 1355.35) == pytest.approx(-1.55, abs=0.01)
+
+
+def test_percent_overhead_validation():
+    with pytest.raises(ValueError):
+        percent_overhead(0.0, 10.0)
+
+
+def test_mean_ci_basics():
+    mean, half = mean_confidence_interval([10.0, 12.0, 11.0, 9.0, 13.0])
+    assert mean == pytest.approx(11.0)
+    assert half > 0
+
+
+def test_mean_ci_single_sample():
+    mean, half = mean_confidence_interval([5.0])
+    assert (mean, half) == (5.0, 0.0)
+
+
+def test_mean_ci_constant_samples():
+    mean, half = mean_confidence_interval([3.0, 3.0, 3.0])
+    assert (mean, half) == (3.0, 0.0)
+
+
+def test_mean_ci_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
+
+
+def test_mean_ci_width_shrinks_with_samples():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    small = rng.normal(10, 1, size=5)
+    big = rng.normal(10, 1, size=100)
+    _, half_small = mean_confidence_interval(small)
+    _, half_big = mean_confidence_interval(big)
+    assert half_big < half_small
+
+
+def test_overhead_result_row():
+    r = OverheadResult(
+        label="collective",
+        filesystem="nfs",
+        darshan_runtimes=(100.0, 102.0, 98.0, 101.0, 99.0),
+        connector_runtimes=(110.0, 111.0, 109.0, 112.0, 108.0),
+        avg_messages=50390,
+        message_rate=37.0,
+    )
+    assert r.darshan_mean == pytest.approx(100.0)
+    assert r.connector_mean == pytest.approx(110.0)
+    assert r.overhead_percent == pytest.approx(10.0)
+    row = r.as_row()
+    assert row["avg_messages"] == 50390
+    assert row["overhead_percent"] == pytest.approx(10.0)

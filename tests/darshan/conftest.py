@@ -1,0 +1,81 @@
+"""Fixtures: a POSIX client instrumented by a Darshan runtime."""
+
+import pytest
+
+from repro.darshan import DarshanConfig, DarshanRuntime
+from repro.fs import LoadProcess, LustreFileSystem, LustreParams, NFSFileSystem, NFSParams
+from repro.fs.posix import IOContext, PosixClient, StdioClient
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env():
+    return Environment(initial_time=1_650_000_000.0)  # epoch-like clock
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(99)
+
+
+@pytest.fixture
+def quiet_load(rng):
+    return LoadProcess(
+        rng.stream("load"),
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+
+
+@pytest.fixture
+def nfs(env, rng, quiet_load):
+    return NFSFileSystem(env, quiet_load, rng.stream("nfs"), NFSParams(cv=0.0))
+
+
+@pytest.fixture
+def lustre(env, rng, quiet_load):
+    return LustreFileSystem(env, quiet_load, rng.stream("lustre"), LustreParams(cv=0.0))
+
+
+@pytest.fixture
+def context():
+    return IOContext(
+        job_id=259903,
+        uid=99066,
+        rank=3,
+        node_name="nid00046",
+        exe="/apps/mpi-io-test",
+        app="mpi-io-test",
+    )
+
+
+@pytest.fixture
+def runtime(env):
+    return DarshanRuntime(
+        env, job_id=259903, uid=99066, exe="/apps/mpi-io-test", nprocs=4
+    )
+
+
+@pytest.fixture
+def posix(env, nfs, context, runtime):
+    client = PosixClient(env, nfs, context)
+    runtime.instrument(client)
+    return client
+
+
+class CollectingListener:
+    """Run-time event listener that captures every IOEvent."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_io_event(self, event):
+        self.events.append(event)
+        return
+        yield  # pragma: no cover
+
+
+def run(env, gen):
+    return env.run(env.process(gen))

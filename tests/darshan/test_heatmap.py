@@ -1,0 +1,142 @@
+"""Tests for the HEATMAP module."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.heatmap import Heatmap
+
+
+def test_record_single_bin():
+    hm = Heatmap(n_bins=8, initial_bin_width_s=1.0)
+    hm.record(0, "write", 100, 0.2, 0.8)
+    assert hm.grid(0, "write")[0] == pytest.approx(100)
+    assert hm.grid(0, "write")[1:].sum() == 0
+
+
+def test_record_spans_bins_proportionally():
+    hm = Heatmap(n_bins=8, initial_bin_width_s=1.0)
+    hm.record(0, "read", 100, 0.5, 2.5)  # covers half of bin0, bin1, half of bin2
+    grid = hm.grid(0, "read")
+    assert grid[0] == pytest.approx(25)
+    assert grid[1] == pytest.approx(50)
+    assert grid[2] == pytest.approx(25)
+
+
+def test_bin_width_doubles_to_fit():
+    hm = Heatmap(n_bins=4, initial_bin_width_s=1.0)
+    hm.record(0, "write", 10, 0.0, 1.0)
+    assert hm.bin_width_s == 1.0
+    hm.record(0, "write", 20, 7.5, 7.9)  # beyond 4 bins -> double
+    assert hm.bin_width_s == 2.0
+    grid = hm.grid(0, "write")
+    assert grid[0] == pytest.approx(10)  # folded into wider bin 0
+    assert grid[3] == pytest.approx(20)
+    assert hm.conservation_check()
+
+
+def test_repeated_doubling():
+    hm = Heatmap(n_bins=4, initial_bin_width_s=0.5)
+    hm.record(0, "write", 5, 0.0, 0.1)
+    hm.record(0, "write", 5, 100.0, 100.1)
+    assert hm.bin_width_s >= 100.0 / 4
+    assert hm.conservation_check()
+
+
+def test_per_rank_per_op_separation():
+    hm = Heatmap(n_bins=8, initial_bin_width_s=1.0)
+    hm.record(0, "write", 10, 0.0, 0.5)
+    hm.record(1, "write", 20, 0.0, 0.5)
+    hm.record(0, "read", 30, 0.0, 0.5)
+    assert hm.ranks() == [0, 1]
+    assert hm.grid(0, "write").sum() == pytest.approx(10)
+    assert hm.grid(1, "write").sum() == pytest.approx(20)
+    assert hm.grid(0, "read").sum() == pytest.approx(30)
+    assert hm.grid(2, "write").sum() == 0  # silent rank
+
+
+def test_matrix_shape():
+    hm = Heatmap(n_bins=16, initial_bin_width_s=1.0)
+    for r in range(3):
+        hm.record(r, "write", 10, 0.0, 1.0)
+    m = hm.matrix("write")
+    assert m.shape == (3, 16)
+    assert hm.matrix("read").shape == (3, 16)
+    empty = Heatmap(n_bins=16)
+    assert empty.matrix("write").shape == (0, 16)
+
+
+def test_ignores_non_data_ops_and_zero_bytes():
+    hm = Heatmap()
+    hm.record(0, "open", 100, 0.0, 1.0)
+    hm.record(0, "write", 0, 0.0, 1.0)
+    assert hm.ranks() == []
+
+
+def test_bad_interval_rejected():
+    hm = Heatmap()
+    with pytest.raises(ValueError):
+        hm.record(0, "write", 10, -1.0, 0.0)
+    with pytest.raises(ValueError):
+        hm.record(0, "write", 10, 2.0, 1.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Heatmap(n_bins=3)  # odd
+    with pytest.raises(ValueError):
+        Heatmap(n_bins=0)
+    with pytest.raises(ValueError):
+        Heatmap(initial_bin_width_s=0)
+
+
+def test_payload_roundtrip():
+    hm = Heatmap(n_bins=8, initial_bin_width_s=1.0)
+    hm.record(0, "write", 100, 0.0, 3.0)
+    hm.record(1, "read", 50, 2.0, 4.0)
+    back = Heatmap.from_payload(hm.to_payload())
+    assert back.bin_width_s == hm.bin_width_s
+    np.testing.assert_allclose(back.grid(0, "write"), hm.grid(0, "write"))
+    np.testing.assert_allclose(back.grid(1, "read"), hm.grid(1, "read"))
+
+
+def test_heatmap_populated_by_runtime(tmp_path):
+    """Integration: app run -> heatmap in the log -> survives disk."""
+    from repro.apps import MpiIoTest
+    from repro.darshan import parse_log, write_log
+    from repro.experiments import World, WorldConfig, run_job
+
+    world = World(WorldConfig(seed=2, quiet=True, n_compute_nodes=4))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=3, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs")
+    hm = result.darshan_log.heatmap
+    assert hm is not None
+    assert hm.ranks() == [0, 1, 2, 3]
+    # Bytes written by the app appear in the write heatmap.
+    assert hm.matrix("write").sum() == pytest.approx(4 * 3 * 2**20)
+    assert hm.conservation_check()
+
+    path = tmp_path / "x.darshan"
+    write_log(result.darshan_log, path)
+    loaded = parse_log(path)
+    np.testing.assert_allclose(
+        loaded.heatmap.matrix("write"), hm.matrix("write")
+    )
+
+
+def test_heatmap_disabled(tmp_path):
+    from repro.apps import MpiIoTest
+    from repro.darshan import DarshanConfig
+    from repro.experiments import World, WorldConfig, run_job
+
+    world = World(WorldConfig(seed=2, quiet=True, n_compute_nodes=4))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=1, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(
+        world, app, "nfs", darshan_config=DarshanConfig(enable_heatmap=False)
+    )
+    assert result.darshan_log.heatmap is None

@@ -1,0 +1,74 @@
+"""Tests for the Darshan log writer/parser round trip."""
+
+import pytest
+
+from repro.darshan import parse_log, write_log
+from repro.darshan.logfile import LogFormatError
+from tests.darshan.conftest import run
+
+
+@pytest.fixture
+def finished_log(env, posix, runtime):
+    def proc():
+        h = yield from posix.open("/data/a.dat", "w")
+        yield from posix.write(h, 1000)
+        yield from posix.read(h, 500, offset=0)
+        yield from posix.close(h)
+        h = yield from posix.open("/data/b.dat", "w")
+        yield from posix.write(h, 42)
+        yield from posix.close(h)
+
+    run(env, proc())
+    return runtime.finalize()
+
+
+def test_finalize_populates_header(finished_log):
+    assert finished_log.job_id == 259903
+    assert finished_log.uid == 99066
+    assert finished_log.nprocs == 4
+    assert finished_log.runtime_seconds > 0
+
+
+def test_summary_aggregates(finished_log):
+    summary = finished_log.summary()
+    posix = summary["POSIX"]
+    assert posix["POSIX_OPENS"] == 2
+    assert posix["POSIX_BYTES_WRITTEN"] == 1042
+    assert posix["POSIX_BYTES_READ"] == 500
+    assert posix["POSIX_F_WRITE_TIME"] > 0
+
+
+def test_modules_and_paths(finished_log):
+    assert finished_log.modules() == ["POSIX"]
+    recs = finished_log.records_for("POSIX")
+    paths = sorted(finished_log.path_for(r.record_id) for r in recs)
+    assert paths == ["/data/a.dat", "/data/b.dat"]
+    with pytest.raises(KeyError):
+        finished_log.path_for(0)
+
+
+def test_round_trip_preserves_everything(tmp_path, finished_log):
+    path = tmp_path / "job.darshan"
+    write_log(finished_log, path)
+    loaded = parse_log(path)
+    assert loaded.job_id == finished_log.job_id
+    assert loaded.summary() == finished_log.summary()
+    assert loaded.names.keys() == finished_log.names.keys()
+    assert loaded.dxt_record_count() == finished_log.dxt_record_count()
+    # DXT segments survive with full fidelity.
+    key = next(iter(finished_log.dxt_segments))
+    assert loaded.dxt_segments[key] == finished_log.dxt_segments[key]
+
+
+def test_parse_rejects_garbage(tmp_path):
+    bad = tmp_path / "not_a_log"
+    bad.write_bytes(b"garbage content")
+    with pytest.raises(LogFormatError):
+        parse_log(bad)
+
+
+def test_parse_rejects_corrupt_payload(tmp_path):
+    bad = tmp_path / "corrupt"
+    bad.write_bytes(b"DSHNRPR1" + b"\x00\x01\x02")
+    with pytest.raises(LogFormatError):
+        parse_log(bad)

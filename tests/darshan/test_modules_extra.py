@@ -1,0 +1,175 @@
+"""Tests for MPIIO/H5/LUSTRE module instrumentation and DXT bounds."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.darshan import DarshanRuntime, DxtTracer
+from repro.fs.posix import IOContext, PosixClient
+from repro.hdf5 import H5File
+from repro.mpi import Communicator, MPIIOFile, RankContext
+from repro.sim import RngRegistry
+from tests.darshan.conftest import CollectingListener, run
+
+
+def _make_comm(env, fs, runtime, n_ranks=4):
+    cluster = Cluster(env, RngRegistry(0), ClusterSpec(n_compute_nodes=2))
+    ranks = []
+    for r in range(n_ranks):
+        node = cluster.compute_nodes[r % 2]
+        ctx = IOContext(
+            job_id=1, uid=1, rank=r, node_name=node.name, exe="/bin/a", app="t"
+        )
+        client = PosixClient(env, fs, ctx)
+        runtime.instrument(client)
+        ranks.append(RankContext(rank=r, node=node, posix=client))
+    return Communicator(env, ranks)
+
+
+def test_mpiio_collective_vs_independent_counters(env, nfs, runtime):
+    comm = _make_comm(env, nfs, runtime)
+    f = MPIIOFile(comm, "/out.dat")
+    runtime.instrument(f)
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        yield from f.write_at(rank, (4 + rank) * block, block)
+        yield from f.close_all(rank)
+
+    procs = [env.process(body(r)) for r in range(4)]
+    env.run(env.all_of(procs))
+
+    mpiio = runtime.module_records("MPIIO")
+    assert len(mpiio) == 4  # one record per rank
+    total_coll = sum(r.get("COLL_WRITES") for r in mpiio)
+    total_indep = sum(r.get("INDEP_WRITES") for r in mpiio)
+    assert total_coll == 4
+    assert total_indep == 4
+    # POSIX layer saw the aggregator writes + the independent writes.
+    posix = runtime.module_records("POSIX")
+    posix_writes = sum(r.get("WRITES") for r in posix)
+    assert posix_writes >= 5
+
+
+def test_mpiio_events_flagged_collective(env, nfs, runtime):
+    comm = _make_comm(env, nfs, runtime)
+    f = MPIIOFile(comm, "/out.dat")
+    runtime.instrument(f)
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        yield from f.close_all(rank)
+
+    procs = [env.process(body(r)) for r in range(4)]
+    env.run(env.all_of(procs))
+    coll_writes = [
+        e for e in listener.events if e.module == "MPIIO" and e.op == "write"
+    ]
+    assert len(coll_writes) == 4
+    assert all(e.collective for e in coll_writes)
+
+
+def test_lustre_static_record_on_open(env, lustre, context):
+    runtime = DarshanRuntime(env, job_id=1, uid=1, exe="/x", nprocs=1)
+    posix = PosixClient(env, lustre, context)
+    runtime.instrument(posix)
+
+    def proc():
+        h = yield from posix.open("/lus/f", "w")
+        yield from posix.close(h)
+
+    run(env, proc())
+    lustre_recs = runtime.module_records("LUSTRE")
+    assert len(lustre_recs) == 1
+    rec = lustre_recs[0]
+    assert rec.get("STRIPE_SIZE") == lustre.params.stripe_size_bytes
+    assert rec.get("STRIPE_WIDTH") == lustre.params.stripe_count
+    assert rec.get("OSTS") == lustre.params.n_osts
+
+
+def test_no_lustre_record_on_nfs(env, posix, runtime):
+    def proc():
+        h = yield from posix.open("/f", "w")
+        yield from posix.close(h)
+
+    run(env, proc())
+    assert runtime.module_records("LUSTRE") == []
+
+
+def test_h5_modules_capture_dataset_metadata(env, nfs, context):
+    runtime = DarshanRuntime(env, job_id=1, uid=1, exe="/x", nprocs=1)
+    posix = PosixClient(env, nfs, context)
+    runtime.instrument(posix)
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    h5 = H5File(posix, "/mesh.h5")
+    runtime.instrument(h5)
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", shape=(8, 16, 16), element_size=8)
+        yield from h5.write_hyperslab("u", (0, 0, 0), (4, 16, 16))
+        yield from h5.write_points("u", 100)
+        yield from h5.flush_dataset("u")
+        yield from h5.close()
+
+    run(env, proc())
+    h5d = runtime.module_records("H5D")
+    assert len(h5d) == 1
+    rec = h5d[0]
+    assert rec.get("REGULAR_HYPERSLAB_SELECTS") == 1
+    assert rec.get("POINT_SELECTS") == 1
+    assert rec.get("DATASPACE_NDIMS") == 3
+    assert rec.get("FLUSHES") == 1
+    h5f = runtime.module_records("H5F")
+    assert h5f[0].get("OPENS") == 1
+
+    writes = [e for e in listener.events if e.module == "H5D" and e.op == "write"]
+    assert writes[0].hdf5["data_set"] == "u"
+    assert writes[0].hdf5["ndims"] == 3
+    assert writes[0].hdf5["npoints"] == 4 * 16 * 16
+    assert writes[1].hdf5["pt_sel"] == 1
+    # H5D events report cumulative dataset flushes.
+    assert all(e.flushes >= 0 for e in writes)
+
+
+def test_posix_events_have_no_hdf5_meta(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+
+    def proc():
+        h = yield from posix.open("/f", "w")
+        yield from posix.write(h, 10)
+        yield from posix.close(h)
+
+    run(env, proc())
+    assert all(e.hdf5 is None for e in listener.events)
+
+
+# ------------------------------------------------------------------ DXT
+
+
+def test_dxt_tracer_bounds_memory():
+    tracer = DxtTracer(max_segments_per_record=3)
+    for i in range(5):
+        tracer.trace("POSIX", 0, 42, "write", i * 10, 10, float(i), i + 0.5)
+    assert len(tracer.segments("POSIX", 0, 42)) == 3
+    assert tracer.overflowed("POSIX", 0, 42)
+    assert tracer.total_segments == 3
+
+
+def test_dxt_ignores_untraced_modules_and_ops():
+    tracer = DxtTracer()
+    assert not tracer.trace("STDIO", 0, 1, "write", 0, 10, 0.0, 1.0)
+    assert not tracer.trace("POSIX", 0, 1, "open", 0, 0, 0.0, 1.0)
+    assert tracer.trace("MPIIO", 0, 1, "read", 0, 10, 0.0, 1.0)
+
+
+def test_dxt_validation():
+    with pytest.raises(ValueError):
+        DxtTracer(max_segments_per_record=0)

@@ -1,0 +1,236 @@
+"""Tests for the Darshan runtime: counters, events, cnt/switch logic."""
+
+import pytest
+
+from repro.darshan import DarshanConfig, DarshanRuntime, record_id_for
+from tests.darshan.conftest import CollectingListener, run
+
+
+def _do_io(posix, pattern):
+    """Run a simple scripted I/O pattern; pattern is a list of ops."""
+
+    def proc():
+        h = yield from posix.open("/data/file.dat", "w")
+        for op, size in pattern:
+            if op == "w":
+                yield from posix.write(h, size)
+            elif op == "r":
+                yield from posix.read(h, size, offset=0)
+            elif op == "fsync":
+                yield from posix.fsync(h)
+        yield from posix.close(h)
+
+    return proc()
+
+
+def test_posix_counters_accumulate(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 100), ("w", 200), ("r", 50)]))
+    recs = runtime.module_records("POSIX")
+    assert len(recs) == 1
+    rec = recs[0]
+    assert rec.get("OPENS") == 1
+    assert rec.get("CLOSES") == 1
+    assert rec.get("WRITES") == 2
+    assert rec.get("READS") == 1
+    assert rec.get("BYTES_WRITTEN") == 300
+    assert rec.get("BYTES_READ") == 50
+    assert rec.get("MAX_BYTE_WRITTEN") == 299
+    assert rec.get("MAX_BYTE_READ") == 49
+    assert rec.get("FSYNCS") == 0
+
+
+def test_rw_switches_count_alternations(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 10), ("r", 10), ("w", 10), ("w", 10), ("r", 10)]))
+    rec = runtime.module_records("POSIX")[0]
+    # w->r, r->w, w->r : 3 switches
+    assert rec.get("RW_SWITCHES") == 3
+
+
+def test_time_counters_positive_and_relative(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 2**20)]))
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.fget("F_WRITE_TIME") > 0
+    assert rec.fget("F_OPEN_START_TIMESTAMP") >= 0
+    # Relative to job start, so far smaller than the epoch clock.
+    assert rec.fget("F_CLOSE_END_TIMESTAMP") < 1e6
+
+
+def test_record_id_stable_and_shared(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 1)]))
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.record_id == record_id_for("/data/file.dat")
+    assert runtime.names[rec.record_id].path == "/data/file.dat"
+
+
+def test_events_delivered_to_listener(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    run(env, _do_io(posix, [("w", 100), ("r", 50)]))
+    ops = [e.op for e in listener.events]
+    assert ops == ["open", "write", "read", "close"]
+    assert all(e.module == "POSIX" for e in listener.events)
+    assert all(e.context.rank == 3 for e in listener.events)
+
+
+def test_event_absolute_timestamps(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    run(env, _do_io(posix, [("w", 100)]))
+    ev = listener.events[1]
+    assert ev.start >= 1_650_000_000.0  # absolute epoch time
+    assert ev.timestamp == ev.end
+    assert ev.duration >= 0
+
+
+def test_event_relative_timestamps_without_modification(env, nfs, context):
+    """Vanilla Darshan (no timestamp patch) only has job-relative times."""
+    from repro.fs.posix import PosixClient
+
+    runtime = DarshanRuntime(
+        env,
+        job_id=1,
+        uid=1,
+        exe="/x",
+        nprocs=1,
+        config=DarshanConfig(absolute_timestamps=False),
+    )
+    posix = PosixClient(env, nfs, context)
+    runtime.instrument(posix)
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    run(env, _do_io(posix, [("w", 100)]))
+    assert all(e.start < 1e6 for e in listener.events)
+
+
+def test_event_cnt_resets_after_close(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+
+    def proc():
+        for _ in range(2):
+            h = yield from posix.open("/f", "w")
+            yield from posix.write(h, 10)
+            yield from posix.close(h)
+
+    run(env, proc())
+    cnts = [e.cnt for e in listener.events]
+    # open=1, write=2, close=3, then reset: open=1, write=2, close=3
+    assert cnts == [1, 2, 3, 1, 2, 3]
+
+
+def test_event_max_byte_semantics(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    run(env, _do_io(posix, [("w", 100)]))
+    by_op = {e.op: e for e in listener.events}
+    assert by_op["open"].max_byte == -1
+    assert by_op["write"].max_byte == 99
+    assert by_op["open"].switches == -1
+    assert by_op["write"].flushes == -1  # POSIX events carry no flushes
+
+
+def test_fsync_and_stat_counted_but_not_event(env, posix, runtime):
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+    run(env, _do_io(posix, [("w", 10), ("fsync", 0)]))
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.get("FSYNCS") == 1
+    assert [e.op for e in listener.events] == ["open", "write", "close"]
+
+
+def test_disabled_module_records_nothing(env, nfs, context):
+    from repro.fs.posix import PosixClient
+
+    runtime = DarshanRuntime(
+        env,
+        job_id=1,
+        uid=1,
+        exe="/x",
+        nprocs=1,
+        config=DarshanConfig(enabled_modules=("STDIO",)),
+    )
+    posix = PosixClient(env, nfs, context)
+    runtime.instrument(posix)
+    run(env, _do_io(posix, [("w", 10)]))
+    assert runtime.module_records("POSIX") == []
+
+
+def test_unknown_module_config_rejected():
+    with pytest.raises(ValueError):
+        DarshanConfig(enabled_modules=("POSIX", "BOGUS"))
+
+
+def test_nprocs_validation(env):
+    with pytest.raises(ValueError):
+        DarshanRuntime(env, job_id=1, uid=1, exe="/x", nprocs=0)
+
+
+def test_bad_listener_rejected(runtime):
+    with pytest.raises(TypeError):
+        runtime.add_event_listener(object())
+
+
+def test_wtime_tracks_relative_clock(env, runtime):
+    assert runtime.wtime() == 0.0
+
+    def proc():
+        yield env.timeout(12.5)
+
+    run(env, proc())
+    assert runtime.wtime() == pytest.approx(12.5)
+
+
+def test_dxt_traces_reads_writes_only(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 100), ("r", 50), ("fsync", 0)]))
+    rec = runtime.module_records("POSIX")[0]
+    segs = runtime.dxt.segments("POSIX", 3, rec.record_id)
+    assert [s.op for s in segs] == ["write", "read"]
+    assert segs[0].length == 100
+    assert segs[0].start >= 0  # job-relative
+    assert segs[0].end < 1e6
+
+
+def test_dxt_disabled(env, nfs, context):
+    from repro.fs.posix import PosixClient
+
+    runtime = DarshanRuntime(
+        env,
+        job_id=1,
+        uid=1,
+        exe="/x",
+        nprocs=1,
+        config=DarshanConfig(enable_dxt=False),
+    )
+    posix = PosixClient(env, nfs, context)
+    runtime.instrument(posix)
+    run(env, _do_io(posix, [("w", 10)]))
+    assert runtime.dxt is None
+
+
+def test_total_events_counted(env, posix, runtime):
+    run(env, _do_io(posix, [("w", 10), ("r", 10)]))
+    # open + write + read + close = 4
+    assert runtime.total_events == 4
+
+
+def test_stdio_module_instrumented(env, posix, runtime):
+    from repro.fs.posix import StdioClient
+
+    stdio = StdioClient(posix, buffer_size=1024)
+    runtime.instrument(stdio)
+    listener = CollectingListener()
+    runtime.add_event_listener(listener)
+
+    def proc():
+        h = yield from stdio.fopen("/log.txt", "w")
+        for _ in range(5):
+            yield from stdio.fwrite(h, 100)
+        yield from stdio.fclose(h)
+
+    run(env, proc())
+    stdio_recs = runtime.module_records("STDIO")
+    assert len(stdio_recs) == 1
+    assert stdio_recs[0].get("WRITES") == 5
+    assert stdio_recs[0].get("BYTES_WRITTEN") == 500
+    # STDIO events flow to listeners too.
+    assert sum(1 for e in listener.events if e.module == "STDIO" and e.op == "write") == 5

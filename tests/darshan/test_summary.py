@@ -1,0 +1,128 @@
+"""Tests for size histograms, access-pattern counters and job summary."""
+
+import pytest
+
+from repro.darshan import job_summary, render_job_summary
+from repro.darshan.counters import size_bucket_suffix
+from tests.darshan.conftest import run
+
+
+# --------------------------------------------------------- bucket mapping
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (0, "SIZE_READ_0_100"),
+        (99, "SIZE_READ_0_100"),
+        (100, "SIZE_READ_100_1K"),
+        (1024, "SIZE_READ_1K_10K"),
+        (2**20, "SIZE_READ_1M_4M"),
+        (5 * 2**20, "SIZE_READ_4M_10M"),
+        (2**31, "SIZE_READ_1G_PLUS"),
+    ],
+)
+def test_size_bucket_boundaries(nbytes, expected):
+    assert size_bucket_suffix("read", nbytes) == expected
+
+
+def test_size_bucket_write_prefix():
+    assert size_bucket_suffix("write", 50).startswith("SIZE_WRITE_")
+
+
+# ---------------------------------------------------- counters from runs
+
+
+def test_size_histogram_counted(env, posix, runtime):
+    def proc():
+        h = yield from posix.open("/f", "w")
+        yield from posix.write(h, 50)           # 0_100
+        yield from posix.write(h, 500)          # 100_1K
+        yield from posix.write(h, 2 * 2**20)    # 1M_4M
+        yield from posix.close(h)
+
+    run(env, proc())
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.get("SIZE_WRITE_0_100") == 1
+    assert rec.get("SIZE_WRITE_100_1K") == 1
+    assert rec.get("SIZE_WRITE_1M_4M") == 1
+    assert rec.get("SIZE_READ_0_100") == 0
+
+
+def test_seq_and_consec_counters(env, posix, runtime):
+    def proc():
+        h = yield from posix.open("/f", "w")
+        yield from posix.write(h, 100, offset=0)     # first: neither
+        yield from posix.write(h, 100, offset=100)   # seq + consec
+        yield from posix.write(h, 100, offset=500)   # seq only (gap)
+        yield from posix.write(h, 100, offset=50)    # backwards: neither
+        yield from posix.close(h)
+
+    run(env, proc())
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.get("SEQ_WRITES") == 2
+    assert rec.get("CONSEC_WRITES") == 1
+
+
+def test_pattern_counters_track_per_direction(env, posix, runtime):
+    def proc():
+        h = yield from posix.open("/f", "w")
+        yield from posix.write(h, 100, offset=0)
+        yield from posix.read(h, 50, offset=0)   # first read: no seq
+        yield from posix.read(h, 50, offset=50)  # consec read
+        yield from posix.close(h)
+
+    run(env, proc())
+    rec = runtime.module_records("POSIX")[0]
+    assert rec.get("SEQ_READS") == 1
+    assert rec.get("CONSEC_READS") == 1
+    assert rec.get("SEQ_WRITES") == 0
+
+
+# -------------------------------------------------------------- summary
+
+
+@pytest.fixture
+def mpiio_log():
+    from repro.apps import MpiIoTest
+    from repro.experiments import World, WorldConfig, run_job
+
+    world = World(WorldConfig(seed=6, quiet=True, n_compute_nodes=4))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=4, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    return run_job(world, app, "lustre").darshan_log
+
+
+def test_job_summary_structure(mpiio_log):
+    data = job_summary(mpiio_log)
+    assert data["job"]["nprocs"] == 4
+    posix = data["modules"]["POSIX"]
+    assert posix["bytes_written"] == 4 * 4 * 2**20
+    assert posix["est_mib_per_s"] > 0
+    # Each rank wrote 4 x 1 MiB blocks.
+    assert data["size_histogram"]["write"]["1M_4M"] == 16
+    # mpi-io-test writes sequentially within a rank's region.
+    assert data["access_patterns"]["seq_write_pct"] > 50
+    assert data["busiest_files"]
+    assert data["busiest_files"][0]["bytes"] == 2 * 4 * 4 * 2**20  # r+w
+
+
+def test_render_job_summary_text(mpiio_log):
+    text = render_job_summary(mpiio_log)
+    assert "darshan job summary" in text
+    assert "POSIX" in text
+    assert "1M_4M" in text
+    assert "sequential:" in text
+    assert "busiest files:" in text
+    assert "I/O intensity over time" in text
+
+
+def test_summary_roundtrips_through_disk(tmp_path, mpiio_log):
+    from repro.darshan import parse_log, write_log
+
+    path = tmp_path / "l.darshan"
+    write_log(mpiio_log, path)
+    data = job_summary(parse_log(path))
+    assert data["modules"]["POSIX"]["bytes_written"] == 4 * 4 * 2**20

@@ -1,0 +1,97 @@
+"""Tests for time-partitioned containers with retention."""
+
+import pytest
+
+from repro.dsos import Attr, Schema, SchemaError
+from repro.dsos.partition import PartitionedContainer
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        "events",
+        [Attr("timestamp", "float"), Attr("v", "int")],
+        {"time": ("timestamp",)},
+    )
+
+
+@pytest.fixture
+def container(schema):
+    return PartitionedContainer(
+        "darshan", schema, partition_seconds=DAY, max_active_partitions=3
+    )
+
+
+def _obj(t, v=0):
+    return {"timestamp": float(t), "v": v}
+
+
+def test_objects_route_to_time_partition(container):
+    container.insert(_obj(0.5 * DAY))
+    container.insert(_obj(1.5 * DAY))
+    parts = [p for p in container.partitions() if p.state == "active"]
+    assert [p.index for p in parts] == [0, 1]
+    assert all(p.objects == 1 for p in parts)
+    assert container.count() == 2
+
+
+def test_partition_window_bounds(container):
+    container.insert(_obj(2.2 * DAY))
+    p = container.partitions()[0]
+    assert p.t_begin == 2 * DAY
+    assert p.t_end == 3 * DAY
+
+
+def test_retention_retires_oldest(container):
+    for day in range(5):
+        for _ in range(10):
+            container.insert(_obj((day + 0.5) * DAY))
+    states = {p.index: p.state for p in container.partitions()}
+    assert states[0] == "offline"
+    assert states[1] == "offline"
+    assert states[4] == "active"
+    assert container.objects_retired == 20
+    assert container.count() == 30
+
+
+def test_insert_into_offline_partition_rejected(container):
+    for day in range(4):
+        container.insert(_obj((day + 0.5) * DAY))
+    with pytest.raises(SchemaError, match="offline"):
+        container.insert(_obj(0.5 * DAY))
+
+
+def test_query_spans_partitions_in_time_order(container):
+    for day in (1, 0, 2):
+        for k in range(3):
+            container.insert(_obj(day * DAY + k * 100.0, v=day * 10 + k))
+    rows = container.query("time")
+    stamps = [r["timestamp"] for r in rows]
+    assert stamps == sorted(stamps)
+    assert len(rows) == 9
+
+
+def test_query_with_filter(container):
+    for k in range(6):
+        container.insert(_obj(k * 1000.0, v=k % 2))
+    rows = container.query("time", where=[("v", "==", 1)])
+    assert len(rows) == 3
+
+
+def test_validation(schema):
+    with pytest.raises(ValueError):
+        PartitionedContainer("x", schema, partition_seconds=0)
+    with pytest.raises(ValueError):
+        PartitionedContainer("x", schema, max_active_partitions=0)
+    with pytest.raises(SchemaError):
+        PartitionedContainer("x", schema, time_attr="ghost")
+    c = PartitionedContainer("x", schema)
+    with pytest.raises(SchemaError, match="numeric"):
+        c.insert({"timestamp": "noon", "v": 1})
+
+
+def test_schema_validation_applies(container):
+    with pytest.raises(SchemaError):
+        container.insert({"timestamp": 1.0, "v": "not an int"})

@@ -1,0 +1,89 @@
+"""Consistency between the three temporal data paths.
+
+Darshan exposes the same I/O through three mechanisms with different
+trade-offs: DXT (post-mortem, full fidelity, job-relative times), the
+HEATMAP module (post-mortem, constant memory), and the connector
+(run-time, absolute times).  They observe the *same events*, so their
+stories must agree — byte for byte and timestamp for timestamp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+
+
+@pytest.fixture(scope="module")
+def run():
+    world = World(WorldConfig(seed=21, quiet=True, n_compute_nodes=4))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=5, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "lustre", connector_config=ConnectorConfig())
+    rows = [
+        r for r in world.query_job(result.job_id).rows if r["module"] == "POSIX"
+    ]
+    return world, result, rows
+
+
+def test_dxt_and_connector_see_identical_events(run):
+    _, result, rows = run
+    log = result.darshan_log
+    dxt_events = []
+    for (module, rank, _rid), segments in log.dxt_segments.items():
+        if module != "POSIX":
+            continue
+        for seg in segments:
+            dxt_events.append((rank, seg.op, seg.offset, seg.length))
+    db_events = [
+        (r["rank"], r["op"], r["seg_off"], r["seg_len"])
+        for r in rows
+        if r["op"] in ("read", "write")
+    ]
+    assert sorted(dxt_events) == sorted(db_events)
+
+
+def test_connector_timestamps_are_dxt_plus_job_start(run):
+    _, result, rows = run
+    log = result.darshan_log
+    # Build lookup: (rank, op, offset) -> absolute end from the DB.
+    db = {
+        (r["rank"], r["op"], r["seg_off"]): r["timestamp"]
+        for r in rows
+        if r["op"] in ("read", "write")
+    }
+    for (module, rank, _rid), segments in log.dxt_segments.items():
+        if module != "POSIX":
+            continue
+        for seg in segments:
+            absolute = db[(rank, seg.op, seg.offset)]
+            assert absolute == pytest.approx(log.start_time + seg.end, abs=1e-6)
+
+
+def test_heatmap_totals_match_connector_totals(run):
+    _, result, rows = run
+    hm = result.darshan_log.heatmap
+    for op in ("read", "write"):
+        connector_bytes = sum(r["seg_len"] for r in rows if r["op"] == op)
+        assert hm.matrix(op).sum() == pytest.approx(connector_bytes, rel=1e-9)
+
+
+def test_counter_totals_match_event_stream(run):
+    _, result, rows = run
+    summary = result.darshan_log.summary()["POSIX"]
+    assert summary["POSIX_BYTES_WRITTEN"] == sum(
+        r["seg_len"] for r in rows if r["op"] == "write"
+    )
+    assert summary["POSIX_WRITES"] == sum(1 for r in rows if r["op"] == "write")
+    assert summary["POSIX_OPENS"] == sum(1 for r in rows if r["op"] == "open")
+
+
+def test_durations_consistent_between_paths(run):
+    _, result, rows = run
+    log = result.darshan_log
+    total_db_write_dur = sum(r["seg_dur"] for r in rows if r["op"] == "write")
+    counter_write_time = log.summary()["POSIX"]["POSIX_F_WRITE_TIME"]
+    assert counter_write_time == pytest.approx(total_db_write_dur, rel=1e-9)

@@ -1,0 +1,85 @@
+"""Failure injection: the monitoring path may die; the application may not.
+
+The Streams design is best-effort end to end (Section IV-B), so a
+crashed aggregator must cost the application nothing — the data is
+simply gone for the failure window.
+"""
+
+import pytest
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+
+
+def _app(iterations=4):
+    return MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=iterations, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+
+
+def test_dead_l1_aggregator_loses_data_not_runtime():
+    # Baseline: healthy pipeline.
+    healthy = World(WorldConfig(seed=3, quiet=True, n_compute_nodes=4))
+    r_healthy = run_job(healthy, _app(), "nfs", connector_config=ConnectorConfig())
+    assert healthy.dsos.count("darshan_data") == r_healthy.messages_published
+
+    # Same campaign, but the head-node aggregator is down.
+    broken = World(WorldConfig(seed=3, quiet=True, n_compute_nodes=4))
+    broken.fabric.l1.fail()
+    r_broken = run_job(broken, _app(), "nfs", connector_config=ConnectorConfig())
+
+    # The application is completely unaffected...
+    assert r_broken.runtime_s == pytest.approx(r_healthy.runtime_s, rel=1e-6)
+    assert r_broken.messages_published == r_healthy.messages_published
+    # ...but nothing reached the database.
+    assert broken.dsos.count("darshan_data") == 0
+    assert broken.fabric.l1.dropped_while_failed == r_broken.messages_published
+
+
+def test_mid_run_crash_loses_only_the_tail():
+    world = World(WorldConfig(seed=3, quiet=True, n_compute_nodes=4))
+
+    # Crash the L1 aggregator after it has seen 50 messages.
+    seen = {"n": 0}
+
+    def trip_wire(message):
+        seen["n"] += 1
+        if seen["n"] == 50:
+            world.fabric.l1.fail()
+
+    from repro.experiments.world import STREAM_TAG
+
+    world.fabric.l1.streams.subscribe(STREAM_TAG, trip_wire)
+
+    result = run_job(world, _app(iterations=8), "nfs", connector_config=ConnectorConfig())
+    stored = world.dsos.count("darshan_data")
+    assert 0 < stored < result.messages_published
+    rows = world.query_job(result.job_id).rows
+    assert len(rows) == stored
+
+
+def test_recovered_daemon_resumes_delivery():
+    world = World(WorldConfig(seed=3, quiet=True, n_compute_nodes=4))
+    world.fabric.l1.fail()
+    r1 = run_job(world, _app(), "nfs", connector_config=ConnectorConfig())
+    assert world.dsos.count("darshan_data") == 0
+    world.fabric.l1.recover()
+    r2 = run_job(world, _app(), "nfs", connector_config=ConnectorConfig())
+    assert world.dsos.count("darshan_data") == r2.messages_published
+    # Only the second job's events exist.
+    assert len(world.query_job(r1.job_id).rows) == 0
+    assert len(world.query_job(r2.job_id).rows) == r2.messages_published
+
+
+def test_dead_compute_daemon_is_local_loss_only():
+    world = World(WorldConfig(seed=3, quiet=True, n_compute_nodes=4))
+    result_nodes = world.cluster.scheduler._free[:2]  # nodes the job will get
+    world.fabric.daemon_for(result_nodes[0].name).fail()
+    result = run_job(world, _app(), "nfs", connector_config=ConnectorConfig())
+    rows = world.query_job(result.job_id).rows
+    producers = {r["ProducerName"] for r in rows}
+    # The dead node's events are gone; the healthy node's arrived.
+    assert result_nodes[0].name not in producers
+    assert result_nodes[1].name in producers

@@ -1,0 +1,95 @@
+"""Cross-job interference: jobs sharing only the file system slow each
+other — the origin of the variability the paper wants to diagnose."""
+
+import pytest
+
+from repro.apps import MpiIoTest, Phase, SyntheticWorkload
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job, run_jobs_concurrently
+
+
+def _victim():
+    return MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=6, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+
+
+def _bully():
+    # A heavy writer hammering the same file system from other nodes.
+    return SyntheticWorkload(
+        [Phase(kind="write", amount=40, op_bytes=4 * 2**20, file_mode="per_rank")],
+        n_nodes=2,
+        ranks_per_node=4,
+    )
+
+
+def test_concurrent_jobs_complete_and_record():
+    world = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    results = run_jobs_concurrently(
+        world,
+        [(_victim(), "nfs"), (_victim(), "lustre")],
+        connector_config=ConnectorConfig(),
+    )
+    assert len(results) == 2
+    assert results[0].job_id != results[1].job_id
+    for r in results:
+        assert r.runtime_s > 0
+        assert len(world.query_job(r.job_id).rows) == r.messages_published
+    # Node allocations were disjoint.
+    nodes0 = {n.name for n in results[0].job.nodes}
+    nodes1 = {n.name for n in results[1].job.nodes}
+    assert nodes0.isdisjoint(nodes1)
+
+
+def test_shared_filesystem_interference_slows_victim():
+    # Victim alone on NFS.
+    alone = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    t_alone = run_job(alone, _victim(), "nfs").runtime_s
+
+    # Victim with a bully on the same NFS, different nodes.
+    contended = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    results = run_jobs_concurrently(
+        contended, [(_victim(), "nfs"), (_bully(), "nfs")]
+    )
+    t_contended = results[0].runtime_s
+    assert t_contended > t_alone * 1.5
+
+
+def test_other_filesystem_bully_is_harmless():
+    alone = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    t_alone = run_job(alone, _victim(), "nfs").runtime_s
+
+    contended = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    results = run_jobs_concurrently(
+        contended, [(_victim(), "nfs"), (_bully(), "lustre")]
+    )
+    t_contended = results[0].runtime_s
+    # A Lustre bully cannot hurt an NFS victim.
+    assert t_contended < t_alone * 1.1
+
+
+def test_interference_visible_in_database():
+    """The run-time data shows the victim's ops got slower — the
+    diagnosis workflow of the paper, applied to contention."""
+    world = World(WorldConfig(seed=10, quiet=True, n_compute_nodes=8))
+    alone_result = run_job(
+        world, _victim(), "nfs", connector_config=ConnectorConfig()
+    )
+    contended = run_jobs_concurrently(
+        world,
+        [(_victim(), "nfs"), (_bully(), "nfs")],
+        connector_config=ConnectorConfig(),
+    )
+    victim_contended = contended[0]
+
+    def mean_write_dur(job_id):
+        rows = [
+            r for r in world.query_job(job_id).rows
+            if r["module"] == "POSIX" and r["op"] == "write"
+        ]
+        return sum(r["seg_dur"] for r in rows) / len(rows)
+
+    assert mean_write_dur(victim_contended.job_id) > 2 * mean_write_dur(
+        alone_result.job_id
+    )

@@ -1,0 +1,149 @@
+"""Shape tests for the Table II and Figure 5-9 reproductions (small scale)."""
+
+import pytest
+
+from repro.apps import Hmmer, MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import run_overhead_cell
+from repro.experiments.figures import (
+    fig5_op_counts,
+    fig6_per_node,
+    fig7_duration_variability,
+    fig8_timeline,
+    fig9_grafana_series,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+# --------------------------------------------------------------- overhead
+
+
+def test_overhead_cell_reports_both_campaigns():
+    cell = run_overhead_cell(
+        lambda: MpiIoTest(
+            n_nodes=2, ranks_per_node=2, iterations=2, block_size=2**20,
+            collective=False, sync_per_iteration=False,
+        ),
+        "nfs",
+        label="smoke",
+        seed=3,
+        reps=2,
+    )
+    assert len(cell.darshan_runtimes) == 2
+    assert len(cell.connector_runtimes) == 2
+    assert cell.avg_messages > 0
+    assert cell.message_rate > 0
+    row = cell.as_row()
+    assert row["config"] == "smoke"
+    assert row["filesystem"] == "nfs"
+
+
+def test_overhead_cell_validation():
+    with pytest.raises(ValueError):
+        run_overhead_cell(lambda: None, "nfs", label="x", reps=0)
+
+
+def test_hmmer_overhead_dwarfs_mpiio_overhead():
+    """The paper's central contrast: event rate drives overhead."""
+    hmmer_cell = run_overhead_cell(
+        lambda: Hmmer(ranks_per_node=8, n_families=40),
+        "lustre",
+        label="hmmer",
+        seed=4,
+        reps=1,
+        world_kwargs={"quiet": True},
+    )
+    mpiio_cell = run_overhead_cell(
+        lambda: MpiIoTest(
+            n_nodes=2, ranks_per_node=2, iterations=3, block_size=2**20,
+            collective=False, sync_per_iteration=False,
+        ),
+        "lustre",
+        label="mpiio",
+        seed=4,
+        reps=1,
+        world_kwargs={"quiet": True},
+    )
+    assert hmmer_cell.overhead_percent > 100.0
+    assert abs(mpiio_cell.overhead_percent) < 30.0
+    assert hmmer_cell.message_rate > mpiio_cell.message_rate
+
+
+def test_sprintf_free_mode_has_tiny_overhead():
+    """The paper's 0.37 % ablation (format_mode='none')."""
+    cell = run_overhead_cell(
+        lambda: Hmmer(ranks_per_node=8, n_families=40),
+        "lustre",
+        label="hmmer-nofmt",
+        seed=4,
+        reps=1,
+        connector_config=ConnectorConfig(format_mode="none"),
+        world_kwargs={"quiet": True},
+    )
+    assert abs(cell.overhead_percent) < 5.0
+
+
+# ---------------------------------------------------------------- figures
+
+
+@pytest.fixture(scope="module")
+def small_campaign_kwargs():
+    return dict(reps=3, n_nodes=2, ranks_per_node=2, iterations=5, block_size=2**20)
+
+
+def test_fig5_counts_and_cis():
+    out = fig5_op_counts(reps=2, n_nodes=2, ranks_per_node=2,
+                         particles_per_rank=(50_000,))
+    assert set(out) == {"nfs/50k", "lustre/50k"}
+    for counts in out.values():
+        assert set(counts) == {"open", "close", "read", "write"}
+        # Every rank opens and closes exactly once per job.
+        assert counts["open"]["mean"] == 4.0
+        assert counts["write"]["mean"] >= 9 * 4  # >= one op per variable
+
+
+def test_fig6_per_node_structure():
+    out = fig6_per_node(n_jobs=2, n_nodes=2, ranks_per_node=2,
+                        particles_per_rank=50_000)
+    assert len(out) == 2
+    for nodes in out.values():
+        assert len(nodes) == 2
+        for ops in nodes.values():
+            assert ops["open"] == 2  # two ranks per node
+            assert ops["close"] == 2
+
+
+def test_fig7_detects_single_anomalous_job(small_campaign_kwargs):
+    out = fig7_duration_variability(**small_campaign_kwargs)
+    assert len(out["job_ids"]) == 3
+    assert set(out["stats"]) == set(out["job_ids"])
+    for per_op in out["stats"].values():
+        assert "read" in per_op and "write" in per_op
+
+
+def test_fig7_paper_scale_anomaly():
+    """With the documented seed, exactly one of five jobs is anomalous."""
+    out = fig7_duration_variability()
+    assert len(out["anomalous"]) == 1
+    job = out["anomalous"][0]
+    stats = out["stats"]
+    others = [s["read"]["mean"] for j, s in stats.items() if j != job]
+    assert stats[job]["read"]["mean"] > 5 * max(others)
+
+
+def test_fig8_write_phases_then_reads():
+    tl = fig8_timeline()
+    assert tl["write_phases"] == 10  # the paper's ten phases
+    writes = tl["t"][tl["op"] == "write"]
+    reads = tl["t"][tl["op"] == "read"]
+    assert reads.min() > writes.max() * 0.95  # reads at the end
+
+
+def test_fig9_series_structure():
+    s = fig9_grafana_series(bucket_s=10.0)
+    assert s["write"]["bytes"].sum() > 0
+    assert s["read"]["bytes"].sum() > 0
+    assert len(s["edges"]) == len(s["write"]["count"]) + 1
+    # Total volumes match: every block written is read back.
+    assert s["write"]["bytes"].sum() == pytest.approx(s["read"]["bytes"].sum())

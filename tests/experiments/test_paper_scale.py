@@ -1,0 +1,70 @@
+"""The analytic paper-scale bridge: do the calibrated constants explain
+the published full-scale numbers?"""
+
+import pytest
+
+from repro.experiments.paper_scale import (
+    PAPER_TABLE2A,
+    PAPER_TABLE2C,
+    fit_ranks_per_node,
+    predict_hmmer,
+    predict_mpiio,
+)
+
+
+def test_fitted_ranks_per_node_is_plausible():
+    rpn, err = fit_ranks_per_node()
+    # The paper's nodes have 32 cores / 64 threads; any rpn in 8..32 is
+    # a realistic launch configuration.
+    assert 8 <= rpn <= 32
+    assert err < 0.40  # mean relative error across the four cells
+
+
+def test_nfs_cells_predicted_closely():
+    rpn, _ = fit_ranks_per_node()
+    for coll in (True, False):
+        paper = PAPER_TABLE2A[("nfs", coll)]
+        pred = predict_mpiio(fs="nfs", collective=coll, ranks_per_node=rpn)
+        assert pred == pytest.approx(paper, rel=0.20)
+
+
+def test_lustre_cells_within_small_factor():
+    rpn, _ = fit_ranks_per_node()
+    for coll in (True, False):
+        paper = PAPER_TABLE2A[("lustre", coll)]
+        pred = predict_mpiio(fs="lustre", collective=coll, ranks_per_node=rpn)
+        assert paper / 3 < pred < paper * 3
+
+
+def test_predicted_crossover_matches_paper():
+    rpn, _ = fit_ranks_per_node()
+    nfs_coll = predict_mpiio(fs="nfs", collective=True, ranks_per_node=rpn)
+    nfs_indep = predict_mpiio(fs="nfs", collective=False, ranks_per_node=rpn)
+    lfs_coll = predict_mpiio(fs="lustre", collective=True, ranks_per_node=rpn)
+    lfs_indep = predict_mpiio(fs="lustre", collective=False, ranks_per_node=rpn)
+    assert nfs_coll > nfs_indep
+    assert lfs_coll < lfs_indep
+
+
+def test_hmmer_overhead_regime_at_full_scale():
+    for fs, (paper_base, paper_dc, paper_msgs) in PAPER_TABLE2C.items():
+        p = predict_hmmer(fs=fs)
+        paper_overhead = (paper_dc - paper_base) / paper_base * 100
+        # Same order of magnitude, same >> 100% regime.
+        assert p["overhead_percent"] > 100
+        assert paper_overhead / 3 < p["overhead_percent"] < paper_overhead * 3
+        # Message count within ~10% of the paper's NFS figure.
+        assert p["messages"] == pytest.approx(3_117_342, rel=0.15)
+
+
+def test_hmmer_lustre_overhead_exceeds_nfs():
+    nfs = predict_hmmer(fs="nfs")["overhead_percent"]
+    lustre = predict_hmmer(fs="lustre")["overhead_percent"]
+    assert lustre > nfs * 2
+
+
+def test_unknown_fs_rejected():
+    with pytest.raises(ValueError):
+        predict_mpiio(fs="gpfs", collective=True)
+    with pytest.raises(ValueError):
+        predict_hmmer(fs="gpfs")

@@ -1,0 +1,92 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import generate_report, load_results
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table2a_mpiio.json").write_text(
+        json.dumps(
+            [
+                {
+                    "config": "mpi-io-test/collective",
+                    "filesystem": "nfs",
+                    "avg_messages": 7392,
+                    "rate_msgs_per_s": 23.7,
+                    "darshan_runtime_s": 278.94,
+                    "dC_runtime_s": 311.55,
+                    "overhead_percent": 11.69,
+                }
+            ]
+        )
+    )
+    (tmp_path / "ablation_sampling.json").write_text(
+        json.dumps(
+            [
+                {"sample_every": 1, "overhead_percent": 760.7, "fidelity": 1.0},
+                {"sample_every": 100, "overhead_percent": 8.0, "fidelity": 0.01},
+            ]
+        )
+    )
+    (tmp_path / "fig7_job_variability.json").write_text(
+        json.dumps(
+            {
+                "anomalous": [259903],
+                "means": {
+                    "259900": {"read": 1.35, "write": 0.9},
+                    "259903": {"read": 8.51, "write": 4.09},
+                },
+            }
+        )
+    )
+    (tmp_path / "fig8_timeline.json").write_text(
+        json.dumps(
+            {
+                "job_id": 259903,
+                "write_phases": 10,
+                "decile_mean_durations": [4.0, 9.7],
+            }
+        )
+    )
+    return tmp_path
+
+
+def test_load_results(results_dir):
+    results = load_results(results_dir)
+    assert set(results) == {
+        "table2a_mpiio",
+        "ablation_sampling",
+        "fig7_job_variability",
+        "fig8_timeline",
+    }
+
+
+def test_load_results_missing_dir(tmp_path):
+    with pytest.raises(FileNotFoundError, match="pytest benchmarks"):
+        load_results(tmp_path / "ghost")
+
+
+def test_report_includes_paper_columns(results_dir):
+    report = generate_report(results_dir)
+    assert "Table IIa" in report
+    assert "+11.69 %" in report  # measured
+    assert "-1.55 %" in report  # paper's value for NFS collective
+    assert "| 1 | 760.7 % | 100% |" in report
+    assert "**10 write phases**" in report
+    assert "| 259903 | 8.510 | 4.090 | yes |" in report
+
+
+def test_report_against_real_results():
+    """The repository's own saved bench results render cleanly."""
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    if not results.is_dir():
+        pytest.skip("benchmarks have not been run")
+    report = generate_report(results)
+    assert "# Reproduction report" in report
+    assert "Table IIc" in report

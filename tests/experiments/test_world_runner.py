@@ -1,0 +1,116 @@
+"""Tests for campaign worlds and the job runner."""
+
+import pytest
+
+from repro.core import ConnectorConfig
+from repro.apps import MpiIoTest
+from repro.darshan import DarshanConfig
+from repro.experiments import World, WorldConfig, run_job
+
+
+def _small_app(**kw):
+    defaults = dict(
+        n_nodes=2, ranks_per_node=2, iterations=2, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    defaults.update(kw)
+    return MpiIoTest(**defaults)
+
+
+def test_world_has_both_filesystems():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    assert world.filesystem("nfs").name == "nfs"
+    assert world.filesystem("lustre").name == "lustre"
+
+
+def test_world_epoch_offset():
+    base = WorldConfig(seed=1)
+    later = WorldConfig(seed=1, campaign_offset_days=12)
+    assert later.epoch - base.epoch == pytest.approx(12 * 86400)
+
+
+def test_same_seed_same_offset_reproduces_runtime():
+    times = []
+    for _ in range(2):
+        world = World(WorldConfig(seed=9, n_compute_nodes=4))
+        r = run_job(world, _small_app(), "nfs")
+        times.append(r.runtime_s)
+    assert times[0] == times[1]
+
+
+def test_campaign_offset_changes_weather():
+    times = []
+    for offset in (0.0, 12.0):
+        world = World(WorldConfig(seed=9, n_compute_nodes=4, campaign_offset_days=offset))
+        r = run_job(world, _small_app(), "nfs")
+        times.append(r.runtime_s)
+    assert times[0] != times[1]
+
+
+def test_run_job_without_connector_stores_nothing():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    result = run_job(world, _small_app(), "nfs")
+    assert result.connector is None
+    assert result.messages_published == 0
+    assert world.dsos.count("darshan_data") == 0
+    assert result.darshan_log.summary()["MPIIO"]["MPIIO_INDEP_WRITES"] == 8
+
+
+def test_run_job_with_connector_lands_in_dsos():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    result = run_job(world, _small_app(), "nfs", connector_config=ConnectorConfig())
+    assert result.messages_published > 0
+    assert world.dsos.count("darshan_data") == result.messages_published
+    rows = world.query_job(result.job_id).rows
+    assert len(rows) == result.messages_published
+    assert {r["job_id"] for r in rows} == {result.job_id}
+
+
+def test_run_job_sequential_jobs_get_distinct_ids():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    r1 = run_job(world, _small_app(), "nfs", connector_config=ConnectorConfig())
+    r2 = run_job(world, _small_app(), "lustre", connector_config=ConnectorConfig())
+    assert r2.job_id == r1.job_id + 1
+    assert world.query_job(r1.job_id).rows
+    assert world.query_job(r2.job_id).rows
+
+
+def test_run_job_releases_nodes():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    before = world.cluster.scheduler.free_nodes
+    run_job(world, _small_app(), "nfs")
+    assert world.cluster.scheduler.free_nodes == before
+
+
+def test_run_job_message_rate():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    r = run_job(world, _small_app(), "nfs", connector_config=ConnectorConfig())
+    assert r.message_rate == pytest.approx(r.messages_published / r.runtime_s)
+
+
+def test_run_job_respects_darshan_config():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    r = run_job(
+        world,
+        _small_app(),
+        "nfs",
+        darshan_config=DarshanConfig(enable_dxt=False),
+    )
+    assert r.darshan_log.dxt_record_count() == 0
+
+
+def test_csv_store_optional():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4, keep_csv=True))
+    run_job(world, _small_app(), "nfs", connector_config=ConnectorConfig())
+    assert world.csv_store is not None
+    assert len(world.csv_store) > 0
+    assert world.csv_store.header_line().startswith("#module,")
+
+
+def test_absolute_timestamps_in_database():
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    r = run_job(world, _small_app(), "nfs", connector_config=ConnectorConfig())
+    rows = world.query_job(r.job_id).rows
+    from repro.experiments.world import EPOCH_BASE
+
+    assert all(row["timestamp"] >= EPOCH_BASE for row in rows)

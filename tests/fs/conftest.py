@@ -1,0 +1,67 @@
+"""Shared fixtures for file-system tests."""
+
+import numpy as np
+import pytest
+
+from repro.fs import LoadProcess, LustreFileSystem, NFSFileSystem
+from repro.fs.posix import IOContext, PosixClient
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(42)
+
+
+@pytest.fixture
+def quiet_load(rng):
+    """A load process with no diurnal swing, noise or incidents."""
+    return LoadProcess(
+        rng.stream("load"),
+        diurnal_amplitude=0.0,
+        noise_sigma=0.0,
+        n_modes=0,
+        incident_rate=0.0,
+    )
+
+
+@pytest.fixture
+def nfs(env, rng, quiet_load):
+    return NFSFileSystem(env, quiet_load, rng.stream("nfs"))
+
+
+@pytest.fixture
+def lustre(env, rng, quiet_load):
+    return LustreFileSystem(env, quiet_load, rng.stream("lustre"))
+
+
+@pytest.fixture
+def context():
+    return IOContext(
+        job_id=259903,
+        uid=99066,
+        rank=0,
+        node_name="nid00001",
+        exe="/home/user/app",
+        app="test-app",
+    )
+
+
+@pytest.fixture
+def posix_nfs(env, nfs, context):
+    return PosixClient(env, nfs, context)
+
+
+@pytest.fixture
+def posix_lustre(env, lustre, context):
+    return PosixClient(env, lustre, context)
+
+
+def run(env, gen):
+    """Drive a generator to completion inside the DES and return its value."""
+    return env.run(env.process(gen))

@@ -1,0 +1,171 @@
+"""Tests of the abstract file-system semantics (via the NFS model)."""
+
+import pytest
+
+from repro.fs import FileSystemError
+from tests.fs.conftest import run
+
+
+def test_open_creates_file_with_write_flag(env, nfs):
+    def proc():
+        handle, record = yield from nfs.open("/scratch/a.dat", "nid00001", "w")
+        return handle, record
+
+    handle, record = run(env, proc())
+    assert nfs.exists("/scratch/a.dat")
+    assert record.op == "open"
+    assert record.duration > 0
+    assert not handle.closed
+
+
+def test_open_missing_file_readonly_raises(env, nfs):
+    def proc():
+        yield from nfs.open("/missing", "nid00001", "r")
+
+    with pytest.raises(FileSystemError):
+        run(env, proc())
+
+
+def test_write_extends_size_and_read_respects_eof(env, nfs):
+    def proc():
+        handle, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(handle, 1000)
+        assert handle.file.size == 1000
+        rec = yield from nfs.read(handle, 500, offset=800)
+        return rec
+
+    rec = run(env, proc())
+    assert rec.nbytes == 200  # truncated at EOF
+    assert rec.offset == 800
+
+
+def test_truncate_on_w_flag(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(h, 100)
+        yield from nfs.close(h)
+        h2, _ = yield from nfs.open("/f", "n", "w")
+        return h2.file.size
+
+    assert run(env, proc()) == 0
+
+
+def test_append_flag_does_not_truncate(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(h, 100)
+        yield from nfs.close(h)
+        h2, _ = yield from nfs.open("/f", "n", "a")
+        return h2.file.size
+
+    assert run(env, proc()) == 100
+
+
+def test_sequential_position_tracking(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        r1 = yield from nfs.write(h, 10)
+        r2 = yield from nfs.write(h, 10)
+        return r1, r2
+
+    r1, r2 = run(env, proc())
+    assert r1.offset == 0
+    assert r2.offset == 10
+
+
+def test_operations_on_closed_handle_raise(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.close(h)
+        yield from nfs.write(h, 10)
+
+    with pytest.raises(FileSystemError):
+        run(env, proc())
+
+
+def test_negative_sizes_rejected(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(h, -5)
+
+    with pytest.raises(ValueError):
+        run(env, proc())
+
+
+def test_counters_and_totals_accumulate(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(h, 100)
+        yield from nfs.write(h, 50)
+        yield from nfs.read(h, 30, offset=0)
+        yield from nfs.close(h)
+
+    run(env, proc())
+    f = nfs.files["/f"]
+    assert f.counters["opens"] == 1
+    assert f.counters["writes"] == 2
+    assert f.counters["bytes_written"] == 150
+    assert f.counters["bytes_read"] == 30
+    assert nfs.totals["bytes_written"] == 150
+    assert nfs.totals["bytes_read"] == 30
+
+
+def test_stat_returns_size(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.write(h, 123)
+        yield from nfs.close(h)
+        size, _ = yield from nfs.stat("/f", "n")
+        return size
+
+    assert run(env, proc()) == 123
+
+
+def test_unlink_removes_file(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        yield from nfs.close(h)
+        yield from nfs.unlink("/f", "n")
+
+    run(env, proc())
+    assert not nfs.exists("/f")
+
+
+def test_unlink_missing_raises(env, nfs):
+    def proc():
+        yield from nfs.unlink("/ghost", "n")
+
+    with pytest.raises(FileSystemError):
+        run(env, proc())
+
+
+def test_fsync_produces_record(env, nfs):
+    def proc():
+        h, _ = yield from nfs.open("/f", "n", "w")
+        rec = yield from nfs.fsync(h)
+        return rec
+
+    assert run(env, proc()).op == "fsync"
+
+
+def test_op_record_timestamps_are_absolute(nfs):
+    """Records carry env-clock (epoch-offset) times, the paper's point."""
+    from repro.sim import Environment
+    import numpy as np
+    from repro.fs import LoadProcess, NFSFileSystem
+    from repro.sim import RngRegistry
+
+    env = Environment(initial_time=1.65e9)  # epoch seconds
+    reg = RngRegistry(0)
+    quiet = LoadProcess(
+        reg.stream("l"), diurnal_amplitude=0, noise_sigma=0, n_modes=0, incident_rate=0
+    )
+    fs = NFSFileSystem(env, quiet, reg.stream("n"))
+
+    def proc():
+        h, rec = yield from fs.open("/f", "n", "w")
+        return rec
+
+    rec = env.run(env.process(proc()))
+    assert rec.start >= 1.65e9
+    assert rec.end > rec.start

@@ -1,0 +1,293 @@
+"""Behavioural tests of the NFS and Lustre service models."""
+
+import numpy as np
+import pytest
+
+from repro.fs import (
+    LoadProcess,
+    LustreFileSystem,
+    LustreParams,
+    NFSFileSystem,
+    NFSParams,
+)
+from repro.sim import Environment, RngRegistry
+from tests.fs.conftest import run
+
+
+def _write_time(env, fs, nbytes, n_clients=1):
+    """Simulated seconds for n_clients to each write nbytes concurrently."""
+    done = []
+
+    def client(i):
+        h, _ = yield from fs.open(f"/f{i}", f"nid{i:05d}", "w")
+        yield from fs.write(h, nbytes)
+        yield from fs.close(h)
+        done.append(env.now)
+
+    for i in range(n_clients):
+        env.process(client(i))
+    env.run()
+    return max(done)
+
+
+# ------------------------------------------------------------------- NFS
+
+
+def test_nfs_write_time_scales_with_size(env, rng, quiet_load):
+    fs = NFSFileSystem(env, quiet_load, rng.stream("n"), NFSParams(cv=0.0))
+    t_small = _write_time(env, fs, 1 * 2**20)
+    env2 = Environment()
+    fs2 = NFSFileSystem(env2, quiet_load, rng.stream("n2"), NFSParams(cv=0.0))
+    t_big = _write_time(env2, fs2, 64 * 2**20)
+    assert t_big > t_small * 10
+
+
+def test_nfs_throughput_collapses_under_concurrency(rng, quiet_load):
+    """Aggregate time grows once clients exceed server threads."""
+    times = {}
+    for n_clients in (1, 32):
+        env = Environment()
+        fs = NFSFileSystem(
+            env, quiet_load, rng.stream(f"n{n_clients}"), NFSParams(cv=0.0)
+        )
+        times[n_clients] = _write_time(env, fs, 8 * 2**20, n_clients)
+    # 32 clients through 8 threads: at least ~4x the single-client time.
+    assert times[32] > times[1] * 3.5
+
+
+def test_nfs_aggregate_bandwidth_bounded(rng, quiet_load):
+    """8 concurrent writers cannot exceed the single server pipe."""
+    env = Environment()
+    fs = NFSFileSystem(env, quiet_load, rng.stream("a"), NFSParams(cv=0.0))
+    nbytes = 8 * 2**20
+    t_eight = _write_time(env, fs, nbytes, n_clients=8)
+    expected_serial = 8 * nbytes / fs.params.server_bandwidth_bps
+    # All bytes go through one pipe: total time >= serialized transfer.
+    assert t_eight >= expected_serial * 0.95
+
+
+def test_nfs_fsync_pays_commit_latency(rng, quiet_load):
+    env = Environment()
+    fs = NFSFileSystem(env, quiet_load, rng.stream("c"), NFSParams(cv=0.0))
+    done = []
+
+    def proc():
+        h, _ = yield from fs.open("/f", "n", "w")
+        t0 = env.now
+        yield from fs.fsync(h)
+        done.append(env.now - t0)
+
+    env.process(proc())
+    env.run()
+    assert done[0] >= fs.params.commit_latency_s * 0.95
+
+
+def test_nfs_load_factor_slows_service(rng):
+    reg = RngRegistry(7)
+    quiet = LoadProcess(
+        reg.stream("q"), diurnal_amplitude=0, noise_sigma=0, n_modes=0, incident_rate=0
+    )
+    busy = LoadProcess(
+        reg.stream("b"),
+        base=5.0,
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+    env1, env2 = Environment(), Environment()
+    fs1 = NFSFileSystem(env1, quiet, reg.stream("f1"), NFSParams(cv=0.0))
+    fs2 = NFSFileSystem(env2, busy, reg.stream("f2"), NFSParams(cv=0.0))
+    t1 = _write_time(env1, fs1, 2**20)
+    t2 = _write_time(env2, fs2, 2**20)
+    assert t2 == pytest.approx(5 * t1, rel=0.01)
+
+
+def test_nfs_params_validation():
+    with pytest.raises(ValueError):
+        NFSParams(server_threads=0)
+    with pytest.raises(ValueError):
+        NFSParams(server_bandwidth_bps=0)
+
+
+# ----------------------------------------------------------------- Lustre
+
+
+def test_lustre_striping_round_robin(env, lustre):
+    chunks = lustre.chunks_for_extent("/f", 0, 4 * 2**20)
+    params = lustre.params
+    assert len(chunks) == 4
+    osts = [c[0] for c in chunks]
+    first = lustre.stripe_offset("/f")
+    expected = [
+        (first + k % params.stripe_count) % params.n_osts for k in range(4)
+    ]
+    assert osts == expected
+    assert all(c[2] == 2**20 for c in chunks)
+    assert all(c[3] for c in chunks)  # stripe-aligned
+    # Chunk offsets tile the extent.
+    assert [c[1] for c in chunks] == [0, 2**20, 2 * 2**20, 3 * 2**20]
+
+
+def test_lustre_unaligned_chunks_flagged(env, lustre):
+    chunks = lustre.chunks_for_extent("/f", 512 * 1024, 2**20)
+    assert chunks[0][3] is False  # starts mid-stripe
+
+
+def test_lustre_chunks_cover_extent(env, lustre):
+    total = sum(c[2] for c in lustre.chunks_for_extent("/f", 123456, 7_654_321))
+    assert total == 7_654_321
+
+
+def test_lustre_seek_penalty_for_noncontiguous_access(rng, quiet_load):
+    """Scattered writers pay seeks; one streaming writer does not."""
+    params = LustreParams(cv=0.0, stripe_count=1, seek_s=0.05)
+    chunk = 2**20
+
+    def run_pattern(scattered):
+        env = Environment()
+        fs = LustreFileSystem(env, quiet_load, rng.stream(f"s{scattered}"), params)
+        done = []
+
+        def writer():
+            h, _ = yield from fs.open("/f", "n", "w")
+            offsets = (
+                [i * 10 * chunk for i in range(20)]  # scattered
+                if scattered
+                else [i * chunk for i in range(20)]  # streaming
+            )
+            for off in offsets:
+                yield from fs.write(h, chunk, off)
+            yield from fs.close(h)
+            done.append(env.now)
+
+        env.process(writer())
+        env.run()
+        return done[0]
+
+    assert run_pattern(True) > run_pattern(False) + 0.5
+
+
+def test_lustre_stripe_offset_stable_per_file(env, lustre):
+    assert lustre.stripe_offset("/a") == lustre.stripe_offset("/a")
+    assert lustre.stripe_offset("/a") != lustre.stripe_offset("/b")
+
+
+def test_lustre_parallel_stripes_beat_serial(rng, quiet_load):
+    """A striped write is faster than the same bytes through one OST."""
+    wide = LustreParams(cv=0.0, stripe_count=4)
+    narrow = LustreParams(cv=0.0, stripe_count=1)
+    env1 = Environment()
+    fs1 = LustreFileSystem(env1, quiet_load, rng.stream("w"), wide)
+    t_wide = _write_time(env1, fs1, 16 * 2**20)
+    env2 = Environment()
+    fs2 = LustreFileSystem(env2, quiet_load, rng.stream("n"), narrow)
+    t_narrow = _write_time(env2, fs2, 16 * 2**20)
+    assert t_wide < t_narrow / 2
+
+
+def test_lustre_faster_than_nfs_for_large_io(rng, quiet_load):
+    """The headline FS ordering of the paper's tables."""
+    env1 = Environment()
+    nfs = NFSFileSystem(env1, quiet_load, rng.stream("n"), NFSParams(cv=0.0))
+    t_nfs = _write_time(env1, nfs, 64 * 2**20)
+    env2 = Environment()
+    lustre = LustreFileSystem(env2, quiet_load, rng.stream("l"), LustreParams(cv=0.0))
+    t_lustre = _write_time(env2, lustre, 64 * 2**20)
+    assert t_lustre < t_nfs / 3
+
+
+def test_lustre_params_validation():
+    with pytest.raises(ValueError):
+        LustreParams(n_osts=0)
+    with pytest.raises(ValueError):
+        LustreParams(stripe_count=99)
+    with pytest.raises(ValueError):
+        LustreParams(stripe_size_bytes=100)
+
+
+def test_lustre_ost_queue_introspection(env, lustre):
+    assert lustre.ost_queue_lengths() == [0] * lustre.params.n_osts
+
+
+# ------------------------------------------------------------- LoadProcess
+
+
+def test_load_factor_deterministic():
+    a = LoadProcess(np.random.default_rng(5))
+    b = LoadProcess(np.random.default_rng(5))
+    ts = np.linspace(0, 1e5, 200)
+    assert np.array_equal(a.factor_array(ts), b.factor_array(ts))
+
+
+def test_load_factor_positive_and_bounded_below():
+    lp = LoadProcess(np.random.default_rng(0), noise_sigma=3.0)
+    ts = np.linspace(0, 5e5, 5000)
+    f = lp.factor_array(ts)
+    assert (f >= LoadProcess.MIN_FACTOR).all()
+
+
+def test_load_quiet_configuration_is_flat():
+    lp = LoadProcess(
+        np.random.default_rng(1),
+        diurnal_amplitude=0.0,
+        noise_sigma=0.0,
+        n_modes=0,
+        incident_rate=0.0,
+    )
+    ts = np.linspace(0, 1e6, 100)
+    assert np.allclose(lp.factor_array(ts), 1.0)
+
+
+def test_load_incidents_raise_factor():
+    lp = LoadProcess(
+        np.random.default_rng(3),
+        diurnal_amplitude=0.0,
+        noise_sigma=0.0,
+        n_modes=0,
+        incident_rate=1 / 500.0,
+        incident_mean_duration=100.0,
+        horizon=1e5,
+    )
+    incidents = lp.incidents_between(0, 1e5)
+    assert incidents, "expected at least one incident in the horizon"
+    s, e, sev = incidents[0]
+    assert sev > 1.0
+    mid = (s + e) / 2
+    assert lp.factor(mid) >= sev * 0.9  # inside the incident window
+
+
+def test_load_scalar_matches_array():
+    lp = LoadProcess(np.random.default_rng(9))
+    ts = np.array([0.0, 1234.5, 99999.0])
+    arr = lp.factor_array(ts)
+    for t, expected in zip(ts, arr):
+        assert lp.factor(float(t)) == pytest.approx(float(expected))
+
+
+def test_load_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        LoadProcess(rng, base=0.0)
+    with pytest.raises(ValueError):
+        LoadProcess(rng, diurnal_amplitude=1.5)
+    with pytest.raises(ValueError):
+        LoadProcess(rng, horizon=-1.0)
+    with pytest.raises(ValueError):
+        LoadProcess(rng, noise_period_range=(100.0, 50.0))
+    with pytest.raises(ValueError):
+        LoadProcess(np.random.default_rng(0)).incidents_between(10, 5)
+
+
+def test_diurnal_component_cycles():
+    lp = LoadProcess(
+        np.random.default_rng(2),
+        diurnal_amplitude=0.5,
+        noise_sigma=0.0,
+        n_modes=0,
+        incident_rate=0.0,
+    )
+    ts = np.linspace(0, 86400, 1000)
+    f = lp.factor_array(ts)
+    assert f.max() == pytest.approx(1.5, rel=0.01)
+    assert f.min() == pytest.approx(0.5, rel=0.01)

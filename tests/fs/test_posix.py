@@ -1,0 +1,181 @@
+"""Tests for the POSIX/STDIO veneers and the instrumentation-hook seam."""
+
+import pytest
+
+from repro.fs.posix import IOContext, PosixClient, StdioClient
+from tests.fs.conftest import run
+
+
+class RecordingHook:
+    """Captures every dispatched OpRecord; charges no time."""
+
+    def __init__(self):
+        self.records = []
+
+    def after_op(self, module, context, record, handle):
+        self.records.append((module, record))
+        return
+        yield  # pragma: no cover - generator marker
+
+
+class ChargingHook:
+    """Charges fixed simulated CPU time per op (like JSON formatting)."""
+
+    def __init__(self, env, cost):
+        self.env = env
+        self.cost = cost
+        self.count = 0
+
+    def after_op(self, module, context, record, handle):
+        self.count += 1
+        yield self.env.timeout(self.cost)
+
+
+def test_posix_open_write_close_dispatches_hooks(env, posix_nfs):
+    hook = RecordingHook()
+    posix_nfs.add_hook(hook)
+
+    def proc():
+        h = yield from posix_nfs.open("/f", "w")
+        yield from posix_nfs.write(h, 100)
+        yield from posix_nfs.read(h, 50, offset=0)
+        yield from posix_nfs.close(h)
+
+    run(env, proc())
+    ops = [rec.op for _, rec in hook.records]
+    assert ops == ["open", "write", "read", "close"]
+    assert all(module == "POSIX" for module, _ in hook.records)
+
+
+def test_posix_hook_charges_time_to_caller(env, posix_nfs):
+    hook = ChargingHook(env, cost=10.0)
+    posix_nfs.add_hook(hook)
+
+    def proc():
+        h = yield from posix_nfs.open("/f", "w")
+        yield from posix_nfs.write(h, 10)
+        yield from posix_nfs.close(h)
+        return env.now
+
+    elapsed = run(env, proc())
+    assert hook.count == 3
+    assert elapsed >= 30.0  # three ops, 10 s of instrumentation each
+
+
+def test_posix_bad_hook_rejected(posix_nfs):
+    with pytest.raises(TypeError):
+        posix_nfs.add_hook(object())
+
+
+def test_posix_stat_and_fsync_dispatch(env, posix_nfs):
+    hook = RecordingHook()
+    posix_nfs.add_hook(hook)
+
+    def proc():
+        h = yield from posix_nfs.open("/f", "w")
+        yield from posix_nfs.write(h, 64)
+        yield from posix_nfs.fsync(h)
+        yield from posix_nfs.close(h)
+        size = yield from posix_nfs.stat("/f")
+        return size
+
+    assert run(env, proc()) == 64
+    assert [r.op for _, r in hook.records] == [
+        "open",
+        "write",
+        "fsync",
+        "close",
+        "stat",
+    ]
+
+
+def test_context_carried_on_client(posix_nfs, context):
+    assert posix_nfs.context is context
+    assert posix_nfs.context.job_id == 259903
+
+
+# ------------------------------------------------------------------ STDIO
+
+
+def test_stdio_buffers_small_writes(env, posix_nfs):
+    stdio_hook = RecordingHook()
+    posix_hook = RecordingHook()
+    posix_nfs.add_hook(posix_hook)
+    stdio = StdioClient(posix_nfs, buffer_size=1000)
+    stdio.add_hook(stdio_hook)
+
+    def proc():
+        h = yield from stdio.fopen("/f", "w")
+        for _ in range(10):
+            yield from stdio.fwrite(h, 150)  # 1500 B total
+        yield from stdio.fclose(h)
+
+    run(env, proc())
+    stdio_writes = [r for m, r in stdio_hook.records if r.op == "write"]
+    posix_writes = [r for m, r in posix_hook.records if r.op == "write"]
+    assert len(stdio_writes) == 10  # library sees every fwrite
+    # 1500 B through a 1000 B buffer: one full flush + final flush.
+    assert len(posix_writes) == 2
+    assert sum(r.nbytes for r in posix_writes) == 1500
+
+
+def test_stdio_module_name(env, posix_nfs):
+    stdio = StdioClient(posix_nfs)
+    hook = RecordingHook()
+    stdio.add_hook(hook)
+
+    def proc():
+        h = yield from stdio.fopen("/f", "w")
+        yield from stdio.fclose(h)
+
+    run(env, proc())
+    assert all(m == "STDIO" for m, _ in hook.records)
+
+
+def test_stdio_fread_returns_bytes(env, posix_nfs):
+    stdio = StdioClient(posix_nfs, buffer_size=4096)
+
+    def proc():
+        h = yield from stdio.fopen("/f", "w")
+        yield from stdio.fwrite(h, 8192)
+        yield from stdio.fclose(h)
+        h = yield from stdio.fopen("/f", "r")
+        r1 = yield from stdio.fread(h, 100)
+        r2 = yield from stdio.fread(h, 100)
+        yield from stdio.fclose(h)
+        return r1, r2
+
+    r1, r2 = run(env, proc())
+    assert r1.nbytes == 100
+    assert r2.nbytes == 100
+    assert r2.offset == 100
+
+
+def test_stdio_fflush_drains_buffer(env, posix_nfs):
+    posix_hook = RecordingHook()
+    posix_nfs.add_hook(posix_hook)
+    stdio = StdioClient(posix_nfs, buffer_size=10_000)
+
+    def proc():
+        h = yield from stdio.fopen("/f", "w")
+        yield from stdio.fwrite(h, 500)
+        yield from stdio.fflush(h)
+        yield from stdio.fclose(h)
+
+    run(env, proc())
+    posix_writes = [r for _, r in posix_hook.records if r.op == "write"]
+    assert len(posix_writes) == 1
+    assert posix_writes[0].nbytes == 500
+
+
+def test_stdio_validation(posix_nfs):
+    with pytest.raises(ValueError):
+        StdioClient(posix_nfs, buffer_size=0)
+    stdio = StdioClient(posix_nfs)
+    with pytest.raises(TypeError):
+        stdio.add_hook(object())
+
+
+def test_iocontext_immutable(context):
+    with pytest.raises(Exception):
+        context.rank = 5  # frozen dataclass

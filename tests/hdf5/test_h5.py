@@ -1,0 +1,258 @@
+"""Tests for the HDF5-like layer."""
+
+import pytest
+
+from repro.fs import LoadProcess, NFSFileSystem, NFSParams
+from repro.fs.posix import IOContext, PosixClient
+from repro.hdf5 import H5Dataset, H5File, HDF5Error
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def posix(env):
+    reg = RngRegistry(6)
+    quiet = LoadProcess(
+        reg.stream("l"), diurnal_amplitude=0, noise_sigma=0, n_modes=0, incident_rate=0
+    )
+    fs = NFSFileSystem(env, quiet, reg.stream("f"), NFSParams(cv=0.0))
+    ctx = IOContext(1, 1, 0, "nid00001", "/bin/sw4", "sw4")
+    return PosixClient(env, fs, ctx)
+
+
+class Hook:
+    def __init__(self):
+        self.records = []
+
+    def after_op(self, module, context, record, handle):
+        self.records.append((module, record))
+        return
+        yield  # pragma: no cover
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def test_open_create_write_close(env, posix):
+    h5 = H5File(posix, "/mesh.h5")
+    hook = Hook()
+    h5.add_hook(hook)
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (4, 8), element_size=8)
+        yield from h5.write_hyperslab("u", (0, 0), (4, 8))
+        yield from h5.close()
+
+    run(env, proc())
+    modules = [m for m, _ in hook.records]
+    assert modules == ["H5F", "H5D", "H5D", "H5F"]
+    write = hook.records[2][1]
+    assert write.op == "write"
+    assert write.nbytes == 4 * 8 * 8
+    assert write.data_set == "u"
+    assert write.ndims == 2
+    assert write.npoints == 32
+    assert write.reg_hslab == 1
+
+
+def test_full_row_slab_is_single_extent(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        ds = yield from h5.create_dataset("u", (10, 100), element_size=4)
+        return ds
+
+    ds = run(env, proc())
+    extents = ds._slab_extents((2, 0), (3, 100))
+    assert len(extents) == 1
+    assert extents[0][1] == 3 * 100 * 4
+
+
+def test_partial_row_slab_fans_out(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        ds = yield from h5.create_dataset("u", (10, 100), element_size=4)
+        return ds
+
+    ds = run(env, proc())
+    extents = ds._slab_extents((0, 10), (3, 20))
+    assert len(extents) == 3  # one per outer row
+    assert all(n == 20 * 4 for _, n in extents)
+
+
+def test_selection_bounds_checked(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (4, 4))
+        yield from h5.write_hyperslab("u", (0, 0), (5, 4))
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_rank_mismatch_checked(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (4, 4))
+        yield from h5.write_hyperslab("u", (0,), (2,))
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_irregular_selection_counts(env, posix):
+    h5 = H5File(posix, "/m.h5")
+    hook = Hook()
+    h5.add_hook(hook)
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (8, 8))
+        yield from h5.write_irregular("u", [((0, 0), (2, 8)), ((4, 0), (2, 8))])
+        yield from h5.close()
+
+    run(env, proc())
+    write = [r for m, r in hook.records if r.op == "write"][0]
+    assert write.irreg_hslab == 1
+    assert write.npoints == 32
+
+
+def test_irregular_requires_slabs(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (4, 4))
+        yield from h5.write_irregular("u", [])
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_point_selection(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (10, 10))
+        rec = yield from h5.write_points("u", 17)
+        return rec
+
+    rec = run(env, proc())
+    assert rec.pt_sel == 1
+    assert rec.npoints == 17
+
+
+def test_point_selection_validation(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (2, 2))
+        yield from h5.write_points("u", 5)  # larger than dataspace
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_read_hyperslab(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (4, 4))
+        yield from h5.write_hyperslab("u", (0, 0), (4, 4))
+        rec = yield from h5.read_hyperslab("u", (1, 0), (2, 4))
+        return rec
+
+    rec = run(env, proc())
+    assert rec.op == "read"
+    assert rec.nbytes == 2 * 4 * 8
+
+
+def test_lifecycle_errors(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def use_before_open():
+        yield from h5.create_dataset("u", (2, 2))
+
+    with pytest.raises(HDF5Error):
+        run(env, use_before_open())
+
+    def double_open():
+        yield from h5.open("w")
+        yield from h5.open("w")
+
+    h5b = H5File(posix, "/m2.h5")
+
+    def proc():
+        yield from h5b.open("w")
+        yield from h5b.open("w")
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_duplicate_dataset_rejected(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (2, 2))
+        yield from h5.create_dataset("u", (2, 2))
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_unknown_dataset_rejected(env, posix):
+    h5 = H5File(posix, "/m.h5")
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.write_hyperslab("ghost", (0,), (1,))
+
+    with pytest.raises(HDF5Error):
+        run(env, proc())
+
+
+def test_dataset_shape_validation(env, posix):
+    h5 = H5File(posix, "/m.h5")
+    with pytest.raises(HDF5Error):
+        H5Dataset(h5, "u", (), 8)
+    with pytest.raises(HDF5Error):
+        H5Dataset(h5, "u", (0, 2), 8)
+    with pytest.raises(HDF5Error):
+        H5Dataset(h5, "u", (2, 2), 0)
+
+
+def test_flush_counts(env, posix):
+    h5 = H5File(posix, "/m.h5")
+    hook = Hook()
+    h5.add_hook(hook)
+
+    def proc():
+        yield from h5.open("w")
+        yield from h5.create_dataset("u", (2, 2))
+        yield from h5.flush()
+        yield from h5.flush_dataset("u")
+        yield from h5.close()
+
+    run(env, proc())
+    flushes = [(m, r.op) for m, r in hook.records if r.op == "flush"]
+    assert ("H5F", "flush") in flushes
+    assert ("H5D", "flush") in flushes
+    assert h5.datasets["u"].flushes == 1

@@ -1,0 +1,145 @@
+"""Tests for the ldmsd configuration language."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ldms.config import ConfigError, build_fleet, parse_config
+from repro.sim import Environment, RngRegistry
+
+CONFIG = """
+# Voltrino monitoring fleet
+ldmsd host=nid*
+ldmsd host=head
+ldmsd host=shirley
+stream_forward from=nid* to=head tag=darshanConnector
+stream_forward from=head to=shirley tag=darshanConnector
+sampler host=head plugin=meminfo interval=2.0
+store host=shirley type=csv tag=darshanConnector
+"""
+
+
+@pytest.fixture
+def cluster():
+    env = Environment()
+    return Cluster(env, RngRegistry(0), ClusterSpec(n_compute_nodes=3))
+
+
+# ------------------------------------------------------------------ parse
+
+
+def test_parse_skips_comments_and_blanks():
+    directives = parse_config("# hello\n\nldmsd host=a\n")
+    assert len(directives) == 1
+    assert directives[0].verb == "ldmsd"
+    assert directives[0].args == {"host": "a"}
+
+
+def test_parse_rejects_unknown_verb():
+    with pytest.raises(ConfigError, match="line 1"):
+        parse_config("frobnicate host=x")
+
+
+def test_parse_rejects_bad_tokens():
+    with pytest.raises(ConfigError, match="key=value"):
+        parse_config("ldmsd host")
+    with pytest.raises(ConfigError, match="empty"):
+        parse_config("ldmsd host=")
+    with pytest.raises(ConfigError, match="duplicate key"):
+        parse_config("ldmsd host=a host=b")
+
+
+def test_parse_inline_comment():
+    d = parse_config("ldmsd host=a  # the daemon")[0]
+    assert d.args == {"host": "a"}
+
+
+# ------------------------------------------------------------------ build
+
+
+def test_build_fleet_full_topology(cluster):
+    fleet = build_fleet(cluster, CONFIG)
+    assert set(fleet.daemons) == {"nid00001", "nid00002", "nid00003", "head", "shirley"}
+    assert len(fleet.stores) == 1
+
+    env = cluster.env
+
+    def app():
+        d = fleet.daemon_for("nid00002")
+        yield from d.publish("darshanConnector", {"module": "POSIX", "op": "write"})
+
+    env.process(app())
+    # The configured sampler ticks forever, so drain a bounded horizon.
+    env.run(until=1.0)
+    assert len(fleet.stores[0]) == 1  # message crossed both hops
+    fleet.stop()
+
+
+def test_build_fleet_sampler_runs(cluster):
+    fleet = build_fleet(cluster, CONFIG)
+    got = []
+    fleet.daemon_for("head").streams.subscribe("metrics/meminfo", got.append)
+    env = cluster.env
+
+    def clock():
+        yield env.timeout(5.0)
+        fleet.stop()
+
+    env.process(clock())
+    env.run()
+    assert len(got) == 2  # samples at t=2 and t=4
+
+
+def test_build_fleet_unmatched_host(cluster):
+    with pytest.raises(ConfigError, match="matches no node"):
+        build_fleet(cluster, "ldmsd host=ghost*")
+
+
+def test_build_fleet_duplicate_daemon(cluster):
+    with pytest.raises(ConfigError, match="duplicate ldmsd"):
+        build_fleet(cluster, "ldmsd host=head\nldmsd host=head")
+
+
+def test_build_fleet_forward_requires_daemons(cluster):
+    with pytest.raises(ConfigError, match="no ldmsd configured"):
+        build_fleet(
+            cluster,
+            "ldmsd host=head\nstream_forward from=nid* to=head tag=t",
+        )
+
+
+def test_build_fleet_forward_to_must_be_unique(cluster):
+    with pytest.raises(ConfigError, match="exactly one node"):
+        build_fleet(
+            cluster,
+            "ldmsd host=nid*\nstream_forward from=nid00001 to=nid* tag=t",
+        )
+
+
+def test_build_fleet_unknown_sampler(cluster):
+    with pytest.raises(ConfigError, match="unknown sampler plugin"):
+        build_fleet(cluster, "ldmsd host=head\nsampler host=head plugin=vmstat interval=1")
+
+
+def test_build_fleet_bad_interval(cluster):
+    with pytest.raises(ConfigError, match="interval must be a number"):
+        build_fleet(
+            cluster, "ldmsd host=head\nsampler host=head plugin=meminfo interval=fast"
+        )
+
+
+def test_build_fleet_unknown_store_type(cluster):
+    with pytest.raises(ConfigError, match="unknown store type"):
+        build_fleet(
+            cluster, "ldmsd host=head\nstore host=head type=sqlite tag=t"
+        )
+
+
+def test_directive_require_reports_missing(cluster):
+    with pytest.raises(ConfigError, match="missing"):
+        build_fleet(cluster, "stream_forward from=a to=b")
+
+
+def test_fleet_daemon_lookup_error(cluster):
+    fleet = build_fleet(cluster, "ldmsd host=head")
+    with pytest.raises(KeyError):
+        fleet.daemon_for("nid00001")

@@ -1,0 +1,278 @@
+"""Tests for ldmsd daemons, forwarding, aggregation and store plugins."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ldms import (
+    AggregationFabric,
+    CsvStreamStore,
+    Ldmsd,
+    LoadSampler,
+    MeminfoSampler,
+)
+from repro.sim import Environment, RngRegistry
+
+TAG = "darshanConnector"
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, RngRegistry(4), ClusterSpec(n_compute_nodes=3))
+
+
+@pytest.fixture
+def fabric(cluster):
+    return AggregationFabric(cluster, TAG)
+
+
+def test_publish_charges_small_cost(env, cluster):
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+
+    def proc():
+        delivered = yield from d.publish(TAG, {"k": 1})
+        return delivered, env.now
+
+    delivered, elapsed = env.run(env.process(proc()))
+    assert delivered == 0  # nobody subscribed, best-effort drop
+    assert 0 < elapsed < 1e-3  # publish is cheap (the 0.37% ablation)
+
+
+def test_daemon_registered_on_node(env, cluster):
+    node = cluster.compute_nodes[0]
+    d = Ldmsd(env, node, cluster.network)
+    assert node.daemon("ldmsd") is d
+
+
+def test_forward_to_peer_over_network(env, cluster):
+    src = Ldmsd(env, cluster.compute_nodes[0], cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst)
+    got = []
+    dst.streams.subscribe(TAG, got.append)
+
+    def proc():
+        yield from src.publish(TAG, {"v": 42})
+
+    env.process(proc())
+    env.run()  # drain: delivery is asynchronous push
+    assert len(got) == 1
+    assert json.loads(got[0].payload) == {"v": 42}
+    assert got[0].src_node == "nid00001"
+    stats = src.forward_stats()[0]
+    assert stats.forwarded == 1
+    assert stats.dropped_overflow == 0
+
+
+def test_forward_queue_overflow_drops(env, cluster):
+    src = Ldmsd(env, cluster.compute_nodes[0], cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst, queue_depth=2)
+
+    def burst():
+        # Publish a burst far faster than the forwarder can drain.
+        for i in range(10):
+            src.publish_now(TAG, {"i": i})
+        yield env.timeout(1.0)
+
+    env.run(env.process(burst()))
+    stats = src.forward_stats()[0]
+    assert stats.dropped_overflow > 0
+    assert stats.enqueued + stats.dropped_overflow == 10
+
+
+def test_self_forward_rejected(env, cluster):
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+    with pytest.raises(ValueError):
+        d.add_stream_forward(TAG, d)
+
+
+def test_queue_depth_validation(env, cluster):
+    with pytest.raises(ValueError):
+        Ldmsd(env, cluster.compute_nodes[1], forward_queue_depth=0)
+
+
+# ------------------------------------------------------------- aggregation
+
+
+def test_fabric_builds_two_levels(fabric, cluster):
+    assert set(fabric.compute_daemons) == {n.name for n in cluster.compute_nodes}
+    assert fabric.l1.node is cluster.head_node
+    assert fabric.l2.node is cluster.analysis_node
+
+
+def test_fabric_end_to_end_delivery(env, cluster, fabric):
+    store = CsvStreamStore(fabric.l2, TAG)
+
+    def app_on(node_name, n_msgs):
+        d = fabric.daemon_for(node_name)
+
+        def proc():
+            for i in range(n_msgs):
+                yield from d.publish(
+                    TAG,
+                    {
+                        "module": "POSIX",
+                        "rank": i,
+                        "job_id": 1,
+                        "op": "write",
+                        "seg": [{"off": 0, "len": 10, "dur": 0.1, "timestamp": env.now}],
+                    },
+                )
+
+        return proc()
+
+    env.process(app_on("nid00001", 5))
+    env.process(app_on("nid00002", 3))
+    env.run()
+    assert store.messages_stored == 8
+    totals = fabric.totals()
+    assert totals.published_on_compute == 8
+    assert totals.received_at_l2 == 8
+    assert totals.delivery_ratio == 1.0
+    assert totals.bytes_forwarded > 0
+
+
+def test_fabric_unknown_node(fabric):
+    with pytest.raises(KeyError):
+        fabric.daemon_for("nid09999")
+
+
+def test_delivery_latency_multihop(env, cluster, fabric):
+    """A message is seen at L2 strictly later than publish time."""
+    arrivals = []
+    fabric.l2.streams.subscribe(TAG, lambda m: arrivals.append((m.publish_time, env.now)))
+
+    def proc():
+        yield from fabric.daemon_for("nid00001").publish(TAG, {"x": 1})
+
+    env.process(proc())
+    env.run()
+    published, arrived = arrivals[0]
+    assert arrived > published
+    # Must be at least the two-hop propagation latency.
+    assert arrived - published >= cluster.network.one_way_latency("nid00001", "shirley")
+
+
+# --------------------------------------------------------------- samplers
+
+
+def test_meminfo_sampler_publishes_metric_sets(env, cluster):
+    node = cluster.compute_nodes[0]
+    d = Ldmsd(env, node, cluster.network)
+    got = []
+    d.streams.subscribe("metrics/meminfo", got.append)
+    d.add_sampler(MeminfoSampler(node), interval_s=1.0)
+
+    def stopper():
+        yield env.timeout(5.5)
+        d.stop()
+
+    env.process(stopper())
+    env.run()
+    assert len(got) == 5
+    first = json.loads(got[0].payload)
+    assert first["producer"] == node.name
+    assert first["metrics"]["MemTotal"] == node.memory.capacity
+
+
+def test_load_sampler_reports_factor(env, cluster):
+    import numpy as np
+    from repro.fs import LoadProcess
+
+    lp = LoadProcess(
+        np.random.default_rng(0),
+        base=2.0,
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+    sampler = LoadSampler(lp)
+    assert sampler.sample(0.0)["load_factor"] == pytest.approx(2.0)
+
+
+def test_sampler_interval_validation(env, cluster):
+    d = Ldmsd(env, cluster.compute_nodes[2], cluster.network, name="x")
+    with pytest.raises(ValueError):
+        d.add_sampler(MeminfoSampler(cluster.compute_nodes[2]), interval_s=0)
+
+
+# ------------------------------------------------------------------ store
+
+
+def test_csv_store_flattens_like_figure3(env, cluster, fabric):
+    store = CsvStreamStore(fabric.l2, TAG)
+    message = {
+        "uid": 99066,
+        "exe": "/apps/mpi-io-test",
+        "job_id": 259903,
+        "rank": 3,
+        "ProducerName": "nid00046",
+        "file": "/scratch/out.dat",
+        "record_id": 1601543006480906062,
+        "module": "POSIX",
+        "type": "MET",
+        "max_byte": -1,
+        "switches": -1,
+        "flushes": -1,
+        "cnt": 1,
+        "op": "open",
+        "seg": [
+            {
+                "data_set": "N/A",
+                "pt_sel": -1,
+                "irreg_hslab": -1,
+                "reg_hslab": -1,
+                "ndims": -1,
+                "npoints": -1,
+                "off": 0,
+                "len": 0,
+                "dur": 0.01,
+                "timestamp": 1650000000.5,
+            }
+        ],
+    }
+
+    def proc():
+        yield from fabric.daemon_for("nid00001").publish(TAG, message)
+
+    env.process(proc())
+    env.run()
+    assert len(store) == 1
+    row = store.rows[0]
+    assert row["module"] == "POSIX"
+    assert row["seg:timestamp"] == 1650000000.5
+    assert row["seg:dur"] == 0.01
+    assert store.header_line() == (
+        "#module,uid,ProducerName,switches,file,rank,flushes,record_id,exe,"
+        "max_byte,type,job_id,op,cnt,seg:off,seg:pt_sel,seg:dur,seg:len,"
+        "seg:ndims,seg:reg_hslab,seg:irreg_hslab,seg:data_set,seg:npoints,"
+        "seg:timestamp"
+    )
+    csv = store.to_csv()
+    assert csv.splitlines()[0].startswith("#module,")
+    assert "POSIX" in csv.splitlines()[1]
+
+
+def test_csv_store_counts_parse_errors(env, cluster):
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+    store = CsvStreamStore(d, TAG)
+    d.publish_now(TAG, "{not json", fmt="string")
+    d.publish_now(TAG, '"just a string"')
+    assert store.parse_errors == 2
+    assert len(store) == 0
+
+
+def test_csv_store_message_without_seg(env, cluster):
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+    store = CsvStreamStore(d, TAG)
+    d.publish_now(TAG, {"module": "POSIX", "op": "open"})
+    assert len(store) == 1
+    assert store.rows[0]["seg:len"] == "N/A"

@@ -1,0 +1,83 @@
+"""Tests for LDMS Streams bus semantics."""
+
+import pytest
+
+from repro.ldms import StreamMessage, StreamsBus
+
+
+def _msg(tag="darshanConnector", payload='{"a":1}', **kw):
+    return StreamMessage(tag=tag, payload=payload, **kw)
+
+
+def test_publish_delivers_to_matching_tag():
+    bus = StreamsBus()
+    got = []
+    bus.subscribe("darshanConnector", got.append)
+    assert bus.publish(_msg()) == 1
+    assert len(got) == 1
+    assert got[0].payload == '{"a":1}'
+
+
+def test_tag_isolation():
+    bus = StreamsBus()
+    got = []
+    bus.subscribe("other-tag", got.append)
+    assert bus.publish(_msg(tag="darshanConnector")) == 0
+    assert got == []
+
+
+def test_no_caching_subscribe_after_publish_misses():
+    """The paper's explicit semantics: no replay for late subscribers."""
+    bus = StreamsBus()
+    bus.publish(_msg())
+    got = []
+    bus.subscribe("darshanConnector", got.append)
+    assert got == []
+    assert bus.stats.dropped_no_subscriber == 1
+
+
+def test_multiple_subscribers_each_get_message():
+    bus = StreamsBus()
+    a, b = [], []
+    bus.subscribe("t", a.append)
+    bus.subscribe("t", b.append)
+    assert bus.publish(_msg(tag="t")) == 2
+    assert len(a) == len(b) == 1
+
+
+def test_unsubscribe():
+    bus = StreamsBus()
+    got = []
+    bus.subscribe("t", got.append)
+    bus.unsubscribe("t", got.append)
+    bus.publish(_msg(tag="t"))
+    assert got == []
+    with pytest.raises(KeyError):
+        bus.unsubscribe("t", got.append)
+
+
+def test_stats_accounting():
+    bus = StreamsBus()
+    bus.subscribe("t", lambda m: None)
+    bus.publish(_msg(tag="t", payload="x" * 100))
+    bus.publish(_msg(tag="ghost"))
+    assert bus.stats.published == 2
+    assert bus.stats.delivered == 1
+    assert bus.stats.dropped_no_subscriber == 1
+    assert bus.stats.bytes_published == 100 + len('{"a":1}')
+
+
+def test_message_format_validation():
+    with pytest.raises(ValueError):
+        StreamMessage(tag="t", payload="x", fmt="xml")
+    assert StreamMessage(tag="t", payload="x", fmt="string").fmt == "string"
+
+
+def test_subscriber_must_be_callable():
+    bus = StreamsBus()
+    with pytest.raises(TypeError):
+        bus.subscribe("t", "not callable")
+
+
+def test_message_size():
+    assert _msg(payload="abcd").size_bytes == 4

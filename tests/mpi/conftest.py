@@ -1,0 +1,46 @@
+"""Fixtures building a small communicator over a simulated cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.fs import LoadProcess, NFSFileSystem, NFSParams
+from repro.fs.posix import IOContext, PosixClient
+from repro.mpi import Communicator, RankContext
+from repro.sim import Environment, RngRegistry
+
+
+def make_comm(env, fs, n_ranks=4, n_nodes=2, ranks_per_node=None):
+    """Build a communicator with ranks spread across nodes block-wise."""
+    cluster = Cluster(env, RngRegistry(0), ClusterSpec(n_compute_nodes=n_nodes))
+    per_node = ranks_per_node or -(-n_ranks // n_nodes)  # ceil div
+    ranks = []
+    for r in range(n_ranks):
+        node = cluster.compute_nodes[min(r // per_node, n_nodes - 1)]
+        ctx = IOContext(
+            job_id=100, uid=1, rank=r, node_name=node.name, exe="/bin/app", app="t"
+        )
+        ranks.append(RankContext(rank=r, node=node, posix=PosixClient(env, fs, ctx)))
+    return Communicator(env, ranks)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fs(env):
+    reg = RngRegistry(3)
+    quiet = LoadProcess(
+        reg.stream("l"),
+        diurnal_amplitude=0,
+        noise_sigma=0,
+        n_modes=0,
+        incident_rate=0,
+    )
+    return NFSFileSystem(env, quiet, reg.stream("fs"), NFSParams(cv=0.0))
+
+
+@pytest.fixture
+def comm(env, fs):
+    return make_comm(env, fs)

@@ -1,0 +1,207 @@
+"""Tests for the MPI-IO layer: independent and two-phase collective."""
+
+import pytest
+
+from repro.mpi import CollectiveError, MPIIOFile
+from tests.mpi.conftest import make_comm
+
+
+class RecordingHook:
+    def __init__(self):
+        self.records = []
+
+    def after_op(self, module, context, record, handle):
+        self.records.append((module, context.rank, record))
+        return
+        yield  # pragma: no cover
+
+
+def run_all_ranks(env, comm, body):
+    """Run ``body(rank)`` as one process per rank; return after all done."""
+    procs = [env.process(body(r)) for r in range(comm.size)]
+    env.run(env.all_of(procs))
+
+
+def test_open_write_close_independent(env, comm, fs):
+    f = MPIIOFile(comm, "/out.dat")
+    hook = RecordingHook()
+    f.add_hook(hook)
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at(rank, rank * 100, 100)
+        yield from f.close_all(rank)
+
+    run_all_ranks(env, comm, body)
+    assert fs.files["/out.dat"].size == 400
+    mods = {m for m, _, _ in hook.records}
+    assert mods == {"MPIIO"}
+    ops = sorted(r.op for _, _, r in hook.records)
+    assert ops.count("open") == 4
+    assert ops.count("write") == 4
+    assert ops.count("close") == 4
+
+
+def test_independent_writes_hit_posix_per_rank(env, comm, fs):
+    posix_hook = RecordingHook()
+    for rc in comm.ranks:
+        rc.posix.add_hook(posix_hook)
+    f = MPIIOFile(comm, "/out.dat")
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at(rank, rank * 10, 10)
+        yield from f.close_all(rank)
+
+    run_all_ranks(env, comm, body)
+    posix_writes = [r for m, _, r in posix_hook.records if r.op == "write"]
+    assert len(posix_writes) == 4  # every rank does its own POSIX write
+
+
+def test_collective_write_aggregates_to_fewer_posix_ops(env, comm, fs):
+    posix_hook = RecordingHook()
+    for rc in comm.ranks:
+        rc.posix.add_hook(posix_hook)
+    f = MPIIOFile(comm, "/out.dat", cb_buffer_size=16 * 2**20)
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        yield from f.close_all(rank)
+
+    run_all_ranks(env, comm, body)
+    posix_writes = [(ctx, r) for m, ctx, r in posix_hook.records if r.op == "write"]
+    # 4 MiB total extent fits one cb buffer: exactly one aggregator write.
+    assert len(posix_writes) == 1
+    assert posix_writes[0][1].nbytes == 4 * block
+    assert fs.files["/out.dat"].size == 4 * block
+
+
+def test_collective_write_chunks_at_cb_buffer(env, comm, fs):
+    posix_hook = RecordingHook()
+    for rc in comm.ranks:
+        rc.posix.add_hook(posix_hook)
+    f = MPIIOFile(comm, "/out.dat", cb_buffer_size=2**20)
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        yield from f.close_all(rank)
+
+    run_all_ranks(env, comm, body)
+    posix_writes = [r for m, _, r in posix_hook.records if r.op == "write"]
+    assert len(posix_writes) == 4  # one chunk per MiB
+    covered = sorted((r.offset, r.offset + r.nbytes) for r in posix_writes)
+    assert covered[0][0] == 0
+    assert covered[-1][1] == 4 * block
+
+
+def test_collective_chunks_distributed_across_aggregators(env, fs):
+    env2 = type(env)()
+    # Recreate fs bound to env2.
+    from repro.fs import LoadProcess, NFSFileSystem, NFSParams
+    from repro.sim import RngRegistry
+
+    reg = RngRegistry(5)
+    quiet = LoadProcess(
+        reg.stream("l"), diurnal_amplitude=0, noise_sigma=0, n_modes=0, incident_rate=0
+    )
+    fs2 = NFSFileSystem(env2, quiet, reg.stream("f"), NFSParams(cv=0.0))
+    comm = make_comm(env2, fs2, n_ranks=4, n_nodes=2)
+    posix_hook = RecordingHook()
+    for rc in comm.ranks:
+        rc.posix.add_hook(posix_hook)
+    f = MPIIOFile(comm, "/out.dat", cb_buffer_size=2**20)
+    assert len(f.aggregator_ranks) == 2  # one per node
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        yield from f.close_all(rank)
+
+    run_all_ranks(env2, comm, body)
+    writers = {rank for m, rank, r in posix_hook.records if r.op == "write"}
+    assert writers == set(f.aggregator_ranks)
+
+
+def test_collective_read_back(env, comm, fs):
+    f = MPIIOFile(comm, "/out.dat")
+    hook = RecordingHook()
+    f.add_hook(hook)
+    block = 2**20
+
+    def body(rank):
+        yield from f.open_all(rank)
+        yield from f.write_at_all(rank, rank * block, block)
+        rec = yield from f.read_at_all(rank, rank * block, block)
+        yield from f.close_all(rank)
+        return rec
+
+    run_all_ranks(env, comm, body)
+    reads = [r for m, _, r in hook.records if r.op == "read"]
+    assert len(reads) == 4
+    assert all(r.nbytes == block for r in reads)
+
+
+def test_read_at_truncates_at_eof(env, comm):
+    f = MPIIOFile(comm, "/out.dat")
+
+    def body(rank):
+        yield from f.open_all(rank)
+        if rank == 0:
+            yield from f.write_at(rank, 0, 100)
+        yield from f.comm.barrier(rank)
+        rec = yield from f.read_at(rank, 50, 100)
+        yield from f.close_all(rank)
+        return rec
+
+    procs = [env.process(body(r)) for r in range(f.comm.size)]
+    results = env.run(env.all_of(procs))
+    assert all(rec.nbytes == 50 for rec in results.values())
+
+
+def test_write_before_open_raises(env, comm):
+    f = MPIIOFile(comm, "/out.dat")
+
+    def body():
+        yield from f.write_at(0, 0, 10)
+
+    with pytest.raises(CollectiveError):
+        env.run(env.process(body()))
+
+
+def test_double_open_raises(env, comm):
+    f = MPIIOFile(comm, "/out.dat")
+
+    def body(rank):
+        yield from f.open_all(rank)
+        if rank == 0:
+            try:
+                yield from f.open_all(rank)
+            except CollectiveError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("expected CollectiveError")
+        yield from f.close_all(rank)
+
+    run_all_ranks(env, comm, body)
+
+
+def test_cb_buffer_validation(comm):
+    with pytest.raises(ValueError):
+        MPIIOFile(comm, "/x", cb_buffer_size=0)
+
+
+def test_bad_hook_rejected(comm):
+    f = MPIIOFile(comm, "/x")
+    with pytest.raises(TypeError):
+        f.add_hook(object())
+
+
+def test_cb_nodes_limits_aggregators(env, fs):
+    comm = make_comm(env, fs, n_ranks=8, n_nodes=4)
+    f = MPIIOFile(comm, "/x", cb_nodes=2)
+    assert len(f.aggregator_ranks) == 2

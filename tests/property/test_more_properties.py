@@ -1,0 +1,146 @@
+"""More property-based tests: heatmap, CSV store, overhead math, schema."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import mean_confidence_interval, percent_overhead
+from repro.darshan.heatmap import Heatmap
+from repro.dsos.schema import Attr, Schema, SchemaError
+from repro.ldms.store import CSV_HEADER, CsvStreamStore
+
+
+# ----------------------------------------------------------------- heatmap
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 7),                               # rank
+            st.sampled_from(["read", "write"]),              # op
+            st.integers(1, 10**9),                           # nbytes
+            st.floats(0.0, 10_000.0, allow_nan=False),       # start
+            st.floats(0.0, 1_000.0, allow_nan=False),        # extra duration
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_heatmap_conserves_bytes(ops):
+    hm = Heatmap(n_bins=32, initial_bin_width_s=0.5)
+    for rank, op, nbytes, start, extra in ops:
+        hm.record(rank, op, nbytes, start, start + extra)
+    assert hm.conservation_check()
+    for op in ("read", "write"):
+        expected = sum(n for _, o, n, _, _ in ops if o == op)
+        assert hm.matrix(op).sum() == pytest.approx(expected, rel=1e-9)
+
+
+@given(
+    events=st.lists(
+        st.tuples(st.floats(0, 10_000, allow_nan=False), st.integers(1, 10**6)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_heatmap_payload_roundtrip_preserves_grids(events):
+    hm = Heatmap(n_bins=16, initial_bin_width_s=1.0)
+    for t, n in events:
+        hm.record(0, "write", n, t, t + 0.5)
+    back = Heatmap.from_payload(hm.to_payload())
+    np.testing.assert_allclose(back.grid(0, "write"), hm.grid(0, "write"))
+    assert back.bin_width_s == hm.bin_width_s
+
+
+# --------------------------------------------------------------- csv store
+
+
+class _FakeDaemon:
+    def __init__(self):
+        from repro.ldms.streams import StreamsBus
+
+        self.streams = StreamsBus()
+
+
+_seg = st.fixed_dictionaries(
+    {
+        "off": st.integers(0, 2**40),
+        "len": st.integers(0, 2**30),
+        "dur": st.floats(0, 100, allow_nan=False),
+        "timestamp": st.floats(0, 2e9, allow_nan=False),
+    }
+)
+
+_message = st.fixed_dictionaries(
+    {
+        "module": st.sampled_from(["POSIX", "STDIO", "MPIIO"]),
+        "op": st.sampled_from(["open", "close", "read", "write"]),
+        "rank": st.integers(0, 1000),
+        "job_id": st.integers(1, 10**6),
+        "seg": st.lists(_seg, min_size=1, max_size=4),
+    }
+)
+
+
+@given(messages=st.lists(_message, min_size=1, max_size=30))
+def test_csv_store_rows_equal_total_segments(messages):
+    import json
+
+    from repro.ldms.streams import StreamMessage
+
+    daemon = _FakeDaemon()
+    store = CsvStreamStore(daemon, "t")
+    for m in messages:
+        daemon.streams.publish(StreamMessage(tag="t", payload=json.dumps(m)))
+    assert len(store) == sum(len(m["seg"]) for m in messages)
+    assert store.parse_errors == 0
+    # Every row has every header column.
+    for row in store.rows:
+        assert set(row) == set(CSV_HEADER)
+
+
+# ------------------------------------------------------------ overhead math
+
+
+@given(
+    base=st.floats(1e-3, 1e5, allow_nan=False),
+    factor=st.floats(0.1, 50.0, allow_nan=False),
+)
+def test_percent_overhead_inverts_cleanly(base, factor):
+    ov = percent_overhead(base, base * factor)
+    assert ov == pytest.approx((factor - 1) * 100, rel=1e-9)
+
+
+@given(
+    samples=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=50),
+)
+def test_ci_contains_mean_and_scales(samples):
+    mean, half = mean_confidence_interval(samples)
+    assert half >= 0
+    assert mean == pytest.approx(float(np.mean(samples)), abs=1e-6)
+    # 99% CI is at least as wide as 95%.
+    _, half99 = mean_confidence_interval(samples, confidence=0.99)
+    assert half99 >= half - 1e-12
+
+
+# ----------------------------------------------------------------- schema
+
+
+@given(
+    job=st.integers(-(2**40), 2**40),
+    rank=st.integers(0, 10**6),
+    ts=st.floats(-1e12, 1e12, allow_nan=False),
+)
+def test_schema_key_total_order_consistent(job, rank, ts):
+    schema = Schema(
+        "e",
+        [Attr("job_id", "int"), Attr("rank", "int"), Attr("timestamp", "float")],
+        {"jrt": ("job_id", "rank", "timestamp")},
+    )
+    obj = {"job_id": job, "rank": rank, "timestamp": ts}
+    schema.validate(obj)
+    key = schema.key_for("jrt", obj)
+    assert key == (job, rank, ts)
+    # Keys are orderable against any other valid key.
+    other = schema.key_for("jrt", {"job_id": 0, "rank": 0, "timestamp": 0.0})
+    assert (key < other) or (key > other) or (key == other)

@@ -1,0 +1,158 @@
+"""Property-based tests of connector, sampler, streams and load model."""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EventSampler, FormatCostModel, MessageBuilder
+from repro.core.metrics import MESSAGE_FIELDS, SEG_FIELDS
+from repro.darshan.runtime import IOEvent
+from repro.fs import LoadProcess
+from repro.fs.posix import IOContext
+from repro.ldms import StreamMessage, StreamsBus
+
+
+def _event(op, rank, module="POSIX", offset=0, nbytes=0):
+    ctx = IOContext(1, 1, rank, "nid00001", "/bin/app", "app")
+    return IOEvent(
+        module=module,
+        op=op,
+        path="/f",
+        record_id=1,
+        context=ctx,
+        offset=offset,
+        nbytes=nbytes,
+        start=0.0,
+        end=1.0,
+        cnt=1,
+        switches=0,
+        flushes=-1,
+        max_byte=offset + nbytes - 1 if nbytes else -1,
+    )
+
+
+# ----------------------------------------------------------------- sampler
+
+
+@given(
+    every_n=st.integers(1, 20),
+    ops=st.lists(
+        st.sampled_from(["read", "write", "open", "close"]),
+        min_size=1,
+        max_size=300,
+    ),
+)
+def test_sampler_admits_expected_count(every_n, ops):
+    sampler = EventSampler(every_n)
+    admitted_data = 0
+    data_seen = 0
+    for op in ops:
+        ev = _event(op, rank=0)
+        admitted = sampler.admit(ev)
+        if op in ("read", "write"):
+            data_seen += 1
+            admitted_data += admitted
+        else:
+            assert admitted  # metadata ops always pass
+
+    expected = -(-data_seen // every_n)  # ceil
+    assert admitted_data == expected
+    assert sampler.admitted + sampler.suppressed == len(ops)
+
+
+@given(
+    every_n=st.integers(2, 10),
+    per_rank=st.integers(1, 50),
+    n_ranks=st.integers(1, 8),
+)
+def test_sampler_is_per_rank_fair(every_n, per_rank, n_ranks):
+    sampler = EventSampler(every_n)
+    counts = {r: 0 for r in range(n_ranks)}
+    for _ in range(per_rank):
+        for r in range(n_ranks):
+            if sampler.admit(_event("write", rank=r)):
+                counts[r] += 1
+    expected = -(-per_rank // every_n)
+    assert all(c == expected for c in counts.values())
+
+
+# --------------------------------------------------------------- formatter
+
+
+@given(
+    op=st.sampled_from(["open", "close", "read", "write"]),
+    offset=st.integers(0, 2**40),
+    nbytes=st.integers(0, 2**30),
+    rank=st.integers(0, 4096),
+)
+def test_message_json_roundtrip_and_field_order(op, offset, nbytes, rank):
+    builder = MessageBuilder()
+    fm = builder.format(_event(op, rank, offset=offset, nbytes=nbytes))
+    parsed = json.loads(fm.payload)
+    assert tuple(parsed.keys()) == MESSAGE_FIELDS
+    assert tuple(parsed["seg"][0].keys()) == SEG_FIELDS
+    assert parsed["rank"] == rank
+    assert parsed["op"] == op
+    assert parsed["type"] == ("MET" if op == "open" else "MOD")
+    assert fm.numeric_conversions > 0
+    assert fm.format_cost_s > 0
+
+
+@given(
+    numeric=st.integers(0, 1000),
+    chars=st.integers(0, 100_000),
+)
+def test_cost_model_monotone(numeric, chars):
+    model = FormatCostModel()
+    base = model.cost(numeric, chars)
+    assert model.cost(numeric + 1, chars) > base
+    assert model.cost(numeric, chars + 1) >= base
+
+
+# ------------------------------------------------------------------- bus
+
+
+@given(
+    tags=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=100),
+    subscribed=st.sets(st.sampled_from(["a", "b", "c"])),
+)
+def test_bus_accounting_balances(tags, subscribed):
+    bus = StreamsBus()
+    received = []
+    for tag in subscribed:
+        bus.subscribe(tag, received.append)
+    for tag in tags:
+        bus.publish(StreamMessage(tag=tag, payload="x"))
+    matched = sum(1 for t in tags if t in subscribed)
+    assert bus.stats.published == len(tags)
+    assert bus.stats.delivered == matched
+    assert bus.stats.dropped_no_subscriber == len(tags) - matched
+    assert len(received) == matched
+
+
+# --------------------------------------------------------------- load model
+
+
+@given(seed=st.integers(0, 10_000), t=st.floats(0, 3e6, allow_nan=False))
+def test_load_factor_positive_and_deterministic(seed, t):
+    a = LoadProcess(np.random.default_rng(seed))
+    b = LoadProcess(np.random.default_rng(seed))
+    fa, fb = a.factor(t), b.factor(t)
+    assert fa == fb
+    assert fa >= LoadProcess.MIN_FACTOR
+
+
+@given(
+    seed=st.integers(0, 1000),
+    origin=st.floats(0, 1e9, allow_nan=False),
+    t=st.floats(0, 1e6, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_load_origin_is_pure_shift(seed, origin, t):
+    base = LoadProcess(np.random.default_rng(seed))
+    shifted = LoadProcess(np.random.default_rng(seed), origin=origin)
+    x = t + origin
+    # Exact identity on the same arithmetic path (x - origin), which is
+    # what the experiment worlds evaluate.
+    assert shifted.factor(x) == base.factor(x - origin)

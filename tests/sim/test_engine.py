@@ -1,0 +1,337 @@
+"""Unit tests for the DES event loop and event primitives."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.events import EventError
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=1000.0)
+    assert env.now == 1000.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(p) == 5.0
+    assert env.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    assert env.run(env.process(proc())) == "payload"
+
+
+def test_events_at_same_time_fire_fifo():
+    env = Environment()
+    order = []
+
+    def make(name):
+        def proc():
+            yield env.timeout(1.0)
+            order.append(name)
+
+        return proc
+
+    for name in ("a", "b", "c"):
+        env.process(make(name)())
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker())
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_step_with_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(EventError):
+        ev.succeed(2)
+    with pytest.raises(EventError):
+        ev.fail(RuntimeError("nope"))
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(EventError):
+        _ = env.event().value
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    assert env.run(env.process(parent())) == 43
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            return str(exc)
+
+    assert env.run(env.process(parent())) == "boom"
+
+
+def test_unhandled_process_failure_raises_from_run():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("unattended")
+
+    env.process(child())
+    with pytest.raises(ValueError, match="unattended"):
+        env.run()
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 17  # type: ignore[misc]
+
+    p = env.process(bad())
+    with pytest.raises(TypeError):
+        env.run(p)
+
+
+def test_process_body_must_be_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_all_of_waits_for_slowest():
+    env = Environment()
+
+    def proc():
+        result = yield env.all_of([env.timeout(1, "x"), env.timeout(5, "y")])
+        return (env.now, result)
+
+    when, result = env.run(env.process(proc()))
+    assert when == 5
+    assert result == {0: "x", 1: "y"}
+
+
+def test_any_of_fires_on_fastest():
+    env = Environment()
+
+    def proc():
+        result = yield env.any_of([env.timeout(3, "slow"), env.timeout(1, "fast")])
+        return (env.now, result)
+
+    when, result = env.run(env.process(proc()))
+    assert when == 1
+    assert result[1] == "fast"
+    assert 0 not in result
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.any_of([])
+        return env.now
+
+    assert env.run(env.process(proc())) == 0
+
+
+def test_all_of_with_already_processed_event():
+    env = Environment()
+
+    def proc():
+        t = env.timeout(1)
+        yield t
+        # t is processed; AllOf over it must still fire.
+        yield env.all_of([t, env.timeout(2)])
+        return env.now
+
+    assert env.run(env.process(proc())) == 3
+
+
+def test_all_of_propagates_child_failure():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1)
+        raise RuntimeError("child failed")
+
+    def proc():
+        try:
+            yield env.all_of([env.process(failer()), env.timeout(10)])
+        except RuntimeError as exc:
+            return str(exc)
+
+    assert env.run(env.process(proc())) == "child failed"
+
+
+def test_condition_rejects_foreign_events():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env_a, [Timeout(env_b, 1.0)])
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    def attacker(proc):
+        yield env.timeout(2)
+        proc.interrupt(cause="preempt")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(v) == ("interrupted", "preempt", 2)
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run(p)
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_raises():
+    env = Environment()
+    caught = []
+
+    def selfish():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except RuntimeError as exc:
+            caught.append(exc)
+        yield env.timeout(1)
+
+    env.run(env.process(selfish()))
+    assert caught
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.event()
+
+    def setter():
+        yield env.timeout(4)
+        ev.succeed("ready")
+
+    env.process(setter())
+    assert env.run(until=ev) == "ready"
+    assert env.now == 4
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_interleaved_processes_deterministic():
+    env = Environment()
+    trace = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            trace.append((env.now, name))
+
+    env.process(worker("a", 2))
+    env.process(worker("b", 3))
+    env.run()
+    # At t=6 both workers fire; b's timeout was *scheduled* earlier
+    # (at t=3 vs t=4), so FIFO tie-breaking resumes b first.
+    assert trace == [
+        (2, "a"),
+        (3, "b"),
+        (4, "a"),
+        (6, "b"),
+        (6, "a"),
+        (9, "b"),
+    ]

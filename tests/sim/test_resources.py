@@ -1,0 +1,305 @@
+"""Unit tests for Resource / Store / Container contention primitives."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_serializes_on_capacity_one():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def user(name):
+        yield from res.use(3.0)
+        done.append((env.now, name))
+
+    env.process(user("a"))
+    env.process(user("b"))
+    env.run()
+    assert done == [(3.0, "a"), (6.0, "b")]
+
+
+def test_resource_parallel_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(name):
+        yield from res.use(3.0)
+        done.append((env.now, name))
+
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    assert done == [(3.0, "a"), (3.0, "b"), (6.0, "c")]
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def user(name, arrive):
+        yield env.timeout(arrive)
+        req = res.request()
+        yield req
+        grants.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    env.process(user("late", 0.2))
+    env.process(user("early", 0.1))
+    env.run()
+    assert grants == ["early", "late"]
+
+
+def test_resource_counts_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        assert res.count == 1
+        yield env.timeout(5)
+        res.release(req)
+
+    def waiter():
+        yield env.timeout(1)
+        req = res.request()
+        assert res.queue_length == 1
+        yield req
+        res.release(req)
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_cancels_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def canceller():
+        yield env.timeout(1)
+        req = res.request()  # queued behind holder
+        res.release(req)  # back out without waiting
+        assert res.queue_length == 0
+
+    env.process(holder())
+    env.process(canceller())
+    env.run()
+
+
+def test_resource_release_unknown_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    other = Resource(env, capacity=1)
+
+    def proc():
+        req = other.request()
+        yield req
+        with pytest.raises(RuntimeError):
+            res.release(req)
+        other.release(req)
+
+    env.run(env.process(proc()))
+
+
+def test_request_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    times = []
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(2)
+        times.append(env.now)
+
+    env.process(user())
+    env.process(user())
+    env.run()
+    assert times == [2, 4]
+
+
+# ------------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def proc():
+        yield store.put("x")
+        item = yield store.get()
+        return item
+
+    assert env.run(env.process(proc())) == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    result = []
+
+    def consumer():
+        item = yield store.get()
+        result.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        yield store.put("late-item")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert result == [(5, "late-item")]
+
+
+def test_store_fifo_item_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_bounded_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        t0 = env.now
+        yield store.put("b")  # blocks until consumer frees a slot
+        times.append((t0, env.now))
+
+    def consumer():
+        yield env.timeout(4)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [(0, 4)]
+
+
+def test_store_try_get_nonblocking():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+
+    def proc():
+        yield store.put("v")
+
+    env.process(proc())
+    env.run()
+    assert store.try_get() == "v"
+    assert store.try_get() is None
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def proc():
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(proc())
+    env.run()
+    assert len(store) == 2
+
+
+# --------------------------------------------------------------- Container
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    events = []
+
+    def consumer():
+        yield tank.get(10)
+        events.append(("got", env.now))
+
+    def producer():
+        yield env.timeout(3)
+        yield tank.put(10)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert events == [("got", 3)]
+    assert tank.level == 0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    events = []
+
+    def producer():
+        yield tank.put(5)
+        events.append(("put", env.now))
+
+    def consumer():
+        yield env.timeout(2)
+        yield tank.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert events == [("put", 2)]
+    assert tank.level == 10
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

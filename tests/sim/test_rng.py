@@ -1,0 +1,116 @@
+"""Tests for reproducible named RNG streams and distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Distributions, RngRegistry
+
+
+def test_same_seed_same_name_reproduces():
+    a = RngRegistry(42).stream("fs.nfs")
+    b = RngRegistry(42).stream("fs.nfs")
+    assert np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(42)
+    a = reg.stream("alpha").random(10)
+    b = reg.stream("beta").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_and_advances():
+    reg = RngRegistry(7)
+    first = reg.stream("x").random()
+    second = reg.stream("x").random()
+    assert first != second  # same generator object, draws advance
+
+
+def test_adding_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(11)
+    seq_before = reg1.stream("a").random(5)
+
+    reg2 = RngRegistry(11)
+    reg2.stream("brand-new")  # extra stream created first
+    seq_after = reg2.stream("a").random(5)
+    assert np.array_equal(seq_before, seq_after)
+
+
+def test_fork_changes_streams():
+    parent = RngRegistry(42)
+    child = parent.fork("job-1")
+    assert child.root_seed != parent.root_seed
+    assert not np.array_equal(
+        parent.stream("v").random(5), child.stream("v").random(5)
+    )
+
+
+def test_fork_deterministic():
+    assert RngRegistry(42).fork("job-1").root_seed == RngRegistry(42).fork("job-1").root_seed
+    assert RngRegistry(42).fork("job-1").root_seed != RngRegistry(42).fork("job-2").root_seed
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RngRegistry("42")  # type: ignore[arg-type]
+
+
+def test_lognormal_mean_and_cv():
+    rng = np.random.default_rng(0)
+    draws = np.array(
+        [Distributions.lognormal(rng, mean=2.0, cv=0.5) for _ in range(20000)]
+    )
+    assert draws.mean() == pytest.approx(2.0, rel=0.05)
+    assert draws.std() / draws.mean() == pytest.approx(0.5, rel=0.1)
+    assert (draws > 0).all()
+
+
+def test_lognormal_zero_cv_is_deterministic():
+    rng = np.random.default_rng(0)
+    assert Distributions.lognormal(rng, mean=3.0, cv=0.0) == 3.0
+
+
+def test_lognormal_array_matches_scalar_params():
+    rng = np.random.default_rng(0)
+    arr = Distributions.lognormal_array(rng, mean=1.5, cv=0.3, size=20000)
+    assert arr.shape == (20000,)
+    assert arr.mean() == pytest.approx(1.5, rel=0.05)
+
+
+def test_lognormal_rejects_nonpositive_mean():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        Distributions.lognormal(rng, mean=0.0, cv=1.0)
+    with pytest.raises(ValueError):
+        Distributions.lognormal_array(rng, mean=-1.0, cv=1.0, size=3)
+
+
+def test_exponential_mean():
+    rng = np.random.default_rng(1)
+    draws = np.array([Distributions.exponential(rng, 4.0) for _ in range(20000)])
+    assert draws.mean() == pytest.approx(4.0, rel=0.05)
+    with pytest.raises(ValueError):
+        Distributions.exponential(rng, 0.0)
+
+
+def test_pareto_bounded_in_range():
+    rng = np.random.default_rng(2)
+    draws = [
+        Distributions.pareto_bounded(rng, minimum=1.0, alpha=1.5, cap=50.0)
+        for _ in range(5000)
+    ]
+    assert min(draws) >= 1.0
+    assert max(draws) <= 50.0
+    with pytest.raises(ValueError):
+        Distributions.pareto_bounded(rng, minimum=0.0, alpha=1.0, cap=1.0)
+
+
+def test_truncated_normal_in_bounds():
+    rng = np.random.default_rng(3)
+    draws = [
+        Distributions.truncated_normal(rng, mean=0.0, std=5.0, low=-1.0, high=1.0)
+        for _ in range(1000)
+    ]
+    assert all(-1.0 <= d <= 1.0 for d in draws)
+    with pytest.raises(ValueError):
+        Distributions.truncated_normal(rng, 0, 1, low=1.0, high=0.0)

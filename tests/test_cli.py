@@ -1,0 +1,86 @@
+"""Tests for the command-line front ends."""
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.darshan.cli import main as parser_main, render_log
+
+
+@pytest.fixture
+def logfile(tmp_path):
+    """A small real Darshan log on disk."""
+    from repro.apps import MpiIoTest
+    from repro.darshan import write_log
+    from repro.experiments import World, WorldConfig, run_job
+
+    world = World(WorldConfig(seed=1, quiet=True, n_compute_nodes=4))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=2, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs")
+    path = tmp_path / "job.darshan"
+    write_log(result.darshan_log, path)
+    return path, result
+
+
+def test_darshan_parser_renders_header_and_totals(logfile, capsys):
+    path, result = logfile
+    assert parser_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"# jobid: {result.job_id}" in out
+    assert "# nprocs: 4" in out
+    assert "POSIX module totals" in out
+    assert "total_POSIX_BYTES_WRITTEN:" in out
+    assert "MPIIO" in out
+
+
+def test_darshan_parser_module_filter(logfile, capsys):
+    path, _ = logfile
+    assert parser_main([str(path), "--module", "MPIIO"]) == 0
+    out = capsys.readouterr().out
+    assert "MPIIO module totals" in out
+    assert "POSIX module totals" not in out
+
+
+def test_darshan_parser_dxt_output(logfile, capsys):
+    path, _ = logfile
+    assert parser_main([str(path), "--dxt"]) == 0
+    out = capsys.readouterr().out
+    assert "DXT segments" in out
+    assert "\twrite\t" in out
+
+
+def test_darshan_parser_bad_file(tmp_path, capsys):
+    bad = tmp_path / "junk"
+    bad.write_bytes(b"not a log")
+    assert parser_main([str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_darshan_parser_missing_file(tmp_path, capsys):
+    assert parser_main([str(tmp_path / "ghost")]) == 1
+
+
+def test_render_log_contains_per_record_lines(logfile):
+    path, result = logfile
+    text = render_log(result.darshan_log)
+    assert "POSIX_WRITES" in text
+    assert "/nfs/scratch/mpi-io-test" in text
+
+
+def test_repro_cli_fig7(capsys):
+    assert repro_main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "anomalous" in out
+
+
+def test_repro_cli_fig8(capsys):
+    assert repro_main(["fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "10 write phases" in out
+
+
+def test_repro_cli_unknown_command():
+    with pytest.raises(SystemExit):
+        repro_main(["frobnicate"])

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main()`` is executed directly (stdout captured); the
+slowest campaign-driving examples are exercised at their default scale
+since they already complete in tens of seconds.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "connector published" in out
+    assert "rank 0 timeline" in out
+    assert "darshan-parser style totals" in out
+
+
+def test_fleet_from_config_runs(capsys):
+    _load("fleet_from_config").main()
+    out = capsys.readouterr().out
+    assert "6 daemons" in out
+    assert "CSV store on shirley received 5 messages" in out
+
+
+def test_darshan_logs_runs(capsys):
+    _load("darshan_logs").main()
+    out = capsys.readouterr().out
+    assert "modules: H5D, H5F, LUSTRE, POSIX" in out
+    assert "DXT segment traces" in out
+
+
+def test_variability_dashboard_runs(capsys):
+    _load("variability_dashboard").main()
+    out = capsys.readouterr().out
+    assert "anomalous job detected" in out
+    assert "10 write phases" in out
+    assert "congestion incident" in out
+
+
+def test_cross_app_comparison_runs(capsys):
+    _load("cross_app_comparison").main()
+    out = capsys.readouterr().out
+    assert "small-op-streaming" in out
+    assert "high" in out
+
+
+def test_system_correlation_runs(capsys):
+    _load("system_correlation").main()
+    out = capsys.readouterr().out
+    assert "EXPLAINS the I/O variability" in out

@@ -1,0 +1,175 @@
+"""Tests for the figure analysis modules over synthetic event rows."""
+
+import numpy as np
+import pytest
+
+from repro.webservices import (
+    DataFrame,
+    count_write_phases,
+    detect_anomalous_jobs,
+    duration_stats_per_job,
+    op_counts_with_ci,
+    ops_per_node,
+    rows_to_dataframe,
+    throughput_series,
+    timeline,
+)
+from repro.webservices.dataframe import DataFrameError
+
+
+def _rows():
+    """Two jobs; job 2 has pathologically slow reads (the Fig 7 anomaly)."""
+    rows = []
+    t = 1_650_000_000.0
+    for job in (1, 2):
+        for rank in range(2):
+            node = f"nid{rank:05d}"
+            rows.append(_row(job, rank, node, "open", t, 0.001, 0))
+            for k in range(10):
+                t += 1.0
+                rows.append(_row(job, rank, node, "write", t, 0.05, 2**20))
+            for k in range(5):
+                t += 1.0
+                dur = 6.75 if job == 2 else 0.05
+                rows.append(_row(job, rank, node, "read", t, dur, 2**19))
+            rows.append(_row(job, rank, node, "close", t + 1, 0.001, 0))
+        t += 100.0
+    return rows
+
+
+def _row(job, rank, node, op, ts, dur, nbytes):
+    return {
+        "job_id": job,
+        "rank": rank,
+        "ProducerName": node,
+        "op": op,
+        "timestamp": ts,
+        "seg_dur": dur,
+        "seg_len": nbytes,
+        "module": "POSIX",
+    }
+
+
+@pytest.fixture
+def df():
+    return rows_to_dataframe(_rows())
+
+
+def test_rows_to_dataframe_empty_rejected():
+    with pytest.raises(DataFrameError):
+        rows_to_dataframe([])
+
+
+# --------------------------------------------------------------- Figure 5
+
+
+def test_op_counts_means(df):
+    counts = op_counts_with_ci(df)
+    # Per job: 2 opens, 20 writes, 10 reads, 2 closes.
+    assert counts["open"]["mean"] == pytest.approx(2.0)
+    assert counts["write"]["mean"] == pytest.approx(20.0)
+    assert counts["read"]["mean"] == pytest.approx(10.0)
+    assert counts["close"]["mean"] == pytest.approx(2.0)
+    assert counts["write"]["ci"] == 0.0  # identical across jobs
+    assert counts["write"]["per_job"] == {1: 20, 2: 20}
+
+
+def test_op_counts_ci_nonzero_when_jobs_differ(df):
+    rows = _rows() + [_row(1, 0, "nid00000", "write", 2e9, 0.05, 10)] * 5
+    counts = op_counts_with_ci(rows_to_dataframe(rows))
+    assert counts["write"]["ci"] > 0
+
+
+# --------------------------------------------------------------- Figure 6
+
+
+def test_ops_per_node_counts(df):
+    per_node = ops_per_node(df)
+    assert per_node[1]["nid00000"]["open"] == 1
+    assert per_node[1]["nid00001"]["close"] == 1
+    assert set(per_node) == {1, 2}
+    # Only open/close are counted by default.
+    assert "write" not in per_node[1]["nid00000"]
+
+
+def test_ops_per_node_custom_ops(df):
+    per_node = ops_per_node(df, ops=("write",))
+    assert per_node[2]["nid00000"]["write"] == 10
+
+
+# --------------------------------------------------------------- Figure 7
+
+
+def test_duration_stats_expose_anomaly(df):
+    stats = duration_stats_per_job(df)
+    assert stats[1]["read"]["mean"] == pytest.approx(0.05)
+    assert stats[2]["read"]["mean"] == pytest.approx(6.75)
+    assert stats[1]["write"]["count"] == 20
+    # The paper's ratio: job 2 reads are >100x slower.
+    assert stats[2]["read"]["mean"] / stats[1]["read"]["mean"] > 100
+
+
+def test_detect_anomalous_jobs(df):
+    stats = duration_stats_per_job(df)
+    assert detect_anomalous_jobs(stats, op="read") == [2]
+    assert detect_anomalous_jobs(stats, op="write") == []
+
+
+def test_detect_anomalous_jobs_too_few():
+    assert detect_anomalous_jobs({1: {"read": {"mean": 1.0}}}) == []
+
+
+# --------------------------------------------------------------- Figure 8
+
+
+def test_timeline_relative_times(df):
+    tl = timeline(df, job_id=1)
+    assert tl["t"].min() == 0.0
+    assert len(tl["t"]) == 30  # 20 writes + 10 reads (2 ranks)
+    assert set(tl["op"].tolist()) == {"read", "write"}
+    assert tl["t0"] >= 1_650_000_000.0
+
+
+def test_timeline_missing_job_rejected(df):
+    with pytest.raises(DataFrameError):
+        timeline(df, job_id=99)
+
+
+def test_count_write_phases_detects_gaps():
+    tl = {
+        "op": np.asarray(["write"] * 6, dtype=object),
+        "t": np.asarray([0.0, 0.5, 1.0, 50.0, 50.5, 100.0]),
+    }
+    assert count_write_phases(tl, gap_s=2.0) == 3
+
+
+def test_count_write_phases_empty():
+    tl = {"op": np.asarray(["read"], dtype=object), "t": np.asarray([1.0])}
+    assert count_write_phases(tl) == 0
+
+
+# --------------------------------------------------------------- Figure 9
+
+
+def test_throughput_series_buckets(df):
+    series = throughput_series(df, job_id=1, bucket_s=5.0)
+    assert "read" in series and "write" in series
+    total_write_bytes = series["write"]["bytes"].sum()
+    assert total_write_bytes == 20 * 2**20
+    total_read_bytes = series["read"]["bytes"].sum()
+    assert total_read_bytes == 10 * 2**19
+    assert series["write"]["count"].sum() == 20
+    assert len(series["edges"]) == len(series["write"]["count"]) + 1
+
+
+def test_throughput_series_write_heavier_than_read(df):
+    """Figure 9's visual: write volume exceeds read volume."""
+    series = throughput_series(df, job_id=2, bucket_s=10.0)
+    assert series["write"]["bytes"].sum() > series["read"]["bytes"].sum()
+
+
+def test_throughput_series_validation(df):
+    with pytest.raises(ValueError):
+        throughput_series(df, job_id=1, bucket_s=0)
+    with pytest.raises(DataFrameError):
+        throughput_series(df, job_id=42)

@@ -1,0 +1,104 @@
+"""Tests for the I/O-vs-system-metric correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.webservices import DataFrame, bucket_series, correlate_durations_with_metric
+from repro.webservices.dataframe import DataFrameError
+
+
+def _io_df(times, durations, op="write"):
+    n = len(times)
+    return DataFrame(
+        {
+            "timestamp": np.asarray(times, dtype=float),
+            "seg_dur": np.asarray(durations, dtype=float),
+            "op": np.asarray([op] * n, dtype=object),
+        }
+    )
+
+
+def _metric_rows(times, values, metric="load_factor"):
+    return [
+        {"metric": metric, "timestamp": float(t), "value": float(v)}
+        for t, v in zip(times, values)
+    ]
+
+
+def test_bucket_series_means():
+    edges = np.asarray([0.0, 10.0, 20.0])
+    means = bucket_series(
+        np.asarray([1.0, 2.0, 15.0]), np.asarray([2.0, 4.0, 10.0]), edges
+    )
+    assert means[0] == pytest.approx(3.0)
+    assert means[1] == pytest.approx(10.0)
+
+
+def test_bucket_series_empty_bucket_is_nan():
+    edges = np.asarray([0.0, 10.0, 20.0])
+    means = bucket_series(np.asarray([1.0]), np.asarray([5.0]), edges)
+    assert np.isnan(means[1])
+
+
+def test_bucket_series_needs_buckets():
+    with pytest.raises(ValueError):
+        bucket_series(np.asarray([1.0]), np.asarray([1.0]), np.asarray([0.0]))
+
+
+def test_perfectly_correlated_metric_detected():
+    rng = np.random.default_rng(0)
+    t = np.sort(rng.uniform(0, 1000, 500))
+    load = 1.0 + np.sin(t / 100.0) ** 2 * 3.0
+    durations = load * 0.1  # durations scale with load
+    io = _io_df(t, durations)
+    metrics = _metric_rows(t, load)
+    result = correlate_durations_with_metric(io, metrics, bucket_s=50.0)
+    assert result["pearson_r"] > 0.95
+    assert result["p_value"] < 0.001
+    assert result["n_buckets"] >= 3
+
+
+def test_uncorrelated_metric_near_zero():
+    rng = np.random.default_rng(1)
+    t = np.sort(rng.uniform(0, 1000, 800))
+    io = _io_df(t, rng.uniform(0.1, 0.2, len(t)))
+    metrics = _metric_rows(t, rng.uniform(1.0, 5.0, len(t)))
+    result = correlate_durations_with_metric(io, metrics, bucket_s=50.0)
+    assert abs(result["pearson_r"]) < 0.5
+
+
+def test_constant_series_gives_zero_correlation():
+    t = np.linspace(0, 100, 50)
+    io = _io_df(t, np.full(50, 0.1))
+    metrics = _metric_rows(t, np.full(50, 2.0))
+    result = correlate_durations_with_metric(io, metrics, bucket_s=10.0)
+    assert result["pearson_r"] == 0.0
+    assert result["p_value"] == 1.0
+
+
+def test_filters_by_op():
+    t = np.linspace(0, 100, 20)
+    io = _io_df(t, np.full(20, 0.1), op="open")
+    metrics = _metric_rows(t, np.full(20, 1.0))
+    with pytest.raises(DataFrameError, match="no I/O events"):
+        correlate_durations_with_metric(io, metrics, ops=("read", "write"))
+
+
+def test_requires_metric_samples():
+    t = np.linspace(0, 100, 20)
+    io = _io_df(t, np.full(20, 0.1))
+    with pytest.raises(DataFrameError, match="no samples"):
+        correlate_durations_with_metric(io, [], metric="load_factor")
+
+
+def test_requires_enough_joint_buckets():
+    io = _io_df([0.0, 1.0], [0.1, 0.2])
+    metrics = _metric_rows([0.5], [1.0])
+    with pytest.raises(DataFrameError, match="joint buckets"):
+        correlate_durations_with_metric(io, metrics, bucket_s=100.0)
+
+
+def test_bucket_validation():
+    io = _io_df([0.0], [0.1])
+    with pytest.raises(ValueError):
+        correlate_durations_with_metric(io, _metric_rows([0.0], [1.0]), bucket_s=0)

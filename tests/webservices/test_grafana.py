@@ -1,0 +1,117 @@
+"""Tests for the headless Grafana layer."""
+
+import pytest
+
+from repro.dsos import DARSHAN_DATA_SCHEMA, DsosClient, DsosCluster
+from repro.webservices import (
+    Dashboard,
+    DsosDataSource,
+    Panel,
+    op_counts_with_ci,
+    render_ascii,
+    throughput_series,
+)
+
+
+def _object(job, rank, op, ts, nbytes):
+    obj = {a.name: -1 for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "int"}
+    obj.update(
+        {a.name: "N/A" for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "string"}
+    )
+    obj.update(
+        {a.name: -1.0 for a in DARSHAN_DATA_SCHEMA.attrs.values() if a.type == "float"}
+    )
+    obj.update(
+        {
+            "job_id": job,
+            "rank": rank,
+            "op": op,
+            "timestamp": float(ts),
+            "seg_len": nbytes,
+            "seg_dur": 0.01,
+            "module": "POSIX",
+            "ProducerName": f"nid{rank:05d}",
+        }
+    )
+    return obj
+
+
+@pytest.fixture
+def client():
+    c = DsosClient(DsosCluster("shirley", 2))
+    c.ensure_schema(DARSHAN_DATA_SCHEMA)
+    t = 1_650_000_000.0
+    for job in (101, 102):
+        for rank in range(2):
+            c.insert("darshan_data", _object(job, rank, "open", t, 0))
+            for k in range(8):
+                c.insert("darshan_data", _object(job, rank, "write", t + k, 2**20))
+            c.insert("darshan_data", _object(job, rank, "close", t + 9, 0))
+    return c
+
+
+def test_data_source_queries_to_dataframe(client):
+    source = DsosDataSource(client)
+    df = source.query(index="job_rank_time", prefix=(101,))
+    assert len(df) == 20
+    assert "timestamp" in df.columns
+
+
+def test_dashboard_renders_panels(client):
+    source = DsosDataSource(client)
+    dash = Dashboard(title="Darshan LDMS Integration")
+    dash.add_panel(
+        Panel(
+            title="I/O operation counts",
+            query={"index": "job_rank_time"},
+            analysis=op_counts_with_ci,
+            viz="bars",
+        )
+    )
+    dash.add_panel(
+        Panel(
+            title="Job 101 throughput",
+            query={"index": "job_rank_time", "prefix": (101,)},
+            analysis=lambda df: throughput_series(df, job_id=101, bucket_s=2.0),
+            viz="timeseries",
+        )
+    )
+    rendered = dash.render(source)
+    assert len(rendered) == 2
+    bars, series = rendered
+    assert bars.payload["write"]["mean"] == pytest.approx(16.0)
+    assert bars.rows_queried == 40
+    assert series.payload["write"]["bytes"].sum() == 16 * 2**20
+
+
+def test_render_ascii_bars(client):
+    source = DsosDataSource(client)
+    dash = Dashboard(title="t")
+    dash.add_panel(
+        Panel(title="ops", query={"index": "job_rank_time"}, analysis=op_counts_with_ci, viz="bars")
+    )
+    out = render_ascii(dash.render(source)[0])
+    assert "== ops ==" in out
+    assert "write" in out
+    assert "#" in out
+
+
+def test_render_ascii_timeseries(client):
+    source = DsosDataSource(client)
+    dash = Dashboard(title="t")
+    dash.add_panel(
+        Panel(
+            title="throughput",
+            query={"index": "job_rank_time", "prefix": (102,)},
+            analysis=lambda df: throughput_series(df, job_id=102, bucket_s=2.0),
+        )
+    )
+    out = render_ascii(dash.render(source)[0])
+    assert "write (bytes/bucket)" in out
+
+
+def test_render_ascii_fallback():
+    from repro.webservices import PanelData
+
+    out = render_ascii(PanelData(title="x", viz="table", payload={"weird": 1}))
+    assert "weird" in out

@@ -1,0 +1,107 @@
+"""Tests for the static HTML dashboard renderer."""
+
+import numpy as np
+import pytest
+
+from repro.webservices import PanelData, render_html
+
+
+def _bars_panel():
+    return PanelData(
+        title="op counts",
+        viz="bars",
+        payload={
+            "write": {"mean": 100.0, "ci": 10.0},
+            "read": {"mean": 50.0, "ci": 0.0},
+        },
+        rows_queried=150,
+    )
+
+
+def _series_panel():
+    return PanelData(
+        title="throughput",
+        viz="timeseries",
+        payload={
+            "edges": np.asarray([0.0, 10.0, 20.0, 30.0]),
+            "write": {"bytes": np.asarray([1e6, 2e6, 0.0]), "count": np.asarray([1, 2, 0])},
+            "read": {"bytes": np.asarray([0.0, 0.0, 3e6]), "count": np.asarray([0, 0, 3])},
+        },
+        rows_queried=6,
+    )
+
+
+def test_page_structure():
+    page = render_html("Darshan LDMS Integration", [_bars_panel(), _series_panel()])
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<title>Darshan LDMS Integration</title>" in page
+    assert page.count("<section") == 2
+    assert page.count("</svg>") == 2
+
+
+def test_bars_panel_has_rects_and_error_bars():
+    page = render_html("t", [_bars_panel()])
+    assert page.count("<rect") >= 2
+    assert "<line" in page  # CI whisker for the write bar
+    assert "op counts" in page
+    assert "150 rows queried" in page
+
+
+def test_series_panel_has_polylines_and_legend():
+    page = render_html("t", [_series_panel()])
+    assert page.count("<polyline") == 2
+    assert "#3274d9" in page  # write color
+    assert "#56a64b" in page  # read color
+
+
+def test_fallback_panel_renders_pre():
+    page = render_html("t", [PanelData(title="odd", viz="table", payload=[1, 2, 3])])
+    assert "<pre>[1, 2, 3]</pre>" in page
+
+
+def test_titles_are_escaped():
+    page = render_html(
+        "<script>alert(1)</script>",
+        [PanelData(title="a<b>c", viz="bars", payload=None)],
+    )
+    assert "<script>alert" not in page
+    assert "&lt;script&gt;" in page
+    assert "a&lt;b&gt;c" in page
+
+
+def test_end_to_end_dashboard_to_html(tmp_path):
+    """Real campaign -> Grafana panels -> HTML file."""
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.webservices import (
+        Dashboard,
+        DsosDataSource,
+        Panel,
+        op_counts_with_ci,
+        throughput_series,
+    )
+
+    world = World(WorldConfig(seed=12, quiet=True, n_compute_nodes=4))
+    result = run_job(
+        world,
+        MpiIoTest(n_nodes=2, ranks_per_node=2, iterations=4, block_size=2**20,
+                  collective=False, sync_per_iteration=False),
+        "nfs",
+        connector_config=ConnectorConfig(),
+    )
+    source = DsosDataSource(world.dsos)
+    dash = Dashboard(title="Darshan LDMS Integration")
+    dash.add_panel(Panel("ops", {"index": "job_rank_time"}, op_counts_with_ci, "bars"))
+    dash.add_panel(
+        Panel(
+            "bytes",
+            {"index": "job_rank_time", "prefix": (result.job_id,)},
+            lambda df: throughput_series(df, job_id=result.job_id, bucket_s=1.0),
+        )
+    )
+    page = render_html(dash.title, dash.render(source))
+    out = tmp_path / "dashboard.html"
+    out.write_text(page)
+    assert out.stat().st_size > 2000
+    assert page.count("</svg>") == 2

@@ -1,0 +1,90 @@
+"""Tests for cross-application I/O signatures."""
+
+import numpy as np
+import pytest
+
+from repro.webservices import (
+    DataFrame,
+    classify_workload,
+    compare_signatures,
+    io_signature,
+)
+from repro.webservices.dataframe import DataFrameError
+
+
+def _df(ops, sizes, durs=None, t0=0.0, dt=1.0, job=1):
+    n = len(ops)
+    return DataFrame(
+        {
+            "job_id": np.full(n, job),
+            "op": np.asarray(ops, dtype=object),
+            "seg_len": np.asarray(sizes, dtype=float),
+            "seg_dur": np.asarray(durs if durs is not None else [0.01] * n),
+            "timestamp": t0 + np.arange(n) * dt,
+        }
+    )
+
+
+def test_signature_basic_accounting():
+    df = _df(
+        ["open", "write", "write", "read", "close"],
+        [0, 100, 200, 50, 0],
+    )
+    sig = io_signature(df)
+    assert sig["bytes_written"] == 300
+    assert sig["bytes_read"] == 50
+    assert sig["n_writes"] == 2
+    assert sig["n_reads"] == 1
+    assert sig["n_opens"] == 1
+    assert sig["mean_write_size"] == 150
+    assert sig["duration_s"] == 4.0
+    assert sig["event_rate_per_s"] == pytest.approx(5 / 4.0)
+
+
+def test_signature_job_filter():
+    df1 = _df(["write"], [10], job=1)
+    df2 = _df(["write", "write"], [10, 10], job=2)
+    both = DataFrame.from_records(df1.to_records() + df2.to_records())
+    assert io_signature(both, job_id=2)["n_writes"] == 2
+    with pytest.raises(DataFrameError):
+        io_signature(both, job_id=99)
+
+
+def test_signature_no_writes_ratio_inf():
+    sig = io_signature(_df(["read"], [100]))
+    assert sig["read_write_byte_ratio"] == float("inf")
+
+
+def test_classify_metadata_intensive():
+    sig = io_signature(_df(["open"] * 5 + ["write"], [0] * 5 + [10]))
+    assert classify_workload(sig) == "metadata-intensive"
+
+
+def test_classify_small_op_streaming():
+    ops = ["write"] * 2000
+    df = _df(ops, [128] * 2000, dt=0.001)  # 1000 ev/s, tiny ops
+    assert classify_workload(io_signature(df)) == "small-op-streaming"
+
+
+def test_classify_checkpoint():
+    df = _df(["write"] * 10, [16 * 2**20] * 10, dt=10.0)
+    assert classify_workload(io_signature(df)) == "checkpoint"
+
+
+def test_classify_read_intensive():
+    df = _df(["read"] * 10 + ["write"], [2**20] * 10 + [1000], dt=10.0)
+    assert classify_workload(io_signature(df)) == "read-intensive"
+
+
+def test_classify_balanced():
+    df = _df(["read", "write"] * 5, [2**20] * 10, dt=10.0)
+    assert classify_workload(io_signature(df)) == "balanced-rw"
+
+
+def test_compare_ranks_by_event_rate():
+    fast = io_signature(_df(["write"] * 1000, [100] * 1000, dt=0.001))
+    slow = io_signature(_df(["write"] * 10, [2**20] * 10, dt=10.0))
+    rows = compare_signatures({"fast": fast, "slow": slow})
+    assert [r["label"] for r in rows] == ["fast", "slow"]
+    assert rows[0]["overhead_risk"] == "high"
+    assert rows[1]["overhead_risk"] == "low"

@@ -1,0 +1,127 @@
+"""Tests for variability quantification and the DXT timeline path."""
+
+import numpy as np
+import pytest
+
+from repro.webservices import (
+    DataFrame,
+    op_dispersion,
+    timeline_from_dxt,
+    variability_report,
+)
+from repro.webservices.dataframe import DataFrameError
+
+
+def _campaign_df(job_means, n_per_job=50, seed=0):
+    """Jobs with specified mean write durations."""
+    rng = np.random.default_rng(seed)
+    rows = {"job_id": [], "op": [], "seg_dur": []}
+    for job, mean in job_means.items():
+        for _ in range(n_per_job):
+            rows["job_id"].append(job)
+            rows["op"].append("write")
+            rows["seg_dur"].append(max(rng.normal(mean, mean * 0.05), 1e-6))
+    return DataFrame(
+        {
+            "job_id": np.asarray(rows["job_id"]),
+            "op": np.asarray(rows["op"], dtype=object),
+            "seg_dur": np.asarray(rows["seg_dur"]),
+        }
+    )
+
+
+# -------------------------------------------------------------- dispersion
+
+
+def test_op_dispersion_basics():
+    d = op_dispersion(np.asarray([1.0, 1.0, 1.0, 1.0]))
+    assert d["mean"] == 1.0
+    assert d["cov"] == 0.0
+    assert d["tail_ratio"] == pytest.approx(1.0)
+
+
+def test_op_dispersion_tail():
+    durations = np.asarray([0.1] * 90 + [10.0] * 10)
+    d = op_dispersion(durations)
+    assert d["tail_ratio"] > 10
+    assert d["p95"] > d["p50"]
+
+
+def test_op_dispersion_empty_rejected():
+    with pytest.raises(ValueError):
+        op_dispersion(np.asarray([]))
+
+
+def test_op_dispersion_single_sample():
+    d = op_dispersion(np.asarray([2.0]))
+    assert d["cov"] == 0.0
+
+
+# ------------------------------------------------------------------ report
+
+
+def test_stable_campaign_verdict():
+    df = _campaign_df({1: 0.1, 2: 0.1, 3: 0.11, 4: 0.1, 5: 0.09})
+    report = variability_report(df)
+    assert report["write"]["verdict"] == "stable"
+    assert report["write"]["cross_job_cov"] < 0.25
+    assert len(report["write"]["per_job_mean"]) == 5
+
+
+def test_anomalous_campaign_verdict():
+    df = _campaign_df({1: 0.1, 2: 0.1, 3: 0.1, 4: 0.1, 5: 5.0})
+    report = variability_report(df)
+    assert report["write"]["verdict"] == "highly-variable"
+    assert report["write"]["cross_job_cov"] > 1.0
+
+
+def test_report_no_matching_ops():
+    df = _campaign_df({1: 0.1})
+    with pytest.raises(DataFrameError):
+        variability_report(df, ops=("fsync",))
+
+
+def test_report_skips_absent_op():
+    df = _campaign_df({1: 0.1, 2: 0.1})
+    report = variability_report(df)  # defaults include 'read'
+    assert "write" in report
+    assert "read" not in report
+
+
+# -------------------------------------------------------- DXT timeline path
+
+
+def test_timeline_from_dxt_matches_connector_timeline():
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.webservices import rows_to_dataframe, timeline
+
+    world = World(WorldConfig(seed=15, quiet=True, n_compute_nodes=4))
+    result = run_job(
+        world,
+        MpiIoTest(n_nodes=2, ranks_per_node=2, iterations=3, block_size=2**20,
+                  collective=False, sync_per_iteration=False),
+        "nfs",
+        connector_config=ConnectorConfig(),
+    )
+    # Run-time path.
+    rows = [r for r in world.query_job(result.job_id).rows if r["module"] == "POSIX"]
+    tl_live = timeline(rows_to_dataframe(rows), result.job_id)
+    # Post-mortem path.
+    tl_dxt = timeline_from_dxt(result.darshan_log)
+
+    assert len(tl_live["t"]) == len(tl_dxt["t"])
+    np.testing.assert_allclose(np.sort(tl_live["t"]), np.sort(tl_dxt["t"]), atol=1e-6)
+    assert tl_live["t0"] == pytest.approx(tl_dxt["t0"], abs=1e-6)
+
+
+def test_timeline_from_dxt_requires_segments():
+    from repro.darshan.logfile import DarshanLog
+
+    empty = DarshanLog(
+        job_id=1, uid=1, exe="/x", nprocs=1, start_time=0.0, end_time=1.0,
+        records=[], names={},
+    )
+    with pytest.raises(DataFrameError):
+        timeline_from_dxt(empty)
