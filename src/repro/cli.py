@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli table2c [--families 400]
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
+    python -m repro.cli telemetry [--queue-depth 1] [--inject-failure]
 
 All commands print the reproduced rows/series to stdout; scale flags
 trade fidelity for wall-clock time (see EXPERIMENTS.md for the
@@ -130,6 +131,38 @@ def _cmd_ablations(args) -> None:
               f"latency={r['mean_latency_s']:.2f}s")
 
 
+def _cmd_telemetry(args) -> None:
+    """Run a small campaign with pipeline telemetry on and report it:
+    per-stage latency histograms, drop sites, loss reconciliation."""
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.experiments.world import STREAM_TAG
+
+    world = World(WorldConfig(
+        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        forward_queue_depth=args.queue_depth,
+    ))
+    if args.inject_failure:
+        # Crash the L1 aggregator mid-run so the report has a
+        # daemon-failure drop site to attribute.
+        seen = {"n": 0}
+
+        def trip_wire(message):
+            seen["n"] += 1
+            if seen["n"] == args.fail_after:
+                world.fabric.l1.fail()
+
+        world.fabric.l1.streams.subscribe(STREAM_TAG, trip_wire)
+
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=4,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
+    print(result.health.render_text())
+
+
 def _cmd_report(args) -> None:
     from pathlib import Path
 
@@ -150,6 +183,7 @@ _COMMANDS = {
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
     "ablations": _cmd_ablations,
+    "telemetry": _cmd_telemetry,
 }
 
 
@@ -166,6 +200,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="HMMER Pfam families (scaled input)")
     parser.add_argument("--particles", type=int, default=500_000,
                         help="HACC particles per rank (scaled input)")
+    parser.add_argument("--queue-depth", type=int, default=65536,
+                        help="telemetry: forward-outbox depth (small = overflow)")
+    parser.add_argument("--inject-failure", action="store_true",
+                        help="telemetry: crash the L1 aggregator mid-run")
+    parser.add_argument("--fail-after", type=int, default=50,
+                        help="telemetry: messages seen at L1 before the crash")
     args = parser.parse_args(argv)
     _COMMANDS[args.command](args)
     return 0

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from repro.core.json_format import FormatCostModel, MessageBuilder
 from repro.core.sampling import EventSampler
 from repro.darshan.runtime import DarshanRuntime, IOEvent
+from repro.telemetry.collector import collector_for
+from repro.telemetry.trace import make_trace_id
 
 __all__ = ["ConnectorConfig", "ConnectorStats", "DarshanLdmsConnector"]
 
@@ -84,6 +86,10 @@ class DarshanLdmsConnector:
         self.builder = MessageBuilder(config.cost_model)
         self.sampler = EventSampler(config.sample_every)
         self.stats = ConnectorStats()
+        #: Per-rank message sequence numbers: the deterministic basis of
+        #: telemetry trace ids (no RNG, no wall clock — stamping traces
+        #: cannot perturb a seeded campaign).
+        self._trace_seq: dict[int, int] = {}
         runtime.add_event_listener(self)
 
     # -- the listener hook (runs on the application rank's clock) -----------
@@ -103,13 +109,28 @@ class DarshanLdmsConnector:
         yield self.env.timeout(formatted.format_cost_s)
 
         daemon = self._daemon_for_node(event.context.node_name)
+        trace_id = self._next_trace_id(event.context.rank)
+        collector = collector_for(self.env)
+        if collector is not None:
+            collector.begin(
+                trace_id,
+                self.runtime.job_id,
+                event.context.rank,
+                event.context.node_name,
+            )
         t0 = self.env.now
         yield from daemon.publish(
-            self.config.stream_tag, formatted.payload or "{}", fmt="json"
+            self.config.stream_tag, formatted.payload or "{}", fmt="json",
+            trace_id=trace_id,
         )
         self.stats.publish_seconds += self.env.now - t0
         self.stats.messages_published += 1
         self.stats.bytes_published += len(formatted.payload)
+
+    def _next_trace_id(self, rank: int) -> str:
+        seq = self._trace_seq.get(rank, 0)
+        self._trace_seq[rank] = seq + 1
+        return make_trace_id(self.runtime.job_id, rank, seq)
 
     # -- derived reporting -----------------------------------------------------
 

@@ -18,6 +18,7 @@ class MetricStreamStore:
     """Streams-subscriber landing metric sets in DSOS."""
 
     def __init__(self, daemon, tags: list[str], client: DsosClient):
+        self.daemon = daemon
         self.client = client
         self.tags = list(tags)
         client.ensure_schema(LDMS_METRICS_SCHEMA)
@@ -25,6 +26,14 @@ class MetricStreamStore:
         self.samples_stored = 0
         for tag in self.tags:
             daemon.streams.subscribe(tag, self._make_callback(tag))
+
+    def add_tag(self, tag: str) -> None:
+        """Subscribe to one more ``metrics/<plugin>`` stream tag
+        (pipeline-telemetry samplers attach after construction)."""
+        if tag in self.tags:
+            return
+        self.tags.append(tag)
+        self.daemon.streams.subscribe(tag, self._make_callback(tag))
 
     def _make_callback(self, tag: str):
         source = tag.split("/", 1)[-1]

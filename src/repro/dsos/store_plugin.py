@@ -12,6 +12,12 @@ import json
 
 from repro.dsos.client import DsosClient
 from repro.dsos.schema import DARSHAN_DATA_SCHEMA
+from repro.telemetry.collector import collector_for
+from repro.telemetry.trace import (
+    DROP_PARSE_ERROR,
+    STAGE_INGEST,
+    STORED,
+)
 
 __all__ = ["DsosStreamStore"]
 
@@ -26,6 +32,7 @@ class DsosStreamStore:
     """Streams-subscriber that lands connector messages in DSOS."""
 
     def __init__(self, daemon, tag: str, client: DsosClient, schema=DARSHAN_DATA_SCHEMA):
+        self.daemon = daemon
         self.tag = tag
         self.client = client
         self.schema = schema
@@ -39,15 +46,28 @@ class DsosStreamStore:
             data = json.loads(message.payload)
         except json.JSONDecodeError:
             self.parse_errors += 1
+            self._ingest_hop(message, DROP_PARSE_ERROR)
             return
         if not isinstance(data, dict):
             self.parse_errors += 1
+            self._ingest_hop(message, DROP_PARSE_ERROR)
             return
         for obj in self._flatten(data):
             # _flatten+_coerce already guarantee schema conformance;
             # skip per-object validation on this hot ingest path.
             self.client.cluster.insert(self.schema.name, obj, validate=False)
             self.objects_stored += 1
+        self._ingest_hop(message, STORED)
+
+    def _ingest_hop(self, message, outcome: str) -> None:
+        """Terminal telemetry hop: the message either landed or died here."""
+        if not message.trace_id:
+            return
+        collector = collector_for(self.daemon.env)
+        if collector is not None:
+            collector.hop(
+                message.trace_id, STAGE_INGEST, self.daemon.node.name, outcome
+            )
 
     def _flatten(self, data: dict):
         segments = data.get("seg") or [{}]

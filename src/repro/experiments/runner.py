@@ -32,6 +32,9 @@ class JobResult:
     runtime_s: float
     darshan_log: object
     connector: DarshanLdmsConnector | None
+    #: Pipeline-health appendix (telemetry-enabled worlds only): the
+    #: per-job PipelineHealthReport with hop latencies and loss ledger.
+    health: object | None = None
 
     @property
     def job_id(self) -> int:
@@ -114,6 +117,9 @@ def _prepare_job(
 
 def _finish(world: World, prepared) -> JobResult:
     job, app, fs_name, runtime, connector, _ = prepared
+    health = None
+    if getattr(world, "telemetry", None) is not None and connector is not None:
+        health = world.pipeline_health_report(job_id=job.job_id)
     return JobResult(
         job=job,
         app=app,
@@ -121,6 +127,7 @@ def _finish(world: World, prepared) -> JobResult:
         runtime_s=job.runtime,
         darshan_log=runtime.finalize(),
         connector=connector,
+        health=health,
     )
 
 

@@ -57,6 +57,13 @@ class WorldConfig:
     lustre_params: LustreParams = field(default_factory=LustreParams)
     dsos_daemons: int = 4
     keep_csv: bool = False  # also attach the CSV store plugin
+    #: Install a repro.telemetry TraceCollector: hop traces, latency
+    #: histograms and loss reconciliation for the pipeline itself.
+    #: Purely observational — results are byte-identical either way.
+    telemetry: bool = False
+    #: Outbox depth of every stream-forward rule (small values force
+    #: overflow drops; the default matches production ldmsd).
+    forward_queue_depth: int = 65536
 
     @property
     def epoch(self) -> float:
@@ -103,8 +110,18 @@ class World:
         self.cluster.attach_filesystem("nfs", nfs)
         self.cluster.attach_filesystem("lustre", lustre)
 
+        # Pipeline self-observability (must exist before daemons start
+        # publishing; hooks look the collector up per hop).
+        self.telemetry = None
+        if config.telemetry:
+            from repro.telemetry import install
+
+            self.telemetry = install(self.env)
+
         # Monitoring and storage pipeline.
-        self.fabric = AggregationFabric(self.cluster, STREAM_TAG)
+        self.fabric = AggregationFabric(
+            self.cluster, STREAM_TAG, queue_depth=config.forward_queue_depth
+        )
         self.dsos = DsosClient(DsosCluster("shirley-dsos", config.dsos_daemons))
         self.store = DsosStreamStore(self.fabric.l2, STREAM_TAG, self.dsos)
         self.csv_store = (
@@ -112,6 +129,7 @@ class World:
         )
         self.metric_store = None
         self._samplers_running = False
+        self._pipeline_samplers_running = False
 
     # -- system telemetry (classic LDMS samplers) -----------------------------
 
@@ -137,11 +155,48 @@ class World:
 
     def stop_samplers(self) -> None:
         self.fabric.l1.stop()
+        self.fabric.l2.stop()
         self._samplers_running = False
+        self._pipeline_samplers_running = False
 
     def query_metrics(self, metric: str):
         """All samples of one metric, in time order."""
         return self.dsos.query("ldms_metrics", "metric_time", prefix=(metric,))
+
+    # -- pipeline self-observability ------------------------------------------
+
+    def start_pipeline_samplers(self, interval_s: float = 5.0) -> None:
+        """Publish the aggregators' own delivery ledgers as metric sets.
+
+        Pipeline health rides the same streams → aggregation → DSOS
+        fabric it measures: L1's ``metrics/pipestats_*`` sets are
+        forwarded to L2 like any other stream, and both land in the
+        ``ldms_metrics`` schema.
+        """
+        if self._pipeline_samplers_running:
+            raise RuntimeError("pipeline samplers already running")
+        from repro.dsos.metric_store import MetricStreamStore
+        from repro.telemetry.metrics import PipelineStatsSampler
+
+        tags = []
+        for daemon in (self.fabric.l1, self.fabric.l2):
+            sampler = PipelineStatsSampler(daemon)
+            daemon.add_sampler(sampler, interval_s)
+            tags.append(f"metrics/{sampler.name}")
+        self.fabric.l1.add_stream_forward(tags[0], self.fabric.l2)
+        if self.metric_store is None:
+            self.metric_store = MetricStreamStore(self.fabric.l2, tags, self.dsos)
+        else:
+            for tag in tags:
+                self.metric_store.add_tag(tag)
+        self._pipeline_samplers_running = True
+
+    def pipeline_health_report(self, job_id: int | None = None):
+        """The :class:`~repro.telemetry.report.PipelineHealthReport`
+        for this world (optionally restricted to one job)."""
+        from repro.telemetry import PipelineHealthReport
+
+        return PipelineHealthReport.from_world(self, job_id=job_id)
 
     # -- conveniences --------------------------------------------------------
 
@@ -154,7 +209,7 @@ class World:
         With samplers running, the event queue never empties, so drain
         a bounded horizon instead.
         """
-        if self._samplers_running:
+        if self._samplers_running or self._pipeline_samplers_running:
             self.env.run(until=self.env.now + 2.0)
         else:
             self.env.run()

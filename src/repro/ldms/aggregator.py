@@ -66,9 +66,18 @@ class AggregationFabric:
         except KeyError:
             raise KeyError(f"no compute ldmsd on {node_name!r}") from None
 
+    def all_daemons(self) -> list[Ldmsd]:
+        """Every daemon in the fabric, compute level first."""
+        return [*self.compute_daemons.values(), self.l1, self.l2]
+
+    def health_snapshots(self) -> list[dict]:
+        """Per-daemon :meth:`~repro.ldms.daemon.Ldmsd.stats_snapshot`
+        for the whole fabric — the counters section of health reports."""
+        return [d.stats_snapshot() for d in self.all_daemons()]
+
     def stop(self) -> None:
         """Stop sampler loops on every daemon."""
-        for d in (*self.compute_daemons.values(), self.l1, self.l2):
+        for d in self.all_daemons():
             d.stop()
 
     def totals(self) -> FabricTotals:

@@ -23,8 +23,35 @@ from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.ldms.streams import StreamMessage, StreamsBus
 from repro.sim import Environment, Interrupt, Store
+from repro.telemetry import trace as _trace
+from repro.telemetry.collector import collector_for
 
 __all__ = ["Ldmsd", "ForwardStats"]
+
+
+class _BusTelemetry:
+    """Bridge from one daemon's bus to the env's trace collector.
+
+    Installed unconditionally; every hook is a single weak-dict miss
+    when no collector is installed, so the untraced hot path is
+    untouched.
+    """
+
+    __slots__ = ("daemon",)
+
+    def __init__(self, daemon: "Ldmsd"):
+        self.daemon = daemon
+
+    def on_publish(self, message: StreamMessage, delivered: int) -> None:
+        if not message.trace_id:
+            return
+        collector = collector_for(self.daemon.env)
+        if collector is None:
+            return
+        outcome = _trace.DELIVERED if delivered else _trace.DROP_NO_SUBSCRIBER
+        collector.hop(
+            message.trace_id, _trace.STAGE_BUS, self.daemon.node.name, outcome
+        )
 
 
 @dataclass
@@ -73,8 +100,24 @@ class _Forwarder:
             depth = len(self.outbox)
             if depth > self.stats.max_queue_depth:
                 self.stats.max_queue_depth = depth
+            collector = collector_for(self.env)
+            if collector is not None:
+                node = self.owner.node.name
+                if message.trace_id:
+                    # The forward hop spans outbox wait + batched transfer.
+                    collector.open_hop(message.trace_id, _trace.STAGE_FORWARD, node)
+                collector.gauge(f"outbox_depth/{node}/{self.tag}", depth)
         else:
             self.stats.dropped_overflow += 1
+            if message.trace_id:
+                collector = collector_for(self.env)
+                if collector is not None:
+                    collector.hop(
+                        message.trace_id,
+                        _trace.STAGE_FORWARD,
+                        self.owner.node.name,
+                        _trace.DROP_OVERFLOW,
+                    )
 
     def _run(self):
         network = self.owner.network
@@ -96,7 +139,15 @@ class _Forwarder:
                 )
             self.stats.forwarded += len(batch)
             self.stats.bytes_forwarded += total_bytes
+            collector = collector_for(self.env)
             for message in batch:
+                if collector is not None and message.trace_id:
+                    collector.close_hop(
+                        message.trace_id,
+                        _trace.STAGE_FORWARD,
+                        self.owner.node.name,
+                        _trace.FORWARDED,
+                    )
                 self.peer.receive(message)
 
 
@@ -123,6 +174,7 @@ class Ldmsd:
         self.publish_overhead_s = publish_overhead_s
         self.loopback_bandwidth_bps = loopback_bandwidth_bps
         self.streams = StreamsBus()
+        self.streams.telemetry = _BusTelemetry(self)
         self._forwarders: list[_Forwarder] = []
         self._samplers: list = []
         self._failed = False
@@ -149,9 +201,41 @@ class Ldmsd:
     def forward_stats(self) -> list[ForwardStats]:
         return [f.stats for f in self._forwarders]
 
+    def stats_snapshot(self) -> dict:
+        """Merged bus + per-rule forward accounting as one plain dict.
+
+        The single entry point health reports (and operators) use —
+        callers no longer reach into ``_Forwarder`` internals.
+        """
+        return {
+            "name": self.name,
+            "node": self.node.name,
+            "failed": self._failed,
+            "dropped_while_failed": self.dropped_while_failed,
+            "bus": {
+                "published": self.streams.stats.published,
+                "delivered": self.streams.stats.delivered,
+                "dropped_no_subscriber": self.streams.stats.dropped_no_subscriber,
+                "bytes_published": self.streams.stats.bytes_published,
+            },
+            "forwards": [
+                {
+                    "tag": f.tag,
+                    "peer": f.peer.node.name,
+                    "enqueued": f.stats.enqueued,
+                    "forwarded": f.stats.forwarded,
+                    "dropped_overflow": f.stats.dropped_overflow,
+                    "bytes_forwarded": f.stats.bytes_forwarded,
+                    "max_queue_depth": f.stats.max_queue_depth,
+                    "queue_depth": len(f.outbox),
+                }
+                for f in self._forwarders
+            ],
+        }
+
     # -- the app-facing Streams API -------------------------------------------
 
-    def publish(self, tag: str, payload, fmt: str = "json"):
+    def publish(self, tag: str, payload, fmt: str = "json", trace_id: str = ""):
         """Generator: publish to the local bus, charging publish cost.
 
         ``payload`` may be a pre-formatted string or any JSON-serializable
@@ -169,19 +253,24 @@ class Ldmsd:
             fmt=fmt,
             src_node=self.node.name,
             publish_time=self.env.now,
+            trace_id=trace_id,
         )
         cost = self.publish_overhead_s + message.size_bytes / self.loopback_bandwidth_bps
+        t0 = self.env.now
         yield self.env.timeout(cost)
         if self._failed:
             self.dropped_while_failed += 1
+            self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.DROP_DAEMON_FAILED)
             return 0
+        self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.PUBLISHED, t_in=t0)
         delivered = self.streams.publish(message)
         return delivered
 
-    def publish_now(self, tag: str, payload, fmt: str = "json") -> int:
+    def publish_now(self, tag: str, payload, fmt: str = "json", trace_id: str = "") -> int:
         """Zero-cost publish for daemon-internal producers (samplers)."""
         if self._failed:
             self.dropped_while_failed += 1
+            self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.DROP_DAEMON_FAILED)
             return 0
         if not isinstance(payload, str):
             payload = json.dumps(payload, separators=(",", ":"))
@@ -191,8 +280,18 @@ class Ldmsd:
             fmt=fmt,
             src_node=self.node.name,
             publish_time=self.env.now,
+            trace_id=trace_id,
         )
         return self.streams.publish(message)
+
+    def _record_hop(
+        self, trace_id: str, stage: str, outcome: str, t_in: float | None = None
+    ) -> None:
+        if not trace_id:
+            return
+        collector = collector_for(self.env)
+        if collector is not None:
+            collector.hop(trace_id, stage, self.node.name, outcome, t_in=t_in)
 
     # -- receiving from peers ----------------------------------------------------
 
@@ -200,6 +299,9 @@ class Ldmsd:
         """Deliver a forwarded message to this daemon's local bus."""
         if self._failed:
             self.dropped_while_failed += 1
+            self._record_hop(
+                message.trace_id, _trace.STAGE_RECEIVE, _trace.DROP_DAEMON_FAILED
+            )
             return
         self.streams.publish(message)
 

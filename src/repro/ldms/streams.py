@@ -23,6 +23,10 @@ class StreamMessage:
     fmt: str = "json"  # "json" or "string", per the Streams API
     src_node: str = ""
     publish_time: float = 0.0
+    #: Optional pipeline-telemetry trace id (repro.telemetry).  Carried
+    #: out of band — never part of the payload, so tracing cannot change
+    #: message sizes or costs.
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.fmt not in ("json", "string"):
@@ -49,6 +53,9 @@ class StreamsBus:
     def __init__(self):
         self._subscribers: dict[str, list] = {}
         self.stats = BusStats()
+        #: Optional telemetry hook with ``on_publish(message, delivered)``
+        #: (set by the owning daemon; None on standalone buses).
+        self.telemetry = None
 
     def subscribe(self, tag: str, callback) -> None:
         """Register ``callback(message)`` for messages matching ``tag``."""
@@ -76,8 +83,17 @@ class StreamsBus:
         callbacks = self._subscribers.get(message.tag)
         if not callbacks:
             self.stats.dropped_no_subscriber += 1
+            if self.telemetry is not None:
+                self.telemetry.on_publish(message, 0)
             return 0
+        # Count each *successful* callback invocation: a callback that
+        # raises or mutates the subscription list mid-delivery must not
+        # skew the ledger (delivery is to the snapshot taken above).
+        delivered = 0
         for callback in list(callbacks):
             callback(message)
-        self.stats.delivered += len(callbacks)
-        return len(callbacks)
+            delivered += 1
+            self.stats.delivered += 1
+        if self.telemetry is not None:
+            self.telemetry.on_publish(message, delivered)
+        return delivered

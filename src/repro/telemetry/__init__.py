@@ -1,0 +1,93 @@
+"""repro.telemetry: self-observability for the monitoring pipeline.
+
+The paper's system diagnoses *application* I/O at run time; this
+package turns the same lens on the monitoring pipeline itself:
+
+* **hop tracing** (:mod:`~repro.telemetry.trace`,
+  :mod:`~repro.telemetry.collector`) — the connector stamps each
+  stream message with a deterministic ``(job, rank, seq)`` trace id and
+  every instrumented stage (bus delivery, forwarder outbox, aggregator
+  relay, DSOS ingest) appends a hop record, giving per-message
+  end-to-end latency and a drop site for every lost message;
+* **streaming metrics** (:mod:`~repro.telemetry.histogram`,
+  :mod:`~repro.telemetry.metrics`) — fixed-bin log-scale latency
+  histograms and queue-depth gauges, also publishable as ordinary LDMS
+  metric sets so telemetry rides the fabric it measures;
+* **reporting** (:mod:`~repro.telemetry.report`) — the
+  :class:`PipelineHealthReport` that reconciles
+  ``published == stored + Σ drops(site)`` exactly per job/rank and
+  renders via the web-services panels or the ``repro telemetry`` CLI.
+
+Tracing is opt-in per environment (:func:`install`) and purely
+observational: with or without a collector, a seeded campaign produces
+byte-identical results.
+"""
+
+from repro.telemetry.collector import TraceCollector, collector_for, install, uninstall
+from repro.telemetry.histogram import GaugeStats, LogHistogram
+from repro.telemetry.trace import (
+    DELIVERED,
+    DROP_DAEMON_FAILED,
+    DROP_NO_SUBSCRIBER,
+    DROP_OVERFLOW,
+    DROP_PARSE_ERROR,
+    FORWARDED,
+    PUBLISHED,
+    STAGE_BUS,
+    STAGE_FORWARD,
+    STAGE_INGEST,
+    STAGE_PUBLISH,
+    STAGE_RECEIVE,
+    STORED,
+    HopRecord,
+    MessageTrace,
+    make_trace_id,
+    parse_trace_id,
+)
+
+__all__ = [
+    "DELIVERED",
+    "DROP_DAEMON_FAILED",
+    "DROP_NO_SUBSCRIBER",
+    "DROP_OVERFLOW",
+    "DROP_PARSE_ERROR",
+    "FORWARDED",
+    "GaugeStats",
+    "HopRecord",
+    "LogHistogram",
+    "MessageTrace",
+    "PUBLISHED",
+    "PipelineHealthReport",
+    "PipelineStatsSampler",
+    "ReconRow",
+    "STAGE_BUS",
+    "STAGE_FORWARD",
+    "STAGE_INGEST",
+    "STAGE_PUBLISH",
+    "STAGE_RECEIVE",
+    "STORED",
+    "TraceCollector",
+    "collector_for",
+    "install",
+    "make_trace_id",
+    "parse_trace_id",
+    "uninstall",
+]
+
+_LAZY = {
+    # Imported on first use to keep the low-level tracing modules free
+    # of repro.ldms / repro.webservices dependencies (the daemons import
+    # the collector on *their* import path).
+    "PipelineHealthReport": "repro.telemetry.report",
+    "ReconRow": "repro.telemetry.report",
+    "PipelineStatsSampler": "repro.telemetry.metrics",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,183 @@
+"""The per-environment trace collector.
+
+A :class:`TraceCollector` is *installed* against one simulation
+:class:`~repro.sim.Environment`; instrumented pipeline stages (the
+streams bus, forwarder outboxes, daemon receive paths, store plugins)
+look it up with :func:`collector_for` at each hop and append
+:class:`~repro.telemetry.trace.HopRecord`\\ s.  When no collector is
+installed every hook is a dictionary miss and the pipeline behaves
+byte-identically — telemetry observes, it never perturbs: no RNG draws,
+no scheduled events, no payload changes.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.telemetry.histogram import GaugeStats, LogHistogram
+from repro.telemetry.trace import (
+    STORED,
+    HopRecord,
+    MessageTrace,
+    parse_trace_id,
+)
+
+__all__ = ["TraceCollector", "collector_for", "install", "uninstall"]
+
+#: Synthetic stage for the full publish-begin → stored span.
+END_TO_END = "end_to_end"
+
+_COLLECTORS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def install(env) -> "TraceCollector":
+    """Attach (or return the existing) collector for ``env``."""
+    collector = _COLLECTORS.get(env)
+    if collector is None:
+        collector = TraceCollector(env)
+        _COLLECTORS[env] = collector
+    return collector
+
+
+def collector_for(env) -> "TraceCollector | None":
+    """The collector installed for ``env``, or ``None`` (the hot path)."""
+    return _COLLECTORS.get(env)
+
+
+def uninstall(env) -> None:
+    """Detach any collector from ``env``."""
+    _COLLECTORS.pop(env, None)
+
+
+class TraceCollector:
+    """Hop traces, per-stage latency histograms and gauges for one env."""
+
+    def __init__(self, env):
+        self.env = env
+        #: trace_id -> MessageTrace
+        self.traces: dict[str, MessageTrace] = {}
+        #: (trace_id, stage, node) -> t_in of a hop in progress
+        self._open: dict[tuple[str, str, str], float] = {}
+        #: stage -> LogHistogram of hop latencies (positive spans only)
+        self.histograms: dict[str, LogHistogram] = {}
+        #: name -> GaugeStats (queue depths, etc.)
+        self.gauges: dict[str, GaugeStats] = {}
+
+    # -- trace lifecycle -----------------------------------------------
+
+    def begin(self, trace_id: str, job_id: int, rank: int, node: str = "") -> MessageTrace:
+        """Register a message at its origin (the connector, pre-publish)."""
+        trace = MessageTrace(
+            trace_id=trace_id, job_id=job_id, rank=rank, t_begin=self.env.now
+        )
+        self.traces[trace_id] = trace
+        return trace
+
+    def _trace(self, trace_id: str, t_begin: float) -> MessageTrace:
+        trace = self.traces.get(trace_id)
+        if trace is None:
+            # A hop for a message begun before this collector existed
+            # (or stamped outside the connector): recover (job, rank)
+            # from the id itself so reconciliation still groups it.
+            parsed = parse_trace_id(trace_id) or (-1, -1, -1)
+            trace = MessageTrace(
+                trace_id=trace_id, job_id=parsed[0], rank=parsed[1], t_begin=t_begin
+            )
+            self.traces[trace_id] = trace
+        return trace
+
+    # -- hops ----------------------------------------------------------
+
+    def hop(
+        self,
+        trace_id: str,
+        stage: str,
+        node: str,
+        outcome: str,
+        t_in: float | None = None,
+        t_out: float | None = None,
+    ) -> HopRecord:
+        """Append one hop; instantaneous unless ``t_in``/``t_out`` given."""
+        now = self.env.now
+        if t_out is None:
+            t_out = now
+        if t_in is None:
+            t_in = t_out
+        trace = self._trace(trace_id, t_in)
+        record = HopRecord(stage=stage, node=node, t_in=t_in, t_out=t_out, outcome=outcome)
+        trace.hops.append(record)
+        if t_out > t_in:
+            self._histogram(stage).observe(t_out - t_in)
+        if outcome == STORED and t_out > trace.t_begin:
+            self._histogram(END_TO_END).observe(t_out - trace.t_begin)
+        return record
+
+    def open_hop(self, trace_id: str, stage: str, node: str) -> None:
+        """Mark a hop's entry time (e.g. enqueue into an outbox)."""
+        self._open[(trace_id, stage, node)] = self.env.now
+
+    def close_hop(self, trace_id: str, stage: str, node: str, outcome: str) -> HopRecord:
+        """Complete a hop opened with :meth:`open_hop`."""
+        t_in = self._open.pop((trace_id, stage, node), self.env.now)
+        return self.hop(trace_id, stage, node, outcome, t_in=t_in)
+
+    def _histogram(self, stage: str) -> LogHistogram:
+        hist = self.histograms.get(stage)
+        if hist is None:
+            hist = self.histograms[stage] = LogHistogram()
+        return hist
+
+    # -- gauges --------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        stats = self.gauges.get(name)
+        if stats is None:
+            stats = self.gauges[name] = GaugeStats()
+        stats.observe(value)
+
+    # -- aggregation ---------------------------------------------------
+
+    def drop_sites(self, job_id: int | None = None) -> dict[tuple[str, str, str], int]:
+        """``(stage, node, outcome) -> count`` over terminally dropped traces."""
+        sites: dict[tuple[str, str, str], int] = {}
+        for trace in self.traces.values():
+            if job_id is not None and trace.job_id != job_id:
+                continue
+            if trace.status != "dropped":
+                continue
+            site = trace.drop_site
+            sites[site] = sites.get(site, 0) + 1
+        return sites
+
+    def reconcile(self, job_id: int | None = None) -> dict[tuple[int, int], dict]:
+        """Per-(job, rank) ledger: published, stored, drops by site.
+
+        The pipeline invariant — ``published == stored + Σ drops(site)``
+        — holds exactly for every group once the simulation has drained
+        (``in_flight == 0``); anything else is a telemetry bug.
+        """
+        groups: dict[tuple[int, int], dict] = {}
+        for trace in self.traces.values():
+            if job_id is not None and trace.job_id != job_id:
+                continue
+            key = (trace.job_id, trace.rank)
+            g = groups.get(key)
+            if g is None:
+                g = groups[key] = {
+                    "published": 0,
+                    "stored": 0,
+                    "dropped": 0,
+                    "in_flight": 0,
+                    "drops": {},
+                }
+            g["published"] += 1
+            status = trace.status
+            if status == "stored":
+                g["stored"] += 1
+            elif status == "dropped":
+                g["dropped"] += 1
+                site = trace.drop_site
+                g["drops"][site] = g["drops"].get(site, 0) + 1
+            else:
+                g["in_flight"] += 1
+        return groups

@@ -1,0 +1,46 @@
+"""Pipeline-stats sampler: telemetry riding the fabric it measures.
+
+Following the LIKWID-stack argument that a monitoring framework must
+expose its own health, :class:`PipelineStatsSampler` is an ordinary
+LDMS sampler plugin whose metric set is the daemon's *own* delivery
+ledger (bus counters, forwarder queue depths, overflow drops).  It
+publishes on the standard ``metrics/<name>`` tags, so pipeline health
+flows through the same streams → aggregation → DSOS path as everything
+else and lands in the ``ldms_metrics`` schema, joinable against
+application I/O events by timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.ldms.sampler import SamplerPlugin
+
+__all__ = ["PipelineStatsSampler"]
+
+
+class PipelineStatsSampler(SamplerPlugin):
+    """Samples one daemon's :meth:`~repro.ldms.daemon.Ldmsd.stats_snapshot`."""
+
+    def __init__(self, daemon, name: str | None = None):
+        self.daemon = daemon
+        self.name = name or f"pipestats_{daemon.node.name}"
+
+    def sample(self, now: float) -> dict:
+        snap = self.daemon.stats_snapshot()
+        bus = snap["bus"]
+        forwards = snap["forwards"]
+        return {
+            "published": float(bus["published"]),
+            "delivered": float(bus["delivered"]),
+            "dropped_no_subscriber": float(bus["dropped_no_subscriber"]),
+            "bytes_published": float(bus["bytes_published"]),
+            "dropped_while_failed": float(snap["dropped_while_failed"]),
+            "forward_enqueued": float(sum(f["enqueued"] for f in forwards)),
+            "forward_forwarded": float(sum(f["forwarded"] for f in forwards)),
+            "forward_dropped_overflow": float(
+                sum(f["dropped_overflow"] for f in forwards)
+            ),
+            "forward_queue_depth": float(sum(f["queue_depth"] for f in forwards)),
+            "forward_max_queue_depth": float(
+                max((f["max_queue_depth"] for f in forwards), default=0)
+            ),
+        }

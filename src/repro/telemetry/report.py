@@ -1,0 +1,233 @@
+"""Pipeline health reporting: reconciliation, histograms, drop tables.
+
+The :class:`PipelineHealthReport` is the single place every "monitor
+the monitor" question is answered from: where latency is paid (per-
+stage log histograms), where messages are lost (drop-site table), and
+whether the ledger closes (``published == stored + Σ drops(site)``,
+exactly, per job/rank).  It renders as plain text for the ``repro
+telemetry`` CLI and as :class:`~repro.webservices.grafana.PanelData`
+for the HTML/Grafana front ends — the same panels application data
+flows through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.collector import TraceCollector
+
+__all__ = ["PipelineHealthReport", "ReconRow"]
+
+
+@dataclass(frozen=True)
+class ReconRow:
+    """One (job, rank) line of the loss-reconciliation ledger."""
+
+    job_id: int
+    rank: int
+    published: int
+    stored: int
+    dropped: int
+    in_flight: int
+    #: ``((stage, node, outcome), count)`` pairs, sorted.
+    drops: tuple
+
+    @property
+    def exact(self) -> bool:
+        """The reconciliation invariant for this group."""
+        return (
+            self.in_flight == 0
+            and self.published == self.stored + self.dropped
+            and self.dropped == sum(n for _, n in self.drops)
+        )
+
+
+class PipelineHealthReport:
+    """Aggregated self-observability report for one campaign/job."""
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        snapshots: list[dict] | tuple = (),
+        job_id: int | None = None,
+    ):
+        self.collector = collector
+        self.snapshots = list(snapshots)
+        self.job_id = job_id
+        self.rows = self._build_rows()
+
+    @classmethod
+    def from_world(cls, world, job_id: int | None = None) -> "PipelineHealthReport":
+        """Build from a telemetry-enabled campaign ``World``."""
+        if getattr(world, "telemetry", None) is None:
+            raise RuntimeError(
+                "telemetry not enabled; build the world with "
+                "WorldConfig(telemetry=True)"
+            )
+        return cls(
+            world.telemetry,
+            snapshots=world.fabric.health_snapshots(),
+            job_id=job_id,
+        )
+
+    def _build_rows(self) -> list[ReconRow]:
+        groups = self.collector.reconcile(job_id=self.job_id)
+        rows = []
+        for (job_id, rank), g in sorted(groups.items()):
+            rows.append(
+                ReconRow(
+                    job_id=job_id,
+                    rank=rank,
+                    published=g["published"],
+                    stored=g["stored"],
+                    dropped=g["dropped"],
+                    in_flight=g["in_flight"],
+                    drops=tuple(sorted(g["drops"].items())),
+                )
+            )
+        return rows
+
+    # -- ledger --------------------------------------------------------
+
+    @property
+    def published(self) -> int:
+        return sum(r.published for r in self.rows)
+
+    @property
+    def stored(self) -> int:
+        return sum(r.stored for r in self.rows)
+
+    @property
+    def dropped(self) -> int:
+        return sum(r.dropped for r in self.rows)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(r.in_flight for r in self.rows)
+
+    def drop_sites(self) -> dict[tuple[str, str, str], int]:
+        """``(stage, node, outcome) -> count``, terminal drops only."""
+        return self.collector.drop_sites(job_id=self.job_id)
+
+    def verify(self) -> bool:
+        """True iff the loss ledger closes exactly for every group."""
+        return all(r.exact for r in self.rows)
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self, width: int = 40) -> str:
+        lines = ["== pipeline health =="]
+        lines.append(
+            f"published={self.published} stored={self.stored} "
+            f"dropped={self.dropped} in_flight={self.in_flight}"
+        )
+        n_exact = sum(1 for r in self.rows if r.exact)
+        verdict = "EXACT" if self.verify() and self.rows else "VIOLATED"
+        if not self.rows:
+            verdict = "EMPTY"
+        lines.append(
+            f"reconciliation published == stored + Σ drops(site): "
+            f"{verdict} ({n_exact}/{len(self.rows)} job/rank groups)"
+        )
+
+        lines.append("")
+        lines.append("-- per-stage latency (seconds) --")
+        for stage, hist in sorted(self.collector.histograms.items()):
+            lines.append(
+                f"{stage}: n={hist.count} mean={hist.mean:.3g} "
+                f"p50={hist.percentile(50):.3g} p95={hist.percentile(95):.3g} "
+                f"p99={hist.percentile(99):.3g} max={hist.max:.3g}"
+            )
+            lines.extend(f"  {row}" for row in hist.render(width))
+
+        lines.append("")
+        lines.append("-- drop sites --")
+        lines.append(f"{'stage':<10} {'node':<14} {'outcome':<22} {'drops':>7}")
+        sites = self.drop_sites()
+        if not sites:
+            lines.append("(no drops)")
+        for (stage, node, outcome), count in sorted(sites.items()):
+            lines.append(f"{stage:<10} {node:<14} {outcome:<22} {count:>7}")
+
+        lines.append("")
+        lines.append("-- reconciliation per (job, rank) --")
+        lines.append(
+            f"{'job':>8} {'rank':>5} {'published':>9} {'stored':>7} "
+            f"{'dropped':>8} {'in_flight':>9}  exact"
+        )
+        for r in self.rows:
+            lines.append(
+                f"{r.job_id:>8} {r.rank:>5} {r.published:>9} {r.stored:>7} "
+                f"{r.dropped:>8} {r.in_flight:>9}  {'yes' if r.exact else 'NO'}"
+            )
+
+        if self.snapshots:
+            lines.append("")
+            lines.append("-- daemon counters --")
+            for snap in self.snapshots:
+                bus = snap["bus"]
+                lines.append(
+                    f"{snap['node']}/{snap['name']}: published={bus['published']} "
+                    f"delivered={bus['delivered']} "
+                    f"no_subscriber={bus['dropped_no_subscriber']} "
+                    f"while_failed={snap['dropped_while_failed']}"
+                    f"{' FAILED' if snap['failed'] else ''}"
+                )
+                for fwd in snap["forwards"]:
+                    lines.append(
+                        f"  -> {fwd['peer']} [{fwd['tag']}]: "
+                        f"enqueued={fwd['enqueued']} forwarded={fwd['forwarded']} "
+                        f"overflow={fwd['dropped_overflow']} "
+                        f"depth={fwd['queue_depth']} (max {fwd['max_queue_depth']})"
+                    )
+        return "\n".join(lines)
+
+    def to_panels(self) -> list:
+        """The report as Grafana panels (histograms + drop/recon tables)."""
+        from repro.webservices.grafana import PanelData
+
+        panels = []
+        for stage, hist in sorted(self.collector.histograms.items()):
+            panels.append(
+                PanelData(
+                    title=f"latency: {stage}",
+                    viz="histogram",
+                    payload=hist.to_dict(),
+                    rows_queried=hist.count,
+                )
+            )
+        drop_rows = [
+            {"stage": stage, "node": node, "outcome": outcome, "drops": count}
+            for (stage, node, outcome), count in sorted(self.drop_sites().items())
+        ]
+        panels.append(
+            PanelData(
+                title="drop sites", viz="table", payload=drop_rows,
+                rows_queried=len(drop_rows),
+            )
+        )
+        recon_rows = [
+            {
+                "job": r.job_id,
+                "rank": r.rank,
+                "published": r.published,
+                "stored": r.stored,
+                "dropped": r.dropped,
+                "in_flight": r.in_flight,
+                "exact": "yes" if r.exact else "NO",
+            }
+            for r in self.rows
+        ]
+        panels.append(
+            PanelData(
+                title="loss reconciliation", viz="table", payload=recon_rows,
+                rows_queried=len(recon_rows),
+            )
+        )
+        return panels
+
+    def to_html(self, title: str = "Pipeline health") -> str:
+        """Self-contained HTML dashboard of the report."""
+        from repro.webservices.html import render_html
+
+        return render_html(title, self.to_panels())

@@ -1,0 +1,139 @@
+"""Trace primitives: deterministic message trace ids and hop records.
+
+Every connector message gets a trace id derived purely from
+``(job_id, rank, seq)`` — no wall clock, no RNG — so stamping traces
+cannot perturb a seeded campaign.  As the message moves through the
+pipeline (local bus, forwarder outboxes, aggregator relays, DSOS
+ingest) each instrumented stage appends a :class:`HopRecord`; the full
+hop list for one message is a :class:`MessageTrace`, from which both
+the end-to-end latency and — for lost messages — the exact drop site
+fall out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HopRecord",
+    "MessageTrace",
+    "make_trace_id",
+    "parse_trace_id",
+    "STAGE_BUS",
+    "STAGE_FORWARD",
+    "STAGE_INGEST",
+    "STAGE_PUBLISH",
+    "STAGE_RECEIVE",
+    "DELIVERED",
+    "DROP_DAEMON_FAILED",
+    "DROP_NO_SUBSCRIBER",
+    "DROP_OVERFLOW",
+    "DROP_PARSE_ERROR",
+    "FORWARDED",
+    "PUBLISHED",
+    "STORED",
+]
+
+# -- hop stages (in pipeline order) ----------------------------------------
+
+STAGE_PUBLISH = "publish"  # app rank -> local ldmsd (publish cost charged)
+STAGE_BUS = "bus"  # delivery on one daemon's StreamsBus
+STAGE_FORWARD = "forward"  # outbox wait + batched network transfer
+STAGE_RECEIVE = "receive"  # arrival at a peer daemon
+STAGE_INGEST = "ingest"  # terminal store plugin (DSOS)
+
+# -- hop outcomes ----------------------------------------------------------
+
+PUBLISHED = "published"
+DELIVERED = "delivered"
+FORWARDED = "forwarded"
+STORED = "stored"
+#: Drop outcomes all share the ``drop_`` prefix; :meth:`HopRecord.is_drop`
+#: keys off it so new drop sites are accounted automatically.
+DROP_NO_SUBSCRIBER = "drop_no_subscriber"
+DROP_OVERFLOW = "drop_overflow"
+DROP_DAEMON_FAILED = "drop_daemon_failed"
+DROP_PARSE_ERROR = "drop_parse_error"
+
+
+def make_trace_id(job_id: int, rank: int, seq: int) -> str:
+    """Deterministic trace id for the ``seq``-th message of a rank."""
+    return f"{job_id}:{rank}:{seq}"
+
+
+def parse_trace_id(trace_id: str) -> tuple[int, int, int] | None:
+    """Inverse of :func:`make_trace_id`; ``None`` for foreign ids."""
+    parts = trace_id.split(":")
+    if len(parts) != 3:
+        return None
+    try:
+        job_id, rank, seq = (int(p) for p in parts)
+    except ValueError:
+        return None
+    return job_id, rank, seq
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One stage's view of one message's journey."""
+
+    stage: str
+    node: str
+    t_in: float
+    t_out: float
+    outcome: str
+
+    @property
+    def latency_s(self) -> float:
+        return self.t_out - self.t_in
+
+    @property
+    def is_drop(self) -> bool:
+        return self.outcome.startswith("drop_")
+
+    @property
+    def site(self) -> tuple[str, str, str]:
+        """The ``(stage, node, outcome)`` key drop ledgers group by."""
+        return (self.stage, self.node, self.outcome)
+
+
+@dataclass
+class MessageTrace:
+    """All hops one message took, from publish to store (or drop)."""
+
+    trace_id: str
+    job_id: int
+    rank: int
+    t_begin: float
+    hops: list = field(default_factory=list)
+
+    # Terminal-state resolution.  Single-path topologies produce exactly
+    # one terminal hop; if a message somehow both reached a store and was
+    # dropped on a side branch, reaching storage wins.
+
+    @property
+    def status(self) -> str:
+        """``"stored"`` | ``"dropped"`` | ``"in_flight"``."""
+        dropped = False
+        for hop in self.hops:
+            if hop.outcome == STORED:
+                return "stored"
+            if hop.is_drop:
+                dropped = True
+        return "dropped" if dropped else "in_flight"
+
+    @property
+    def drop_site(self) -> tuple[str, str, str] | None:
+        """``(stage, node, outcome)`` of the first drop hop, if any."""
+        for hop in self.hops:
+            if hop.is_drop:
+                return hop.site
+        return None
+
+    @property
+    def end_to_end_latency_s(self) -> float | None:
+        """Publish-begin to store time; ``None`` unless stored."""
+        for hop in self.hops:
+            if hop.outcome == STORED:
+                return hop.t_out - self.t_begin
+        return None

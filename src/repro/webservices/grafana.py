@@ -94,13 +94,38 @@ class Dashboard:
 
 
 def render_ascii(data: PanelData, width: int = 64, height: int = 12) -> str:
-    """Terminal rendering for bar/series payloads (examples only).
+    """Terminal rendering for bar/series/histogram/table payloads.
 
-    Supports payloads shaped like Figure 5 (``{label: {"mean": ...}}``)
-    and Figure 9 (``{"edges": ..., op: {"bytes"/"count": array}}``).
+    Supports payloads shaped like Figure 5 (``{label: {"mean": ...}}``),
+    Figure 9 (``{"edges": ..., op: {"bytes"/"count": array}}``), the
+    telemetry log-histogram (``{"bin_edges": ..., "counts": ...}``) and
+    plain row tables (``[{col: value, ...}, ...]``).
     """
     lines = [f"== {data.title} =="]
     payload = data.payload
+    if isinstance(payload, dict) and "bin_edges" in payload and "counts" in payload:
+        edges, counts = payload["bin_edges"], payload["counts"]
+        top = max(counts) if any(counts) else 1
+        for lo, hi, c in zip(edges, edges[1:], counts):
+            if c == 0:
+                continue
+            bar = "#" * max(int(c / top * width), 1)
+            lines.append(f"[{lo:8.1e}, {hi:8.1e}) |{bar} {c}")
+        if len(lines) == 1:
+            lines.append("(empty)")
+        return "\n".join(lines)
+    if isinstance(payload, list) and payload and all(
+        isinstance(r, dict) for r in payload
+    ):
+        cols = list(payload[0])
+        widths = {
+            c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in payload))
+            for c in cols
+        }
+        lines.append("  ".join(f"{c:<{widths[c]}}" for c in cols))
+        for r in payload:
+            lines.append("  ".join(f"{str(r.get(c, '')):<{widths[c]}}" for c in cols))
+        return "\n".join(lines)
     if isinstance(payload, dict) and payload and all(
         isinstance(v, dict) and "mean" in v for v in payload.values()
     ):

@@ -8,6 +8,9 @@ assets, viewable offline).  Supported payload shapes:
   error bars;
 * Figure-9 style — ``{"edges": arr, op: {"bytes"/"count": arr}}`` →
   stacked area-ish step series per op;
+* telemetry log-histograms — ``{"bin_edges": arr, "counts": arr}`` →
+  bin bars with the first/last edge labelled;
+* row tables — ``[{col: value, ...}, ...]`` → an HTML table;
 * anything else → a ``<pre>`` dump.
 """
 
@@ -120,14 +123,69 @@ def _series_svg(payload: dict) -> str:
     return "".join(parts)
 
 
+def _hist_svg(payload: dict) -> str:
+    edges = [float(e) for e in payload["bin_edges"]]
+    counts = [int(c) for c in payload["counts"]]
+    top = max(counts) if any(counts) else 1
+    plot_w = _PANEL_W - 2 * _MARGIN
+    plot_h = _PANEL_H - 2 * _MARGIN
+    bin_w = plot_w / max(len(counts), 1)
+    parts = [_svg_header()]
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_PANEL_H - _MARGIN}" '
+        f'x2="{_PANEL_W - _MARGIN}" y2="{_PANEL_H - _MARGIN}" stroke="#999" />'
+    )
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        h = c / top * plot_h
+        x = _MARGIN + i * bin_w
+        y = _PANEL_H - _MARGIN - h
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bin_w * 0.9:.1f}" '
+            f'height="{h:.1f}" fill="{_SERIES_COLORS["write"]}" />'
+        )
+    for x, label, anchor in (
+        (_MARGIN, f"{edges[0]:.0e}", "start"),
+        (_PANEL_W - _MARGIN, f"{edges[-1]:.0e}", "end"),
+    ):
+        parts.append(
+            f'<text x="{x}" y="{_PANEL_H - _MARGIN + 16}" '
+            f'text-anchor="{anchor}" font-size="11">{_html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _table_html(rows: list) -> str:
+    cols = list(rows[0])
+    parts = ["<table>", "<tr>"]
+    parts.extend(f"<th>{_html.escape(str(c))}</th>" for c in cols)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(
+            f"<td>{_html.escape(str(row.get(c, '')))}</td>" for c in cols
+        )
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
 def _panel_html(panel: PanelData) -> str:
     payload = panel.payload
     if isinstance(payload, dict) and payload and all(
         isinstance(v, dict) and "mean" in v for v in payload.values()
     ):
         body = _bars_svg(payload)
+    elif isinstance(payload, dict) and "bin_edges" in payload and "counts" in payload:
+        body = _hist_svg(payload)
     elif isinstance(payload, dict) and "edges" in payload:
         body = _series_svg(payload)
+    elif isinstance(payload, list) and payload and all(
+        isinstance(r, dict) for r in payload
+    ):
+        body = _table_html(payload)
     else:
         body = f"<pre>{_html.escape(repr(payload))}</pre>"
     return (

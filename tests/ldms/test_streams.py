@@ -67,6 +67,44 @@ def test_stats_accounting():
     assert bus.stats.bytes_published == 100 + len('{"a":1}')
 
 
+def test_delivered_counts_each_successful_callback():
+    """A raising subscriber must not inflate the delivered count: only
+    callbacks that actually ran are counted."""
+    bus = StreamsBus()
+    a = []
+    bus.subscribe("t", a.append)
+
+    def boom(message):
+        raise RuntimeError("subscriber crashed")
+
+    bus.subscribe("t", boom)
+    with pytest.raises(RuntimeError):
+        bus.publish(_msg(tag="t"))
+    assert len(a) == 1
+    assert bus.stats.delivered == 1  # not 2: boom never completed
+
+
+def test_delivered_accurate_when_callback_unsubscribes_mid_delivery():
+    """Delivery iterates a snapshot of the subscriber list, so a
+    mid-delivery unsubscribe still receives this message — and the
+    count reflects what actually happened."""
+    bus = StreamsBus()
+    b = []
+
+    def a_cb(message, done=[]):
+        if not done:
+            done.append(True)
+            bus.unsubscribe("t", b.append)
+
+    bus.subscribe("t", a_cb)
+    bus.subscribe("t", b.append)
+    assert bus.publish(_msg(tag="t")) == 2
+    assert bus.stats.delivered == 2
+    # The unsubscribe takes effect for the *next* publish.
+    assert bus.publish(_msg(tag="t")) == 1
+    assert bus.stats.delivered == 3
+
+
 def test_message_format_validation():
     with pytest.raises(ValueError):
         StreamMessage(tag="t", payload="x", fmt="xml")

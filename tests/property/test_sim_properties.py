@@ -1,5 +1,7 @@
 """Property-based tests of the DES kernel's core guarantees."""
 
+import json
+
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import Environment, Resource, Store
@@ -110,6 +112,39 @@ def test_store_try_put_accounts_every_item(n_items, capacity):
     accepted = sum(1 for i in range(n_items) if store.try_put(i))
     assert accepted == min(n_items, capacity)
     assert len(store) == accepted
+
+
+def _campaign_fingerprint(seed: int, telemetry: bool) -> tuple:
+    """Everything observable from one seeded campaign, serialized."""
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.darshan.cli import render_log
+    from repro.experiments import World, WorldConfig, run_job
+
+    world = World(WorldConfig(
+        seed=seed, quiet=True, n_compute_nodes=4, telemetry=telemetry,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=2, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
+    rows = world.query_job(result.job_id).rows
+    return (
+        result.runtime_s,
+        result.messages_published,
+        json.dumps(rows, sort_keys=True, default=str),
+        render_log(result.darshan_log),
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=3, deadline=None)
+def test_telemetry_is_purely_observational(seed):
+    """A seeded campaign is byte-identical with tracing on or off: the
+    collector observes the pipeline without perturbing it (no RNG, no
+    clock reads, no extra events, no payload changes)."""
+    assert _campaign_fingerprint(seed, False) == _campaign_fingerprint(seed, True)
 
 
 @given(st.data())

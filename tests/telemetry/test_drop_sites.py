@@ -1,0 +1,144 @@
+"""Every drop site in the pipeline must attribute losses to the right
+(stage, node, outcome) triple — the ledger the reconciliation invariant
+is built from."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ldms import Ldmsd
+from repro.sim import Environment, RngRegistry
+from repro.telemetry import (
+    DROP_DAEMON_FAILED,
+    DROP_NO_SUBSCRIBER,
+    DROP_OVERFLOW,
+    install,
+    make_trace_id,
+)
+
+TAG = "darshanConnector"
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, RngRegistry(4), ClusterSpec(n_compute_nodes=3))
+
+
+def test_no_subscriber_drop_attributed_to_bus_stage(env, cluster):
+    collector = install(env)
+    node = cluster.compute_nodes[0]
+    d = Ldmsd(env, node, cluster.network)
+    tid = make_trace_id(1, 0, 0)
+    collector.begin(tid, 1, 0, node.name)
+    env.run(env.process(d.publish(TAG, {"k": 1}, trace_id=tid)))
+
+    trace = collector.traces[tid]
+    assert trace.status == "dropped"
+    assert trace.drop_site == ("bus", node.name, DROP_NO_SUBSCRIBER)
+    group = collector.reconcile()[(1, 0)]
+    assert group["published"] == 1
+    assert group["dropped"] == 1
+    assert group["stored"] == 0
+    assert group["in_flight"] == 0
+
+
+def test_outbox_overflow_drop_attributed_to_forward_stage(env, cluster):
+    collector = install(env)
+    src_node = cluster.compute_nodes[0]
+    src = Ldmsd(env, src_node, cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst, queue_depth=2)
+
+    # Burst 10 messages in zero simulated time: the forwarder's drain
+    # callback is scheduled behind the burst, so only queue_depth fit.
+    n = 10
+    ids = [make_trace_id(1, 0, seq) for seq in range(n)]
+    for tid in ids:
+        collector.begin(tid, 1, 0, src_node.name)
+        src.publish_now(TAG, {"seq": tid}, trace_id=tid)
+    env.run()
+
+    dropped = [t for t in map(collector.traces.get, ids) if t.status == "dropped"]
+    overflow_site = ("forward", src_node.name, DROP_OVERFLOW)
+    overflowed = [t for t in dropped if t.drop_site == overflow_site]
+    assert len(overflowed) == src.forward_stats()[0].dropped_overflow
+    assert len(overflowed) == n - 2
+    # The two that fit were forwarded, then dropped at dst's bus
+    # (nobody subscribes there) — still fully accounted.
+    delivered_site = ("bus", dst.node.name, DROP_NO_SUBSCRIBER)
+    assert sum(1 for t in dropped if t.drop_site == delivered_site) == 2
+    group = collector.reconcile()[(1, 0)]
+    assert group["published"] == n
+    assert group["dropped"] == n
+    assert group["in_flight"] == 0
+
+
+def test_mid_flight_daemon_failure_attributed_to_receive_stage(env, cluster):
+    collector = install(env)
+    src = Ldmsd(env, cluster.compute_nodes[0], cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst)
+    dst.fail()
+
+    tid = make_trace_id(1, 0, 0)
+    collector.begin(tid, 1, 0, src.node.name)
+    env.run(env.process(src.publish(TAG, {"k": 1}, trace_id=tid)))
+    env.run()
+
+    trace = collector.traces[tid]
+    assert trace.status == "dropped"
+    assert trace.drop_site == ("receive", "head", DROP_DAEMON_FAILED)
+    assert dst.dropped_while_failed == 1
+    # The forward hop itself succeeded before the receive drop.
+    assert any(h.stage == "forward" and not h.is_drop for h in trace.hops)
+
+
+def test_publish_into_failed_daemon_attributed_to_publish_stage(env, cluster):
+    collector = install(env)
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+    d.fail()
+    tid = make_trace_id(1, 0, 0)
+    collector.begin(tid, 1, 0, d.node.name)
+    env.run(env.process(d.publish(TAG, {"k": 1}, trace_id=tid)))
+
+    trace = collector.traces[tid]
+    assert trace.drop_site == ("publish", d.node.name, DROP_DAEMON_FAILED)
+    assert d.dropped_while_failed == 1
+
+
+def test_untraced_messages_leave_no_traces(env, cluster):
+    collector = install(env)
+    d = Ldmsd(env, cluster.compute_nodes[0], cluster.network)
+    d.publish_now(TAG, {"k": 1})  # no trace_id
+    env.run()
+    assert collector.traces == {}
+    assert collector.reconcile() == {}
+
+
+def test_stats_snapshot_merges_bus_and_forward_counters(env, cluster):
+    src = Ldmsd(env, cluster.compute_nodes[0], cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst, queue_depth=2)
+    for _ in range(5):
+        src.publish_now(TAG, {"k": 1})
+    env.run()
+
+    snap = src.stats_snapshot()
+    assert snap["name"] == "src"
+    assert snap["node"] == src.node.name
+    assert snap["failed"] is False
+    assert snap["bus"]["published"] == 5
+    assert snap["bus"]["delivered"] == 5  # forwarder callback counts
+    assert len(snap["forwards"]) == 1
+    fwd = snap["forwards"][0]
+    assert fwd["tag"] == TAG
+    assert fwd["peer"] == "head"
+    assert fwd["enqueued"] == 2
+    assert fwd["dropped_overflow"] == 3
+    assert fwd["forwarded"] == 2
+    assert fwd["queue_depth"] == 0  # drained
+    assert fwd["max_queue_depth"] == 2

@@ -1,0 +1,121 @@
+"""Acceptance test: exact loss reconciliation on a multi-hop fleet run
+with an injected daemon failure *and* outbox overflow, plus the report
+renderers and the pipeline-stats sampler path."""
+
+import pytest
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.experiments.world import STREAM_TAG
+
+
+def _app(iterations=8):
+    return MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=iterations, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+
+
+@pytest.fixture
+def hostile_run():
+    """A campaign with both failure modes active: outbox depth 1 forces
+    overflow drops, and L1 crashes after 40 messages."""
+    world = World(WorldConfig(
+        seed=7, quiet=True, n_compute_nodes=4, telemetry=True,
+        forward_queue_depth=1,
+    ))
+    seen = {"n": 0}
+
+    def trip_wire(message):
+        seen["n"] += 1
+        if seen["n"] == 40:
+            world.fabric.l1.fail()
+
+    world.fabric.l1.streams.subscribe(STREAM_TAG, trip_wire)
+    result = run_job(world, _app(), "nfs", connector_config=ConnectorConfig())
+    return world, result
+
+
+def test_reconciliation_is_exact_under_overflow_and_failure(hostile_run):
+    world, result = hostile_run
+    health = result.health
+    assert health is not None
+    assert health.verify()
+    assert all(row.exact for row in health.rows)
+    assert health.in_flight == 0
+
+    # The ledger covers every message the connector published...
+    assert health.published == result.messages_published
+    # ...some made it to DSOS before the crash...
+    assert 0 < health.stored < health.published
+    assert health.stored == world.dsos.count("darshan_data")
+    # ...and both injected failure modes show up as attributed sites.
+    outcomes = {outcome for (_, _, outcome) in health.drop_sites()}
+    assert "drop_overflow" in outcomes
+    assert "drop_daemon_failed" in outcomes
+    assert sum(health.drop_sites().values()) == health.dropped
+
+
+def test_render_text_shows_histograms_drops_and_ledger(hostile_run):
+    _, result = hostile_run
+    text = result.health.render_text()
+    assert "per-stage latency" in text
+    assert "drop sites" in text
+    assert "reconciliation published == stored + Σ drops(site): EXACT" in text
+    assert "drop_overflow" in text
+    assert "drop_daemon_failed" in text
+    assert "-- daemon counters --" in text
+    assert "FAILED" in text  # l1 crashed mid-run
+
+
+def test_report_renders_as_panels_and_html(hostile_run):
+    _, result = hostile_run
+    panels = result.health.to_panels()
+    titles = [p.title for p in panels]
+    assert "drop sites" in titles
+    assert "loss reconciliation" in titles
+    assert any(t.startswith("latency:") for t in titles)
+
+    html = result.health.to_html()
+    assert "<svg" in html
+    assert "drop sites" in html
+
+    # And through the terminal renderer all panels draw something.
+    from repro.webservices.grafana import render_ascii
+
+    for panel in panels:
+        assert render_ascii(panel)
+
+
+def test_healthy_run_reconciles_with_zero_drops():
+    world = World(WorldConfig(seed=7, quiet=True, n_compute_nodes=4, telemetry=True))
+    result = run_job(world, _app(iterations=4), "nfs",
+                     connector_config=ConnectorConfig())
+    health = result.health
+    assert health.verify()
+    assert health.dropped == 0
+    assert health.stored == health.published == result.messages_published
+    assert health.drop_sites() == {}
+
+
+def test_no_health_report_without_telemetry():
+    world = World(WorldConfig(seed=7, quiet=True, n_compute_nodes=4))
+    result = run_job(world, _app(iterations=4), "nfs",
+                     connector_config=ConnectorConfig())
+    assert result.health is None
+    with pytest.raises(RuntimeError):
+        world.pipeline_health_report()
+
+
+def test_pipeline_stats_sampler_lands_in_dsos():
+    world = World(WorldConfig(seed=7, quiet=True, n_compute_nodes=4, telemetry=True))
+    world.start_pipeline_samplers(interval_s=1.0)
+    result = run_job(world, _app(iterations=4), "nfs",
+                     connector_config=ConnectorConfig())
+    world.stop_samplers()
+    assert result.messages_published > 0
+    rows = world.query_metrics("published").rows
+    assert rows, "pipeline stats never reached the ldms_metrics schema"
+    producers = {r["producer"] for r in rows}
+    assert "head" in producers  # L1's own ledger rode the fabric to DSOS

@@ -1,0 +1,179 @@
+"""Unit tests for trace primitives, histograms and the collector."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.telemetry import (
+    GaugeStats,
+    HopRecord,
+    LogHistogram,
+    MessageTrace,
+    collector_for,
+    install,
+    make_trace_id,
+    parse_trace_id,
+    uninstall,
+)
+
+
+def test_trace_id_round_trip():
+    tid = make_trace_id(259903, 7, 1234)
+    assert tid == "259903:7:1234"
+    assert parse_trace_id(tid) == (259903, 7, 1234)
+
+
+def test_trace_id_parse_rejects_foreign_ids():
+    assert parse_trace_id("not-a-trace") is None
+    assert parse_trace_id("a:b:c") is None
+    assert parse_trace_id("1:2") is None
+
+
+def test_hop_record_drop_detection():
+    ok = HopRecord("bus", "n1", 0.0, 0.0, "delivered")
+    drop = HopRecord("forward", "n1", 0.0, 0.0, "drop_overflow")
+    assert not ok.is_drop
+    assert drop.is_drop
+    assert drop.site == ("forward", "n1", "drop_overflow")
+
+
+def test_message_trace_status_resolution():
+    t = MessageTrace("1:0:0", 1, 0, t_begin=10.0)
+    assert t.status == "in_flight"
+    t.hops.append(HopRecord("publish", "n1", 10.0, 10.1, "published"))
+    assert t.status == "in_flight"
+    t.hops.append(HopRecord("ingest", "shirley", 10.5, 10.5, "stored"))
+    assert t.status == "stored"
+    assert t.end_to_end_latency_s == pytest.approx(0.5)
+    assert t.drop_site is None
+
+
+def test_message_trace_drop_site():
+    t = MessageTrace("1:0:1", 1, 0, t_begin=0.0)
+    t.hops.append(HopRecord("forward", "nid00001", 1.0, 1.0, "drop_overflow"))
+    assert t.status == "dropped"
+    assert t.drop_site == ("forward", "nid00001", "drop_overflow")
+
+
+# --------------------------------------------------------------- histogram
+
+
+def test_log_histogram_bins_and_summary():
+    h = LogHistogram(lo=1e-6, hi=1e0, bins_per_decade=1)
+    assert h.n_bins == 6
+    for v in (2e-6, 3e-6, 0.5):
+        h.observe(v)
+    assert h.count == 3
+    assert sum(h.counts) == 3
+    assert h.counts[0] == 2  # [1e-6, 1e-5)
+    assert h.counts[-1] == 1  # [1e-1, 1e0)
+    assert h.min == pytest.approx(2e-6)
+    assert h.max == pytest.approx(0.5)
+    assert h.mean == pytest.approx((2e-6 + 3e-6 + 0.5) / 3)
+
+
+def test_log_histogram_clamps_out_of_range():
+    h = LogHistogram(lo=1e-3, hi=1e0, bins_per_decade=1)
+    h.observe(0.0)  # below range -> first bin
+    h.observe(1e9)  # above range -> last bin
+    assert h.counts[0] == 1
+    assert h.counts[-1] == 1
+    assert h.count == 2
+
+
+def test_log_histogram_percentile_monotone():
+    h = LogHistogram()
+    for v in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2):
+        h.observe(v)
+    ps = [h.percentile(q) for q in (10, 50, 90, 100)]
+    assert ps == sorted(ps)
+    assert h.percentile(0) <= h.percentile(100)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_log_histogram_merge():
+    a, b = LogHistogram(), LogHistogram()
+    a.observe(1e-5)
+    b.observe(1e-2)
+    a.merge(b)
+    assert a.count == 2
+    assert a.min == pytest.approx(1e-5)
+    assert a.max == pytest.approx(1e-2)
+    with pytest.raises(ValueError):
+        a.merge(LogHistogram(lo=1e-9))
+
+
+def test_log_histogram_to_dict_and_render():
+    h = LogHistogram()
+    h.observe(3e-4)
+    d = h.to_dict()
+    assert len(d["bin_edges"]) == len(d["counts"]) + 1
+    assert sum(d["counts"]) == 1
+    assert d["count"] == 1
+    lines = h.render()
+    assert len(lines) == 1 and "1" in lines[0]
+    assert LogHistogram().render() == ["(empty)"]
+
+
+def test_gauge_stats():
+    g = GaugeStats()
+    for v in (1.0, 5.0, 2.0):
+        g.observe(v)
+    assert g.count == 3
+    assert g.last == 2.0
+    assert g.max == 5.0
+    assert g.mean == pytest.approx(8.0 / 3)
+
+
+# --------------------------------------------------------------- collector
+
+
+def test_install_is_idempotent_and_scoped_per_env():
+    env_a, env_b = Environment(), Environment()
+    a = install(env_a)
+    assert install(env_a) is a
+    assert collector_for(env_a) is a
+    assert collector_for(env_b) is None
+    b = install(env_b)
+    assert b is not a
+    uninstall(env_a)
+    assert collector_for(env_a) is None
+
+
+def test_collector_open_close_hop_measures_span():
+    env = Environment()
+    c = install(env)
+    c.begin("1:0:0", 1, 0, "n1")
+    c.open_hop("1:0:0", "forward", "n1")
+    env._now = 2.5  # advance the clock directly; no events needed
+    rec = c.close_hop("1:0:0", "forward", "n1", "forwarded")
+    assert rec.latency_s == pytest.approx(2.5)
+    assert c.histograms["forward"].count == 1
+
+
+def test_collector_lazy_trace_from_foreign_hop():
+    env = Environment()
+    c = install(env)
+    c.hop("7:3:9", "bus", "n1", "drop_no_subscriber")
+    t = c.traces["7:3:9"]
+    assert (t.job_id, t.rank) == (7, 3)
+    assert c.reconcile()[(7, 3)]["dropped"] == 1
+
+
+def test_collector_reconcile_groups_by_job_rank():
+    env = Environment()
+    c = install(env)
+    c.begin("1:0:0", 1, 0)
+    c.hop("1:0:0", "ingest", "shirley", "stored")
+    c.begin("1:1:0", 1, 1)
+    c.hop("1:1:0", "forward", "n1", "drop_overflow")
+    c.begin("2:0:0", 2, 0)  # still in flight
+    groups = c.reconcile()
+    assert groups[(1, 0)] == {
+        "published": 1, "stored": 1, "dropped": 0, "in_flight": 0, "drops": {},
+    }
+    assert groups[(1, 1)]["drops"] == {("forward", "n1", "drop_overflow"): 1}
+    assert groups[(2, 0)]["in_flight"] == 1
+    # Job filter.
+    assert set(c.reconcile(job_id=1)) == {(1, 0), (1, 1)}
+    assert c.drop_sites() == {("forward", "n1", "drop_overflow"): 1}

@@ -81,6 +81,19 @@ def test_repro_cli_fig8(capsys):
     assert "10 write phases" in out
 
 
+def test_repro_cli_telemetry(capsys):
+    assert repro_main([
+        "telemetry", "--queue-depth", "1", "--inject-failure",
+        "--fail-after", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage latency" in out
+    assert "drop sites" in out
+    assert "reconciliation published == stored + Σ drops(site): EXACT" in out
+    assert "drop_overflow" in out
+    assert "drop_daemon_failed" in out
+
+
 def test_repro_cli_unknown_command():
     with pytest.raises(SystemExit):
         repro_main(["frobnicate"])
