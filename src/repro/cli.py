@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
     python -m repro.cli telemetry [--queue-depth 1] [--inject-failure]
+    python -m repro.cli bench [--quick] [--check] [--out PATH]
 
 All commands print the reproduced rows/series to stdout; scale flags
 trade fidelity for wall-clock time (see EXPERIMENTS.md for the
@@ -163,6 +164,50 @@ def _cmd_telemetry(args) -> None:
     print(result.health.render_text())
 
 
+def _cmd_bench(args) -> None:
+    """Tracked pipeline benchmark: slow vs fast lane, one process.
+
+    Writes ``benchmarks/BENCH_pipeline.json`` (or ``--out``).  With
+    ``--check``, compares the measured slow→fast speedup against the
+    committed file and exits nonzero on a >25 % regression — the ratio,
+    not the wall, so the check is machine-independent.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments.bench import DEFAULT_RESULT_PATH, pipeline_benchmark
+
+    result = pipeline_benchmark(quick=args.quick, seed=args.seed)
+    slow, fast = result["slow"], result["fast"]
+    print(f"campaign: hmmer families={result['campaign']['n_families']} "
+          f"rpn=8 nodes=2 seed={args.seed} (quick={args.quick})")
+    for label, r in (("slow", slow), ("fast", fast)):
+        print(f"  {label:<5} wall={r['wall_s']:>7.2f}s "
+              f"events/s={r['events_per_sec']:>8.1f} "
+              f"engine_events={r['engine_events']}")
+    print(f"  speedup (events/s, fast vs slow): "
+          f"{result['speedup_events_per_sec']:.2f}x")
+    if result["speedup_vs_seed_baseline"]:
+        print(f"  speedup vs pre-optimization baseline: "
+              f"{result['speedup_vs_seed_baseline']:.2f}x")
+
+    committed_path = Path(args.out) if args.out else DEFAULT_RESULT_PATH
+    if args.check:
+        committed = json.loads(committed_path.read_text())
+        floor = committed["speedup_events_per_sec"] * 0.75
+        if result["speedup_events_per_sec"] < floor:
+            print(f"FAIL: speedup {result['speedup_events_per_sec']:.2f}x "
+                  f"regressed below 75% of committed "
+                  f"{committed['speedup_events_per_sec']:.2f}x")
+            raise SystemExit(1)
+        print(f"OK: speedup within 25% of committed "
+              f"{committed['speedup_events_per_sec']:.2f}x")
+    else:
+        committed_path.parent.mkdir(parents=True, exist_ok=True)
+        committed_path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {committed_path}")
+
+
 def _cmd_report(args) -> None:
     from pathlib import Path
 
@@ -173,6 +218,7 @@ def _cmd_report(args) -> None:
 
 
 _COMMANDS = {
+    "bench": _cmd_bench,
     "report": _cmd_report,
     "table2a": _cmd_table2a,
     "table2b": _cmd_table2b,
@@ -206,6 +252,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="telemetry: crash the L1 aggregator mid-run")
     parser.add_argument("--fail-after", type=int, default=50,
                         help="telemetry: messages seen at L1 before the crash")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench: reduced campaign for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="bench: compare against the committed result; "
+                             "exit nonzero on a >25%% speedup regression")
+    parser.add_argument("--out", default=None,
+                        help="bench: result path (default "
+                             "benchmarks/BENCH_pipeline.json)")
     args = parser.parse_args(argv)
     _COMMANDS[args.command](args)
     return 0

@@ -56,6 +56,11 @@ class Link:
         self.latency_s = latency_s
         self.bandwidth_bps = bandwidth_bps
         self._server = Resource(env, capacity=channels)
+        # Transfers currently in their propagation-latency phase: they
+        # hold no channel yet, but their serialization request is
+        # already in flight.  transfer_coalesced() must see them, or it
+        # would grab a channel ahead of an earlier arrival.
+        self._approaching = 0
 
     def transmit_time(self, nbytes: int) -> float:
         """Serialization time for ``nbytes`` on this link."""
@@ -80,6 +85,10 @@ class Network:
         # whose factor(t) multiplies serialization times ("network
         # congestion" is one of the paper's named variability sources).
         self._congestion = None
+        # (src, dst) -> [Link, ...]: routes are static between topology
+        # edits, and shortest-path per transfer dominated stream-path
+        # profiles; invalidated whenever the graph changes.
+        self._route_cache: dict[tuple[str, str], list[Link]] = {}
 
     def set_congestion(self, load_process) -> None:
         """Attach a time-varying congestion factor to every link."""
@@ -96,6 +105,7 @@ class Network:
 
     def add_node(self, name: str) -> None:
         self.graph.add_node(name)
+        self._route_cache.clear()
 
     def add_link(
         self,
@@ -108,6 +118,7 @@ class Network:
         """Join endpoints ``a`` and ``b`` with a new link."""
         link = Link(self.env, latency_s, bandwidth_bps, channels)
         self.graph.add_edge(a, b, link=link)
+        self._route_cache.clear()
         return link
 
     def path(self, src: str, dst: str) -> list[str]:
@@ -118,10 +129,14 @@ class Network:
             raise ValueError(f"no route {src!r} -> {dst!r}") from exc
 
     def links_on_path(self, src: str, dst: str) -> list[Link]:
-        nodes = self.path(src, dst)
-        return [
-            self.graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
-        ]
+        links = self._route_cache.get((src, dst))
+        if links is None:
+            nodes = self.path(src, dst)
+            links = [
+                self.graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
+            ]
+            self._route_cache[(src, dst)] = links
+        return links
 
     def one_way_latency(self, src: str, dst: str) -> float:
         """Pure propagation latency of the route (no queueing)."""
@@ -140,7 +155,67 @@ class Network:
         if src != dst:
             factor = self.congestion_factor()
             for link in self.links_on_path(src, dst):
-                yield self.env.timeout(link.latency_s * factor)
+                link._approaching += 1
+                try:
+                    yield self.env.timeout(link.latency_s * factor)
+                finally:
+                    link._approaching -= 1
                 if nbytes:
                     yield from link.transmit_scaled(nbytes, factor)
         return TransferResult(src, dst, nbytes, start, self.env.now)
+
+    def transfer_coalesced(self, src: str, dst: str, nbytes: int):
+        """Generator: :meth:`transfer` in one engine event per idle link.
+
+        When a link has no channel holder, no waiter, and no transfer in
+        its latency phase, the propagation + serialization of this hop
+        is a single fused ``timeout_at`` (same float operand order as
+        the two-step path, so completion times are bit-identical) while
+        the channel is held synchronously for the whole window.
+
+        Why holding through the latency window is safe: every user of a
+        link reaches its serialization request only *after* paying that
+        link's propagation latency, which is the same constant for all
+        of them.  A competitor entering the link later than us would
+        therefore also request later than our two-step self would have —
+        it finds the channel busy exactly when it would have found it
+        busy (or queued behind us) in the two-step schedule.  Transfers
+        already past their entry but still mid-latency are the one case
+        with an *earlier* claim than ours; ``Link._approaching`` makes
+        them visible and falls this hop back to the two-step path.
+
+        Ties at identical float times may resolve in a different event
+        order than :meth:`transfer` (the fused path schedules fewer
+        events); with continuous service times such ties do not occur.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        env = self.env
+        start = env.now
+        if src != dst:
+            factor = self.congestion_factor()
+            for link in self.links_on_path(src, dst):
+                server = link._server
+                if (
+                    nbytes
+                    and not link._approaching
+                    and not server._holders
+                    and not server._waiting
+                ):
+                    req = server.acquire()
+                    try:
+                        yield env.timeout_at(
+                            (env.now + link.latency_s * factor)
+                            + link.transmit_time(nbytes) * factor
+                        )
+                    finally:
+                        server.release(req)
+                else:
+                    link._approaching += 1
+                    try:
+                        yield env.timeout(link.latency_s * factor)
+                    finally:
+                        link._approaching -= 1
+                    if nbytes:
+                        yield from link.transmit_scaled(nbytes, factor)
+        return TransferResult(src, dst, nbytes, start, env.now)

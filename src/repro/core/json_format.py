@@ -15,17 +15,38 @@ paper's regimes reproduce:
 Per-message arithmetic: a Figure-3 message has ~18 numeric fields, so
 ``18 × 25 µs ≈ 0.45 ms`` per event — matching the paper's implied
 0.4–0.7 ms/event overhead on HMMER.
+
+The fast lane
+-------------
+
+The *simulated* cost above is authoritative; how fast the host computes
+the payload is not.  Messages from one (context, module, op) shape
+differ only in a handful of numeric fields, so the builder precompiles
+a payload template per shape — the static JSON chunks rendered once,
+the varying numerics interpolated per event — and memoizes the
+numeric-field count instead of walking every message.  Each template is
+verified against the full ``json.dumps`` path once at compile time (and
+per message under ``REPRO_FORMAT_DEBUG=1``), so fast and slow lanes are
+byte-identical by construction; shapes that fail the self-check fall
+back to the slow path.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 
 from repro.core.metrics import MESSAGE_FIELDS, SEG_FIELDS
 from repro.darshan.runtime import IOEvent
 
 __all__ = ["FormatCostModel", "MessageBuilder", "FormattedMessage"]
+
+#: Per-message template verification + wire-format asserts (slow).
+FORMAT_DEBUG = bool(os.environ.get("REPRO_FORMAT_DEBUG"))
+
+_INF = float("inf")
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -56,13 +77,111 @@ class FormattedMessage:
     payload: str
     numeric_conversions: int
     format_cost_s: float
+    #: Fast-lane extra: the dict ``json.loads(payload)`` would produce,
+    #: rebuilt from the shape's template so downstream consumers (the
+    #: DSOS store) can skip the parse.  None on the slow path.
+    parsed: dict | None = None
+
+
+def _scalar(value) -> str:
+    """Render one scalar exactly as ``json.dumps`` embeds it.
+
+    CPython's encoder uses ``int.__repr__``/``float.__repr__`` for
+    finite numbers; everything else (strings, bools, None, non-finite
+    floats, exotic subclasses) goes through ``json.dumps`` itself, whose
+    standalone rendering of a scalar equals its embedded rendering.
+    """
+    t = type(value)
+    if t is int:
+        return repr(value)
+    if t is float:
+        if value == value and value != _INF and value != -_INF:
+            return float.__repr__(value)
+        return json.dumps(value)
+    return json.dumps(value)
+
+
+class _Shape:
+    """One compiled message template: static chunks around varying slots."""
+
+    __slots__ = ("statics", "static_numeric", "context", "base", "seg_base")
+
+    def __init__(self, statics: tuple, static_numeric: int, context):
+        self.statics = statics
+        self.static_numeric = static_numeric
+        # Strong reference: the cache key uses id(context), which must
+        # not be reused by a new context while this shape is cached.
+        self.context = context
+        #: Dict templates (outer message / seg entry) with statics
+        #: filled; :meth:`parsed` copies them and assigns the varying
+        #: slots, reproducing ``json.loads(payload)`` without a parse.
+        self.base: dict | None = None
+        self.seg_base: dict | None = None
+
+    def parsed(self, values) -> dict:
+        """The message dict for ``values`` — equal to parsing the
+        rendered payload (finite numbers round-trip exactly)."""
+        msg = self.base.copy()
+        seg = self.seg_base.copy()
+        if len(values) == 14:  # HDF5 shape: per-event selection counters
+            (
+                msg["record_id"], msg["max_byte"], msg["switches"],
+                msg["flushes"], msg["cnt"],
+                seg["pt_sel"], seg["irreg_hslab"], seg["reg_hslab"],
+                seg["ndims"], seg["npoints"],
+                seg["off"], seg["len"], seg["dur"], seg["timestamp"],
+            ) = values
+        else:
+            (
+                msg["record_id"], msg["max_byte"], msg["switches"],
+                msg["flushes"], msg["cnt"],
+                seg["off"], seg["len"], seg["dur"], seg["timestamp"],
+            ) = values
+        msg["seg"] = [seg]
+        return msg
+
+    def render(self, values) -> tuple[str, int]:
+        """Interpolate ``values`` (one per slot); returns (payload, numeric)."""
+        statics = self.statics
+        parts = [statics[0]]
+        append = parts.append
+        n = self.static_numeric
+        i = 1
+        for v in values:
+            t = type(v)
+            if t is int:
+                append(repr(v))
+                n += 1
+            elif t is float:
+                if v == v and v != _INF and v != -_INF:
+                    append(float.__repr__(v))
+                else:
+                    append(json.dumps(v))
+                n += 1
+            else:
+                append(json.dumps(v))
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    n += 1
+            append(statics[i])
+            i += 1
+        return "".join(parts), n
 
 
 class MessageBuilder:
     """Builds Figure-3 JSON messages from Darshan IOEvents."""
 
-    def __init__(self, cost_model: FormatCostModel | None = None):
+    def __init__(
+        self,
+        cost_model: FormatCostModel | None = None,
+        *,
+        fast: bool = True,
+        debug: bool | None = None,
+    ):
         self.cost_model = cost_model or FormatCostModel()
+        self._fast = fast
+        self._debug = FORMAT_DEBUG if debug is None else debug
+        #: shape key -> _Shape (or None: self-check failed, use slow path).
+        self._shapes: dict[tuple, "_Shape | None"] = {}
 
     # -- message assembly ---------------------------------------------------
 
@@ -104,9 +223,10 @@ class MessageBuilder:
             "op": event.op,
             "seg": [seg],
         }
-        # Field order is part of the reproduced wire format.
-        assert tuple(message) == MESSAGE_FIELDS
-        assert tuple(seg) == SEG_FIELDS
+        if self._debug:
+            # Field order is part of the reproduced wire format.
+            assert tuple(message) == MESSAGE_FIELDS
+            assert tuple(seg) == SEG_FIELDS
         return message
 
     @staticmethod
@@ -125,6 +245,112 @@ class MessageBuilder:
                             n += 1
         return n
 
+    # -- the fast lane ------------------------------------------------------
+
+    @staticmethod
+    def _shape_key(event: IOEvent) -> tuple:
+        h5 = event.hdf5
+        return (
+            id(event.context),
+            event.module,
+            event.op,
+            event.path if event.op == "open" else None,
+            h5.get("data_set", "N/A") if h5 else None,
+        )
+
+    @staticmethod
+    def _values(event: IOEvent) -> tuple:
+        """The varying slot values, in template order."""
+        h5 = event.hdf5
+        if h5:
+            return (
+                event.record_id, event.max_byte, event.switches,
+                event.flushes, event.cnt,
+                h5.get("pt_sel", -1), h5.get("irreg_hslab", -1),
+                h5.get("reg_hslab", -1), h5.get("ndims", -1),
+                h5.get("npoints", -1),
+                event.offset, event.nbytes, event.end - event.start,
+                event.end,
+            )
+        return (
+            event.record_id, event.max_byte, event.switches,
+            event.flushes, event.cnt,
+            event.offset, event.nbytes, event.end - event.start, event.end,
+        )
+
+    def _compile(self, event: IOEvent) -> "_Shape | None":
+        """Build the template for ``event``'s shape and self-check it
+        against the full ``json.dumps`` path (None = check failed)."""
+        ctx = event.context
+        is_meta = event.op == "open"
+        h5 = event.hdf5 or {}
+        statics = [
+            '{"uid":' + _scalar(ctx.uid)
+            + ',"exe":' + _scalar(ctx.exe if is_meta else "N/A")
+            + ',"job_id":' + _scalar(ctx.job_id)
+            + ',"rank":' + _scalar(ctx.rank)
+            + ',"ProducerName":' + _scalar(ctx.node_name)
+            + ',"file":' + _scalar(event.path if is_meta else "N/A")
+            + ',"record_id":',
+            ',"module":' + _scalar(event.module)
+            + ',"type":' + ('"MET"' if is_meta else '"MOD"')
+            + ',"max_byte":',
+            ',"switches":',
+            ',"flushes":',
+            ',"cnt":',
+        ]
+        seg_head = (
+            ',"op":' + _scalar(event.op)
+            + ',"seg":[{"data_set":' + _scalar(h5.get("data_set", "N/A"))
+            + ',"pt_sel":'
+        )
+        if event.hdf5:
+            statics += [
+                seg_head,
+                ',"irreg_hslab":',
+                ',"reg_hslab":',
+                ',"ndims":',
+                ',"npoints":',
+                ',"off":',
+            ]
+        else:
+            statics.append(
+                seg_head + _scalar(-1)
+                + ',"irreg_hslab":' + _scalar(-1)
+                + ',"reg_hslab":' + _scalar(-1)
+                + ',"ndims":' + _scalar(-1)
+                + ',"npoints":' + _scalar(-1)
+                + ',"off":'
+            )
+        statics += [',"len":', ',"dur":', ',"timestamp":', "}]}"]
+
+        message = self.message_dict(event)
+        reference = json.dumps(message, separators=(",", ":"))
+        ref_count = self.count_numeric_fields(message)
+        shape = _Shape(tuple(statics), 0, ctx)
+        shape.base = dict(message)
+        shape.base["seg"] = None  # placeholder keeps the key position
+        shape.seg_base = dict(message["seg"][0])
+        values = self._values(event)
+        payload, varying = shape.render(values)
+        shape.static_numeric = ref_count - varying
+        if (
+            payload != reference
+            or shape.static_numeric < 0
+            or shape.parsed(values) != json.loads(reference)
+        ):
+            return None
+        return shape
+
+    def _format_slow(self, event: IOEvent) -> FormattedMessage:
+        message = self.message_dict(event)
+        payload = json.dumps(message, separators=(",", ":"))
+        numeric = self.count_numeric_fields(message)
+        cost = self.cost_model.cost(numeric, len(payload))
+        return FormattedMessage(
+            payload=payload, numeric_conversions=numeric, format_cost_s=cost
+        )
+
     def format(self, event: IOEvent, mode: str = "json") -> FormattedMessage:
         """Assemble and serialize; returns payload + charged cost.
 
@@ -139,10 +365,26 @@ class MessageBuilder:
             )
         if mode != "json":
             raise ValueError(f"unknown format mode {mode!r} (use 'json' or 'none')")
-        message = self.message_dict(event)
-        payload = json.dumps(message, separators=(",", ":"))
-        numeric = self.count_numeric_fields(message)
+        if not self._fast:
+            return self._format_slow(event)
+
+        shapes = self._shapes
+        key = self._shape_key(event)
+        shape = shapes.get(key, _MISSING)
+        if shape is _MISSING:
+            shape = shapes[key] = self._compile(event)
+        if shape is None:
+            return self._format_slow(event)
+        values = self._values(event)
+        payload, numeric = shape.render(values)
+        parsed = shape.parsed(values)
+        if self._debug:
+            reference = self._format_slow(event)
+            assert payload == reference.payload, (payload, reference.payload)
+            assert numeric == reference.numeric_conversions
+            assert parsed == json.loads(payload)
         cost = self.cost_model.cost(numeric, len(payload))
         return FormattedMessage(
-            payload=payload, numeric_conversions=numeric, format_cost_s=cost
+            payload=payload, numeric_conversions=numeric, format_cost_s=cost,
+            parsed=parsed,
         )

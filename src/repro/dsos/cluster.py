@@ -44,11 +44,28 @@ class DsosCluster:
         daemon.insert(schema_name, obj, validate=validate)
 
     def insert_many(self, schema_name: str, objs, *, validate: bool = True) -> int:
-        n = 0
-        for obj in objs:
-            self.insert(schema_name, obj, validate=validate)
-            n += 1
-        return n
+        """Store a batch, equivalent to sequential :meth:`insert` calls.
+
+        Round-robin equivalence: daemon ``i`` receives the slice
+        ``objs[(i - rr) % nd :: nd]`` (in order), which is exactly the
+        objects sequential inserts would have handed it, and the cursor
+        advances by ``len(objs)`` — so batched and per-object ingest
+        place every object identically.
+        """
+        objs = objs if isinstance(objs, list) else list(objs)
+        self.schema(schema_name)  # existence check with good error
+        daemons = self.daemons
+        nd = len(daemons)
+        if nd == 1:
+            daemons[0].insert_many(schema_name, objs, validate=validate)
+        else:
+            rr = self._rr
+            for i, daemon in enumerate(daemons):
+                chunk = objs[(i - rr) % nd :: nd]
+                if chunk:
+                    daemon.insert_many(schema_name, chunk, validate=validate)
+            self._rr = (rr + len(objs)) % nd
+        return len(objs)
 
     def count(self, schema_name: str) -> int:
         return sum(d.count(schema_name) for d in self.daemons)

@@ -41,6 +41,24 @@ class _Shard:
             index.add(self.schema.key_for(name, obj), oid)
         return oid
 
+    def add_many(self, objs: list) -> None:
+        """Append a batch: one index pass per index, not per object.
+
+        Keys are built straight from the schema's key attrs (same tuples
+        :meth:`~repro.dsos.schema.Schema.key_for` would produce), so the
+        per-key length check in ``SortedIndex.add`` is redundant here.
+        """
+        base = len(self.objects)
+        self.objects.extend(objs)
+        for name, index in self.indices.items():
+            attrs = self.schema.indices[name]
+            index.extend_unchecked(
+                [
+                    (tuple(obj[a] for a in attrs), base + i)
+                    for i, obj in enumerate(objs)
+                ]
+            )
+
 
 class Dsosd:
     """One DSOS storage daemon."""
@@ -75,6 +93,20 @@ class Dsosd:
             shard.schema.validate(obj)
         shard.add(obj)
         self.objects_stored += 1
+
+    def insert_many(self, schema_name: str, objs: list, *, validate: bool = True) -> None:
+        """Batch insert, equivalent to sequential :meth:`insert` calls
+        (validation stays interleaved per object, so a mid-batch schema
+        error leaves exactly the objects a sequential caller would)."""
+        shard = self._shard(schema_name)
+        if validate:
+            for obj in objs:
+                shard.schema.validate(obj)
+                shard.add(obj)
+                self.objects_stored += 1
+        else:
+            shard.add_many(objs)
+            self.objects_stored += len(objs)
 
     def count(self, schema_name: str) -> int:
         return len(self._shard(schema_name).objects)

@@ -37,6 +37,11 @@ class SortedIndex:
             )
         self._pending.append((key, oid))
 
+    def extend_unchecked(self, pairs: list) -> None:
+        """Bulk :meth:`add` of ``(key, oid)`` pairs whose key lengths the
+        caller guarantees (batch ingest builds them from schema attrs)."""
+        self._pending.extend(pairs)
+
     def _materialize(self) -> None:
         if not self._pending:
             return

@@ -4,6 +4,13 @@ Terminal stage of the paper's pipeline (Figure 4): subscribes to the
 connector's stream tag on the final aggregator, flattens each JSON
 message (one database object per ``seg`` entry, like the CSV store) and
 inserts it into the ``darshan_data`` schema.
+
+Fast lane: the attribute → source mapping is precompiled into a row
+plan (no per-attribute name tests on the hot path), and inside a bus
+batch window (a forwarder handing over its transfer batch) rows are
+buffered and landed with one ``insert_many`` per batch instead of one
+``insert`` per row.  Both produce byte-identical objects in the
+identical round-robin placement.
 """
 
 from __future__ import annotations
@@ -27,11 +34,21 @@ _INT_DEFAULT = -1
 _STR_DEFAULT = "N/A"
 _FLOAT_DEFAULT = -1.0
 
+_EXACT_TYPES = {"int": int, "float": float, "string": str}
+
 
 class DsosStreamStore:
     """Streams-subscriber that lands connector messages in DSOS."""
 
-    def __init__(self, daemon, tag: str, client: DsosClient, schema=DARSHAN_DATA_SCHEMA):
+    def __init__(
+        self,
+        daemon,
+        tag: str,
+        client: DsosClient,
+        schema=DARSHAN_DATA_SCHEMA,
+        *,
+        fast: bool = True,
+    ):
         self.daemon = daemon
         self.tag = tag
         self.client = client
@@ -39,25 +56,71 @@ class DsosStreamStore:
         client.ensure_schema(schema)
         self.parse_errors = 0
         self.objects_stored = 0
+        self._fast = fast
+        #: (attr_name, comes-from-seg, source key, exact type, type name)
+        #: per schema attribute, in schema order.
+        self._row_plan = self._compile_row_plan(schema)
+        self._bus = daemon.streams
+        self._pending_rows: list[dict] = []
         daemon.streams.subscribe(tag, self.on_message)
+        daemon.streams.add_batch_sink(self._flush_batch)
+
+    @staticmethod
+    def _compile_row_plan(schema) -> list[tuple]:
+        plan = []
+        for attr in schema.attrs.values():
+            if attr.name == "timestamp":
+                source = (True, "timestamp")
+            elif attr.name.startswith("seg_"):
+                source = (True, attr.name[4:])
+            else:
+                source = (False, attr.name)
+            plan.append(
+                (attr.name, *source, _EXACT_TYPES[attr.type], attr.type)
+            )
+        return plan
 
     def on_message(self, message) -> None:
-        try:
-            data = json.loads(message.payload)
-        except json.JSONDecodeError:
-            self.parse_errors += 1
-            self._ingest_hop(message, DROP_PARSE_ERROR)
-            return
-        if not isinstance(data, dict):
-            self.parse_errors += 1
-            self._ingest_hop(message, DROP_PARSE_ERROR)
-            return
-        for obj in self._flatten(data):
-            # _flatten+_coerce already guarantee schema conformance;
-            # skip per-object validation on this hot ingest path.
-            self.client.cluster.insert(self.schema.name, obj, validate=False)
-            self.objects_stored += 1
+        # Fast lane: a publisher that template-built the payload ships
+        # the equal-by-construction dict alongside it — skip the parse.
+        data = message.parsed if self._fast else None
+        if data is None:
+            try:
+                data = json.loads(message.payload)
+            except json.JSONDecodeError:
+                self.parse_errors += 1
+                self._ingest_hop(message, DROP_PARSE_ERROR)
+                return
+            if not isinstance(data, dict):
+                self.parse_errors += 1
+                self._ingest_hop(message, DROP_PARSE_ERROR)
+                return
+        if self._fast:
+            rows = self._flatten_fast(data)
+            if self._bus.in_batch:
+                # Buffered for one insert_many when the window closes.
+                # The hop and the counter stamp now — no simulated time
+                # passes before the flush, so records are identical.
+                self._pending_rows.extend(rows)
+            else:
+                insert = self.client.cluster.insert
+                name = self.schema.name
+                for obj in rows:
+                    insert(name, obj, validate=False)
+            self.objects_stored += len(rows)
+        else:
+            for obj in self._flatten(data):
+                # _flatten+_coerce already guarantee schema conformance;
+                # skip per-object validation on this hot ingest path.
+                self.client.cluster.insert(self.schema.name, obj, validate=False)
+                self.objects_stored += 1
         self._ingest_hop(message, STORED)
+
+    def _flush_batch(self) -> None:
+        rows = self._pending_rows
+        if rows:
+            self._pending_rows = []
+            self.client.cluster.insert_many(self.schema.name, rows, validate=False)
 
     def _ingest_hop(self, message, outcome: str) -> None:
         """Terminal telemetry hop: the message either landed or died here."""
@@ -68,6 +131,24 @@ class DsosStreamStore:
             collector.hop(
                 message.trace_id, STAGE_INGEST, self.daemon.node.name, outcome
             )
+
+    def _flatten_fast(self, data: dict) -> list[dict]:
+        """Row-plan flatten: same objects as :meth:`_flatten`, with the
+        already-right-typed common case skipping coercion."""
+        segments = data.get("seg") or ({},)
+        plan = self._row_plan
+        coerce = self._coerce
+        rows = []
+        for seg in segments:
+            obj = {}
+            for name, from_seg, key, exact, tname in plan:
+                raw = seg.get(key) if from_seg else data.get(key)
+                if type(raw) is exact:
+                    obj[name] = raw
+                else:
+                    obj[name] = coerce(raw, tname)
+            rows.append(obj)
+        return rows
 
     def _flatten(self, data: dict):
         segments = data.get("seg") or [{}]

@@ -1,0 +1,135 @@
+"""Tracked pipeline benchmark: the fast lane's receipts.
+
+One fixed-seed HMMER campaign (the paper's highest-rate workload,
+Table IIc) driven end to end — Darshan runtime → connector → three-level
+aggregation → DSOS ingest — once with every fast-lane switch off (the
+reference per-message path) and once with them on, **in the same
+process** so the two walls are comparable.  Host wall-clock, host
+events/sec, engine event count and peak RSS are recorded; results land
+in ``benchmarks/BENCH_pipeline.json`` via ``python -m repro.cli bench``.
+
+Two comparisons matter and they answer different questions:
+
+* ``slow`` vs ``fast`` (same process): the machine-independent ratio —
+  what the fast lane buys over the in-tree reference path.  This is the
+  number CI regresses against (``bench --check``).
+* ``seed_baseline`` vs ``fast``: the cumulative speedup over the
+  pre-optimization tree (the commit before this work), recorded from
+  runs of that commit on the reference machine.  Absolute walls are
+  machine-specific; the entry pins the campaign so anyone can re-measure.
+
+The fast lane is a pure host-side optimization: simulated results
+(payload bytes, connector stats, DSOS rows) are identical either way —
+``tests/property/test_fastlane_properties.py`` holds that line, and
+:func:`pipeline_benchmark` re-asserts the cheap invariants on every run.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from pathlib import Path
+
+from repro.apps import Hmmer
+from repro.core import ConnectorConfig
+
+__all__ = ["pipeline_benchmark", "DEFAULT_RESULT_PATH", "SEED_BASELINE"]
+
+#: Where ``repro bench`` writes (and ``--check`` reads) the tracked file.
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_pipeline.json"
+)
+
+#: The same campaign run on the pre-optimization tree (the commit this
+#: optimization series branched from), measured on the reference
+#: machine: two fresh-process runs of the full (non-quick) campaign.
+#: That tree had only the per-message reference path, so these walls are
+#: what ``fast`` must be compared against for the cumulative speedup.
+SEED_BASELINE = {
+    "campaign": {"n_families": 400, "ranks_per_node": 8, "n_nodes": 2,
+                 "seed": 42, "filesystem": "nfs"},
+    "events_seen": 62159,
+    "wall_s": [13.56, 16.25],
+    "events_per_sec": [4584, 3824],
+}
+
+#: Reduced campaign for CI (--quick): same shape, smaller Pfam input.
+_QUICK_FAMILIES = 80
+_FULL_FAMILIES = 400
+
+
+def _run_mode(*, fast: bool, n_families: int, seed: int) -> dict:
+    """One full campaign with every fast-lane switch set to ``fast``."""
+    # Imported here so ``--help`` stays instant.
+    from repro.experiments.runner import run_job
+    from repro.experiments.world import World, WorldConfig
+
+    world = World(WorldConfig(
+        seed=seed, quiet=True, n_compute_nodes=2, fast_lane=fast,
+    ))
+    app = Hmmer(ranks_per_node=8, n_families=n_families)
+    t0 = time.perf_counter()
+    result = run_job(
+        world, app, "nfs", connector_config=ConnectorConfig(fast_lane=fast)
+    )
+    wall_s = time.perf_counter() - t0
+    stats = result.connector.stats
+    return {
+        "fast_lane": fast,
+        "wall_s": round(wall_s, 3),
+        "events_seen": stats.events_seen,
+        "events_per_sec": round(stats.events_seen / wall_s, 1),
+        "messages_published": stats.messages_published,
+        "bytes_published": stats.bytes_published,
+        "numeric_conversions": stats.numeric_conversions,
+        "format_seconds": stats.format_seconds,
+        "publish_seconds": stats.publish_seconds,
+        "objects_stored": world.store.objects_stored,
+        "engine_events": world.env._seq,
+        "sim_runtime_s": round(result.runtime_s, 3),
+        # ru_maxrss is the process-lifetime high-water mark (KiB on
+        # Linux) — monotone across modes, meaningful as "the benchmark
+        # never exceeded this".
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def pipeline_benchmark(*, quick: bool = False, seed: int = 42) -> dict:
+    """Run the tracked pipeline benchmark; returns the result payload.
+
+    Runs the slow (reference) lane first, then the fast lane, in this
+    process, and asserts the simulated outcomes match — the fast lane
+    must never buy speed with fidelity.
+    """
+    n_families = _QUICK_FAMILIES if quick else _FULL_FAMILIES
+    slow = _run_mode(fast=False, n_families=n_families, seed=seed)
+    fast = _run_mode(fast=True, n_families=n_families, seed=seed)
+
+    # Fidelity line: identical simulated results in both modes.
+    for key in ("events_seen", "messages_published", "bytes_published",
+                "numeric_conversions", "objects_stored", "sim_runtime_s",
+                "format_seconds", "publish_seconds"):
+        if slow[key] != fast[key]:
+            raise AssertionError(
+                f"fast lane diverged on {key}: slow={slow[key]!r} "
+                f"fast={fast[key]!r}"
+            )
+
+    speedup = fast["events_per_sec"] / slow["events_per_sec"]
+    vs_seed = None
+    if not quick and fast["events_seen"] == SEED_BASELINE["events_seen"]:
+        vs_seed = round(
+            fast["events_per_sec"] / min(SEED_BASELINE["events_per_sec"]), 2
+        )
+    return {
+        "benchmark": "pipeline_fast_lane",
+        "campaign": {
+            "app": "hmmer", "n_families": n_families, "ranks_per_node": 8,
+            "n_nodes": 2, "seed": seed, "filesystem": "nfs", "quick": quick,
+        },
+        "seed_baseline": SEED_BASELINE,
+        "slow": slow,
+        "fast": fast,
+        "speedup_events_per_sec": round(speedup, 3),
+        "speedup_vs_seed_baseline": vs_seed,
+    }

@@ -64,6 +64,10 @@ class WorldConfig:
     #: Outbox depth of every stream-forward rule (small values force
     #: overflow drops; the default matches production ldmsd).
     forward_queue_depth: int = 65536
+    #: Host-side fast lane through the monitoring pipeline (batched
+    #: forward delivery + batched DSOS ingest).  Simulated results are
+    #: identical either way; False keeps the per-message reference path.
+    fast_lane: bool = True
 
     @property
     def epoch(self) -> float:
@@ -120,10 +124,13 @@ class World:
 
         # Monitoring and storage pipeline.
         self.fabric = AggregationFabric(
-            self.cluster, STREAM_TAG, queue_depth=config.forward_queue_depth
+            self.cluster, STREAM_TAG, queue_depth=config.forward_queue_depth,
+            fast_lane=config.fast_lane,
         )
         self.dsos = DsosClient(DsosCluster("shirley-dsos", config.dsos_daemons))
-        self.store = DsosStreamStore(self.fabric.l2, STREAM_TAG, self.dsos)
+        self.store = DsosStreamStore(
+            self.fabric.l2, STREAM_TAG, self.dsos, fast=config.fast_lane
+        )
         self.csv_store = (
             CsvStreamStore(self.fabric.l2, STREAM_TAG) if config.keep_csv else None
         )

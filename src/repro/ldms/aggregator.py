@@ -43,19 +43,22 @@ class AggregationFabric:
         *,
         queue_depth: int = 65536,
         daemon_name: str = "ldmsd",
+        fast_lane: bool = True,
     ):
         self.cluster = cluster
         self.tag = tag
         env = cluster.env
         net = cluster.network
 
-        self.l2 = Ldmsd(env, cluster.analysis_node, net, name=daemon_name)
-        self.l1 = Ldmsd(env, cluster.head_node, net, name=daemon_name)
+        self.l2 = Ldmsd(env, cluster.analysis_node, net, name=daemon_name,
+                        fast_lane=fast_lane)
+        self.l1 = Ldmsd(env, cluster.head_node, net, name=daemon_name,
+                        fast_lane=fast_lane)
         self.l1.add_stream_forward(tag, self.l2, queue_depth)
 
         self.compute_daemons: dict[str, Ldmsd] = {}
         for node in cluster.compute_nodes:
-            d = Ldmsd(env, node, net, name=daemon_name)
+            d = Ldmsd(env, node, net, name=daemon_name, fast_lane=fast_lane)
             d.add_stream_forward(tag, self.l1, queue_depth)
             self.compute_daemons[node.name] = d
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.ldms.streams import StreamMessage, StreamsBus
-from repro.sim import Environment, Interrupt, Store
+from repro.sim import Environment, Event, Interrupt, Store
 from repro.telemetry import trace as _trace
 from repro.telemetry.collector import collector_for
 
@@ -72,6 +72,21 @@ class _Forwarder:
     one network transfer of up to ``batch_size`` messages — the
     batching a real aggregation hop performs, and the reason stream
     transport keeps up with event bursts.
+
+    Two drive modes share the outbox and all accounting:
+
+    * ``batch_deliver=False`` — the reference path: a persistent
+      process blocks on the outbox and walks each batch through
+      :meth:`Network.transfer`.
+    * ``batch_deliver=True`` — the fast lane: no persistent process.
+      :meth:`enqueue` schedules a same-timestep drain callback when the
+      forwarder is idle (behind the rest of the current timestep, so
+      burst/overflow behaviour matches the blocked-process wakeup), and
+      each uncontended single-link transfer is one fused engine event
+      whose completion callback delivers the batch and drains again.
+      Completion instants are float-identical to the reference path;
+      only the event *count* differs, so simulated results can diverge
+      solely on exact float-time ties.
     """
 
     def __init__(
@@ -82,6 +97,7 @@ class _Forwarder:
         peer: "Ldmsd",
         queue_depth: int,
         batch_size: int = 64,
+        batch_deliver: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -90,9 +106,17 @@ class _Forwarder:
         self.tag = tag
         self.peer = peer
         self.batch_size = batch_size
+        #: Hand whole batches to ``peer.receive_batch`` (one ingest
+        #: append-path per batch) instead of per-message ``receive``.
+        #: Host-side only — the network transfer is identical.
+        self.batch_deliver = batch_deliver
         self.outbox = Store(env, capacity=queue_depth)
         self.stats = ForwardStats()
-        self.process = env.process(self._run())
+        if batch_deliver:
+            self.process = None
+            self._draining = False
+        else:
+            self.process = env.process(self._run())
 
     def enqueue(self, message: StreamMessage) -> None:
         if self.outbox.try_put(message):
@@ -107,6 +131,11 @@ class _Forwarder:
                     # The forward hop spans outbox wait + batched transfer.
                     collector.open_hop(message.trace_id, _trace.STAGE_FORWARD, node)
                 collector.gauge(f"outbox_depth/{node}/{self.tag}", depth)
+            if self.batch_deliver and not self._draining:
+                self._draining = True
+                kick = Event(self.env)
+                kick.callbacks.append(self._kick)
+                kick.succeed()
         else:
             self.stats.dropped_overflow += 1
             if message.trace_id:
@@ -118,6 +147,90 @@ class _Forwarder:
                         self.owner.node.name,
                         _trace.DROP_OVERFLOW,
                     )
+
+    # -- fast lane: event-callback drive --------------------------------------
+
+    def _drain_batch(self) -> list:
+        batch = []
+        outbox = self.outbox
+        while len(batch) < self.batch_size:
+            message = outbox.try_get()
+            if message is None:
+                break
+            batch.append(message)
+        return batch
+
+    def _kick(self, _event: Event | None = None) -> None:
+        """Run transfer cycles until the outbox is empty (fast lane)."""
+        env = self.env
+        network = self.owner.network
+        src = self.owner.node.name
+        dst = self.peer.node.name
+        while True:
+            batch = self._drain_batch()
+            if not batch:
+                self._draining = False
+                return
+            total_bytes = sum(m.size_bytes for m in batch)
+            if network is None or src == dst:
+                self._complete(batch, total_bytes)
+                continue
+            if total_bytes:
+                links = network.links_on_path(src, dst)
+                if len(links) == 1:
+                    link = links[0]
+                    server = link._server
+                    if (
+                        not link._approaching
+                        and not server._holders
+                        and not server._waiting
+                    ):
+                        factor = network.congestion_factor()
+                        req = server.acquire()
+                        done = env.timeout_at(
+                            (env.now + link.latency_s * factor)
+                            + link.transmit_time(total_bytes) * factor
+                        )
+                        done.callbacks.append(
+                            lambda _ev, b=batch, t=total_bytes, r=req, s=server: (
+                                s.release(r),
+                                self._complete(b, t),
+                                self._kick(),
+                            )
+                        )
+                        return
+            # Contended, multi-link or zero-byte route: walk this one
+            # batch through the generator transfer, then drain again.
+            env.process(self._finish_slow(batch, total_bytes))
+            return
+
+    def _finish_slow(self, batch: list, total_bytes: int):
+        yield from self.owner.network.transfer_coalesced(
+            self.owner.node.name, self.peer.node.name, total_bytes
+        )
+        self._complete(batch, total_bytes)
+        self._kick()
+
+    def _complete(self, batch: list, total_bytes: int) -> None:
+        self.stats.forwarded += len(batch)
+        self.stats.bytes_forwarded += total_bytes
+        collector = collector_for(self.env)
+        if collector is not None:
+            for message in batch:
+                if message.trace_id:
+                    collector.close_hop(
+                        message.trace_id,
+                        _trace.STAGE_FORWARD,
+                        self.owner.node.name,
+                        _trace.FORWARDED,
+                    )
+        if self.batch_deliver:
+            self.peer.receive_batch(batch)
+        else:
+            for message in batch:
+                self.peer.receive(message)
+
+    # -- reference path: blocking process -------------------------------------
 
     def _run(self):
         network = self.owner.network
@@ -137,18 +250,7 @@ class _Forwarder:
                 yield from network.transfer(
                     self.owner.node.name, self.peer.node.name, total_bytes
                 )
-            self.stats.forwarded += len(batch)
-            self.stats.bytes_forwarded += total_bytes
-            collector = collector_for(self.env)
-            for message in batch:
-                if collector is not None and message.trace_id:
-                    collector.close_hop(
-                        message.trace_id,
-                        _trace.STAGE_FORWARD,
-                        self.owner.node.name,
-                        _trace.FORWARDED,
-                    )
-                self.peer.receive(message)
+            self._complete(batch, total_bytes)
 
 
 class Ldmsd:
@@ -164,6 +266,7 @@ class Ldmsd:
         forward_queue_depth: int = 65536,
         publish_overhead_s: float = 0.8e-6,
         loopback_bandwidth_bps: float = 4e9,
+        fast_lane: bool = True,
     ):
         if forward_queue_depth < 1:
             raise ValueError("forward_queue_depth must be >= 1")
@@ -173,6 +276,9 @@ class Ldmsd:
         self.name = name
         self.publish_overhead_s = publish_overhead_s
         self.loopback_bandwidth_bps = loopback_bandwidth_bps
+        #: Host-side batching of forward delivery (simulated results are
+        #: identical; False keeps the per-message reference path).
+        self.fast_lane = fast_lane
         self.streams = StreamsBus()
         self.streams.telemetry = _BusTelemetry(self)
         self._forwarders: list[_Forwarder] = []
@@ -194,6 +300,7 @@ class Ldmsd:
             tag,
             peer,
             queue_depth or 65536,
+            batch_deliver=self.fast_lane,
         )
         self._forwarders.append(fwd)
         self.streams.subscribe(tag, fwd.enqueue)
@@ -255,7 +362,7 @@ class Ldmsd:
             publish_time=self.env.now,
             trace_id=trace_id,
         )
-        cost = self.publish_overhead_s + message.size_bytes / self.loopback_bandwidth_bps
+        cost = self.publish_cost(message.size_bytes)
         t0 = self.env.now
         yield self.env.timeout(cost)
         if self._failed:
@@ -265,6 +372,43 @@ class Ldmsd:
         self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.PUBLISHED, t_in=t0)
         delivered = self.streams.publish(message)
         return delivered
+
+    def publish_cost(self, nbytes: int) -> float:
+        """Simulated seconds one publish of ``nbytes`` charges the caller."""
+        return self.publish_overhead_s + nbytes / self.loopback_bandwidth_bps
+
+    def publish_prepaid(
+        self,
+        tag: str,
+        payload: str,
+        fmt: str = "json",
+        trace_id: str = "",
+        publish_time: float | None = None,
+        parsed: dict | None = None,
+    ) -> int:
+        """The post-timeout half of :meth:`publish`, for callers that
+        already charged :meth:`publish_cost` themselves (the connector's
+        coalesced fast lane).  ``publish_time`` is the instant the
+        two-trip path would have stamped (format done, cost not yet
+        charged); failure is checked *now*, exactly like :meth:`publish`
+        checks after its own timeout.
+        """
+        t_pub = self.env.now if publish_time is None else publish_time
+        if self._failed:
+            self.dropped_while_failed += 1
+            self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.DROP_DAEMON_FAILED)
+            return 0
+        message = StreamMessage(
+            tag=tag,
+            payload=payload,
+            fmt=fmt,
+            src_node=self.node.name,
+            publish_time=t_pub,
+            trace_id=trace_id,
+            parsed=parsed,
+        )
+        self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.PUBLISHED, t_in=t_pub)
+        return self.streams.publish(message)
 
     def publish_now(self, tag: str, payload, fmt: str = "json", trace_id: str = "") -> int:
         """Zero-cost publish for daemon-internal producers (samplers)."""
@@ -304,6 +448,37 @@ class Ldmsd:
             )
             return
         self.streams.publish(message)
+
+    def receive_batch(self, messages: list) -> None:
+        """Deliver a forwarder batch, equivalent to per-message
+        :meth:`receive` calls.
+
+        Delivery stays message-by-message (a subscriber can fail this
+        daemon mid-batch, and the messages behind the trip wire must
+        drop exactly as they would sequentially); the win is the batch
+        window the bus opens around it — batch sinks (the DSOS store)
+        buffer their per-message work and flush it once per batch.
+        """
+        if len(messages) == 1:
+            # A batch window around one message buys nothing — skip the
+            # begin/flush scaffolding (same failed-daemon check, same
+            # per-row ingest the window's flush would perform).
+            self.receive(messages[0])
+            return
+        bus = self.streams
+        remainder = None
+        bus.begin_batch()
+        try:
+            for i, message in enumerate(messages):
+                if self._failed:
+                    remainder = messages[i:]
+                    break
+                bus.publish(message)
+        finally:
+            bus.end_batch()
+        if remainder is not None:
+            for message in remainder:
+                self.receive(message)
 
     # -- failure injection ------------------------------------------------
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 __all__ = ["StreamMessage", "StreamsBus"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamMessage:
     """One stream datum: a tagged string/JSON payload with provenance."""
 
@@ -27,6 +27,11 @@ class StreamMessage:
     #: out of band — never part of the payload, so tracing cannot change
     #: message sizes or costs.
     trace_id: str = ""
+    #: Fast-lane sidecar: the dict ``json.loads(payload)`` yields,
+    #: attached by publishers that built the payload from a compiled
+    #: template.  Out of band like ``trace_id`` — consumers that use it
+    #: (the DSOS store) skip the parse; everything else ignores it.
+    parsed: dict | None = None
 
     def __post_init__(self) -> None:
         if self.fmt not in ("json", "string"):
@@ -56,6 +61,56 @@ class StreamsBus:
         #: Optional telemetry hook with ``on_publish(message, delivered)``
         #: (set by the owning daemon; None on standalone buses).
         self.telemetry = None
+        self._batch_depth = 0
+        self._batch_sinks: list = []
+
+    # -- batch windows -------------------------------------------------------
+    #
+    # A batch window brackets a burst of publishes delivered in one host
+    # step (a forwarder handing over its transfer batch).  Subscribers
+    # that can amortize per-message work (the DSOS store's ingest) check
+    # ``in_batch`` to buffer, and register a flush hook that runs when
+    # the window closes.  Purely host-side: no simulated time passes
+    # inside a window, and per-message delivery semantics are unchanged.
+
+    @property
+    def in_batch(self) -> bool:
+        """True while a batch window is open (see :meth:`begin_batch`)."""
+        return self._batch_depth > 0
+
+    def add_batch_sink(self, flush) -> None:
+        """Register ``flush()`` to run whenever a batch window closes."""
+        if not callable(flush):
+            raise TypeError(f"batch sink {flush!r} is not callable")
+        self._batch_sinks.append(flush)
+
+    def begin_batch(self) -> None:
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Close a window; flush hooks run even if delivery aborted."""
+        if self._batch_depth <= 0:
+            raise RuntimeError("end_batch without begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            for flush in self._batch_sinks:
+                flush()
+
+    def publish_batch(self, messages) -> int:
+        """Publish several messages inside one batch window.
+
+        Exactly equivalent to sequential :meth:`publish` calls; returns
+        the number of messages published.
+        """
+        self.begin_batch()
+        try:
+            n = 0
+            for message in messages:
+                self.publish(message)
+                n += 1
+            return n
+        finally:
+            self.end_batch()
 
     def subscribe(self, tag: str, callback) -> None:
         """Register ``callback(message)`` for messages matching ``tag``."""

@@ -12,8 +12,6 @@ no scheduled events, no payload changes.
 
 from __future__ import annotations
 
-import weakref
-
 from repro.telemetry.histogram import GaugeStats, LogHistogram
 from repro.telemetry.trace import (
     STORED,
@@ -27,26 +25,32 @@ __all__ = ["TraceCollector", "collector_for", "install", "uninstall"]
 #: Synthetic stage for the full publish-begin → stored span.
 END_TO_END = "end_to_end"
 
-_COLLECTORS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+#: Attribute the collector is stored under on the Environment.  A plain
+#: attribute beats the previous WeakKeyDictionary: collector_for runs
+#: ~10× per message, and the weakref machinery was measurable in
+#: campaign profiles.  Lifetime is identical (the collector dies with
+#: its env) since the env owns the reference.
+_ENV_ATTR = "_repro_trace_collector"
 
 
 def install(env) -> "TraceCollector":
     """Attach (or return the existing) collector for ``env``."""
-    collector = _COLLECTORS.get(env)
+    collector = getattr(env, _ENV_ATTR, None)
     if collector is None:
         collector = TraceCollector(env)
-        _COLLECTORS[env] = collector
+        setattr(env, _ENV_ATTR, collector)
     return collector
 
 
 def collector_for(env) -> "TraceCollector | None":
     """The collector installed for ``env``, or ``None`` (the hot path)."""
-    return _COLLECTORS.get(env)
+    return getattr(env, _ENV_ATTR, None)
 
 
 def uninstall(env) -> None:
     """Detach any collector from ``env``."""
-    _COLLECTORS.pop(env, None)
+    if getattr(env, _ENV_ATTR, None) is not None:
+        delattr(env, _ENV_ATTR)
 
 
 class TraceCollector:
@@ -65,10 +69,23 @@ class TraceCollector:
 
     # -- trace lifecycle -----------------------------------------------
 
-    def begin(self, trace_id: str, job_id: int, rank: int, node: str = "") -> MessageTrace:
-        """Register a message at its origin (the connector, pre-publish)."""
+    def begin(
+        self,
+        trace_id: str,
+        job_id: int,
+        rank: int,
+        node: str = "",
+        t_begin: float | None = None,
+    ) -> MessageTrace:
+        """Register a message at its origin (the connector, pre-publish).
+
+        ``t_begin`` lets a caller that already advanced past the origin
+        instant (the coalesced-publish fast lane) stamp the exact time
+        the reference path would have.
+        """
         trace = MessageTrace(
-            trace_id=trace_id, job_id=job_id, rank=rank, t_begin=self.env.now
+            trace_id=trace_id, job_id=job_id, rank=rank,
+            t_begin=self.env.now if t_begin is None else t_begin,
         )
         self.traces[trace_id] = trace
         return trace

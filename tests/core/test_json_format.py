@@ -147,3 +147,65 @@ def test_default_cost_magnitude_matches_paper():
     """~17 numeric fields × 25 µs ≈ 0.43 ms/event, the HMMER-implied cost."""
     fm = MessageBuilder().format(_event())
     assert 2e-4 < fm.format_cost_s < 1e-3
+
+
+# -- fast-lane golden tests ---------------------------------------------------
+#
+# The template-compiled serializer memoizes per message *shape*: the
+# static-field prefix, the numeric-conversion count, and (for the parsed
+# sidecar) dict templates.  These goldens pin every cached quantity to a
+# fresh slow-path walk for each shape the connector emits: MET (open,
+# absolute paths), MOD (data, N/A paths) and the HDF5 segment variant.
+
+_GOLDEN_SHAPES = {
+    "met": dict(op="open", nbytes=0, max_byte=-1),
+    "mod": dict(op="write"),
+    "hdf5": dict(
+        module="H5D",
+        hdf5={
+            "data_set": "u", "ndims": 3, "npoints": 4096,
+            "pt_sel": 0, "reg_hslab": 2, "irreg_hslab": 0,
+        },
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(_GOLDEN_SHAPES))
+def test_fast_lane_payload_matches_slow_walk(shape):
+    event = _event(**_GOLDEN_SHAPES[shape])
+    fast = MessageBuilder(fast=True).format(event)
+    slow = MessageBuilder(fast=False).format(event)
+    assert fast.payload == slow.payload  # byte-identical serialization
+    assert fast.format_cost_s == slow.format_cost_s
+
+
+@pytest.mark.parametrize("shape", sorted(_GOLDEN_SHAPES))
+def test_fast_lane_numeric_count_matches_fresh_walk(shape):
+    event = _event(**_GOLDEN_SHAPES[shape])
+    builder = MessageBuilder(fast=True)
+    # Warm the shape cache, then format again so the memoized count is
+    # what gets compared — not the first-call compile.
+    builder.format(event)
+    fm = builder.format(event)
+    fresh = MessageBuilder.count_numeric_fields(
+        MessageBuilder(fast=False).message_dict(event)
+    )
+    assert fm.numeric_conversions == fresh
+
+
+@pytest.mark.parametrize("shape", sorted(_GOLDEN_SHAPES))
+def test_fast_lane_parsed_sidecar_equals_json_loads(shape):
+    event = _event(**_GOLDEN_SHAPES[shape])
+    builder = MessageBuilder(fast=True)
+    builder.format(event)  # warm the cache; second call uses templates
+    fm = builder.format(event)
+    assert fm.parsed == json.loads(fm.payload)
+    # Key order matters downstream (Figure-3 order is part of the
+    # payload contract) — the sidecar must preserve it too.
+    assert list(fm.parsed) == list(json.loads(fm.payload))
+    assert list(fm.parsed["seg"][0]) == list(json.loads(fm.payload)["seg"][0])
+
+
+def test_slow_lane_has_no_parsed_sidecar():
+    fm = MessageBuilder(fast=False).format(_event())
+    assert fm.parsed is None
