@@ -7,7 +7,8 @@ Usage::
     python -m repro.cli table2c [--families 400]
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
-    python -m repro.cli telemetry [--queue-depth 1] [--inject-failure]
+    python -m repro.cli telemetry [--queue-depth 1] [--inject-failure] [--check]
+    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane]
     python -m repro.cli bench [--quick] [--check] [--out PATH]
 
 All commands print the reproduced rows/series to stdout; scale flags
@@ -162,6 +163,59 @@ def _cmd_telemetry(args) -> None:
     )
     result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
     print(result.health.render_text())
+    if args.check and not result.health.verify():
+        print("FAIL: loss reconciliation violated "
+              "(published != stored + Σ drops + in_flight_spill)")
+        raise SystemExit(1)
+
+
+def _cmd_chaos(args) -> None:
+    """Seeded chaos campaign against the self-healing pipeline.
+
+    Crashes the L1 aggregator mid-run (it restarts after half a
+    second), partitions one compute node's uplink, and stalls the DSOS
+    store — with every recovery path armed: spill/replay connector,
+    retry/backoff forwarders, a hot-standby L1, journaled idempotent
+    ingest.  Prints the applied-fault log and the health report; with
+    ``--check``, exits nonzero unless the ledger closes exactly.
+    """
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.faults import DaemonCrash, FaultPlan, LinkPartition, SlowStore
+    from repro.ldms.resilience import RetryPolicy
+
+    fast = not args.no_fast_lane
+    plan = FaultPlan((
+        DaemonCrash("l1", after_messages=args.fail_after, down_for=0.5),
+        LinkPartition("nid00001", "head", at=0.2, duration=0.3),
+        SlowStore(at=0.1, duration=0.4),
+    ))
+    world = World(WorldConfig(
+        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=fast, faults=plan, retry=RetryPolicy(), standby_l1=True,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=8,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    # No inter-job gap: the job starts at t=0, so the timed fault
+    # windows above land inside the I/O burst instead of before it.
+    result = run_job(world, app, "nfs",
+                     connector_config=ConnectorConfig(spill=True, fast_lane=fast),
+                     inter_job_gap_s=0.0)
+    print("== applied faults ==")
+    for fault in world.fault_injector.applied:
+        print(f"  t={fault.t - world.config.epoch:9.3f}s "
+              f"{fault.kind:<16} {fault.detail}")
+    journal = world.store.journal
+    print(f"duplicates skipped by ingest journal: "
+          f"{journal.duplicates_skipped if journal else 0}")
+    print()
+    print(result.health.render_text())
+    if args.check and not result.health.verify():
+        print("FAIL: unaccounted events under fault injection")
+        raise SystemExit(1)
 
 
 def _cmd_bench(args) -> None:
@@ -219,6 +273,7 @@ def _cmd_report(args) -> None:
 
 _COMMANDS = {
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "table2a": _cmd_table2a,
     "table2b": _cmd_table2b,
@@ -251,12 +306,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inject-failure", action="store_true",
                         help="telemetry: crash the L1 aggregator mid-run")
     parser.add_argument("--fail-after", type=int, default=50,
-                        help="telemetry: messages seen at L1 before the crash")
+                        help="telemetry/chaos: messages seen at L1 before "
+                             "the crash")
+    parser.add_argument("--no-fast-lane", action="store_true",
+                        help="chaos: per-message reference path instead of "
+                             "the batched fast lane")
     parser.add_argument("--quick", action="store_true",
                         help="bench: reduced campaign for CI smoke runs")
     parser.add_argument("--check", action="store_true",
-                        help="bench: compare against the committed result; "
-                             "exit nonzero on a >25%% speedup regression")
+                        help="telemetry/chaos: exit nonzero when loss "
+                             "reconciliation fails; bench: exit nonzero on a "
+                             ">25%% speedup regression vs the committed result")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

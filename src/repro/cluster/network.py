@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Event, Resource
 
 __all__ = ["Link", "Network", "TransferResult"]
 
@@ -53,6 +53,7 @@ class Link:
             raise ValueError("latency must be >= 0")
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
+        self.env = env
         self.latency_s = latency_s
         self.bandwidth_bps = bandwidth_bps
         self._server = Resource(env, capacity=channels)
@@ -61,10 +62,56 @@ class Link:
         # already in flight.  transfer_coalesced() must see them, or it
         # would grab a channel ahead of an earlier arrival.
         self._approaching = 0
+        # Fault state (repro.faults): a partitioned link admits no new
+        # traversals (transfers already past their entry — mid-latency
+        # or serializing — complete; the partition cut them "behind the
+        # packet").  Degradation multiplies serialization time.
+        self._up = True
+        self._up_waiters: Event | None = None
+        self._degrade = 1.0
+
+    @property
+    def up(self) -> bool:
+        """False while the link is partitioned (see :meth:`set_up`)."""
+        return self._up
+
+    @property
+    def degrade_factor(self) -> float:
+        return self._degrade
+
+    def set_up(self, up: bool) -> None:
+        """Partition (``False``) or heal (``True``) the link.
+
+        Healing wakes every transfer waiting at the link's entry, in
+        FIFO order (they all resume on one event, and the engine
+        processes same-time resumes in scheduling order).
+        """
+        if up == self._up:
+            return
+        self._up = up
+        if up and self._up_waiters is not None:
+            waiters, self._up_waiters = self._up_waiters, None
+            waiters.succeed()
+
+    def set_degrade(self, factor: float) -> None:
+        """Multiply serialization times by ``factor`` (1.0 = healthy)."""
+        if factor <= 0:
+            raise ValueError("degrade factor must be positive")
+        self._degrade = factor
+
+    def wait_up(self) -> Event:
+        """An event that fires when the link is (or comes back) up."""
+        if self._up:
+            done = Event(self.env)
+            done.succeed()
+            return done
+        if self._up_waiters is None:
+            self._up_waiters = Event(self.env)
+        return self._up_waiters
 
     def transmit_time(self, nbytes: int) -> float:
         """Serialization time for ``nbytes`` on this link."""
-        return nbytes / self.bandwidth_bps
+        return nbytes * self._degrade / self.bandwidth_bps
 
     def transmit(self, nbytes: int):
         """Generator: occupy one channel for the serialization time."""
@@ -121,6 +168,33 @@ class Network:
         self._route_cache.clear()
         return link
 
+    # -- fault control (repro.faults) ----------------------------------
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link joining ``a`` and ``b`` (a single edge)."""
+        try:
+            return self.graph.edges[a, b]["link"]
+        except KeyError as exc:
+            raise ValueError(f"no direct link {a!r} -- {b!r}") from exc
+
+    def partition(self, a: str, b: str) -> None:
+        """Take the ``a``--``b`` link down: new traversals block at its
+        entry until :meth:`heal`.  Routes are unchanged — a partition is
+        an outage, not a topology edit."""
+        self.link_between(a, b).set_up(False)
+
+    def heal(self, a: str, b: str) -> None:
+        """Bring the ``a``--``b`` link back up, waking blocked transfers."""
+        self.link_between(a, b).set_up(True)
+
+    def degrade(self, a: str, b: str, factor: float) -> None:
+        """Multiply the ``a``--``b`` link's serialization times."""
+        self.link_between(a, b).set_degrade(factor)
+
+    def restore(self, a: str, b: str) -> None:
+        """Undo :meth:`degrade` on the ``a``--``b`` link."""
+        self.link_between(a, b).set_degrade(1.0)
+
     def path(self, src: str, dst: str) -> list[str]:
         """Node sequence of the route used for ``src`` → ``dst``."""
         try:
@@ -155,6 +229,8 @@ class Network:
         if src != dst:
             factor = self.congestion_factor()
             for link in self.links_on_path(src, dst):
+                while not link._up:
+                    yield link.wait_up()
                 link._approaching += 1
                 try:
                     yield self.env.timeout(link.latency_s * factor)
@@ -195,6 +271,8 @@ class Network:
         if src != dst:
             factor = self.congestion_factor()
             for link in self.links_on_path(src, dst):
+                while not link._up:
+                    yield link.wait_up()
                 server = link._server
                 if (
                     nbytes

@@ -10,13 +10,21 @@ daemon, push-based, exactly the design argument of Section IV-B.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from zlib import crc32
 
 from repro.core.json_format import FormatCostModel, MessageBuilder
 from repro.core.sampling import EventSampler
 from repro.darshan.runtime import DarshanRuntime, IOEvent
+from repro.ldms.resilience import RetryPolicy
 from repro.telemetry.collector import collector_for
-from repro.telemetry.trace import make_trace_id
+from repro.telemetry.trace import (
+    REPLAYED,
+    SPILLED,
+    STAGE_PUBLISH,
+    make_trace_id,
+)
 
 __all__ = ["ConnectorConfig", "ConnectorStats", "DarshanLdmsConnector"]
 
@@ -41,12 +49,23 @@ class ConnectorConfig:
     #: times the two-trip path computes).  Simulated results are
     #: bit-identical either way; False keeps the reference path.
     fast_lane: bool = True
+    #: Spill-to-Darshan-log fallback (the real connector's behaviour
+    #: when the local ldmsd is unreachable): events buffer in order,
+    #: a reconnect loop backs off exponentially with deterministic
+    #: jitter, and the buffer replays in order on reconnect.  Off by
+    #: default — the paper's connector path is bit-for-bit unchanged.
+    spill: bool = False
+    reconnect_base_s: float = 0.05
+    reconnect_cap_s: float = 2.0
+    reconnect_max_attempts: int = 30
 
     def __post_init__(self) -> None:
         if self.format_mode not in ("json", "none"):
             raise ValueError(f"format_mode must be json or none, got {self.format_mode!r}")
         if self.sample_every < 1:
             raise ValueError("sample_every must be >= 1")
+        if self.reconnect_max_attempts < 1:
+            raise ValueError("reconnect_max_attempts must be >= 1")
 
 
 @dataclass
@@ -60,6 +79,11 @@ class ConnectorStats:
     format_seconds: float = 0.0
     publish_seconds: float = 0.0
     bytes_published: int = 0
+    # -- spill/replay (zero unless ConnectorConfig(spill=True) and the
+    #    local daemon actually went down) --
+    events_spilled: int = 0
+    events_replayed: int = 0
+    reconnect_attempts: int = 0
 
     @property
     def overhead_seconds(self) -> float:
@@ -95,6 +119,16 @@ class DarshanLdmsConnector:
         #: telemetry trace ids (no RNG, no wall clock — stamping traces
         #: cannot perturb a seeded campaign).
         self._trace_seq: dict[int, int] = {}
+        #: node name -> FIFO of (trace_id, payload, parsed) awaiting a
+        #: reconnect replay (the in-memory stand-in for the events the
+        #: real connector leaves in the post-run Darshan log).
+        self._spill: dict[str, deque] = {}
+        self._reconnecting: set[str] = set()
+        self._reconnect_policy = RetryPolicy(
+            max_attempts=config.reconnect_max_attempts,
+            base_s=config.reconnect_base_s,
+            cap_s=config.reconnect_cap_s,
+        )
         runtime.add_event_listener(self)
 
     # -- the listener hook (runs on the application rank's clock) -----------
@@ -115,7 +149,9 @@ class DarshanLdmsConnector:
         daemon = self._daemon_for_node(event.context.node_name)
         trace_id = self._next_trace_id(event.context.rank)
 
-        if self.config.fast_lane:
+        if self.config.spill:
+            yield from self._publish_or_spill(event, payload, formatted, daemon, trace_id)
+        elif self.config.fast_lane:
             # Coalesced publish: one engine trip instead of two.  The
             # slow lane advances the clock twice — to t_pub after the
             # format timeout, then to t_done after the publish cost — so
@@ -166,6 +202,103 @@ class DarshanLdmsConnector:
         seq = self._trace_seq.get(rank, 0)
         self._trace_seq[rank] = seq + 1
         return make_trace_id(self.runtime.job_id, rank, seq)
+
+    # -- spill/replay: the Darshan-log fallback -----------------------------
+
+    def _publish_or_spill(self, event: IOEvent, payload, formatted, daemon, trace_id):
+        """Publish with the down-daemon fallback (``spill=True`` runs).
+
+        Format cost is charged first (the event was formatted either
+        way); if the local ldmsd is down at send time the event parks in
+        the spill buffer at zero further cost — the real connector's
+        failed send is immediate — and a reconnect loop takes over.
+        """
+        env = self.env
+        node_name = event.context.node_name
+        rank = event.context.rank
+        yield env.timeout(formatted.format_cost_s)
+        collector = collector_for(env)
+        if collector is not None:
+            collector.begin(trace_id, self.runtime.job_id, rank, node_name)
+        if not daemon.failed:
+            t_pub = env.now
+            t_done = t_pub + daemon.publish_cost(len(payload))
+            yield env.timeout_at(t_done)
+            if not daemon.failed:
+                daemon.publish_prepaid(
+                    self.config.stream_tag, payload, fmt="json",
+                    trace_id=trace_id, publish_time=t_pub,
+                    parsed=formatted.parsed,
+                )
+                self.stats.publish_seconds += t_done - t_pub
+                return
+            # Crashed inside the send window: fall through to the spill
+            # (the send never completed; its cost was paid in vain).
+        self._spill_event(node_name, daemon, trace_id, payload, formatted.parsed)
+
+    def _spill_event(self, node_name: str, daemon, trace_id: str, payload, parsed) -> None:
+        buffer = self._spill.get(node_name)
+        if buffer is None:
+            buffer = self._spill[node_name] = deque()
+        buffer.append((trace_id, payload, parsed))
+        self.stats.events_spilled += 1
+        collector = collector_for(self.env)
+        if collector is not None:
+            collector.hop(trace_id, STAGE_PUBLISH, node_name, SPILLED)
+        if node_name not in self._reconnecting:
+            self._reconnecting.add(node_name)
+            self.env.process(self._reconnect_loop(node_name, daemon))
+
+    def _reconnect_loop(self, node_name: str, daemon):
+        """Back off until the local ldmsd answers, then replay the spill.
+
+        Attempts are bounded; on exhaustion whatever is still buffered
+        stays there — the post-run-Darshan-log outcome, reconciled as
+        ``in_flight_spill`` rather than a drop.  A later spill on the
+        same node starts a fresh loop (fresh attempt budget).
+        """
+        policy = self._reconnect_policy
+        key = crc32(node_name.encode())
+        try:
+            for attempt in range(1, policy.max_attempts + 1):
+                self.stats.reconnect_attempts += 1
+                yield self.env.timeout(policy.delay(attempt, key))
+                if daemon.failed:
+                    continue
+                drained = yield from self._replay(node_name, daemon)
+                if drained:
+                    return
+        finally:
+            self._reconnecting.discard(node_name)
+
+    def _replay(self, node_name: str, daemon):
+        """In-order replay of one node's spill buffer.
+
+        Publish cost per event is charged to the connector's reconnect
+        process (the replay reads the log off the application's clock).
+        Returns False if the daemon dies again mid-replay — undelivered
+        entries stay queued for the next reconnect attempt.
+        """
+        buffer = self._spill[node_name]
+        collector = collector_for(self.env)
+        while buffer:
+            trace_id, payload, parsed = buffer[0]
+            yield self.env.timeout(daemon.publish_cost(len(payload)))
+            if daemon.failed:
+                return False
+            if collector is not None:
+                collector.hop(trace_id, STAGE_PUBLISH, node_name, REPLAYED)
+            daemon.publish_prepaid(
+                self.config.stream_tag, payload, fmt="json",
+                trace_id=trace_id, parsed=parsed,
+            )
+            buffer.popleft()
+            self.stats.events_replayed += 1
+        return True
+
+    def spill_pending(self) -> int:
+        """Events still parked in spill buffers (``in_flight_spill``)."""
+        return sum(len(b) for b in self._spill.values())
 
     # -- derived reporting -----------------------------------------------------
 

@@ -1,0 +1,56 @@
+"""Write-ahead ingest journal: idempotence for the DSOS store plugin.
+
+Recovery paths upstream (connector spill replay, forwarder retry with
+lost acks, failover re-sends) can legitimately deliver the same message
+twice.  The journal makes ingest idempotent: every message is admitted
+exactly once, keyed on its deterministic ``job:rank:seq`` trace id, and
+the admission is logged *before* the insert happens — so the WAL is a
+complete, ordered record of what the store committed to landing, and a
+duplicate arriving at any later time (even mid-flush of a deferred
+batch) is recognized and skipped.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IngestJournal", "WalEntry"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One admission: the store committed to landing this message."""
+
+    t: float
+    trace_id: str
+
+
+class IngestJournal:
+    """Dedup index + write-ahead log for one store plugin."""
+
+    def __init__(self, env):
+        self.env = env
+        self._seen: set[str] = set()
+        self.wal: list[WalEntry] = []
+        self.duplicates_skipped = 0
+
+    def admit(self, trace_id: str) -> bool:
+        """Journal ``trace_id``; False if it was already admitted.
+
+        Untraced messages (empty id) cannot be deduplicated and are
+        always admitted, unlogged.
+        """
+        if not trace_id:
+            return True
+        if trace_id in self._seen:
+            self.duplicates_skipped += 1
+            return False
+        self._seen.add(trace_id)
+        self.wal.append(WalEntry(self.env.now, trace_id))
+        return True
+
+    def __contains__(self, trace_id: str) -> bool:
+        return trace_id in self._seen
+
+    def __len__(self) -> int:
+        return len(self.wal)

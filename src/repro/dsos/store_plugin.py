@@ -18,10 +18,12 @@ from __future__ import annotations
 import json
 
 from repro.dsos.client import DsosClient
+from repro.dsos.journal import IngestJournal
 from repro.dsos.schema import DARSHAN_DATA_SCHEMA
 from repro.telemetry.collector import collector_for
 from repro.telemetry.trace import (
     DROP_PARSE_ERROR,
+    DUP_IGNORED,
     STAGE_INGEST,
     STORED,
 )
@@ -48,6 +50,7 @@ class DsosStreamStore:
         schema=DARSHAN_DATA_SCHEMA,
         *,
         fast: bool = True,
+        journal: bool = True,
     ):
         self.daemon = daemon
         self.tag = tag
@@ -57,6 +60,16 @@ class DsosStreamStore:
         self.parse_errors = 0
         self.objects_stored = 0
         self._fast = fast
+        #: Idempotent ingest: upstream recovery (spill replay, retry on
+        #: lost acks, failover) may resend a message; the journal admits
+        #: each trace id once.  With no duplicates it only costs a set
+        #: lookup, so it is on by default.
+        self.journal = IngestJournal(daemon.env) if journal else None
+        #: Slow-store episode state (repro.faults): while slow, inserts
+        #: defer into _slow_pending with an open ingest hop; the episode
+        #: end flushes them, stamping the episode's latency on each.
+        self._slow = False
+        self._slow_pending: list[tuple] = []
         #: (attr_name, comes-from-seg, source key, exact type, type name)
         #: per schema attribute, in schema order.
         self._row_plan = self._compile_row_plan(schema)
@@ -95,6 +108,21 @@ class DsosStreamStore:
                 self.parse_errors += 1
                 self._ingest_hop(message, DROP_PARSE_ERROR)
                 return
+        if self.journal is not None and not self.journal.admit(message.trace_id):
+            self._ingest_hop(message, DUP_IGNORED)
+            return
+        if self._slow:
+            rows = (
+                self._flatten_fast(data) if self._fast else list(self._flatten(data))
+            )
+            self._slow_pending.append((message, rows))
+            if message.trace_id:
+                collector = collector_for(self.daemon.env)
+                if collector is not None:
+                    collector.open_hop(
+                        message.trace_id, STAGE_INGEST, self.daemon.node.name
+                    )
+            return
         if self._fast:
             rows = self._flatten_fast(data)
             if self._bus.in_batch:
@@ -121,6 +149,50 @@ class DsosStreamStore:
         if rows:
             self._pending_rows = []
             self.client.cluster.insert_many(self.schema.name, rows, validate=False)
+
+    # -- slow-store episodes (repro.faults) ------------------------------
+
+    @property
+    def slow(self) -> bool:
+        return self._slow
+
+    @property
+    def slow_pending(self) -> int:
+        """Messages deferred by the current slow episode."""
+        return len(self._slow_pending)
+
+    def begin_slow_episode(self) -> None:
+        """Storage stalls: arriving messages defer until the episode ends.
+
+        Episodes must be ended (finite) — deferred messages are neither
+        stored nor dropped until :meth:`end_slow_episode` flushes them,
+        and a run that ends mid-episode reconciles them as in-flight.
+        """
+        self._slow = True
+
+    def end_slow_episode(self) -> None:
+        """Flush everything the episode deferred, in arrival order.
+
+        Each deferred message's ingest hop closes here, so its recorded
+        ingest latency is the stall it actually suffered.
+        """
+        if not self._slow:
+            return
+        self._slow = False
+        pending, self._slow_pending = self._slow_pending, []
+        if not pending:
+            return
+        all_rows = [row for _, rows in pending for row in rows]
+        if all_rows:
+            self.client.cluster.insert_many(
+                self.schema.name, all_rows, validate=False
+            )
+        collector = collector_for(self.daemon.env)
+        node = self.daemon.node.name
+        for message, rows in pending:
+            self.objects_stored += len(rows)
+            if message.trace_id and collector is not None:
+                collector.close_hop(message.trace_id, STAGE_INGEST, node, STORED)
 
     def _ingest_hop(self, message, outcome: str) -> None:
         """Terminal telemetry hop: the message either landed or died here."""

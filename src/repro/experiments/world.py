@@ -68,6 +68,18 @@ class WorldConfig:
     #: forward delivery + batched DSOS ingest).  Simulated results are
     #: identical either way; False keeps the per-message reference path.
     fast_lane: bool = True
+    #: A :class:`~repro.faults.FaultPlan` to arm against this world
+    #: (None = no injector at all; an *empty* plan arms to nothing and
+    #: is bit-identical to None — pinned by the property suite).
+    faults: object | None = None
+    #: A :class:`~repro.ldms.resilience.RetryPolicy` opting every
+    #: forward rule into backoff/resend (None = the paper's best-effort
+    #: transport, unchanged).
+    retry: object | None = None
+    #: Build a hot-standby first-level aggregator on the analysis node;
+    #: with ``retry`` set, compute daemons fail over to it when the
+    #: head-node L1 dies.
+    standby_l1: bool = False
 
     @property
     def epoch(self) -> float:
@@ -125,7 +137,8 @@ class World:
         # Monitoring and storage pipeline.
         self.fabric = AggregationFabric(
             self.cluster, STREAM_TAG, queue_depth=config.forward_queue_depth,
-            fast_lane=config.fast_lane,
+            fast_lane=config.fast_lane, retry=config.retry,
+            standby_l1=config.standby_l1,
         )
         self.dsos = DsosClient(DsosCluster("shirley-dsos", config.dsos_daemons))
         self.store = DsosStreamStore(
@@ -137,6 +150,15 @@ class World:
         self.metric_store = None
         self._samplers_running = False
         self._pipeline_samplers_running = False
+
+        # Chaos: arm the fault plan last, so triggers and timers see the
+        # fully built pipeline.
+        self.fault_injector = None
+        if config.faults is not None:
+            from repro.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(self, config.faults)
+            self.fault_injector.arm()
 
     # -- system telemetry (classic LDMS samplers) -----------------------------
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for chaos campaigns.
+
+Describe what breaks in a :class:`~repro.faults.plan.FaultPlan`
+(daemon crashes and restarts, link partitions and degradations,
+slow-store episodes, flaky transports), hand it to a world via
+``WorldConfig(faults=plan)``, and the
+:class:`~repro.faults.injector.FaultInjector` schedules it all from
+seeded, replayable clockwork.  The self-healing counterparts live with
+the components they heal: connector spill/replay in
+:mod:`repro.core.connector`, retry/failover in
+:mod:`repro.ldms.daemon`, the idempotent ingest journal in
+:mod:`repro.dsos.journal`.
+"""
+
+from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.plan import (
+    DaemonCrash,
+    FaultPlan,
+    FlakyTransport,
+    LinkDegrade,
+    LinkPartition,
+    SlowStore,
+)
+
+__all__ = [
+    "AppliedFault",
+    "DaemonCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyTransport",
+    "LinkDegrade",
+    "LinkPartition",
+    "SlowStore",
+]

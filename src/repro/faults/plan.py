@@ -1,0 +1,168 @@
+"""Declarative fault plans: what breaks, when, for how long.
+
+A :class:`FaultPlan` is a frozen description — pure data, validated at
+construction — of every fault one campaign suffers.  The
+:class:`~repro.faults.injector.FaultInjector` turns it into scheduled
+simulation events; the plan itself touches nothing, so building one is
+free and two runs armed with equal plans behave identically.
+
+Time fields are offsets in simulated seconds from the instant the
+injector is armed (world construction), not absolute epochs — plans
+stay portable across ``campaign_offset_days``.
+
+Every outage a process can end up *waiting out* must be finite: link
+partitions and degradations, slow-store episodes and flaky windows all
+require a positive ``duration``, or a drained run could hang forever.
+Daemon crashes may be permanent (``down_for=None``) — nothing blocks on
+a dead daemon; its traffic is dropped, spilled or failed over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DaemonCrash",
+    "FaultPlan",
+    "FlakyTransport",
+    "LinkDegrade",
+    "LinkPartition",
+    "SlowStore",
+]
+
+#: Daemon targets the injector resolves specially (anything else is
+#: treated as a compute-node name).
+SPECIAL_TARGETS = ("l1", "l2", "l1-standby")
+
+
+def _require_positive(name: str, value) -> None:
+    if value is None or value <= 0:
+        raise ValueError(f"{name} must be a positive duration, got {value!r}")
+
+
+@dataclass(frozen=True)
+class DaemonCrash:
+    """Crash a daemon at a time or a message-count trigger.
+
+    Exactly one of ``at`` (seconds after arming) and ``after_messages``
+    (crash once the target's bus has seen that many messages on the
+    campaign stream tag) must be set.  ``down_for=None`` leaves it dead.
+    """
+
+    target: str
+    at: float | None = None
+    after_messages: int | None = None
+    down_for: float | None = None
+
+    def __post_init__(self):
+        if (self.at is None) == (self.after_messages is None):
+            raise ValueError("set exactly one of at / after_messages")
+        if self.at is not None and self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.after_messages is not None and self.after_messages < 1:
+            raise ValueError("after_messages must be >= 1")
+        if self.down_for is not None:
+            _require_positive("down_for", self.down_for)
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """Take the direct ``a``--``b`` link down for ``duration`` seconds."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        _require_positive("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Multiply the ``a``--``b`` link's serialization time by ``factor``."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+    factor: float = 10.0
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        _require_positive("duration", self.duration)
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+@dataclass(frozen=True)
+class SlowStore:
+    """Stall the DSOS store plugin: arrivals defer until the episode ends."""
+
+    at: float
+    duration: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        _require_positive("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class FlakyTransport:
+    """Make a daemon's forward sends error with seeded probability.
+
+    ``mode="lost"`` loses batches outright (retry recovers them, or
+    they dead-letter); ``mode="unacked"`` delivers but drops the ack,
+    so retries produce the duplicates the ingest journal deduplicates.
+    The only randomness in the whole fault system is these error draws,
+    taken from the campaign's seeded ``"faults"`` stream.
+    """
+
+    target: str
+    at: float
+    duration: float
+    error_rate: float = 0.2
+    mode: str = "lost"
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        _require_positive("duration", self.duration)
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        if self.mode not in ("lost", "unacked"):
+            raise ValueError("mode must be 'lost' or 'unacked'")
+
+
+_FAULT_TYPES = (DaemonCrash, LinkPartition, LinkDegrade, SlowStore, FlakyTransport)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated collection of faults for one campaign."""
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, _FAULT_TYPES):
+                raise TypeError(
+                    f"not a fault: {fault!r} (use "
+                    f"{', '.join(t.__name__ for t in _FAULT_TYPES)})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @property
+    def needs_rng(self) -> bool:
+        """True if arming this plan will consume seeded random draws."""
+        return any(isinstance(f, FlakyTransport) for f in self.faults)

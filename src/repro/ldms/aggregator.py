@@ -44,7 +44,15 @@ class AggregationFabric:
         queue_depth: int = 65536,
         daemon_name: str = "ldmsd",
         fast_lane: bool = True,
+        retry=None,
+        standby_l1: bool = False,
     ):
+        """``retry`` (a :class:`~repro.ldms.resilience.RetryPolicy`)
+        opts every forward rule into backoff/resend; ``standby_l1``
+        adds a hot-standby first-level aggregator on the analysis node
+        that compute daemons fail over to when the head-node L1 dies —
+        a genuinely different route (compute → Shirley direct), which
+        exercises the failover path's route re-resolution."""
         self.cluster = cluster
         self.tag = tag
         env = cluster.env
@@ -54,12 +62,23 @@ class AggregationFabric:
                         fast_lane=fast_lane)
         self.l1 = Ldmsd(env, cluster.head_node, net, name=daemon_name,
                         fast_lane=fast_lane)
-        self.l1.add_stream_forward(tag, self.l2, queue_depth)
+        self.l1.add_stream_forward(tag, self.l2, queue_depth, retry=retry)
+
+        self.l1_standby: Ldmsd | None = None
+        if standby_l1:
+            self.l1_standby = Ldmsd(
+                env, cluster.analysis_node, net,
+                name=f"{daemon_name}-standby", fast_lane=fast_lane,
+            )
+            # Standby relays to L2 over the free same-node loopback.
+            self.l1_standby.add_stream_forward(tag, self.l2, queue_depth,
+                                               retry=retry)
 
         self.compute_daemons: dict[str, Ldmsd] = {}
         for node in cluster.compute_nodes:
             d = Ldmsd(env, node, net, name=daemon_name, fast_lane=fast_lane)
-            d.add_stream_forward(tag, self.l1, queue_depth)
+            d.add_stream_forward(tag, self.l1, queue_depth, retry=retry,
+                                 standby=self.l1_standby)
             self.compute_daemons[node.name] = d
 
     def daemon_for(self, node_name: str) -> Ldmsd:
@@ -71,7 +90,11 @@ class AggregationFabric:
 
     def all_daemons(self) -> list[Ldmsd]:
         """Every daemon in the fabric, compute level first."""
-        return [*self.compute_daemons.values(), self.l1, self.l2]
+        daemons = [*self.compute_daemons.values(), self.l1]
+        if self.l1_standby is not None:
+            daemons.append(self.l1_standby)
+        daemons.append(self.l2)
+        return daemons
 
     def health_snapshots(self) -> list[dict]:
         """Per-daemon :meth:`~repro.ldms.daemon.Ldmsd.stats_snapshot`
@@ -87,15 +110,14 @@ class AggregationFabric:
         published = sum(
             d.streams.stats.published for d in self.compute_daemons.values()
         )
+        relays = [*self.compute_daemons.values(), self.l1]
+        if self.l1_standby is not None:
+            relays.append(self.l1_standby)
         dropped = sum(
-            s.dropped_overflow
-            for d in (*self.compute_daemons.values(), self.l1)
-            for s in d.forward_stats()
+            s.dropped_overflow for d in relays for s in d.forward_stats()
         )
         bytes_fwd = sum(
-            s.bytes_forwarded
-            for d in (*self.compute_daemons.values(), self.l1)
-            for s in d.forward_stats()
+            s.bytes_forwarded for d in relays for s in d.forward_stats()
         )
         return FabricTotals(
             published_on_compute=published,

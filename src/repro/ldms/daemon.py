@@ -19,8 +19,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from zlib import crc32
+
 from repro.cluster.network import Network
 from repro.cluster.node import Node
+from repro.ldms.resilience import RetryPolicy
 from repro.ldms.streams import StreamMessage, StreamsBus
 from repro.sim import Environment, Event, Interrupt, Store
 from repro.telemetry import trace as _trace
@@ -63,6 +66,39 @@ class ForwardStats:
     dropped_overflow: int = 0
     bytes_forwarded: int = 0
     max_queue_depth: int = 0
+    # -- resilience counters (all zero unless retry/flaky configured,
+    #    except purged_on_crash, which any owner crash can raise) --
+    retries: int = 0
+    redelivered: int = 0
+    failovers: int = 0
+    dead_letters: int = 0
+    purged_on_crash: int = 0
+
+
+class _FlakyTransport:
+    """Probabilistic send errors on one forward rule.
+
+    ``mode="lost"`` drops the batch on the wire; ``mode="unacked"``
+    delivers it but loses the acknowledgement, so the sender retries
+    and the peer sees a duplicate — the case the idempotent ingest
+    journal exists for.  Draws come from a seeded stream, so error
+    sequences replay exactly.
+    """
+
+    __slots__ = ("error_rate", "mode", "rng")
+
+    def __init__(self, error_rate: float, mode: str, rng):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        if mode not in ("lost", "unacked"):
+            raise ValueError("mode must be 'lost' or 'unacked'")
+        self.error_rate = error_rate
+        self.mode = mode
+        self.rng = rng
+
+    def draw(self) -> str | None:
+        """The error mode this send suffers, or ``None`` (clean send)."""
+        return self.mode if self.rng.random() < self.error_rate else None
 
 
 class _Forwarder:
@@ -98,6 +134,8 @@ class _Forwarder:
         queue_depth: int,
         batch_size: int = 64,
         batch_deliver: bool = True,
+        retry: RetryPolicy | None = None,
+        standby: "Ldmsd | None" = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -110,6 +148,17 @@ class _Forwarder:
         #: append-path per batch) instead of per-message ``receive``.
         #: Host-side only — the network transfer is identical.
         self.batch_deliver = batch_deliver
+        #: Optional self-healing (repro.faults).  With ``retry=None``
+        #: and no flaky transport, delivery is the legacy best-effort
+        #: path, bit-for-bit.  With a policy, failed sends back off and
+        #: resend; with a ``standby``, delivery fails over (stickily)
+        #: when the primary peer is down, re-resolving the route.
+        self.retry = retry
+        self.standby = standby
+        self._active_peer = peer
+        self._flaky: _FlakyTransport | None = None
+        self._retry_seq = 0
+        self._retry_key = crc32(f"{owner.node.name}/{tag}".encode())
         self.outbox = Store(env, capacity=queue_depth)
         self.stats = ForwardStats()
         if batch_deliver:
@@ -117,6 +166,13 @@ class _Forwarder:
             self._draining = False
         else:
             self.process = env.process(self._run())
+
+    def set_flaky(self, error_rate: float, mode: str, rng) -> None:
+        """Make sends error with probability ``error_rate`` (seeded)."""
+        self._flaky = _FlakyTransport(error_rate, mode, rng)
+
+    def clear_flaky(self) -> None:
+        self._flaky = None
 
     def enqueue(self, message: StreamMessage) -> None:
         if self.outbox.try_put(message):
@@ -165,8 +221,8 @@ class _Forwarder:
         env = self.env
         network = self.owner.network
         src = self.owner.node.name
-        dst = self.peer.node.name
         while True:
+            dst = self._active_peer.node.name
             batch = self._drain_batch()
             if not batch:
                 self._draining = False
@@ -181,7 +237,8 @@ class _Forwarder:
                     link = links[0]
                     server = link._server
                     if (
-                        not link._approaching
+                        link._up
+                        and not link._approaching
                         and not server._holders
                         and not server._waiting
                     ):
@@ -206,29 +263,171 @@ class _Forwarder:
 
     def _finish_slow(self, batch: list, total_bytes: int):
         yield from self.owner.network.transfer_coalesced(
-            self.owner.node.name, self.peer.node.name, total_bytes
+            self.owner.node.name, self._active_peer.node.name, total_bytes
         )
         self._complete(batch, total_bytes)
         self._kick()
 
+    # -- delivery (both drive modes) -------------------------------------
+
     def _complete(self, batch: list, total_bytes: int) -> None:
+        """A batch's network transfer finished: deliver, or start healing.
+
+        With no retry policy and no flaky transport this is exactly the
+        legacy best-effort path (synchronous delivery, drops recorded at
+        the receiving daemon).  Otherwise the send can fail — flaky
+        transport error, or the active peer is down — and the batch
+        enters the retry/failover loop instead of being handed over.
+        """
+        peer = self._active_peer
+        if self.retry is None and self._flaky is None:
+            self._finish(batch, total_bytes, peer)
+            return
+        err = self._flaky.draw() if self._flaky is not None else None
+        delivered = False
+        if err == "unacked" and not peer.failed:
+            # The batch arrived; only the ack was lost.  The peer has
+            # the data now — the sender just doesn't know, and will
+            # resend (the duplicate the ingest journal absorbs).
+            self._finish(batch, total_bytes, peer)
+            delivered = True
+        if err is not None or peer.failed:
+            if self.retry is None:
+                if not delivered:
+                    self._dead_letter(batch)
+                return
+            self._retry_seq += 1
+            self.env.process(
+                self._retry_loop(batch, total_bytes, delivered, self._retry_seq)
+            )
+            return
+        self._finish(batch, total_bytes, peer)
+
+    def _finish(
+        self,
+        batch: list,
+        total_bytes: int,
+        peer: "Ldmsd",
+        recovery: tuple = (),
+    ) -> None:
+        """Hand a batch to ``peer``, closing forward hops.
+
+        ``recovery`` lists extra outcome stamps (REDELIVERED, FAILOVER)
+        to record per message before the FORWARDED close — the recovery-
+        site ledger feeds off these.
+        """
         self.stats.forwarded += len(batch)
         self.stats.bytes_forwarded += total_bytes
         collector = collector_for(self.env)
         if collector is not None:
+            node = self.owner.node.name
+            for message in batch:
+                if message.trace_id:
+                    for outcome in recovery:
+                        collector.hop(
+                            message.trace_id, _trace.STAGE_FORWARD, node, outcome
+                        )
+                    collector.close_hop(
+                        message.trace_id, _trace.STAGE_FORWARD, node, _trace.FORWARDED
+                    )
+        if self.batch_deliver:
+            peer.receive_batch(batch)
+        else:
+            for message in batch:
+                peer.receive(message)
+
+    def _dead_letter(self, batch: list) -> None:
+        """Give up on a batch: attribute every message, drop it."""
+        self.stats.dead_letters += len(batch)
+        collector = collector_for(self.env)
+        if collector is not None:
+            node = self.owner.node.name
             for message in batch:
                 if message.trace_id:
                     collector.close_hop(
                         message.trace_id,
                         _trace.STAGE_FORWARD,
-                        self.owner.node.name,
-                        _trace.FORWARDED,
+                        node,
+                        _trace.DROP_DEAD_LETTER,
                     )
-        if self.batch_deliver:
-            self.peer.receive_batch(batch)
-        else:
-            for message in batch:
-                self.peer.receive(message)
+
+    def _retry_loop(self, batch: list, total_bytes: int, delivered: bool, seq: int):
+        """Back off, resend, fail over; dead-letter on exhaustion.
+
+        ``delivered`` is True when an earlier send actually arrived
+        (unacked-mode flaky error): the loop still resends — the sender
+        has no ack — but exhaustion is then silent, not a drop.
+        """
+        policy = self.retry
+        key = self._retry_key ^ seq
+        failed_over = False
+        network = self.owner.network
+        src = self.owner.node.name
+        for attempt in range(1, policy.max_attempts + 1):
+            self.stats.retries += 1
+            yield self.env.timeout(policy.delay(attempt, key))
+            peer = self._active_peer
+            if (
+                peer.failed
+                and self.standby is not None
+                and peer is not self.standby
+                and not self.standby.failed
+            ):
+                # Sticky failover: re-point the rule at the standby and
+                # let route resolution find the new path.  Subsequent
+                # batches go straight there with no FAILOVER stamp —
+                # the stamp marks messages that lived through a switch.
+                self._active_peer = peer = self.standby
+                self.stats.failovers += 1
+                failed_over = True
+            if network is not None and src != peer.node.name:
+                yield from network.transfer_coalesced(
+                    src, peer.node.name, total_bytes
+                )
+            err = self._flaky.draw() if self._flaky is not None else None
+            if err == "unacked" and not peer.failed:
+                self._finish(
+                    batch, total_bytes, peer,
+                    recovery=self._recovery_stamps(failed_over, delivered),
+                )
+                delivered = True
+                continue
+            if err is not None or peer.failed:
+                continue
+            self._finish(
+                batch, total_bytes, peer,
+                recovery=self._recovery_stamps(failed_over, delivered),
+            )
+            self.stats.redelivered += len(batch)
+            return
+        if not delivered:
+            self._dead_letter(batch)
+
+    @staticmethod
+    def _recovery_stamps(failed_over: bool, duplicate: bool) -> tuple:
+        stamps = (_trace.FAILOVER,) if failed_over else ()
+        # A resend that the peer already has is recovery bookkeeping at
+        # the *ingest* dedup, not here; first arrivals get REDELIVERED.
+        if not duplicate:
+            stamps += (_trace.REDELIVERED,)
+        return stamps
+
+    def purge_on_crash(self) -> None:
+        """The owner crashed: its queued, unsent messages die with it."""
+        while True:
+            message = self.outbox.try_get()
+            if message is None:
+                break
+            self.stats.purged_on_crash += 1
+            if message.trace_id:
+                collector = collector_for(self.env)
+                if collector is not None:
+                    collector.close_hop(
+                        message.trace_id,
+                        _trace.STAGE_FORWARD,
+                        self.owner.node.name,
+                        _trace.DROP_DAEMON_FAILED,
+                    )
 
     # -- reference path: blocking process -------------------------------------
 
@@ -246,9 +445,10 @@ class _Forwarder:
                     break
                 batch.append(extra)
             total_bytes = sum(m.size_bytes for m in batch)
-            if network is not None and self.owner.node.name != self.peer.node.name:
+            dst = self._active_peer.node.name
+            if network is not None and self.owner.node.name != dst:
                 yield from network.transfer(
-                    self.owner.node.name, self.peer.node.name, total_bytes
+                    self.owner.node.name, dst, total_bytes
                 )
             self._complete(batch, total_bytes)
 
@@ -290,10 +490,24 @@ class Ldmsd:
 
     # -- stream topology -----------------------------------------------------
 
-    def add_stream_forward(self, tag: str, peer: "Ldmsd", queue_depth: int | None = None) -> None:
-        """Push every message on ``tag`` to ``peer`` (aggregation hop)."""
+    def add_stream_forward(
+        self,
+        tag: str,
+        peer: "Ldmsd",
+        queue_depth: int | None = None,
+        retry: RetryPolicy | None = None,
+        standby: "Ldmsd | None" = None,
+    ) -> None:
+        """Push every message on ``tag`` to ``peer`` (aggregation hop).
+
+        ``retry``/``standby`` opt this rule into the self-healing
+        delivery path (see :class:`_Forwarder`); left at ``None`` the
+        rule is the paper's best-effort Streams transport, unchanged.
+        """
         if peer is self:
             raise ValueError("a daemon cannot forward to itself")
+        if standby is self:
+            raise ValueError("a daemon cannot fail over to itself")
         fwd = _Forwarder(
             self.env,
             self,
@@ -301,9 +515,22 @@ class Ldmsd:
             peer,
             queue_depth or 65536,
             batch_deliver=self.fast_lane,
+            retry=retry,
+            standby=standby,
         )
         self._forwarders.append(fwd)
         self.streams.subscribe(tag, fwd.enqueue)
+
+    def set_flaky(self, error_rate: float, mode: str, rng, tag: str | None = None) -> None:
+        """Make forward sends (on ``tag``, or all rules) error randomly."""
+        for fwd in self._forwarders:
+            if tag is None or fwd.tag == tag:
+                fwd.set_flaky(error_rate, mode, rng)
+
+    def clear_flaky(self, tag: str | None = None) -> None:
+        for fwd in self._forwarders:
+            if tag is None or fwd.tag == tag:
+                fwd.clear_flaky()
 
     def forward_stats(self) -> list[ForwardStats]:
         return [f.stats for f in self._forwarders]
@@ -328,13 +555,21 @@ class Ldmsd:
             "forwards": [
                 {
                     "tag": f.tag,
-                    "peer": f.peer.node.name,
+                    "peer": f"{f.peer.node.name}/{f.peer.name}",
+                    "active_peer": (
+                        f"{f._active_peer.node.name}/{f._active_peer.name}"
+                    ),
                     "enqueued": f.stats.enqueued,
                     "forwarded": f.stats.forwarded,
                     "dropped_overflow": f.stats.dropped_overflow,
                     "bytes_forwarded": f.stats.bytes_forwarded,
                     "max_queue_depth": f.stats.max_queue_depth,
                     "queue_depth": len(f.outbox),
+                    "retries": f.stats.retries,
+                    "redelivered": f.stats.redelivered,
+                    "failovers": f.stats.failovers,
+                    "dead_letters": f.stats.dead_letters,
+                    "purged_on_crash": f.stats.purged_on_crash,
                 }
                 for f in self._forwarders
             ],
@@ -488,8 +723,12 @@ class Ldmsd:
 
     def fail(self) -> None:
         """Crash the daemon: everything sent to it from now on is lost
-        (Streams is best-effort — no reconnect, no resend)."""
+        (Streams is best-effort — no reconnect, no resend), and its own
+        queued-but-unsent outbox contents die with the process.  Batches
+        already mid-transfer are packets on the wire and complete."""
         self._failed = True
+        for fwd in self._forwarders:
+            fwd.purge_on_crash()
 
     def recover(self) -> None:
         """Restart the daemon.  Nothing lost in between comes back."""

@@ -1,0 +1,57 @@
+"""Retry/backoff policy for the self-healing transport paths.
+
+Shared by the forwarder's per-hop retry loop and the connector's
+reconnect-after-spill loop.  Backoff is exponential with a cap, and the
+jitter is *deterministic*: a multiplicative hash of ``(key, attempt)``
+rather than an RNG draw, so enabling resilience consumes no random
+numbers and a seeded campaign replays bit-for-bit — while distinct
+retriers (different keys) still decorrelate, which is all jitter is for.
+
+This lives here rather than in :mod:`repro.faults` because
+:mod:`repro.ldms.daemon` needs it and the faults package imports the
+LDMS layer (the dependency only points downward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "jitter_factor"]
+
+#: Knuth's multiplicative-hash constant; 40503 is its 16-bit analogue.
+_MIX_A = 2654435761
+_MIX_B = 40503
+
+
+def jitter_factor(key: int, attempt: int) -> float:
+    """Deterministic jitter multiplier in ``[0.5, 1.0)``.
+
+    Pure function of ``(key, attempt)``: the same retrier backs off
+    identically on every same-seed run, different retriers spread out.
+    """
+    h = (key * _MIX_A + attempt * _MIX_B) % 1024
+    return 0.5 + h / 2048.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` bounds every retry loop — a simulation driven with
+    ``env.run(until=None)`` must drain, so nothing may retry forever.
+    """
+
+    max_attempts: int = 4
+    base_s: float = 1e-3
+    cap_s: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError("need 0 < base_s <= cap_s")
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based) for retrier ``key``."""
+        raw = min(self.base_s * (2 ** (attempt - 1)), self.cap_s)
+        return raw * jitter_factor(key, attempt)

@@ -28,11 +28,18 @@ from repro.telemetry.histogram import GaugeStats, LogHistogram
 from repro.telemetry.trace import (
     DELIVERED,
     DROP_DAEMON_FAILED,
+    DROP_DEAD_LETTER,
     DROP_NO_SUBSCRIBER,
     DROP_OVERFLOW,
     DROP_PARSE_ERROR,
+    DUP_IGNORED,
+    FAILOVER,
     FORWARDED,
     PUBLISHED,
+    RECOVERY_OUTCOMES,
+    REDELIVERED,
+    REPLAYED,
+    SPILLED,
     STAGE_BUS,
     STAGE_FORWARD,
     STAGE_INGEST,
@@ -48,9 +55,12 @@ from repro.telemetry.trace import (
 __all__ = [
     "DELIVERED",
     "DROP_DAEMON_FAILED",
+    "DROP_DEAD_LETTER",
     "DROP_NO_SUBSCRIBER",
     "DROP_OVERFLOW",
     "DROP_PARSE_ERROR",
+    "DUP_IGNORED",
+    "FAILOVER",
     "FORWARDED",
     "GaugeStats",
     "HopRecord",
@@ -59,7 +69,11 @@ __all__ = [
     "PUBLISHED",
     "PipelineHealthReport",
     "PipelineStatsSampler",
+    "RECOVERY_OUTCOMES",
+    "REDELIVERED",
+    "REPLAYED",
     "ReconRow",
+    "SPILLED",
     "STAGE_BUS",
     "STAGE_FORWARD",
     "STAGE_INGEST",

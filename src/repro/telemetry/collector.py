@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.telemetry.histogram import GaugeStats, LogHistogram
 from repro.telemetry.trace import (
+    RECOVERY_OUTCOMES,
     STORED,
     HopRecord,
     MessageTrace,
@@ -166,12 +167,31 @@ class TraceCollector:
             sites[site] = sites.get(site, 0) + 1
         return sites
 
+    def recovery_sites(self, job_id: int | None = None) -> dict[tuple[str, str, str], int]:
+        """``(stage, node, outcome) -> count`` over recovery hops.
+
+        Counts every replay, retry redelivery, standby failover and
+        dedup skip — the self-healing ledger complementing
+        :meth:`drop_sites`.  One message may contribute several entries
+        (e.g. spilled twice and replayed twice).
+        """
+        sites: dict[tuple[str, str, str], int] = {}
+        for trace in self.traces.values():
+            if job_id is not None and trace.job_id != job_id:
+                continue
+            for hop in trace.hops:
+                if hop.outcome in RECOVERY_OUTCOMES:
+                    sites[hop.site] = sites.get(hop.site, 0) + 1
+        return sites
+
     def reconcile(self, job_id: int | None = None) -> dict[tuple[int, int], dict]:
         """Per-(job, rank) ledger: published, stored, drops by site.
 
-        The pipeline invariant — ``published == stored + Σ drops(site)``
-        — holds exactly for every group once the simulation has drained
-        (``in_flight == 0``); anything else is a telemetry bug.
+        The pipeline invariant — ``published == stored + Σ drops(site)
+        + in_flight_spill`` — holds exactly for every group once the
+        simulation has drained (``in_flight == 0``); anything else is a
+        telemetry bug.  ``spilled`` counts messages parked in a
+        connector's fallback buffer awaiting a reconnect.
         """
         groups: dict[tuple[int, int], dict] = {}
         for trace in self.traces.values():
@@ -184,6 +204,7 @@ class TraceCollector:
                     "published": 0,
                     "stored": 0,
                     "dropped": 0,
+                    "spilled": 0,
                     "in_flight": 0,
                     "drops": {},
                 }
@@ -195,6 +216,8 @@ class TraceCollector:
                 g["dropped"] += 1
                 site = trace.drop_site
                 g["drops"][site] = g["drops"].get(site, 0) + 1
+            elif status == "spilled":
+                g["spilled"] += 1
             else:
                 g["in_flight"] += 1
         return groups

@@ -31,13 +31,16 @@ class ReconRow:
     in_flight: int
     #: ``((stage, node, outcome), count)`` pairs, sorted.
     drops: tuple
+    #: Messages parked in a connector spill buffer (published, neither
+    #: stored nor lost — awaiting a reconnect replay).
+    in_flight_spill: int = 0
 
     @property
     def exact(self) -> bool:
         """The reconciliation invariant for this group."""
         return (
             self.in_flight == 0
-            and self.published == self.stored + self.dropped
+            and self.published == self.stored + self.dropped + self.in_flight_spill
             and self.dropped == sum(n for _, n in self.drops)
         )
 
@@ -83,6 +86,7 @@ class PipelineHealthReport:
                     dropped=g["dropped"],
                     in_flight=g["in_flight"],
                     drops=tuple(sorted(g["drops"].items())),
+                    in_flight_spill=g["spilled"],
                 )
             )
         return rows
@@ -105,9 +109,18 @@ class PipelineHealthReport:
     def in_flight(self) -> int:
         return sum(r.in_flight for r in self.rows)
 
+    @property
+    def in_flight_spill(self) -> int:
+        return sum(r.in_flight_spill for r in self.rows)
+
     def drop_sites(self) -> dict[tuple[str, str, str], int]:
         """``(stage, node, outcome) -> count``, terminal drops only."""
         return self.collector.drop_sites(job_id=self.job_id)
+
+    def recovery_sites(self) -> dict[tuple[str, str, str], int]:
+        """``(stage, node, outcome) -> count`` of self-healing events
+        (spill replays, retry redeliveries, failovers, dedup skips)."""
+        return self.collector.recovery_sites(job_id=self.job_id)
 
     def verify(self) -> bool:
         """True iff the loss ledger closes exactly for every group."""
@@ -119,14 +132,16 @@ class PipelineHealthReport:
         lines = ["== pipeline health =="]
         lines.append(
             f"published={self.published} stored={self.stored} "
-            f"dropped={self.dropped} in_flight={self.in_flight}"
+            f"dropped={self.dropped} in_flight={self.in_flight} "
+            f"in_flight_spill={self.in_flight_spill}"
         )
         n_exact = sum(1 for r in self.rows if r.exact)
         verdict = "EXACT" if self.verify() and self.rows else "VIOLATED"
         if not self.rows:
             verdict = "EMPTY"
         lines.append(
-            f"reconciliation published == stored + Σ drops(site): "
+            f"reconciliation published == stored + Σ drops(site) "
+            f"+ in_flight_spill: "
             f"{verdict} ({n_exact}/{len(self.rows)} job/rank groups)"
         )
 
@@ -149,16 +164,27 @@ class PipelineHealthReport:
         for (stage, node, outcome), count in sorted(sites.items()):
             lines.append(f"{stage:<10} {node:<14} {outcome:<22} {count:>7}")
 
+        recovery = self.recovery_sites()
+        if recovery:
+            lines.append("")
+            lines.append("-- recovery sites --")
+            lines.append(
+                f"{'stage':<10} {'node':<14} {'outcome':<22} {'events':>7}"
+            )
+            for (stage, node, outcome), count in sorted(recovery.items()):
+                lines.append(f"{stage:<10} {node:<14} {outcome:<22} {count:>7}")
+
         lines.append("")
         lines.append("-- reconciliation per (job, rank) --")
         lines.append(
             f"{'job':>8} {'rank':>5} {'published':>9} {'stored':>7} "
-            f"{'dropped':>8} {'in_flight':>9}  exact"
+            f"{'dropped':>8} {'spilled':>8} {'in_flight':>9}  exact"
         )
         for r in self.rows:
             lines.append(
                 f"{r.job_id:>8} {r.rank:>5} {r.published:>9} {r.stored:>7} "
-                f"{r.dropped:>8} {r.in_flight:>9}  {'yes' if r.exact else 'NO'}"
+                f"{r.dropped:>8} {r.in_flight_spill:>8} {r.in_flight:>9}  "
+                f"{'yes' if r.exact else 'NO'}"
             )
 
         if self.snapshots:
@@ -206,6 +232,17 @@ class PipelineHealthReport:
                 rows_queried=len(drop_rows),
             )
         )
+        recovery_rows = [
+            {"stage": stage, "node": node, "outcome": outcome, "events": count}
+            for (stage, node, outcome), count in sorted(self.recovery_sites().items())
+        ]
+        if recovery_rows:
+            panels.append(
+                PanelData(
+                    title="recovery sites", viz="table", payload=recovery_rows,
+                    rows_queried=len(recovery_rows),
+                )
+            )
         recon_rows = [
             {
                 "job": r.job_id,
@@ -213,6 +250,7 @@ class PipelineHealthReport:
                 "published": r.published,
                 "stored": r.stored,
                 "dropped": r.dropped,
+                "spilled": r.in_flight_spill,
                 "in_flight": r.in_flight,
                 "exact": "yes" if r.exact else "NO",
             }

@@ -19,6 +19,7 @@ __all__ = [
     "MessageTrace",
     "make_trace_id",
     "parse_trace_id",
+    "RECOVERY_OUTCOMES",
     "STAGE_BUS",
     "STAGE_FORWARD",
     "STAGE_INGEST",
@@ -26,11 +27,17 @@ __all__ = [
     "STAGE_RECEIVE",
     "DELIVERED",
     "DROP_DAEMON_FAILED",
+    "DROP_DEAD_LETTER",
     "DROP_NO_SUBSCRIBER",
     "DROP_OVERFLOW",
     "DROP_PARSE_ERROR",
+    "DUP_IGNORED",
+    "FAILOVER",
     "FORWARDED",
     "PUBLISHED",
+    "REDELIVERED",
+    "REPLAYED",
+    "SPILLED",
     "STORED",
 ]
 
@@ -54,6 +61,31 @@ DROP_NO_SUBSCRIBER = "drop_no_subscriber"
 DROP_OVERFLOW = "drop_overflow"
 DROP_DAEMON_FAILED = "drop_daemon_failed"
 DROP_PARSE_ERROR = "drop_parse_error"
+#: Undeliverable after the fabric gave up: retries exhausted, or a
+#: flaky-transport loss with no retry policy to recover it.
+DROP_DEAD_LETTER = "drop_dead_letter"
+
+# -- recovery outcomes -------------------------------------------------------
+#
+# Self-healing stages stamp these when a message survives a fault: the
+# connector spilling to (and later replaying from) its Darshan-log
+# buffer, a forwarder redelivering after retry/backoff, or delivery
+# failing over to a standby aggregator.  ``SPILLED`` is the only
+# non-terminal one of the set — a message whose latest spill has no
+# matching replay is *in the spill buffer*, neither stored nor lost,
+# and reconciliation accounts it separately (``in_flight_spill``).
+
+SPILLED = "spilled"
+REPLAYED = "replayed"
+REDELIVERED = "redelivered"
+FAILOVER = "failover"
+#: A replay/failover duplicate the idempotent ingest skipped — the
+#: message is already stored; this hop just records the dedup.
+DUP_IGNORED = "dup_ignored"
+
+#: Outcomes the recovery-site ledger counts (dedup skips included:
+#: a skipped duplicate is evidence a recovery path re-sent the message).
+RECOVERY_OUTCOMES = frozenset({REPLAYED, REDELIVERED, FAILOVER, DUP_IGNORED})
 
 
 def make_trace_id(job_id: int, rank: int, seq: int) -> str:
@@ -113,14 +145,30 @@ class MessageTrace:
 
     @property
     def status(self) -> str:
-        """``"stored"`` | ``"dropped"`` | ``"in_flight"``."""
+        """``"stored"`` | ``"dropped"`` | ``"spilled"`` | ``"in_flight"``.
+
+        A message is *spilled* when its latest spill has no matching
+        replay: it sits in the connector's fallback buffer, not lost but
+        not yet back on the wire.  Each replay cancels one spill (a
+        daemon can crash again mid-replay, re-spilling the same
+        message), so the comparison is count-based, not positional.
+        """
         dropped = False
+        spills = 0
+        replays = 0
         for hop in self.hops:
-            if hop.outcome == STORED:
+            outcome = hop.outcome
+            if outcome == STORED:
                 return "stored"
             if hop.is_drop:
                 dropped = True
-        return "dropped" if dropped else "in_flight"
+            elif outcome == SPILLED:
+                spills += 1
+            elif outcome == REPLAYED:
+                replays += 1
+        if dropped:
+            return "dropped"
+        return "spilled" if spills > replays else "in_flight"
 
     @property
     def drop_site(self) -> tuple[str, str, str] | None:

@@ -1,0 +1,141 @@
+"""Batch-window regression tests (the fast lane under fire).
+
+The fast lane coalesces forwarder batches and opens a bus batch window
+around their delivery.  Two things must survive a crash landing inside
+that window:
+
+* every message behind the trip wire is *attributed* (receive-stage
+  ``drop_daemon_failed``), never silently vanished;
+* the window itself always closes and flushes — no rows parked in the
+  store's batch buffer, no dangling ``in_batch`` state at end of run.
+"""
+
+from repro.apps import MpiIoTest
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.experiments.world import STREAM_TAG
+from repro.ldms import Ldmsd
+from repro.sim import Environment, RngRegistry
+from repro.telemetry import (
+    DROP_DAEMON_FAILED,
+    install,
+    make_trace_id,
+)
+
+TAG = "darshanConnector"
+
+
+# ---------------------------------------------------------------- unit
+
+
+def test_mid_window_crash_attributes_every_message():
+    """A 5-message batch whose receiver dies at message 2: the two
+    delivered messages stay delivered, the three behind the trip wire
+    drop with receive-stage attribution — exactly as sequential
+    delivery would have behaved."""
+    env = Environment()
+    cluster = Cluster(env, RngRegistry(4), ClusterSpec(n_compute_nodes=3))
+    collector = install(env)
+    src = Ldmsd(env, cluster.compute_nodes[0], cluster.network, name="src")
+    dst = Ldmsd(env, cluster.head_node, cluster.network, name="dst")
+    src.add_stream_forward(TAG, dst, queue_depth=64)
+
+    delivered = []
+    def trip_wire(message):
+        delivered.append(message.trace_id)
+        if len(delivered) == 2:
+            dst.fail()
+    dst.streams.subscribe(TAG, trip_wire)
+
+    # Burst in zero simulated time: the drain callback runs behind the
+    # burst, so all 5 coalesce into one forwarder batch.
+    ids = [make_trace_id(1, 0, seq) for seq in range(5)]
+    for tid in ids:
+        collector.begin(tid, 1, 0, src.node.name)
+        src.publish_now(TAG, {"k": 1}, trace_id=tid)
+    env.run()
+
+    assert delivered == ids[:2]  # the window really was cut short
+    assert not dst.streams.in_batch  # and it closed anyway
+    for tid in ids[:2]:
+        assert collector.traces[tid].drop_site is None
+    for tid in ids[2:]:
+        assert collector.traces[tid].drop_site == (
+            "receive", dst.node.name, DROP_DAEMON_FAILED
+        )
+    assert dst.dropped_while_failed == 3
+
+
+# ------------------------------------------------------------ campaign
+
+
+def test_l1_crash_inside_a_batch_window_stays_exact():
+    """Satellite coverage: L1 dies *inside* a fast-lane batch window
+    mid-campaign.  All losses are attributed and the ledger closes."""
+    world = World(WorldConfig(
+        seed=11, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=True,
+    ))
+    l1 = world.fabric.l1
+    state = {"in_window": 0, "tripped": False}
+
+    def trip_wire(message):
+        if state["tripped"]:
+            return
+        if l1.streams.in_batch:
+            state["in_window"] += 1
+            if state["in_window"] == 2:  # strictly mid-window
+                state["tripped"] = True
+                l1.fail()
+
+    l1.streams.subscribe(STREAM_TAG, trip_wire)
+
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=8, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
+
+    # The scenario is real: a batch window existed and was cut short.
+    assert state["tripped"]
+
+    health = result.health
+    assert health.verify()  # nothing silently vanished
+    assert health.dropped > 0
+    drop_outcomes = {
+        (stage, outcome)
+        for (stage, _, outcome) in health.drop_sites()
+    }
+    assert ("receive", DROP_DAEMON_FAILED) in drop_outcomes
+
+    # End-of-run flush: nothing parked in any batch buffer.
+    assert world.store._pending_rows == []
+    assert world.store.slow_pending == 0
+    assert not world.fabric.l2.streams.in_batch
+    assert not world.fabric.l1.streams.in_batch
+
+
+def test_healthy_campaign_leaves_no_batch_residue():
+    """Regression pin for the end-of-run flush audit: after a clean
+    fast-lane campaign every batched row has been flushed to DSOS."""
+    world = World(WorldConfig(
+        seed=11, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=True,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=8, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
+
+    assert world.store._pending_rows == []
+    assert world.store.slow_pending == 0
+    assert not world.fabric.l2.streams.in_batch
+    health = result.health
+    assert health.verify()
+    assert health.dropped == 0
+    assert health.stored == health.published
+    # Every published event is a queryable DSOS row.
+    rows = [dict(obj) for obj in world.query_job(result.job_id)]
+    assert len(rows) == health.published

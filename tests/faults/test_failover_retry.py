@@ -1,0 +1,197 @@
+"""Forwarder resilience: retry with capped backoff, failover to a
+standby aggregator, dead-letter accounting, and journaled dedup of
+retry-induced duplicates."""
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.faults import DaemonCrash, FaultPlan, FlakyTransport
+from repro.ldms.resilience import RetryPolicy, jitter_factor
+from repro.telemetry.trace import (
+    DROP_DEAD_LETTER,
+    DUP_IGNORED,
+    FAILOVER,
+    REDELIVERED,
+)
+
+
+def _app(iterations=8):
+    return MpiIoTest(
+        n_nodes=2, ranks_per_node=2, iterations=iterations, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+
+
+#: Wide enough that its minimum cumulative delay (~1.37 s) outlasts any
+#: 0.5 s outage in these scenarios — no spurious dead letters.
+_PATIENT = RetryPolicy(max_attempts=8, base_s=0.05, cap_s=0.5)
+
+
+def _world(plan, *, retry=None, standby=False, seed=3):
+    return World(WorldConfig(
+        seed=seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        faults=plan, retry=retry, standby_l1=standby,
+    ))
+
+
+def _forward_totals(world):
+    totals = {"retries": 0, "redelivered": 0, "failovers": 0,
+              "dead_letters": 0}
+    for daemon in world.fabric.all_daemons():
+        for stats in daemon.forward_stats():
+            for key in totals:
+                totals[key] += getattr(stats, key)
+    return totals
+
+
+# ------------------------------------------------------- policy mechanics
+
+
+def test_retry_delay_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, base_s=0.01, cap_s=0.04)
+    for attempt in range(1, 6):
+        raw = min(0.01 * 2 ** (attempt - 1), 0.04)
+        d1 = policy.delay(attempt, key=123)
+        d2 = policy.delay(attempt, key=123)
+        assert d1 == d2  # pure function of (attempt, key)
+        assert raw * 0.5 <= d1 < raw  # jittered but bounded
+
+
+def test_jitter_decorrelates_keys():
+    # Different senders must not thundering-herd on the same instants.
+    factors = {jitter_factor(key, 1) for key in range(64)}
+    assert len(factors) > 8
+    assert all(0.5 <= f < 1.0 for f in factors)
+
+
+# --------------------------------------------------------- dead lettering
+
+
+def test_permanent_l1_crash_dead_letters_with_default_policy():
+    # Default policy gives up after ~15 ms; L1 never returns, there is
+    # no standby, so exhausted batches become dead letters — counted,
+    # attributed, and part of an exact ledger (not silent loss).
+    plan = FaultPlan((DaemonCrash("l1", after_messages=30),))
+    world = _world(plan, retry=RetryPolicy())
+    result = run_job(world, _app(), "nfs",
+                     connector_config=ConnectorConfig())
+
+    totals = _forward_totals(world)
+    assert totals["retries"] > 0
+    assert totals["dead_letters"] > 0
+    assert totals["failovers"] == 0  # nothing to fail over to
+
+    health = result.health
+    assert health.verify()
+    drop_outcomes = {outcome for (_, _, outcome) in health.drop_sites()}
+    assert DROP_DEAD_LETTER in drop_outcomes
+
+
+# ------------------------------------------------------------ redelivery
+
+
+def test_retry_redelivers_across_a_bounded_outage():
+    plan = FaultPlan((DaemonCrash("l1", after_messages=30, down_for=0.5),))
+    world = _world(plan, retry=_PATIENT)
+    result = run_job(world, _app(), "nfs",
+                     connector_config=ConnectorConfig())
+
+    totals = _forward_totals(world)
+    assert totals["retries"] > 0
+    assert totals["redelivered"] > 0
+    assert totals["dead_letters"] == 0  # the policy outlasted the outage
+
+    health = result.health
+    assert health.verify()
+    outcomes = {outcome for (_, _, outcome) in health.recovery_sites()}
+    assert REDELIVERED in outcomes
+    # Redelivered events made it all the way to the database.
+    assert health.stored > 0
+    assert world.store.journal.duplicates_skipped == 0
+
+
+# --------------------------------------------------------------- failover
+
+
+def test_failover_reroutes_to_standby_when_l1_dies_for_good():
+    plan = FaultPlan((DaemonCrash("l1", after_messages=30),))
+    world = _world(plan, retry=_PATIENT, standby=True)
+    result = run_job(world, _app(), "nfs",
+                     connector_config=ConnectorConfig())
+
+    totals = _forward_totals(world)
+    assert totals["failovers"] > 0
+    assert totals["dead_letters"] == 0
+
+    # Failover is lazy (a forwarder switches on its first failed send),
+    # so exactly the daemons that hit the dead L1 now point at the
+    # standby — and at least the job's nodes did.
+    standby = world.fabric.l1_standby
+    target = f"{standby.node.name}/{standby.name}"
+    switched = 0
+    for daemon in world.fabric.compute_daemons.values():
+        for fwd in daemon.stats_snapshot()["forwards"]:
+            if fwd["failovers"] > 0:
+                assert fwd["active_peer"] == target
+                switched += 1
+    assert switched > 0
+
+    # The standby actually relayed traffic to L2.
+    relayed = sum(s.forwarded for s in world.fabric.l1_standby.forward_stats())
+    assert relayed > 0
+
+    health = result.health
+    assert health.verify()
+    outcomes = {outcome for (_, _, outcome) in health.recovery_sites()}
+    assert FAILOVER in outcomes
+    # Data kept flowing after the crash: far more stored than lost.
+    assert health.stored > health.dropped
+
+
+# -------------------------------------------------------- flaky transport
+
+
+def test_flaky_lost_transport_without_retry_dead_letters():
+    # Loss with no retry policy: the forwarder has no recourse, so the
+    # batch is dead-lettered on the spot (best-effort, but accounted).
+    plan = FaultPlan((
+        FlakyTransport("l1", at=0.0, duration=10.0, error_rate=1.0,
+                       mode="lost"),
+    ))
+    world = _world(plan, seed=7)
+    result = run_job(world, _app(iterations=4), "nfs",
+                     connector_config=ConnectorConfig(), inter_job_gap_s=0.0)
+
+    totals = _forward_totals(world)
+    assert totals["dead_letters"] > 0
+    health = result.health
+    assert health.verify()
+    # Nothing crossed the flaky l1 -> l2 hop while the fault was up.
+    assert health.stored == 0
+
+
+def test_flaky_unacked_duplicates_are_journaled_away():
+    # Lost *acks*: every batch is delivered, the sender retries anyway,
+    # and the ingest journal is what keeps the database exactly-once.
+    plan = FaultPlan((
+        FlakyTransport("nid00001", at=0.0, duration=10.0, error_rate=1.0,
+                       mode="unacked"),
+    ))
+    world = _world(plan, retry=RetryPolicy(max_attempts=2), seed=7)
+    result = run_job(world, _app(iterations=4), "nfs",
+                     connector_config=ConnectorConfig(), inter_job_gap_s=0.0)
+
+    journal = world.store.journal
+    assert journal.duplicates_skipped > 0
+
+    # Exactly-once storage: row count equals distinct stored traces and
+    # no trace id appears twice in the WAL.
+    rows = [dict(obj) for obj in world.query_job(result.job_id)]
+    health = result.health
+    assert len(rows) == health.stored
+    wal_ids = [entry.trace_id for entry in journal.wal]
+    assert len(wal_ids) == len(set(wal_ids))
+
+    assert health.verify()
+    outcomes = {outcome for (_, _, outcome) in health.recovery_sites()}
+    assert DUP_IGNORED in outcomes

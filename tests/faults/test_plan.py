@@ -1,0 +1,71 @@
+"""FaultPlan validation: bad plans die at construction, not mid-run."""
+
+import pytest
+
+from repro.faults import (
+    DaemonCrash,
+    FaultPlan,
+    FlakyTransport,
+    LinkDegrade,
+    LinkPartition,
+    SlowStore,
+)
+
+
+def test_daemon_crash_needs_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        DaemonCrash("l1")
+    with pytest.raises(ValueError):
+        DaemonCrash("l1", at=1.0, after_messages=5)
+    DaemonCrash("l1", at=0.0)
+    DaemonCrash("l1", after_messages=1)
+
+
+def test_daemon_crash_down_for_must_be_positive():
+    with pytest.raises(ValueError):
+        DaemonCrash("l1", at=1.0, down_for=0.0)
+    DaemonCrash("l1", at=1.0, down_for=0.5)
+    DaemonCrash("l1", at=1.0, down_for=None)  # permanent crash is fine
+
+
+@pytest.mark.parametrize("make", [
+    lambda d: LinkPartition("a", "b", at=0.0, duration=d),
+    lambda d: LinkDegrade("a", "b", at=0.0, duration=d, factor=2.0),
+    lambda d: SlowStore(at=0.0, duration=d),
+    lambda d: FlakyTransport("l1", at=0.0, duration=d),
+])
+def test_waitable_outages_must_be_finite(make):
+    """Everything a process can block on requires a positive duration."""
+    with pytest.raises(ValueError):
+        make(0.0)
+    with pytest.raises(ValueError):
+        make(None)
+    make(0.1)
+
+
+def test_flaky_transport_validates_rate_and_mode():
+    with pytest.raises(ValueError):
+        FlakyTransport("l1", at=0.0, duration=1.0, error_rate=1.5)
+    with pytest.raises(ValueError):
+        FlakyTransport("l1", at=0.0, duration=1.0, mode="maybe")
+    FlakyTransport("l1", at=0.0, duration=1.0, error_rate=1.0, mode="unacked")
+
+
+def test_degrade_factor_must_be_positive():
+    with pytest.raises(ValueError):
+        LinkDegrade("a", "b", at=0.0, duration=1.0, factor=0.0)
+
+
+def test_plan_rejects_non_faults():
+    with pytest.raises(TypeError):
+        FaultPlan(("crash l1 please",))
+
+
+def test_plan_truthiness_and_rng_need():
+    assert not FaultPlan()
+    assert len(FaultPlan()) == 0
+    timed = FaultPlan((SlowStore(at=0.0, duration=1.0),))
+    assert timed and len(timed) == 1
+    assert not timed.needs_rng  # pure clockwork, no seeded draws
+    flaky = FaultPlan((FlakyTransport("l1", at=0.0, duration=1.0),))
+    assert flaky.needs_rng

@@ -136,7 +136,8 @@ def test_stats_snapshot_merges_bus_and_forward_counters(env, cluster):
     assert len(snap["forwards"]) == 1
     fwd = snap["forwards"][0]
     assert fwd["tag"] == TAG
-    assert fwd["peer"] == "head"
+    assert fwd["peer"] == "head/dst"  # node/daemon, unambiguous
+    assert fwd["active_peer"] == "head/dst"
     assert fwd["enqueued"] == 2
     assert fwd["dropped_overflow"] == 3
     assert fwd["forwarded"] == 2

@@ -62,7 +62,10 @@ def test_render_text_shows_histograms_drops_and_ledger(hostile_run):
     text = result.health.render_text()
     assert "per-stage latency" in text
     assert "drop sites" in text
-    assert "reconciliation published == stored + Σ drops(site): EXACT" in text
+    assert (
+        "reconciliation published == stored + Σ drops(site) "
+        "+ in_flight_spill: EXACT" in text
+    )
     assert "drop_overflow" in text
     assert "drop_daemon_failed" in text
     assert "-- daemon counters --" in text

@@ -170,7 +170,8 @@ def test_collector_reconcile_groups_by_job_rank():
     c.begin("2:0:0", 2, 0)  # still in flight
     groups = c.reconcile()
     assert groups[(1, 0)] == {
-        "published": 1, "stored": 1, "dropped": 0, "in_flight": 0, "drops": {},
+        "published": 1, "stored": 1, "dropped": 0, "spilled": 0,
+        "in_flight": 0, "drops": {},
     }
     assert groups[(1, 1)]["drops"] == {("forward", "n1", "drop_overflow"): 1}
     assert groups[(2, 0)]["in_flight"] == 1

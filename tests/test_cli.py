@@ -89,9 +89,52 @@ def test_repro_cli_telemetry(capsys):
     out = capsys.readouterr().out
     assert "per-stage latency" in out
     assert "drop sites" in out
-    assert "reconciliation published == stored + Σ drops(site): EXACT" in out
+    assert (
+        "reconciliation published == stored + Σ drops(site) "
+        "+ in_flight_spill: EXACT" in out
+    )
     assert "drop_overflow" in out
     assert "drop_daemon_failed" in out
+
+
+def test_repro_cli_telemetry_check_passes(capsys):
+    # A healthy run reconciles, so --check is a quiet exit 0.
+    assert repro_main(["telemetry", "--check"]) == 0
+    assert "FAIL" not in capsys.readouterr().out
+
+
+def test_repro_cli_telemetry_check_exits_nonzero_on_violation(
+    monkeypatch, capsys
+):
+    from repro.telemetry.report import PipelineHealthReport
+
+    monkeypatch.setattr(PipelineHealthReport, "verify", lambda self: False)
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["telemetry", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL: loss reconciliation violated" in capsys.readouterr().out
+
+
+def test_repro_cli_chaos_check(capsys):
+    assert repro_main(["chaos", "--seed", "7", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "applied faults" in out
+    assert "daemon_crash" in out
+    assert "daemon_recover" in out
+    assert "link_partition" in out
+    assert "slow_store_begin" in out
+    assert "recovery sites" in out
+    assert "EXACT" in out
+
+
+def test_repro_cli_chaos_check_exits_nonzero_on_violation(monkeypatch, capsys):
+    from repro.telemetry.report import PipelineHealthReport
+
+    monkeypatch.setattr(PipelineHealthReport, "verify", lambda self: False)
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["chaos", "--seed", "7", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL: unaccounted events" in capsys.readouterr().out
 
 
 def test_repro_cli_unknown_command():
