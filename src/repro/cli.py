@@ -7,8 +7,10 @@ Usage::
     python -m repro.cli table2c [--families 400]
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
-    python -m repro.cli telemetry [--queue-depth 1] [--inject-failure] [--check]
-    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane]
+    python -m repro.cli telemetry [--queue-depth 1] [--inject-failure] [--check] [--json]
+    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane] [--json]
+    python -m repro.cli diagnose [--seed 42] [--check] [--no-fast-lane] [--json]
+    python -m repro.cli profile [--seed 42] [--json]
     python -m repro.cli bench [--quick] [--check] [--out PATH]
 
 All commands print the reproduced rows/series to stdout; scale flags
@@ -162,7 +164,12 @@ def _cmd_telemetry(args) -> None:
         block_size=2**20, collective=False, sync_per_iteration=False,
     )
     result = run_job(world, app, "nfs", connector_config=ConnectorConfig())
-    print(result.health.render_text())
+    if args.json:
+        import json
+
+        print(json.dumps(result.health.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.health.render_text())
     if args.check and not result.health.verify():
         print("FAIL: loss reconciliation violated "
               "(published != stored + Σ drops + in_flight_spill)")
@@ -204,17 +211,173 @@ def _cmd_chaos(args) -> None:
     result = run_job(world, app, "nfs",
                      connector_config=ConnectorConfig(spill=True, fast_lane=fast),
                      inter_job_gap_s=0.0)
-    print("== applied faults ==")
-    for fault in world.fault_injector.applied:
-        print(f"  t={fault.t - world.config.epoch:9.3f}s "
-              f"{fault.kind:<16} {fault.detail}")
     journal = world.store.journal
-    print(f"duplicates skipped by ingest journal: "
-          f"{journal.duplicates_skipped if journal else 0}")
-    print()
-    print(result.health.render_text())
+    duplicates = journal.duplicates_skipped if journal else 0
+    epoch = world.config.epoch
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "fast_lane": fast,
+            "applied_faults": [
+                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                for f in world.fault_injector.applied
+            ],
+            "duplicates_skipped": duplicates,
+            "health": result.health.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("== applied faults ==")
+        for fault in world.fault_injector.applied:
+            print(f"  t={fault.t - epoch:9.3f}s "
+                  f"{fault.kind:<16} {fault.detail}")
+        print(f"duplicates skipped by ingest journal: {duplicates}")
+        print()
+        print(result.health.render_text())
     if args.check and not result.health.verify():
         print("FAIL: unaccounted events under fault injection")
+        raise SystemExit(1)
+
+
+def _diagnosis_campaign(seed: int, fast: bool, faults, ranks_per_node: int):
+    """One diagnosis-armed campaign run; returns (world, result)."""
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.diagnosis import DiagnosisConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.ldms.resilience import RetryPolicy
+
+    # Cadence tuned to the sub-second fault windows of the chaos plan:
+    # 50 ms ticks, 250 ms windows, 100 ms firing hysteresis.
+    diag = DiagnosisConfig(
+        eval_period_s=0.05, window_s=0.25, for_duration_s=0.1,
+        latency_slo_s=0.25, slo_min_count=8,
+    )
+    world = World(WorldConfig(
+        seed=seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=fast, faults=faults, retry=RetryPolicy(),
+        standby_l1=True, diagnosis=diag,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=ranks_per_node, iterations=8,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs",
+                     connector_config=ConnectorConfig(spill=True, fast_lane=fast),
+                     inter_job_gap_s=0.0)
+    return world, result
+
+
+def _cmd_diagnose(args) -> None:
+    """Live runtime diagnosis, scored against injected ground truth.
+
+    Runs the chaos fault plan (L1 crash, link degrade, store stall)
+    with the streaming diagnosis engine armed, correlates the incident
+    log against the injector's applied-fault record, then repeats the
+    campaign *clean* (no faults) as a false-positive control.  With
+    ``--check``, exits nonzero if any injected fault class goes
+    undetected or the clean run raises any alert.
+    """
+    from repro.faults import DaemonCrash, FaultPlan, LinkDegrade, SlowStore
+    from repro.diagnosis import score_incidents
+
+    fast = not args.no_fast_lane
+    plan = FaultPlan((
+        DaemonCrash("l1", after_messages=args.fail_after, down_for=0.5),
+        LinkDegrade("nid00001", "head", at=0.2, duration=0.3, factor=50.0),
+        SlowStore(at=0.1, duration=0.4),
+    ))
+    world, result = _diagnosis_campaign(
+        args.seed, fast, plan, args.ranks_per_node)
+    epoch = world.config.epoch
+    score = score_incidents(
+        world.diagnosis.incidents, world.fault_injector.applied)
+
+    clean_world, _ = _diagnosis_campaign(
+        args.seed, fast, None, args.ranks_per_node)
+    clean_alerts = len(clean_world.diagnosis.incidents)
+
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "fast_lane": fast,
+            "applied_faults": [
+                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                for f in world.fault_injector.applied
+            ],
+            "incidents": [
+                a.to_dict(epoch) for a in world.diagnosis.incidents
+            ],
+            "score": score.to_dict(epoch),
+            "clean_run_alerts": clean_alerts,
+            "ledger_exact": result.health.verify(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("== applied faults ==")
+        for fault in world.fault_injector.applied:
+            print(f"  t={fault.t - epoch:9.3f}s "
+                  f"{fault.kind:<16} {fault.detail}")
+        print()
+        print(world.diagnosis.incidents.render_text(epoch))
+        print()
+        print(score.render_text(epoch))
+        print(f"\nclean-run control: {clean_alerts} alert(s) "
+              f"({'OK' if clean_alerts == 0 else 'FALSE POSITIVES'})")
+
+    if args.check:
+        failed = False
+        if not score.ok():
+            print("FAIL: undetected fault classes: "
+                  + ", ".join(sorted(score.undetected_classes())))
+            failed = True
+        if clean_alerts:
+            print(f"FAIL: clean run raised {clean_alerts} alert(s)")
+            failed = True
+        if not result.health.verify():
+            print("FAIL: unaccounted events under fault injection")
+            failed = True
+        if failed:
+            raise SystemExit(1)
+        print("OK: every fault class detected; clean run silent")
+
+
+def _cmd_profile(args) -> None:
+    """Sim-time profiler: where simulated seconds go in the pipeline.
+
+    Runs a small telemetry-enabled campaign and attributes every stored
+    message's end-to-end latency across pipeline components (connector,
+    bus, forwarders, store), with the residual reported explicitly so
+    the components reconcile exactly against the end-to-end totals.
+    """
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.sim import PipelineProfile
+
+    world = World(WorldConfig(
+        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=not args.no_fast_lane,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=4,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    run_job(world, app, "nfs", connector_config=ConnectorConfig())
+    profile = PipelineProfile.from_collector(world.telemetry)
+    if args.json:
+        import json
+
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(profile.render_text())
+    if not profile.reconciles():
+        print("FAIL: profiled component seconds do not reconcile with "
+              "end-to-end totals")
         raise SystemExit(1)
 
 
@@ -274,6 +437,8 @@ def _cmd_report(args) -> None:
 _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "diagnose": _cmd_diagnose,
+    "profile": _cmd_profile,
     "report": _cmd_report,
     "table2a": _cmd_table2a,
     "table2b": _cmd_table2b,
@@ -309,14 +474,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="telemetry/chaos: messages seen at L1 before "
                              "the crash")
     parser.add_argument("--no-fast-lane", action="store_true",
-                        help="chaos: per-message reference path instead of "
-                             "the batched fast lane")
+                        help="chaos/diagnose/profile: per-message reference "
+                             "path instead of the batched fast lane")
+    parser.add_argument("--json", action="store_true",
+                        help="telemetry/chaos/diagnose/profile: machine-"
+                             "readable JSON instead of the text report")
     parser.add_argument("--quick", action="store_true",
                         help="bench: reduced campaign for CI smoke runs")
     parser.add_argument("--check", action="store_true",
                         help="telemetry/chaos: exit nonzero when loss "
-                             "reconciliation fails; bench: exit nonzero on a "
-                             ">25%% speedup regression vs the committed result")
+                             "reconciliation fails; diagnose: exit nonzero "
+                             "when a fault class goes undetected or the "
+                             "clean run false-positives; bench: exit nonzero "
+                             "on a >25%% speedup regression vs the committed "
+                             "result")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

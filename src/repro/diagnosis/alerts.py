@@ -1,0 +1,117 @@
+"""Alert lifecycle and the incident log.
+
+An :class:`Alert` moves ``pending → firing → resolved``:
+
+* a rule whose condition holds creates a *pending* alert;
+* the condition must keep holding for the rule's ``for_duration_s``
+  before the alert *fires* (hysteresis — one bad window doesn't page);
+* a pending alert whose condition clears is discarded silently;
+* a firing alert whose condition clears *resolves* and stays in the
+  :class:`IncidentLog` as history.
+
+All timestamps are simulated seconds (absolute epoch, like every other
+clock in the world).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Alert", "IncidentLog", "PENDING", "FIRING", "RESOLVED"]
+
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+
+@dataclass
+class Alert:
+    """One rule activation moving through the lifecycle."""
+
+    rule: str
+    severity: str
+    t_pending: float
+    state: str = PENDING
+    t_fired: float | None = None
+    t_resolved: float | None = None
+    #: Worst observed rule value while the alert was active.
+    peak_value: float = 0.0
+    threshold: float = 0.0
+    detail: str = ""
+
+    def fire(self, now: float) -> None:
+        if self.state != PENDING:
+            raise RuntimeError(f"cannot fire an alert in state {self.state!r}")
+        self.state = FIRING
+        self.t_fired = now
+
+    def resolve(self, now: float) -> None:
+        if self.state != FIRING:
+            raise RuntimeError(f"cannot resolve an alert in state {self.state!r}")
+        self.state = RESOLVED
+        self.t_resolved = now
+
+    def observe(self, value: float, detail: str) -> None:
+        """Update the running worst-case while the condition holds."""
+        if abs(value) >= abs(self.peak_value):
+            self.peak_value = value
+            self.detail = detail
+
+    def to_dict(self, epoch: float = 0.0) -> dict:
+        """JSON-friendly view, times relative to ``epoch``."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "t_pending": self.t_pending - epoch,
+            "t_fired": None if self.t_fired is None else self.t_fired - epoch,
+            "t_resolved": (
+                None if self.t_resolved is None else self.t_resolved - epoch
+            ),
+            "peak_value": self.peak_value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class IncidentLog:
+    """Every alert that ever reached ``firing``, in firing order."""
+
+    incidents: list = field(default_factory=list)
+
+    def record(self, alert: Alert) -> None:
+        self.incidents.append(alert)
+
+    def firing(self) -> list:
+        """Alerts currently firing (not yet resolved)."""
+        return [a for a in self.incidents if a.state == FIRING]
+
+    def for_rule(self, rule: str) -> list:
+        return [a for a in self.incidents if a.rule == rule]
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    def __iter__(self):
+        return iter(self.incidents)
+
+    def render_text(self, epoch: float = 0.0) -> str:
+        lines = ["== incident log =="]
+        if not self.incidents:
+            lines.append("(no incidents)")
+            return "\n".join(lines)
+        lines.append(
+            f"{'rule':<22} {'severity':<9} {'state':<9} {'fired':>9} "
+            f"{'resolved':>9} {'value':>10} detail"
+        )
+        for a in self.incidents:
+            fired = "-" if a.t_fired is None else f"{a.t_fired - epoch:9.3f}"
+            resolved = (
+                "-" if a.t_resolved is None else f"{a.t_resolved - epoch:9.3f}"
+            )
+            lines.append(
+                f"{a.rule:<22} {a.severity:<9} {a.state:<9} {fired:>9} "
+                f"{resolved:>9} {a.peak_value:>10.4g} {a.detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Declarative diagnosis rules.
+
+A :class:`Rule` is pure data plus a pure evaluation function: every
+tick the engine hands it a :class:`~repro.diagnosis.engine.WindowView`
+(sliding windows over the live surfaces) and the rule answers with a
+:class:`RuleEval` — is the condition holding, at what value, against
+what threshold.  Rules never touch the world, never draw randomness and
+never schedule anything; the engine owns the alert lifecycle.
+
+:func:`default_rules` builds the standard rule set from a
+:class:`~repro.diagnosis.engine.DiagnosisConfig` — the LASSi-style
+metric rules the ISSUE names: daemon down, end-to-end latency SLO,
+throughput collapse vs a trailing baseline, store stall / ingest
+backlog, forwarder queue backlog, rank I/O imbalance, spill growth,
+retry growth and dead-letter growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "RuleEval", "default_rules"]
+
+#: Severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class RuleEval:
+    """One tick's verdict for one rule."""
+
+    active: bool
+    value: float
+    threshold: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named, windowed condition with firing hysteresis."""
+
+    name: str
+    severity: str
+    description: str
+    #: The condition must hold this long before the alert fires.
+    for_duration_s: float
+    #: ``evaluate(view) -> RuleEval`` — pure, observation-only.
+    evaluate: object
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.for_duration_s < 0:
+            raise ValueError("for_duration_s must be >= 0")
+        if not callable(self.evaluate):
+            raise TypeError("evaluate must be callable")
+
+
+# -- the standard rule set -------------------------------------------------
+
+
+def _daemon_down(view) -> RuleEval:
+    n = view.series("daemons_failed").latest
+    return RuleEval(n > 0, n, 0, f"{n:.0f} daemon(s) down")
+
+
+def _latency_slo(slo_s: float, min_count: int):
+    def evaluate(view) -> RuleEval:
+        count = view.series("e2e_count").delta(view.window_s)
+        total = view.series("e2e_total_s").delta(view.window_s)
+        if count < min_count:
+            return RuleEval(False, 0.0, slo_s, "too few stored messages")
+        mean = total / count
+        return RuleEval(
+            mean > slo_s, mean, slo_s,
+            f"window mean e2e {mean:.4f}s over {count:.0f} msgs",
+        )
+
+    return evaluate
+
+
+def _throughput_collapse(collapse_frac: float, baseline_windows: int,
+                         min_baseline_rate: float):
+    def evaluate(view) -> RuleEval:
+        stored = view.series("stored_total")
+        baseline = stored.baseline_rate(view.window_s, baseline_windows)
+        if baseline < min_baseline_rate:
+            return RuleEval(False, 0.0, collapse_frac, "no baseline yet")
+        current = stored.rate(view.window_s)
+        backlog = view.series("ingest_backlog").latest
+        ratio = current / baseline
+        # A quiesced pipeline (job over, nothing owed) is not a
+        # collapse: only alert while messages are known to be stuck.
+        active = ratio < collapse_frac and backlog > 0
+        return RuleEval(
+            active, ratio, collapse_frac,
+            f"stored rate {current:.1f}/s vs baseline {baseline:.1f}/s, "
+            f"backlog {backlog:.0f}",
+        )
+
+    return evaluate
+
+
+def _store_stall(view) -> RuleEval:
+    pending = view.series("slow_pending").latest
+    return RuleEval(
+        pending > 0, pending, 0, f"{pending:.0f} messages deferred by store"
+    )
+
+
+def _queue_backlog(depth_threshold: int):
+    def evaluate(view) -> RuleEval:
+        depth = view.series("forward_queue_depth").latest
+        return RuleEval(
+            depth > depth_threshold, depth, depth_threshold,
+            f"Σ forward outbox depth {depth:.0f}",
+        )
+
+    return evaluate
+
+
+def _rank_imbalance(ratio_threshold: float, min_events: int):
+    def evaluate(view) -> RuleEval:
+        counts = view.rank_window_counts()
+        total = sum(counts.values())
+        if len(counts) < 2 or total < min_events:
+            return RuleEval(False, 1.0, ratio_threshold, "too few events")
+        mean = total / len(counts)
+        worst_rank, worst = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+        ratio = worst / mean
+        return RuleEval(
+            ratio > ratio_threshold, ratio, ratio_threshold,
+            f"rank {worst_rank}: {worst} of {total} stored events "
+            f"(x{ratio:.1f} the mean)",
+        )
+
+    return evaluate
+
+
+def _spill_growth(view) -> RuleEval:
+    parked = view.series("spill_parked").latest
+    return RuleEval(
+        parked > 0, parked, 0, f"{parked:.0f} events parked in spill buffers"
+    )
+
+
+def _retry_growth(view) -> RuleEval:
+    retries = view.series("retries_total").delta(view.window_s)
+    return RuleEval(
+        retries > 0, retries, 0, f"{retries:.0f} forward retries in window"
+    )
+
+
+def _deadletter_growth(view) -> RuleEval:
+    dead = view.series("dead_letters_total").delta(view.window_s)
+    return RuleEval(
+        dead > 0, dead, 0, f"{dead:.0f} messages dead-lettered in window"
+    )
+
+
+def default_rules(config) -> tuple:
+    """The standard set, thresholds from a ``DiagnosisConfig``."""
+    hold = config.for_duration_s
+    return (
+        Rule(
+            "daemon_down", "critical",
+            "a fabric daemon reports failed", hold, _daemon_down,
+        ),
+        Rule(
+            "latency_slo", "warning",
+            "windowed mean end-to-end latency breaches the SLO", hold,
+            _latency_slo(config.latency_slo_s, config.slo_min_count),
+        ),
+        Rule(
+            "throughput_collapse", "warning",
+            "stored rate collapsed vs the trailing baseline with a backlog",
+            hold,
+            _throughput_collapse(
+                config.collapse_frac, config.baseline_windows,
+                config.min_baseline_rate,
+            ),
+        ),
+        Rule(
+            "store_stall", "critical",
+            "DSOS ingest is deferring messages (slow-store episode)", hold,
+            _store_stall,
+        ),
+        Rule(
+            "queue_backlog", "warning",
+            "forwarder outboxes are backing up", hold,
+            _queue_backlog(config.queue_depth_threshold),
+        ),
+        Rule(
+            "rank_imbalance", "info",
+            "one rank dominates the stored I/O event stream", hold,
+            _rank_imbalance(config.imbalance_ratio, config.imbalance_min_events),
+        ),
+        Rule(
+            "spill_growth", "warning",
+            "connector spill buffers hold unreplayed events", hold,
+            _spill_growth,
+        ),
+        Rule(
+            "retry_growth", "warning",
+            "forwarders are retrying sends", hold, _retry_growth,
+        ),
+        Rule(
+            "deadletter_growth", "critical",
+            "messages are being dead-lettered", hold, _deadletter_growth,
+        ),
+    )

@@ -1,0 +1,239 @@
+"""Incident correlation against injected-fault ground truth.
+
+A chaos campaign knows exactly what it broke and when — the
+:class:`~repro.faults.injector.FaultInjector`'s ``applied`` log.  This
+module folds that log into *fault windows* (begin/end pairs per fault),
+maps each fault class to the alert rules that should see it, and scores
+the engine's :class:`~repro.diagnosis.alerts.IncidentLog` against the
+windows: per-fault detection and latency, class-level recall, and
+precision (alerts that match no window are false positives).
+
+``repro diagnose --check`` passes iff every injected fault class was
+detected *and* a fault-free control run fired zero alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DETECTORS",
+    "DiagnosisScore",
+    "FaultWindow",
+    "fault_windows",
+    "score_incidents",
+]
+
+#: ``applied-log begin kind -> (fault class, matching end kind)``.
+_BEGIN_KINDS = {
+    "daemon_crash": ("daemon_crash", "daemon_recover"),
+    "link_partition": ("link_partition", "link_heal"),
+    "link_degrade": ("link_degrade", "link_restore"),
+    "slow_store_begin": ("slow_store", "slow_store_end"),
+    "flaky_on": ("flaky_transport", "flaky_off"),
+}
+
+#: Fault class -> alert rules that count as detecting it.
+DETECTORS = {
+    "daemon_crash": frozenset(
+        {"daemon_down", "spill_growth", "deadletter_growth", "retry_growth"}
+    ),
+    "link_partition": frozenset(
+        {"retry_growth", "queue_backlog", "spill_growth", "latency_slo"}
+    ),
+    "link_degrade": frozenset(
+        {"latency_slo", "queue_backlog", "retry_growth"}
+    ),
+    "slow_store": frozenset({"store_stall", "throughput_collapse"}),
+    "flaky_transport": frozenset({"retry_growth", "deadletter_growth"}),
+}
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injected fault's active interval (ground truth)."""
+
+    cls: str
+    t_begin: float
+    #: ``None`` = never ended (permanent crash / run ended first).
+    t_end: float | None
+    detail: str
+
+
+def _pair_key(kind: str, detail: str) -> str:
+    """What ties a begin entry to its end entry across detail drift
+    (``a -- b x10`` degrades restore as ``a -- b``)."""
+    if kind.startswith("link_"):
+        return " -- ".join(detail.split(" -- ")[:2]).split(" x")[0]
+    return detail.split(" p=")[0]
+
+
+def fault_windows(applied) -> list[FaultWindow]:
+    """Fold an ``AppliedFault`` log into begin/end windows, in order."""
+    windows: list[FaultWindow] = []
+    open_slots: dict[tuple[str, str], list[int]] = {}
+    for entry in applied:
+        begun = _BEGIN_KINDS.get(entry.kind)
+        if begun is not None:
+            cls, end_kind = begun
+            windows.append(
+                FaultWindow(cls, entry.t, None, entry.detail)
+            )
+            open_slots.setdefault(
+                (end_kind, _pair_key(entry.kind, entry.detail)), []
+            ).append(len(windows) - 1)
+            continue
+        slot = open_slots.get((entry.kind, _pair_key(entry.kind, entry.detail)))
+        if slot:
+            i = slot.pop(0)
+            w = windows[i]
+            windows[i] = FaultWindow(w.cls, w.t_begin, entry.t, w.detail)
+    return windows
+
+
+@dataclass
+class Detection:
+    """Scoring outcome for one fault window."""
+
+    window: FaultWindow
+    detected: bool = False
+    rule: str | None = None
+    t_fired: float | None = None
+
+    @property
+    def latency_s(self) -> float | None:
+        """Fault begin -> first matching alert firing."""
+        if self.t_fired is None:
+            return None
+        return self.t_fired - self.window.t_begin
+
+
+@dataclass
+class DiagnosisScore:
+    """The full correlation of an incident log with fault ground truth."""
+
+    detections: list = field(default_factory=list)
+    #: Firing alerts that matched no fault window.
+    false_positives: list = field(default_factory=list)
+    #: Firing alerts that matched at least one window.
+    matched_alerts: int = 0
+    total_alerts: int = 0
+
+    @property
+    def recall(self) -> float:
+        if not self.detections:
+            return 1.0
+        return sum(d.detected for d in self.detections) / len(self.detections)
+
+    @property
+    def precision(self) -> float:
+        if self.total_alerts == 0:
+            return 1.0
+        return self.matched_alerts / self.total_alerts
+
+    def classes(self) -> dict[str, bool]:
+        """Fault class -> was any window of that class detected?"""
+        out: dict[str, bool] = {}
+        for d in self.detections:
+            out[d.window.cls] = out.get(d.window.cls, False) or d.detected
+        return out
+
+    def undetected_classes(self) -> list[str]:
+        return sorted(c for c, ok in self.classes().items() if not ok)
+
+    def ok(self) -> bool:
+        """Every injected fault class detected by at least one alert."""
+        return not self.undetected_classes()
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self, epoch: float = 0.0) -> str:
+        lines = ["== fault detection scorecard =="]
+        lines.append(
+            f"{'class':<16} {'t_fault':>9} {'detected':<9} {'rule':<22} "
+            f"{'latency':>9}"
+        )
+        for d in self.detections:
+            latency = "-" if d.latency_s is None else f"{d.latency_s:8.3f}s"
+            lines.append(
+                f"{d.window.cls:<16} {d.window.t_begin - epoch:>9.3f} "
+                f"{'yes' if d.detected else 'NO':<9} {d.rule or '-':<22} "
+                f"{latency:>9}"
+            )
+        lines.append(
+            f"recall={self.recall:.0%} precision={self.precision:.0%} "
+            f"false_positives={len(self.false_positives)}"
+        )
+        missing = self.undetected_classes()
+        if missing:
+            lines.append(f"UNDETECTED fault classes: {', '.join(missing)}")
+        return "\n".join(lines)
+
+    def to_dict(self, epoch: float = 0.0) -> dict:
+        return {
+            "detections": [
+                {
+                    "class": d.window.cls,
+                    "detail": d.window.detail,
+                    "t_begin": d.window.t_begin - epoch,
+                    "t_end": (
+                        None if d.window.t_end is None
+                        else d.window.t_end - epoch
+                    ),
+                    "detected": d.detected,
+                    "rule": d.rule,
+                    "detection_latency_s": d.latency_s,
+                }
+                for d in self.detections
+            ],
+            "classes": self.classes(),
+            "recall": self.recall,
+            "precision": self.precision,
+            "false_positives": len(self.false_positives),
+            "total_alerts": self.total_alerts,
+            "ok": self.ok(),
+        }
+
+
+def score_incidents(
+    incidents, applied, *, grace_s: float = 1.0
+) -> DiagnosisScore:
+    """Correlate an incident log with an applied-fault log.
+
+    An alert matches a window when its rule is in the window class's
+    detector set and it fired inside ``[t_begin, t_end + grace_s]``
+    (windows with no end stay open to the end of the run).  Each
+    window's detection is the *earliest* matching alert — its latency
+    is the headline "how fast did we see it" number.
+    """
+    windows = fault_windows(applied)
+    fired = [a for a in incidents if a.t_fired is not None]
+    detections = [Detection(w) for w in windows]
+    matched: set[int] = set()
+
+    for det in detections:
+        rules = DETECTORS.get(det.window.cls, frozenset())
+        t_end = det.window.t_end
+        best: tuple[float, int] | None = None
+        for i, alert in enumerate(fired):
+            if alert.rule not in rules:
+                continue
+            if alert.t_fired < det.window.t_begin:
+                continue
+            if t_end is not None and alert.t_fired > t_end + grace_s:
+                continue
+            matched.add(i)
+            if best is None or alert.t_fired < best[0]:
+                best = (alert.t_fired, i)
+        if best is not None:
+            det.detected = True
+            det.t_fired = best[0]
+            det.rule = fired[best[1]].rule
+
+    score = DiagnosisScore(
+        detections=detections,
+        false_positives=[a for i, a in enumerate(fired) if i not in matched],
+        matched_alerts=len(matched),
+        total_alerts=len(fired),
+    )
+    return score

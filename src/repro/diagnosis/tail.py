@@ -1,0 +1,66 @@
+"""The live tail on DSOS ingest.
+
+The diagnosis engine cannot wait for a post-run report: it needs to see
+events *land* while the simulation still runs.  :class:`IngestTail`
+registers as an observer on the :class:`~repro.dsos.store_plugin.
+DsosStreamStore` and records, at the simulated instant each message's
+rows are stored, a ``(t, job_id, rank, n_rows)`` entry.  Windowed
+queries over the tail feed the throughput and imbalance rules.
+
+Observation-only: the tail appends to host-side lists; it draws no
+randomness and schedules nothing, so a tailed run is bit-identical to
+an untailed one.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.telemetry.trace import parse_trace_id
+
+__all__ = ["IngestTail"]
+
+
+class IngestTail:
+    """Time-ordered record of stored messages, windowed per rank."""
+
+    def __init__(self, store):
+        self.store = store
+        self._t: list[float] = []
+        self._entries: list[tuple[float, int, int, int]] = []
+        self.messages = 0
+        self.rows = 0
+        store.add_ingest_observer(self._on_stored)
+
+    def _on_stored(self, message, n_rows: int) -> None:
+        now = self.store.daemon.env.now
+        parsed = parse_trace_id(message.trace_id) or (-1, -1, -1)
+        self._t.append(now)
+        self._entries.append((now, parsed[0], parsed[1], n_rows))
+        self.messages += 1
+        self.rows += n_rows
+
+    # -- windowed queries ----------------------------------------------
+
+    def _window(self, now: float, window_s: float):
+        start = bisect.bisect_left(self._t, now - window_s)
+        end = bisect.bisect_right(self._t, now)
+        return self._entries[start:end]
+
+    def stored_in_window(self, now: float, window_s: float) -> int:
+        """Messages stored within ``(now - window_s, now]``."""
+        return len(self._window(now, window_s))
+
+    def rank_counts(self, now: float, window_s: float) -> dict[int, int]:
+        """Stored-message count per rank within the trailing window."""
+        counts: dict[int, int] = {}
+        for _, _, rank, _ in self._window(now, window_s):
+            counts[rank] = counts.get(rank, 0) + 1
+        return counts
+
+    def job_counts(self, now: float, window_s: float) -> dict[int, int]:
+        """Stored-message count per job within the trailing window."""
+        counts: dict[int, int] = {}
+        for _, job, _, _ in self._window(now, window_s):
+            counts[job] = counts.get(job, 0) + 1
+        return counts

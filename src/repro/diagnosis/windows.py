@@ -1,0 +1,107 @@
+"""Sliding-window series for streaming rule evaluation.
+
+Each :class:`SeriesWindow` is a time-ordered sequence of samples the
+diagnosis engine appends once per evaluation tick.  Rules query them as
+*windows*: the latest value, the delta or rate over the trailing window,
+and a trailing-baseline rate (the mean rate over the N windows that
+precede the current one) for regression-style rules ("throughput
+collapsed vs where it was a moment ago").
+
+Counters sampled cumulatively (bus published, objects stored, retries)
+use :meth:`delta`/:meth:`rate`; level samples (queue depth, pending
+backlog) use :meth:`latest`/:meth:`max_over`.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["SeriesWindow"]
+
+
+class SeriesWindow:
+    """A time-stamped sample series with trailing-window queries."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Record one sample; timestamps must be non-decreasing."""
+        if self._t and t < self._t[-1]:
+            raise ValueError(
+                f"sample at t={t} precedes last sample at t={self._t[-1]}"
+            )
+        self._t.append(t)
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def latest(self) -> float:
+        """Most recent sample value (0.0 before any sample)."""
+        return self._v[-1] if self._v else 0.0
+
+    @property
+    def latest_t(self) -> float | None:
+        return self._t[-1] if self._t else None
+
+    # -- window queries ------------------------------------------------
+
+    def _index_at(self, t: float) -> int:
+        """Index of the last sample with timestamp <= ``t`` (-1: none)."""
+        return bisect.bisect_right(self._t, t) - 1
+
+    def value_at(self, t: float) -> float:
+        """Sample value in effect at time ``t`` (0.0 before the first)."""
+        i = self._index_at(t)
+        return self._v[i] if i >= 0 else 0.0
+
+    def delta(self, window_s: float) -> float:
+        """Change of a cumulative counter over the trailing window."""
+        if not self._v:
+            return 0.0
+        return self._v[-1] - self.value_at(self._t[-1] - window_s)
+
+    def rate(self, window_s: float) -> float:
+        """Per-second rate of a cumulative counter over the window."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        return self.delta(window_s) / window_s
+
+    def baseline_rate(self, window_s: float, n_windows: int = 4) -> float:
+        """Mean per-second rate over the ``n_windows`` windows *before*
+        the current one — the trailing baseline regression rules
+        compare against.  0.0 until enough history exists."""
+        if not self._v or n_windows < 1:
+            return 0.0
+        end = self._t[-1] - window_s
+        start = end - n_windows * window_s
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return (self.value_at(end) - self.value_at(start)) / span
+
+    def max_over(self, window_s: float) -> float:
+        """Maximum level sample within the trailing window."""
+        if not self._v:
+            return 0.0
+        cutoff = self._t[-1] - window_s
+        best = self._v[-1]
+        for i in range(len(self._v) - 1, -1, -1):
+            if self._t[i] < cutoff:
+                break
+            if self._v[i] > best:
+                best = self._v[i]
+        return best
+
+    def tail(self, window_s: float) -> list[tuple[float, float]]:
+        """The ``(t, value)`` samples inside the trailing window —
+        what the live dashboard's windowed refresh draws."""
+        if not self._v:
+            return []
+        cutoff = self._t[-1] - window_s
+        start = bisect.bisect_left(self._t, cutoff)
+        return list(zip(self._t[start:], self._v[start:]))

@@ -75,8 +75,18 @@ class DsosStreamStore:
         self._row_plan = self._compile_row_plan(schema)
         self._bus = daemon.streams
         self._pending_rows: list[dict] = []
+        #: Live-tail observers: ``cb(message, n_rows)`` called the
+        #: instant a message's rows land (repro.diagnosis rides this).
+        #: With no observers the hot path pays one truthiness test —
+        #: observation-only, nothing simulated changes.
+        self._observers: list = []
         daemon.streams.subscribe(tag, self.on_message)
         daemon.streams.add_batch_sink(self._flush_batch)
+
+    def add_ingest_observer(self, callback) -> None:
+        """Register a live tail: ``callback(message, n_rows)`` fires at
+        the simulated instant each message's rows are stored."""
+        self._observers.append(callback)
 
     @staticmethod
     def _compile_row_plan(schema) -> list[tuple]:
@@ -136,13 +146,19 @@ class DsosStreamStore:
                 for obj in rows:
                     insert(name, obj, validate=False)
             self.objects_stored += len(rows)
+            n_rows = len(rows)
         else:
+            n_rows = 0
             for obj in self._flatten(data):
                 # _flatten+_coerce already guarantee schema conformance;
                 # skip per-object validation on this hot ingest path.
                 self.client.cluster.insert(self.schema.name, obj, validate=False)
                 self.objects_stored += 1
+                n_rows += 1
         self._ingest_hop(message, STORED)
+        if self._observers:
+            for cb in self._observers:
+                cb(message, n_rows)
 
     def _flush_batch(self) -> None:
         rows = self._pending_rows
@@ -193,6 +209,9 @@ class DsosStreamStore:
             self.objects_stored += len(rows)
             if message.trace_id and collector is not None:
                 collector.close_hop(message.trace_id, STAGE_INGEST, node, STORED)
+            if self._observers:
+                for cb in self._observers:
+                    cb(message, len(rows))
 
     def _ingest_hop(self, message, outcome: str) -> None:
         """Terminal telemetry hop: the message either landed or died here."""

@@ -95,6 +95,8 @@ def _prepare_job(
         connector = DarshanLdmsConnector(
             runtime, world.fabric.daemon_for, connector_config
         )
+        # Diagnosis reads spill ledgers fleet-wide from here.
+        world.connectors.append(connector)
 
     app_ctx = AppContext(
         env=env,

@@ -80,6 +80,12 @@ class WorldConfig:
     #: with ``retry`` set, compute daemons fail over to it when the
     #: head-node L1 dies.
     standby_l1: bool = False
+    #: A :class:`~repro.diagnosis.DiagnosisConfig` arming a streaming
+    #: :class:`~repro.diagnosis.DiagnosisEngine` against this world
+    #: (requires ``telemetry=True``).  Evaluation runs inside simulated
+    #: time on *weak* engine ticks — observation-only: a seeded
+    #: campaign is byte-identical with diagnosis armed or None.
+    diagnosis: object | None = None
 
     @property
     def epoch(self) -> float:
@@ -150,6 +156,19 @@ class World:
         self.metric_store = None
         self._samplers_running = False
         self._pipeline_samplers_running = False
+
+        #: Connectors attached by the job runner (read by diagnosis for
+        #: spill accounting; appended either way, purely host-side).
+        self.connectors: list = []
+
+        # Live diagnosis: armed before faults so the engine's windows
+        # exist from t=0, but after the full pipeline it observes.
+        self.diagnosis = None
+        if config.diagnosis is not None:
+            from repro.diagnosis import DiagnosisEngine
+
+            self.diagnosis = DiagnosisEngine(self, config.diagnosis)
+            self.diagnosis.arm()
 
         # Chaos: arm the fault plan last, so triggers and timers see the
         # fully built pipeline.

@@ -31,17 +31,20 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process
+from repro.sim.profile import ComponentCost, PipelineProfile
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RngRegistry, Distributions
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ComponentCost",
     "Container",
     "Distributions",
     "Environment",
     "Event",
     "Interrupt",
+    "PipelineProfile",
     "Process",
     "Resource",
     "RngRegistry",

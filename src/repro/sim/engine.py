@@ -38,6 +38,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list = []  # heap of (time, seq, event)
         self._seq = 0  # tie-breaker; also counts scheduled events
+        self._strong_pending = 0  # queued events that keep the sim alive
         self._active_process: Optional[Process] = None
 
     # -- clock ---------------------------------------------------------
@@ -54,10 +55,23 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------
 
-    def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Enqueue a triggered event to be processed after ``delay``."""
+    def schedule(self, event: Event, delay: float = 0.0, weak: bool = False) -> None:
+        """Enqueue a triggered event to be processed after ``delay``.
+
+        ``weak=True`` marks the event as one that must not keep the
+        simulation alive: :meth:`run` treats a queue holding only weak
+        events as drained (the clock never advances into them).  Weak
+        events scheduled *before* the last strong event are processed
+        normally, in time order — they are invisible only at the end.
+        Periodic observers (the diagnosis engine's evaluation ticks)
+        use this so that opting into observation cannot extend a run.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        if weak:
+            event._weak = True
+        else:
+            self._strong_pending += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
 
@@ -71,9 +85,14 @@ class Environment:
         """A fresh, untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: object = None) -> Timeout:
-        """An event succeeding after ``delay`` simulated seconds."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: object = None, weak: bool = False) -> Timeout:
+        """An event succeeding after ``delay`` simulated seconds.
+
+        ``weak=True`` makes it a weak timeout: processed in time order
+        while strong events remain, but never the reason the simulation
+        keeps running (see :meth:`schedule`).
+        """
+        return Timeout(self, delay, value, weak=weak)
 
     def timeout_at(self, when: float, value: object = None) -> Event:
         """An event succeeding at the *absolute* simulated time ``when``.
@@ -88,6 +107,7 @@ class Environment:
             raise ValueError(f"timeout_at({when}) is in the past (now={self._now})")
         event = Event(self)
         event._value = value
+        self._strong_pending += 1
         heapq.heappush(self._queue, (when, self._seq, event))
         self._seq += 1
         return event
@@ -111,6 +131,8 @@ class Environment:
         if not self._queue:
             raise SimulationError("no more events")
         self._now, _, event = heapq.heappop(self._queue)
+        if not event._weak:
+            self._strong_pending -= 1
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for callback in callbacks:
@@ -141,8 +163,13 @@ class Environment:
         pop = heapq.heappop
 
         if until is None:
-            while queue:
+            # A queue holding only weak events counts as drained: the
+            # clock stays at the last *strong* event, exactly where a
+            # run without the weak observers would have stopped.
+            while queue and self._strong_pending:
                 self._now, _, event = pop(queue)
+                if not event._weak:
+                    self._strong_pending -= 1
                 callbacks, event.callbacks = event.callbacks, None
                 event._processed = True
                 for callback in callbacks:
@@ -153,8 +180,10 @@ class Environment:
 
         if isinstance(until, Event):
             stop_event = until
-            while queue and not stop_event._processed:
+            while queue and self._strong_pending and not stop_event._processed:
                 self._now, _, event = pop(queue)
+                if not event._weak:
+                    self._strong_pending -= 1
                 callbacks, event.callbacks = event.callbacks, None
                 event._processed = True
                 for callback in callbacks:
@@ -174,7 +203,10 @@ class Environment:
             raise SimulationError(
                 f"until={stop_time} is in the past (now={self._now})"
             )
-        while queue:
+        # Weak events are ignored by the stop rules here too: a queue
+        # holding only weak events is drained (clock stays), and only a
+        # *strong* event beyond the horizon advances the clock to it.
+        while queue and self._strong_pending:
             t = queue[0][0]
             if t > stop_time:
                 self._now = stop_time
@@ -184,6 +216,8 @@ class Environment:
             # are processed without re-checking the horizon.
             while queue and queue[0][0] == t:
                 self._now, _, event = pop(queue)
+                if not event._weak:
+                    self._strong_pending -= 1
                 callbacks, event.callbacks = event.callbacks, None
                 event._processed = True
                 for callback in callbacks:

@@ -44,7 +44,7 @@ class Event:
     once; triggering it a second time raises :class:`EventError`.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "_weak")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -54,6 +54,9 @@ class Event:
         self._ok: bool = True
         self._processed = False
         self._defused = False
+        #: Weak events do not keep the simulation alive (see
+        #: :meth:`Environment.schedule`).
+        self._weak = False
 
     # -- introspection ------------------------------------------------
 
@@ -120,18 +123,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds ``delay`` simulated seconds after creation."""
+    """An event that succeeds ``delay`` simulated seconds after creation.
+
+    ``weak=True`` schedules it as a weak event: it fires normally while
+    strong events remain, but never keeps the simulation alive on its
+    own (see :meth:`Environment.schedule`).
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: object = None):
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        value: object = None,
+        weak: bool = False,
+    ):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env.schedule(self, delay=delay, weak=weak)
 
 
 class _Condition(Event):

@@ -126,6 +126,64 @@ class PipelineHealthReport:
         """True iff the loss ledger closes exactly for every group."""
         return all(r.exact for r in self.rows)
 
+    def to_dict(self) -> dict:
+        """Machine-readable report: everything ``render_text`` shows.
+
+        The ``repro telemetry --json`` / ``repro chaos --json`` payload,
+        and what the diagnosis scoring path consumes instead of
+        re-parsing the ASCII rendering.  Site keys flatten into records
+        so the result is directly JSON-serializable.
+        """
+
+        def _sites(sites: dict, count_key: str) -> list[dict]:
+            return [
+                {
+                    "stage": stage,
+                    "node": node,
+                    "outcome": outcome,
+                    count_key: count,
+                }
+                for (stage, node, outcome), count in sorted(sites.items())
+            ]
+
+        return {
+            "published": self.published,
+            "stored": self.stored,
+            "dropped": self.dropped,
+            "in_flight": self.in_flight,
+            "in_flight_spill": self.in_flight_spill,
+            "exact": self.verify(),
+            "rows": [
+                {
+                    "job": r.job_id,
+                    "rank": r.rank,
+                    "published": r.published,
+                    "stored": r.stored,
+                    "dropped": r.dropped,
+                    "spilled": r.in_flight_spill,
+                    "in_flight": r.in_flight,
+                    "exact": r.exact,
+                    "drops": [
+                        {
+                            "stage": stage,
+                            "node": node,
+                            "outcome": outcome,
+                            "drops": count,
+                        }
+                        for (stage, node, outcome), count in r.drops
+                    ],
+                }
+                for r in self.rows
+            ],
+            "drop_sites": _sites(self.drop_sites(), "drops"),
+            "recovery_sites": _sites(self.recovery_sites(), "events"),
+            "histograms": {
+                stage: hist.to_dict()
+                for stage, hist in sorted(self.collector.histograms.items())
+            },
+            "snapshots": list(self.snapshots),
+        }
+
     # -- rendering -----------------------------------------------------
 
     def render_text(self, width: int = 40) -> str:

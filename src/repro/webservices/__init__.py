@@ -39,6 +39,7 @@ from repro.webservices.grafana import (
     render_ascii,
 )
 from repro.webservices.html import render_html
+from repro.webservices.live import LiveDashboard
 from repro.webservices.signatures import (
     classify_workload,
     compare_signatures,
@@ -50,6 +51,7 @@ __all__ = [
     "DataFrameError",
     "Dashboard",
     "DsosDataSource",
+    "LiveDashboard",
     "Panel",
     "PanelData",
     "bucket_series",

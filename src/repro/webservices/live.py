@@ -1,0 +1,112 @@
+"""Live diagnosis dashboard: the firing set and rule series as panels.
+
+The Grafana machinery in this package renders *stored* data; this
+module renders the :class:`~repro.diagnosis.DiagnosisEngine`'s live
+state — currently-firing alerts, the incident history, and each rule's
+evaluated value over a trailing window (the "windowed refresh": every
+:meth:`LiveDashboard.render` re-reads the engine's sliding windows at
+the current simulated instant).  Output is the same
+:class:`~repro.webservices.grafana.PanelData` everything else uses, so
+the panels drop into :func:`~repro.webservices.grafana.render_ascii`
+and the HTML dashboard unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.webservices.grafana import PanelData, render_ascii
+
+__all__ = ["LiveDashboard"]
+
+
+class LiveDashboard:
+    """Windowed panel view over one diagnosis engine."""
+
+    def __init__(self, engine, window_s: float | None = None):
+        self.engine = engine
+        #: Trailing window each refresh draws (default: 8 rule windows).
+        self.window_s = (
+            window_s
+            if window_s is not None
+            else 8 * engine.config.window_s
+        )
+
+    # -- panels --------------------------------------------------------
+
+    def _alert_rows(self, alerts) -> list[dict]:
+        epoch = self.engine.world.config.epoch
+        return [
+            {
+                "rule": a.rule,
+                "severity": a.severity,
+                "state": a.state,
+                "fired": (
+                    "-" if a.t_fired is None else f"{a.t_fired - epoch:.3f}"
+                ),
+                "resolved": (
+                    "-" if a.t_resolved is None else f"{a.t_resolved - epoch:.3f}"
+                ),
+                "value": f"{a.peak_value:.4g}",
+                "detail": a.detail,
+            }
+            for a in alerts
+        ]
+
+    def render(self) -> list[PanelData]:
+        """The current panel set: firing alerts, incident history, and
+        one time-series panel per rule over the trailing window."""
+        engine = self.engine
+        epoch = engine.world.config.epoch
+        firing = engine.firing()
+        panels = [
+            PanelData(
+                title="firing alerts",
+                viz="table",
+                payload=self._alert_rows(firing),
+                rows_queried=len(firing),
+            ),
+            PanelData(
+                title="incident log",
+                viz="table",
+                payload=self._alert_rows(engine.incidents),
+                rows_queried=len(engine.incidents),
+            ),
+        ]
+        for name, series in sorted(engine.rule_series.items()):
+            tail = series.tail(self.window_s)
+            panels.append(
+                PanelData(
+                    title=f"rule: {name}",
+                    viz="timeseries",
+                    payload={
+                        "t": [t - epoch for t, _ in tail],
+                        "value": [v for _, v in tail],
+                    },
+                    rows_queried=len(tail),
+                )
+            )
+        return panels
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self, width: int = 64) -> str:
+        """ASCII refresh: tables for alerts, sparkline-ish series."""
+        blocks = []
+        for panel in self.render():
+            if panel.viz == "table":
+                blocks.append(render_ascii(panel, width=width))
+            else:
+                values = panel.payload["value"]
+                if not any(values):
+                    continue
+                top = max(values) or 1.0
+                row = "".join(
+                    "▁▂▃▄▅▆▇█"[min(int(v / top * 7.999), 7)] if v > 0 else " "
+                    for v in values[-width:]
+                )
+                blocks.append(f"== {panel.title} ==\n{row}")
+        return "\n\n".join(blocks)
+
+    def to_html(self, title: str = "Live diagnosis") -> str:
+        from repro.webservices.html import render_html
+
+        return render_html(title, self.render())

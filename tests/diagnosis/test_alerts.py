@@ -1,0 +1,68 @@
+"""Alert lifecycle: pending -> firing -> resolved, with hysteresis."""
+
+import pytest
+
+from repro.diagnosis import FIRING, PENDING, RESOLVED, Alert, IncidentLog
+
+
+def test_lifecycle_happy_path():
+    a = Alert(rule="r", severity="warning", t_pending=1.0, threshold=5.0)
+    assert a.state == PENDING
+    a.observe(6.0, "six")
+    a.fire(1.5)
+    assert a.state == FIRING
+    assert a.t_fired == 1.5
+    a.observe(9.0, "nine")
+    a.resolve(2.0)
+    assert a.state == RESOLVED
+    assert a.t_resolved == 2.0
+    assert a.peak_value == 9.0
+    assert a.detail == "nine"
+
+
+def test_illegal_transitions_raise():
+    a = Alert(rule="r", severity="info", t_pending=0.0)
+    with pytest.raises(RuntimeError):
+        a.resolve(1.0)  # cannot resolve before firing
+    a.fire(0.5)
+    with pytest.raises(RuntimeError):
+        a.fire(1.0)  # cannot fire twice
+    a.resolve(1.0)
+    with pytest.raises(RuntimeError):
+        a.resolve(2.0)
+
+
+def test_observe_tracks_worst_magnitude():
+    a = Alert(rule="r", severity="info", t_pending=0.0)
+    a.observe(4.0, "four")
+    a.observe(2.0, "two")  # smaller: peak unchanged
+    assert a.peak_value == 4.0
+    assert a.detail == "four"
+    a.observe(-5.0, "minus five")  # larger magnitude wins
+    assert a.peak_value == -5.0
+
+
+def test_to_dict_relative_times():
+    a = Alert(rule="r", severity="info", t_pending=100.5)
+    a.fire(101.0)
+    d = a.to_dict(epoch=100.0)
+    assert d["t_pending"] == pytest.approx(0.5)
+    assert d["t_fired"] == pytest.approx(1.0)
+    assert d["t_resolved"] is None
+
+
+def test_incident_log_queries_and_render():
+    log = IncidentLog()
+    assert "(no incidents)" in log.render_text()
+    a = Alert(rule="a", severity="critical", t_pending=0.0)
+    a.fire(0.5)
+    b = Alert(rule="b", severity="warning", t_pending=0.0)
+    b.fire(0.6)
+    b.resolve(0.9)
+    log.record(a)
+    log.record(b)
+    assert len(log) == 2
+    assert log.firing() == [a]
+    assert log.for_rule("b") == [b]
+    text = log.render_text()
+    assert "a" in text and "firing" in text and "resolved" in text

@@ -1,0 +1,104 @@
+"""Ground-truth correlation: fault windows, detection latency, P/R."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.diagnosis import (
+    DETECTORS,
+    Alert,
+    IncidentLog,
+    fault_windows,
+    score_incidents,
+)
+
+
+@dataclass(frozen=True)
+class _Applied:
+    """Shape-compatible stand-in for faults.injector.AppliedFault."""
+
+    t: float
+    kind: str
+    detail: str
+
+
+def _fired(rule: str, t: float, severity: str = "warning") -> Alert:
+    a = Alert(rule=rule, severity=severity, t_pending=t - 0.1)
+    a.fire(t)
+    return a
+
+
+def test_fault_windows_pairs_begin_end():
+    applied = [
+        _Applied(0.1, "slow_store_begin", "shirley"),
+        _Applied(0.2, "link_degrade", "a -- b x50"),
+        _Applied(0.5, "slow_store_end", "shirley"),
+        _Applied(0.5, "link_restore", "a -- b"),  # detail drift: no x50
+        _Applied(0.7, "daemon_crash", "l1 (head)"),  # never recovers
+    ]
+    windows = fault_windows(applied)
+    assert [(w.cls, w.t_begin, w.t_end) for w in windows] == [
+        ("slow_store", 0.1, 0.5),
+        ("link_degrade", 0.2, 0.5),
+        ("daemon_crash", 0.7, None),
+    ]
+
+
+def test_score_matches_earliest_alert_and_latency():
+    applied = [
+        _Applied(1.0, "slow_store_begin", "shirley"),
+        _Applied(2.0, "slow_store_end", "shirley"),
+    ]
+    log = IncidentLog()
+    log.record(_fired("store_stall", 1.8))
+    log.record(_fired("store_stall", 1.4))  # earlier: becomes the detection
+    score = score_incidents(log, applied)
+    (det,) = score.detections
+    assert det.detected and det.rule == "store_stall"
+    assert det.latency_s == pytest.approx(0.4)
+    assert score.recall == 1.0
+    assert score.precision == 1.0  # both alerts matched the window
+    assert score.ok()
+
+
+def test_alert_outside_grace_is_false_positive():
+    applied = [
+        _Applied(1.0, "slow_store_begin", "shirley"),
+        _Applied(2.0, "slow_store_end", "shirley"),
+    ]
+    log = IncidentLog()
+    log.record(_fired("store_stall", 4.0))  # after t_end + grace
+    score = score_incidents(log, applied, grace_s=1.0)
+    (det,) = score.detections
+    assert not det.detected
+    assert score.undetected_classes() == ["slow_store"]
+    assert not score.ok()
+    assert len(score.false_positives) == 1
+    assert score.precision == 0.0
+
+
+def test_wrong_rule_does_not_detect():
+    applied = [
+        _Applied(0.0, "daemon_crash", "l1 (head)"),
+    ]
+    log = IncidentLog()
+    log.record(_fired("store_stall", 0.2))  # not in daemon_crash detectors
+    score = score_incidents(log, applied)
+    assert score.undetected_classes() == ["daemon_crash"]
+    assert "store_stall" not in DETECTORS["daemon_crash"]
+
+
+def test_open_window_matches_to_end_of_run():
+    applied = [_Applied(0.0, "daemon_crash", "l1 (head)")]
+    log = IncidentLog()
+    log.record(_fired("daemon_down", 99.0, severity="critical"))
+    score = score_incidents(log, applied)
+    assert score.ok()
+    assert score.detections[0].latency_s == pytest.approx(99.0)
+
+
+def test_empty_everything_scores_clean():
+    score = score_incidents(IncidentLog(), [])
+    assert score.ok()
+    assert score.recall == 1.0 and score.precision == 1.0
+    assert score.to_dict()["ok"] is True

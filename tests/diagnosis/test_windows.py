@@ -1,0 +1,73 @@
+"""SeriesWindow: the sliding-window queries rules are built on."""
+
+import pytest
+
+from repro.diagnosis import SeriesWindow
+
+
+def _counter(samples):
+    s = SeriesWindow("counter")
+    for t, v in samples:
+        s.append(t, v)
+    return s
+
+
+def test_empty_series_defaults():
+    s = SeriesWindow("x")
+    assert len(s) == 0
+    assert s.latest == 0.0
+    assert s.latest_t is None
+    assert s.value_at(10.0) == 0.0
+    assert s.delta(1.0) == 0.0
+    assert s.rate(1.0) == 0.0
+    assert s.baseline_rate(1.0) == 0.0
+    assert s.max_over(1.0) == 0.0
+    assert s.tail(1.0) == []
+
+
+def test_append_rejects_time_travel():
+    s = _counter([(0.0, 1), (1.0, 2)])
+    with pytest.raises(ValueError):
+        s.append(0.5, 3)
+    # Equal timestamps are fine (two ticks can coincide).
+    s.append(1.0, 3)
+    assert s.latest == 3.0
+
+
+def test_value_at_is_step_function():
+    s = _counter([(0.0, 10), (1.0, 20), (2.0, 30)])
+    assert s.value_at(-0.5) == 0.0
+    assert s.value_at(0.0) == 10.0
+    assert s.value_at(0.9) == 10.0
+    assert s.value_at(1.0) == 20.0
+    assert s.value_at(5.0) == 30.0
+
+
+def test_delta_and_rate_over_window():
+    # Counter climbing 10/s for 4 seconds.
+    s = _counter([(t, 10 * t) for t in range(5)])
+    assert s.delta(2.0) == pytest.approx(20.0)
+    assert s.rate(2.0) == pytest.approx(10.0)
+    # Window wider than history: delta from zero-valued prehistory.
+    assert s.delta(100.0) == pytest.approx(40.0)
+    with pytest.raises(ValueError):
+        s.rate(0.0)
+
+
+def test_baseline_rate_excludes_current_window():
+    # 10/s for 4s, then flat: the current window's stall must not
+    # contaminate the trailing baseline it is compared against.
+    s = _counter([(0, 0), (1, 10), (2, 20), (3, 30), (4, 40), (5, 40)])
+    assert s.rate(1.0) == pytest.approx(0.0)  # stalled now
+    assert s.baseline_rate(1.0, n_windows=4) == pytest.approx(10.0)
+    # Not enough history -> 0.0, never an exception.
+    short = _counter([(0.0, 5)])
+    assert short.baseline_rate(10.0) == 0.0
+
+
+def test_max_over_and_tail():
+    s = _counter([(0, 1), (1, 7), (2, 3), (3, 2)])
+    assert s.max_over(1.5) == 3.0
+    assert s.max_over(10.0) == 7.0
+    assert s.tail(1.0) == [(2, 3.0), (3, 2.0)]
+    assert s.tail(0.0) == [(3, 2.0)]

@@ -1,0 +1,94 @@
+"""The sim-time profiler: exact attribution, by construction."""
+
+import pytest
+
+from repro.apps import MpiIoTest
+from repro.core import ConnectorConfig
+from repro.experiments import World, WorldConfig, run_job
+from repro.sim import PipelineProfile
+from repro.telemetry.trace import HopRecord, MessageTrace
+
+
+def _trace(trace_id, t_begin, hops):
+    t = MessageTrace(trace_id=trace_id, job_id=1, rank=0, t_begin=t_begin)
+    t.hops = [HopRecord(*h) for h in hops]
+    return t
+
+
+def test_synthetic_traces_attribute_exactly():
+    # One stored message: publish 0.1s, forward 0.3s, ingest 0.05s,
+    # stored at t=1.0 -> e2e 1.0, residual 0.55.
+    stored = _trace("1:0:0", 0.0, [
+        ("publish", "nid1", 0.0, 0.1, "published"),
+        ("forward", "nid1", 0.1, 0.4, "forwarded"),
+        ("ingest", "head", 0.95, 1.0, "stored"),
+    ])
+    dropped = _trace("1:0:1", 0.0, [
+        ("publish", "nid1", 0.0, 0.1, "published"),
+        ("forward", "nid1", 0.1, 0.2, "drop_overflow"),
+    ])
+    profile = PipelineProfile.from_traces([stored, dropped])
+    assert profile.messages == 1
+    assert profile.unstored == 1
+    assert profile.end_to_end_s == pytest.approx(1.0)
+    assert profile.components["publish"].sim_seconds == pytest.approx(0.1)
+    assert profile.components["forward"].sim_seconds == pytest.approx(0.3)
+    assert profile.components["ingest"].sim_seconds == pytest.approx(0.05)
+    assert profile.components["unattributed"].sim_seconds == pytest.approx(0.55)
+    assert profile.reconciles()
+
+
+def test_negative_residual_still_reconciles():
+    # Overlapping recovery hops can attribute more than the e2e span;
+    # the residual goes negative and the books still balance.
+    t = _trace("1:0:0", 0.0, [
+        ("forward", "nid1", 0.0, 0.8, "forwarded"),
+        ("forward", "nid1", 0.0, 0.8, "redelivered"),
+        ("ingest", "head", 0.9, 1.0, "stored"),
+    ])
+    profile = PipelineProfile.from_traces([t])
+    assert profile.components["unattributed"].sim_seconds < 0
+    assert profile.reconciles()
+
+
+def test_rows_are_pipeline_ordered():
+    t = _trace("1:0:0", 0.0, [
+        ("ingest", "head", 0.9, 1.0, "stored"),
+        ("publish", "nid1", 0.0, 0.1, "published"),
+    ])
+    rows = PipelineProfile.from_traces([t]).rows()
+    stages = [r["stage"] for r in rows]
+    assert stages == ["publish", "ingest", "unattributed"]
+    assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+
+def test_empty_profile_renders_and_reconciles():
+    profile = PipelineProfile.from_traces([])
+    assert profile.reconciles()
+    assert "messages=0" in profile.render_text()
+    assert profile.to_dict()["reconciles"] is True
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast-lane", "reference"])
+def test_campaign_profile_reconciles_with_hop_traces(fast):
+    """The acceptance criterion: ``repro profile`` totals re-sum to the
+    end-to-end latency measured by the hop traces, exactly."""
+    world = World(WorldConfig(
+        seed=7, quiet=True, n_compute_nodes=4, telemetry=True, fast_lane=fast,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=4, iterations=4, block_size=2**20,
+        collective=False, sync_per_iteration=False,
+    )
+    run_job(world, app, "nfs", connector_config=ConnectorConfig())
+    profile = PipelineProfile.from_collector(world.telemetry)
+    assert profile.messages > 0
+    assert profile.reconciles()
+    # Cross-check against the end-to-end histogram total.
+    from repro.telemetry.collector import END_TO_END
+
+    e2e = world.telemetry.histograms[END_TO_END]
+    assert profile.end_to_end_s == pytest.approx(e2e.total, rel=1e-9)
+    assert profile.messages == e2e.count
+    text = profile.render_text()
+    assert "EXACT" in text

@@ -1,0 +1,149 @@
+"""Weak events: scheduled work that never keeps the simulation alive.
+
+The diagnosis engine's periodic ticks are weak timeouts — they run
+whenever strong work is still pending, but an event queue holding only
+weak events counts as drained: ``run()`` returns, the clock never
+advances into a weak-only tail, and a numeric horizon is only reached
+when a strong event lies beyond it.
+"""
+
+import pytest
+
+from repro.sim import Environment
+
+
+def _ticker(env, period, log, weak=True):
+    while True:
+        yield env.timeout(period, weak=weak)
+        log.append(env.now)
+
+
+def test_weak_only_queue_counts_as_drained():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 1.0, log))
+    env.run()
+    assert log == []
+    assert env.now == 0.0  # the clock never moved
+
+
+def test_weak_ticks_run_while_strong_work_is_pending():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 1.0, log))
+
+    def work():
+        yield env.timeout(3.5)
+
+    env.run(env.process(work()))
+    assert log == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_event_stops_with_weak_tail():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 0.5, log))
+
+    def work():
+        yield env.timeout(1.2)
+
+    done = env.process(work())
+    env.run(done)
+    # Ticks at 0.5 and 1.0 ran; the pending 1.5 tick did not drag the
+    # run past the strong event at 1.2.
+    assert log == [0.5, 1.0]
+    assert env.now == 1.2
+
+
+def test_numeric_horizon_ignores_weak_only_queue():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 1.0, log))
+    env.run(until=10.0)
+    # No strong event beyond the horizon: the queue drains (weakly)
+    # and the clock stays where the last strong event left it.
+    assert log == []
+    assert env.now == 0.0
+
+
+def test_numeric_horizon_with_strong_work():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 1.0, log))
+
+    def work():
+        yield env.timeout(2.5)
+        yield env.timeout(2.5)  # strong event at 5.0, past the horizon
+
+    env.process(work())
+    env.run(until=4.0)
+    assert env.now == 4.0
+    # Ticks up to and including the horizon ran (strong work at 5.0
+    # keeps the sim alive); the pending 5.0 tick was not processed.
+    assert log == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_weak_and_strong_interleaving_preserves_strong_order():
+    env = Environment()
+    order = []
+
+    def strong(name, t):
+        yield env.timeout(t)
+        order.append((name, env.now))
+
+    env.process(strong("a", 1.0))
+    env.process(_ticker(env, 0.3, []))
+    env.process(strong("b", 2.0))
+    env.run()
+    assert order == [("a", 1.0), ("b", 2.0)]
+
+
+def test_schedule_rejects_weakness_confusion():
+    env = Environment()
+    # Plain timeouts default to strong: they do keep the run alive.
+    def work():
+        yield env.timeout(1.0)
+
+    env.process(work())
+    env.run()
+    assert env.now == 1.0
+
+
+def test_timeout_at_is_strong():
+    env = Environment(initial_time=100.0)
+    fired = []
+    ev = env.timeout_at(105.0, value="x")
+    ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [105.0]
+    assert env.now == 105.0
+
+
+def test_weak_events_still_execute_their_callbacks():
+    env = Environment()
+    fired = []
+    ev = env.timeout(1.0, value="weakling", weak=True)
+    ev.callbacks.append(lambda e: fired.append(e.value))
+
+    def work():
+        yield env.timeout(2.0)
+
+    env.run(env.process(work()))
+    assert fired == ["weakling"]
+
+
+@pytest.mark.parametrize("n_weak", [1, 5, 50])
+def test_many_weak_tickers_never_extend_the_run(n_weak):
+    env = Environment()
+    logs = [[] for _ in range(n_weak)]
+    for log in logs:
+        env.process(_ticker(env, 0.25, log))
+
+    def work():
+        yield env.timeout(1.0)
+
+    env.run(env.process(work()))
+    assert env.now == 1.0
+    for log in logs:
+        assert log == [0.25, 0.5, 0.75, 1.0]

@@ -137,6 +137,84 @@ def test_repro_cli_chaos_check_exits_nonzero_on_violation(monkeypatch, capsys):
     assert "FAIL: unaccounted events" in capsys.readouterr().out
 
 
+def test_repro_cli_telemetry_json(capsys):
+    import json
+
+    assert repro_main(["telemetry", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exact"] is True
+    assert payload["published"] == payload["stored"]
+    assert "end_to_end" in payload["histograms"]
+    assert payload["rows"] and payload["rows"][0]["exact"] is True
+
+
+def test_repro_cli_chaos_json(capsys):
+    import json
+
+    assert repro_main(["chaos", "--seed", "7", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {f["kind"] for f in payload["applied_faults"]}
+    assert {"daemon_crash", "link_partition", "slow_store_begin"} <= kinds
+    assert payload["health"]["exact"] is True
+    assert payload["fast_lane"] is True
+
+
+def test_repro_cli_diagnose_check(capsys):
+    assert repro_main(["diagnose", "--seed", "42", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "incident log" in out
+    assert "fault detection scorecard" in out
+    assert "recall=100%" in out
+    assert "clean-run control: 0 alert(s) (OK)" in out
+    assert "OK: every fault class detected; clean run silent" in out
+
+
+def test_repro_cli_diagnose_json(capsys):
+    import json
+
+    assert repro_main(["diagnose", "--seed", "42", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["score"]["ok"] is True
+    assert payload["score"]["classes"] == {
+        "daemon_crash": True, "link_degrade": True, "slow_store": True,
+    }
+    assert payload["clean_run_alerts"] == 0
+    assert payload["incidents"]
+    for d in payload["score"]["detections"]:
+        assert d["detected"] and d["detection_latency_s"] > 0
+
+
+def test_repro_cli_diagnose_check_exits_nonzero_when_undetected(
+    monkeypatch, capsys
+):
+    from repro.diagnosis import DiagnosisScore
+
+    monkeypatch.setattr(DiagnosisScore, "ok", lambda self: False)
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["diagnose", "--seed", "42", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_repro_cli_profile(capsys):
+    assert repro_main(["profile"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline sim-time profile" in out
+    assert "connector" in out and "forwarder" in out
+    assert "EXACT" in out
+
+
+def test_repro_cli_profile_json(capsys):
+    import json
+
+    assert repro_main(["profile", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["reconciles"] is True
+    assert payload["messages"] > 0
+    stages = {c["stage"] for c in payload["components"]}
+    assert {"publish", "forward", "ingest"} <= stages
+
+
 def test_repro_cli_unknown_command():
     with pytest.raises(SystemExit):
         repro_main(["frobnicate"])

@@ -63,3 +63,14 @@ def test_system_correlation_runs(capsys):
     _load("system_correlation").main()
     out = capsys.readouterr().out
     assert "EXPLAINS the I/O variability" in out
+
+
+def test_live_diagnosis_runs(capsys):
+    _load("live_diagnosis").main()
+    out = capsys.readouterr().out
+    assert "applied faults (ground truth)" in out
+    assert "incident log" in out
+    assert "fault detection scorecard" in out
+    assert "recall=100%" in out
+    assert "pipeline sim-time profile" in out
+    assert "EXACT" in out
