@@ -11,7 +11,9 @@ Usage::
     python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane] [--json]
     python -m repro.cli diagnose [--seed 42] [--check] [--no-fast-lane] [--json]
     python -m repro.cli profile [--seed 42] [--json]
-    python -m repro.cli bench [--quick] [--check] [--out PATH]
+    python -m repro.cli trace [--trace-id ID | --slowest N | --drops] \\
+        [--head-rate R] [--tail-latency S] [--check] [--json]
+    python -m repro.cli bench [--quick] [--check] [--json] [--out PATH]
 
 All commands print the reproduced rows/series to stdout; scale flags
 trade fidelity for wall-clock time (see EXPERIMENTS.md for the
@@ -381,32 +383,165 @@ def _cmd_profile(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_trace(args) -> None:
+    """Trace drill-down over the seeded chaos campaign.
+
+    Runs the chaos fault plan (L1 crash + restart, link partition,
+    slow store) with every recovery path armed and span-tree retention
+    governed by ``--head-rate`` / ``--tail-latency``, then renders the
+    selected traces as critical-path waterfalls plus the campaign
+    rollup.  ``--trace-id`` drills into one message, ``--drops`` lists
+    retained dropped traces, ``--slowest N`` (the default view) shows
+    the N slowest stored ones.  With ``--check``, exits nonzero unless
+    every retained stored trace's critical path sums *exactly* to its
+    end-to-end latency and the rollup reconciles with the sim-time
+    profile.
+    """
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.faults import DaemonCrash, FaultPlan, LinkPartition, SlowStore
+    from repro.ldms.resilience import RetryPolicy
+    from repro.sim import PipelineProfile
+    from repro.telemetry.spans import TelemetryConfig, critical_path
+    from repro.webservices.tracing import render_waterfall
+
+    fast = not args.no_fast_lane
+    plan = FaultPlan((
+        DaemonCrash("l1", after_messages=args.fail_after, down_for=0.5),
+        LinkPartition("nid00001", "head", at=0.2, duration=0.3),
+        SlowStore(at=0.1, duration=0.4),
+    ))
+    policy = TelemetryConfig(
+        head_sample_rate=args.head_rate, tail_latency_s=args.tail_latency,
+    )
+    world = World(WorldConfig(
+        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=policy,
+        fast_lane=fast, faults=plan, retry=RetryPolicy(), standby_l1=True,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=8,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    run_job(world, app, "nfs",
+            connector_config=ConnectorConfig(spill=True, fast_lane=fast),
+            inter_job_gap_s=0.0)
+    registry = world.trace_registry()
+    rollup = registry.rollup()
+    profile = PipelineProfile.from_registry(registry)
+
+    if args.trace_id is not None:
+        tree = registry.get(args.trace_id)
+        if tree is None:
+            print(f"trace {args.trace_id!r} not retained "
+                  f"({len(registry)} of {registry.offered} kept; "
+                  f"raise --head-rate to retain more)")
+            raise SystemExit(1)
+        selected = [tree]
+    elif args.drops:
+        selected = registry.drops()
+    else:
+        selected = registry.slowest(args.slowest)
+
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "fast_lane": fast,
+            "registry": registry.to_dict(),
+            "rollup": rollup.to_dict(),
+            "rollup_reconciles_with_profile": rollup.reconciles_with(profile),
+            "traces": [
+                {
+                    **tree.to_dict(),
+                    "critical_path": critical_path(tree).to_dict(),
+                }
+                for tree in selected
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        reg = registry.to_dict()
+        print(f"retained {reg['retained']} of {reg['offered']} traces "
+              f"(head {reg['head_kept']}, tail {reg['tail_kept']}; "
+              f"head_rate={reg['head_sample_rate']})")
+        print()
+        for tree in selected:
+            print(render_waterfall(tree))
+            print()
+        if not selected:
+            print("(no matching traces retained)")
+            print()
+        print(rollup.render_text())
+
+    if args.check:
+        inexact = [
+            tree.trace_id
+            for tree in registry.trees.values()
+            if tree.status == "stored" and not critical_path(tree).exact
+        ]
+        failed = False
+        if inexact:
+            print(f"FAIL: critical path != end-to-end latency for "
+                  f"{len(inexact)} trace(s): {', '.join(inexact[:5])}")
+            failed = True
+        if not rollup.reconciles_with(profile):
+            print("FAIL: critical-path rollup does not reconcile with the "
+                  "sim-time profile")
+            failed = True
+        if not profile.reconciles():
+            print("FAIL: sim-time profile does not reconcile with its own "
+                  "end-to-end totals")
+            failed = True
+        if failed:
+            raise SystemExit(1)
+        print(f"OK: {rollup.messages} critical paths exact; "
+              f"rollup reconciles with profile")
+
+
 def _cmd_bench(args) -> None:
     """Tracked pipeline benchmark: slow vs fast lane, one process.
 
     Writes ``benchmarks/BENCH_pipeline.json`` (or ``--out``).  With
+    ``--json``, prints the result payload as sorted JSON on stdout
+    (diagnostics go to stderr) and writes a dated snapshot under
+    ``benchmarks/results/`` instead of touching the tracked file.  With
     ``--check``, compares the measured slow→fast speedup against the
     committed file and exits nonzero on a >25 % regression — the ratio,
     not the wall, so the check is machine-independent.
     """
     import json
+    import sys
     from pathlib import Path
 
-    from repro.experiments.bench import DEFAULT_RESULT_PATH, pipeline_benchmark
+    from repro.experiments.bench import (
+        DEFAULT_RESULT_PATH,
+        pipeline_benchmark,
+        snapshot_path,
+    )
 
     result = pipeline_benchmark(quick=args.quick, seed=args.seed)
     slow, fast = result["slow"], result["fast"]
-    print(f"campaign: hmmer families={result['campaign']['n_families']} "
-          f"rpn=8 nodes=2 seed={args.seed} (quick={args.quick})")
-    for label, r in (("slow", slow), ("fast", fast)):
-        print(f"  {label:<5} wall={r['wall_s']:>7.2f}s "
-              f"events/s={r['events_per_sec']:>8.1f} "
-              f"engine_events={r['engine_events']}")
-    print(f"  speedup (events/s, fast vs slow): "
-          f"{result['speedup_events_per_sec']:.2f}x")
-    if result["speedup_vs_seed_baseline"]:
-        print(f"  speedup vs pre-optimization baseline: "
-              f"{result['speedup_vs_seed_baseline']:.2f}x")
+    log = sys.stderr if args.json else sys.stdout
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        snap = snapshot_path()
+        snap.parent.mkdir(parents=True, exist_ok=True)
+        snap.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {snap}", file=log)
+    else:
+        print(f"campaign: hmmer families={result['campaign']['n_families']} "
+              f"rpn=8 nodes=2 seed={args.seed} (quick={args.quick})")
+        for label, r in (("slow", slow), ("fast", fast)):
+            print(f"  {label:<5} wall={r['wall_s']:>7.2f}s "
+                  f"events/s={r['events_per_sec']:>8.1f} "
+                  f"engine_events={r['engine_events']}")
+        print(f"  speedup (events/s, fast vs slow): "
+              f"{result['speedup_events_per_sec']:.2f}x")
+        if result["speedup_vs_seed_baseline"]:
+            print(f"  speedup vs pre-optimization baseline: "
+                  f"{result['speedup_vs_seed_baseline']:.2f}x")
 
     committed_path = Path(args.out) if args.out else DEFAULT_RESULT_PATH
     if args.check:
@@ -415,11 +550,11 @@ def _cmd_bench(args) -> None:
         if result["speedup_events_per_sec"] < floor:
             print(f"FAIL: speedup {result['speedup_events_per_sec']:.2f}x "
                   f"regressed below 75% of committed "
-                  f"{committed['speedup_events_per_sec']:.2f}x")
+                  f"{committed['speedup_events_per_sec']:.2f}x", file=log)
             raise SystemExit(1)
         print(f"OK: speedup within 25% of committed "
-              f"{committed['speedup_events_per_sec']:.2f}x")
-    else:
+              f"{committed['speedup_events_per_sec']:.2f}x", file=log)
+    elif not args.json:
         committed_path.parent.mkdir(parents=True, exist_ok=True)
         committed_path.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {committed_path}")
@@ -440,6 +575,7 @@ _COMMANDS = {
     "diagnose": _cmd_diagnose,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "table2a": _cmd_table2a,
     "table2b": _cmd_table2b,
     "table2c": _cmd_table2c,
@@ -481,13 +617,27 @@ def main(argv: list[str] | None = None) -> int:
                              "readable JSON instead of the text report")
     parser.add_argument("--quick", action="store_true",
                         help="bench: reduced campaign for CI smoke runs")
+    parser.add_argument("--trace-id", default=None,
+                        help="trace: drill into one retained trace id")
+    parser.add_argument("--slowest", type=int, default=5,
+                        help="trace: show the N slowest stored traces")
+    parser.add_argument("--drops", action="store_true",
+                        help="trace: show retained dropped traces instead")
+    parser.add_argument("--head-rate", type=float, default=1.0,
+                        help="trace: deterministic head-sampling rate "
+                             "(1.0 = keep every trace)")
+    parser.add_argument("--tail-latency", type=float, default=None,
+                        help="trace: always retain stored traces at least "
+                             "this slow (seconds)")
     parser.add_argument("--check", action="store_true",
                         help="telemetry/chaos: exit nonzero when loss "
                              "reconciliation fails; diagnose: exit nonzero "
                              "when a fault class goes undetected or the "
-                             "clean run false-positives; bench: exit nonzero "
-                             "on a >25%% speedup regression vs the committed "
-                             "result")
+                             "clean run false-positives; trace: exit nonzero "
+                             "unless every retained critical path sums "
+                             "exactly to its end-to-end latency; bench: exit "
+                             "nonzero on a >25%% speedup regression vs the "
+                             "committed result")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

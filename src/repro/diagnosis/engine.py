@@ -82,6 +82,13 @@ class WindowView:
         """Stored messages per rank within the trailing window."""
         return self._engine.tail.rank_counts(self.now, self.window_s)
 
+    def slowest_trace(self) -> tuple[float, str] | None:
+        """``(e2e_latency_s, trace_id)`` of the slowest stored message
+        so far — the exemplar a latency alert cites so an operator can
+        jump straight to ``repro trace --trace-id``.  Read-only off the
+        collector; ``None`` before anything stored."""
+        return self._engine.world.telemetry.slowest_stored
+
 
 class DiagnosisEngine:
     """Streaming rule evaluation against one world, in sim time."""

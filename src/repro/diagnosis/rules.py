@@ -73,10 +73,12 @@ def _latency_slo(slo_s: float, min_count: int):
         if count < min_count:
             return RuleEval(False, 0.0, slo_s, "too few stored messages")
         mean = total / count
-        return RuleEval(
-            mean > slo_s, mean, slo_s,
-            f"window mean e2e {mean:.4f}s over {count:.0f} msgs",
-        )
+        detail = f"window mean e2e {mean:.4f}s over {count:.0f} msgs"
+        exemplar = view.slowest_trace()
+        if exemplar is not None:
+            worst_s, trace_id = exemplar
+            detail += f"; worst {worst_s:.4f}s trace {trace_id}"
+        return RuleEval(mean > slo_s, mean, slo_s, detail)
 
     return evaluate
 

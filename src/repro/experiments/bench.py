@@ -33,12 +33,34 @@ from pathlib import Path
 from repro.apps import Hmmer
 from repro.core import ConnectorConfig
 
-__all__ = ["pipeline_benchmark", "DEFAULT_RESULT_PATH", "SEED_BASELINE"]
+__all__ = [
+    "pipeline_benchmark",
+    "snapshot_path",
+    "DEFAULT_RESULT_PATH",
+    "SEED_BASELINE",
+]
 
 #: Where ``repro bench`` writes (and ``--check`` reads) the tracked file.
 DEFAULT_RESULT_PATH = (
     Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_pipeline.json"
 )
+
+#: Where dated ``repro bench --json`` snapshots accumulate.
+RESULTS_DIR = DEFAULT_RESULT_PATH.parent / "results"
+
+
+def snapshot_path(day=None) -> Path:
+    """Dated snapshot location for one benchmark run.
+
+    ``repro bench --json`` writes here (one file per calendar day, last
+    run wins) so a history of measured speedups accumulates under
+    version control next to the tracked ``BENCH_pipeline.json``.
+    """
+    import datetime
+
+    if day is None:
+        day = datetime.date.today()
+    return RESULTS_DIR / f"bench_pipeline_{day.isoformat()}.json"
 
 #: The same campaign run on the pre-optimization tree (the commit this
 #: optimization series branched from), measured on the reference

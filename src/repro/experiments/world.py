@@ -60,7 +60,10 @@ class WorldConfig:
     #: Install a repro.telemetry TraceCollector: hop traces, latency
     #: histograms and loss reconciliation for the pipeline itself.
     #: Purely observational — results are byte-identical either way.
-    telemetry: bool = False
+    #: ``True`` uses the keep-everything default retention policy; pass
+    #: a :class:`~repro.telemetry.spans.TelemetryConfig` to set the
+    #: span-tree sampling policy (head rate, tail latency threshold).
+    telemetry: object = False
     #: Outbox depth of every stream-forward rule (small values force
     #: overflow drops; the default matches production ldmsd).
     forward_queue_depth: int = 65536
@@ -90,6 +93,16 @@ class WorldConfig:
     @property
     def epoch(self) -> float:
         return EPOCH_BASE + self.campaign_offset_days * _DAY
+
+    @property
+    def telemetry_config(self):
+        """The resolved :class:`~repro.telemetry.spans.TelemetryConfig`
+        (``None`` when telemetry is off; defaults for ``True``)."""
+        from repro.telemetry.spans import TelemetryConfig
+
+        if isinstance(self.telemetry, TelemetryConfig):
+            return self.telemetry
+        return TelemetryConfig() if self.telemetry else None
 
 
 class World:
@@ -245,6 +258,31 @@ class World:
         from repro.telemetry import PipelineHealthReport
 
         return PipelineHealthReport.from_world(self, job_id=job_id)
+
+    def trace_registry(self, annotate_exemplars: bool = True):
+        """Span trees retained under this world's sampling policy.
+
+        Derived on demand from the collector's finished traces — a
+        read-only reshaping that schedules nothing.  With
+        ``annotate_exemplars`` (and the policy's ``exemplars`` flag)
+        the end-to-end latency histogram gains per-bucket exemplar
+        trace ids pointing into the returned registry.
+        """
+        if self.telemetry is None:
+            raise RuntimeError(
+                "telemetry not enabled; build the world with "
+                "WorldConfig(telemetry=True) or a TelemetryConfig"
+            )
+        from repro.telemetry.collector import END_TO_END
+        from repro.telemetry.spans import TraceRegistry
+
+        config = self.config.telemetry_config
+        registry = TraceRegistry.from_collector(self.telemetry, config)
+        if annotate_exemplars and config.exemplars:
+            e2e = self.telemetry.histograms.get(END_TO_END)
+            if e2e is not None:
+                registry.annotate(e2e)
+        return registry
 
     # -- conveniences --------------------------------------------------------
 

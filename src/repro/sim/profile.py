@@ -106,7 +106,41 @@ class PipelineProfile:
             )
         return cost
 
+    @classmethod
+    def from_registry(cls, registry) -> "PipelineProfile":
+        """Profile the retained span trees of a
+        :class:`~repro.telemetry.spans.TraceRegistry` (hop spans are
+        preserved in the trees, so attribution is identical to
+        profiling the underlying traces)."""
+        profile = cls()
+        components = profile.components
+        residual = profile._component(UNATTRIBUTED)
+        for tree in registry.trees.values():
+            e2e = tree.end_to_end_s
+            if e2e is None:
+                profile.unstored += 1
+                continue
+            profile.messages += 1
+            profile.end_to_end_s += e2e
+            attributed = 0.0
+            for span in tree.children:
+                cost = components.get(span.stage)
+                if cost is None:
+                    cost = profile._component(span.stage)
+                duration = span.duration_s
+                cost.events += 1
+                cost.sim_seconds += duration
+                attributed += duration
+            residual.events += 1
+            residual.sim_seconds += e2e - attributed
+        return profile
+
     # -- reconciliation ------------------------------------------------
+
+    def stage_seconds(self) -> dict[str, float]:
+        """``stage -> Σ sim seconds`` (the critical-path rollup's
+        per-stage upper bound; residual included under its own key)."""
+        return {s: c.sim_seconds for s, c in self.components.items()}
 
     @property
     def attributed_s(self) -> float:

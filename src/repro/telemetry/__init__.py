@@ -25,6 +25,15 @@ byte-identical results.
 
 from repro.telemetry.collector import TraceCollector, collector_for, install, uninstall
 from repro.telemetry.histogram import GaugeStats, LogHistogram
+from repro.telemetry.spans import (
+    CriticalPath,
+    CriticalPathRollup,
+    Span,
+    SpanTree,
+    TelemetryConfig,
+    TraceRegistry,
+    critical_path,
+)
 from repro.telemetry.trace import (
     DELIVERED,
     DROP_DAEMON_FAILED,
@@ -53,6 +62,8 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "CriticalPath",
+    "CriticalPathRollup",
     "DELIVERED",
     "DROP_DAEMON_FAILED",
     "DROP_DEAD_LETTER",
@@ -80,8 +91,13 @@ __all__ = [
     "STAGE_PUBLISH",
     "STAGE_RECEIVE",
     "STORED",
+    "Span",
+    "SpanTree",
+    "TelemetryConfig",
     "TraceCollector",
+    "TraceRegistry",
     "collector_for",
+    "critical_path",
     "install",
     "make_trace_id",
     "parse_trace_id",

@@ -67,6 +67,9 @@ class TraceCollector:
         self.histograms: dict[str, LogHistogram] = {}
         #: name -> GaugeStats (queue depths, etc.)
         self.gauges: dict[str, GaugeStats] = {}
+        #: ``(e2e_latency_s, trace_id)`` of the slowest stored message
+        #: seen so far — the live exemplar diagnosis rules cite.
+        self.slowest_stored: tuple[float, str] | None = None
 
     # -- trace lifecycle -----------------------------------------------
 
@@ -127,7 +130,10 @@ class TraceCollector:
         if t_out > t_in:
             self._histogram(stage).observe(t_out - t_in)
         if outcome == STORED and t_out > trace.t_begin:
-            self._histogram(END_TO_END).observe(t_out - trace.t_begin)
+            e2e = t_out - trace.t_begin
+            self._histogram(END_TO_END).observe(e2e)
+            if self.slowest_stored is None or e2e > self.slowest_stored[0]:
+                self.slowest_stored = (e2e, trace_id)
         return record
 
     def open_hop(self, trace_id: str, stage: str, node: str) -> None:

@@ -44,6 +44,12 @@ class LogHistogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Optional bucket exemplars: bin index -> trace id of one
+        #: retained representative (attached after the fact by a
+        #: :class:`~repro.telemetry.spans.TraceRegistry`; empty unless
+        #: annotated, and never part of equality-sensitive payloads
+        #: until then).
+        self.exemplars: dict[int, str] = {}
 
     # -- observation ---------------------------------------------------
 
@@ -76,6 +82,8 @@ class LogHistogram:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        for idx, tid in other.exemplars.items():
+            self.exemplars.setdefault(idx, tid)
 
     # -- summaries -----------------------------------------------------
 
@@ -103,9 +111,21 @@ class LogHistogram:
                 return math.sqrt(edges[i] * edges[i + 1])
         return edges[-1]
 
+    def set_exemplar(self, bin_index: int, trace_id: str) -> None:
+        """Pin one representative trace id onto a bucket."""
+        if not 0 <= bin_index < self.n_bins:
+            raise ValueError(
+                f"bin index {bin_index} outside [0, {self.n_bins})"
+            )
+        self.exemplars[bin_index] = trace_id
+
+    def exemplar_for(self, value: float) -> str | None:
+        """The exemplar trace id of the bucket ``value`` bins into."""
+        return self.exemplars.get(self._bin_of(value))
+
     def to_dict(self) -> dict:
         """Panel payload: edges + counts + summary scalars."""
-        return {
+        out = {
             "bin_edges": self.bin_edges(),
             "counts": list(self.counts),
             "count": self.count,
@@ -113,6 +133,11 @@ class LogHistogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
         }
+        if self.exemplars:
+            out["exemplars"] = {
+                str(idx): tid for idx, tid in sorted(self.exemplars.items())
+            }
+        return out
 
     def render(self, width: int = 40) -> list[str]:
         """ASCII bars for the non-empty bins."""

@@ -1,0 +1,635 @@
+"""Span trees, critical paths and sampled trace retention.
+
+The hop tracing layer (:mod:`repro.telemetry.trace`) records flat hop
+lists; this module is the *drill-down* view on top of them.  Every
+:class:`~repro.telemetry.trace.MessageTrace` becomes a
+:class:`SpanTree` — an OpenTelemetry-style tree whose root spans the
+message's whole publish-begin → terminal life and whose children are
+the instrumented stage spans (publish, bus delivery, forward outbox
+wait + transfer, peer receive, DSOS ingest) with exact simulated
+start/end instants.
+
+On top of the tree:
+
+* :func:`critical_path` — the gating chain of span segments whose
+  durations sum **exactly** to the tree's end-to-end latency, plus
+  per-span *slack* (time a span ran shadowed by a longer concurrent
+  span).  Exactness is not approximate: every simulated timestamp sits
+  in ``[EPOCH, 2·EPOCH)``, so by Sterbenz's lemma every pairwise
+  difference of timestamps is computed without rounding, and the
+  left-fold sum of contiguous segment durations telescopes to
+  ``t_end - t_begin`` exactly in IEEE-754 arithmetic.
+* :class:`TraceRegistry` — retention under **deterministic head
+  sampling** (a pure hash of the trace id against
+  ``TelemetryConfig.head_sample_rate``; no RNG, so sampling can never
+  perturb a seeded campaign) combined with **tail sampling** that
+  always keeps the traces an analyst actually drills into: drops,
+  recovery survivors (spill/replay, redelivery, failover, dedup skips)
+  and latency-threshold breaches.
+* **exemplars** — the registry annotates a
+  :class:`~repro.telemetry.histogram.LogHistogram` with one retained
+  representative trace id per bucket, so the e2e latency histogram
+  links straight to concrete span trees.
+* :class:`CriticalPathRollup` — campaign-level aggregation of gating
+  seconds per stage, reconciled against
+  :class:`~repro.sim.profile.PipelineProfile`'s stage attribution.
+
+Everything here is derived *after the fact* from traces the collector
+already holds: building trees, paths or registries schedules nothing,
+draws nothing and mutates no pipeline state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from zlib import crc32
+
+from repro.telemetry.trace import RECOVERY_OUTCOMES, STORED, MessageTrace
+
+__all__ = [
+    "GAP",
+    "CriticalPath",
+    "CriticalPathRollup",
+    "PathSegment",
+    "Span",
+    "SpanTree",
+    "TelemetryConfig",
+    "TraceRegistry",
+    "critical_path",
+]
+
+#: Pseudo-stage for critical-path segments where no span was running
+#: (inter-hop scheduling gaps — the profiler's "unattributed" time).
+GAP = "gap"
+
+#: Span id suffix of every tree's root.
+_ROOT = "root"
+
+#: Denominator of the head-sampling hash (crc32 is 32-bit).
+_HASH_SPACE = float(2**32)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Tracing retention policy (``WorldConfig(telemetry=...)``).
+
+    The default keeps every trace — what tests and small campaigns
+    want.  Production-scale campaigns dial ``head_sample_rate`` down;
+    tail sampling then still retains every trace worth drilling into.
+    """
+
+    #: Fraction of traces the deterministic head sampler keeps, decided
+    #: per trace id by hash — no RNG, identical across reruns.
+    head_sample_rate: float = 1.0
+    #: Tail sampling: always retain stored traces at least this slow
+    #: (end-to-end seconds).  ``None`` disables the latency criterion;
+    #: drop/recovery tail retention is always on.
+    tail_latency_s: float | None = None
+    #: Annotate histograms with per-bucket exemplar trace ids.
+    exemplars: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.head_sample_rate <= 1.0:
+            raise ValueError("head_sample_rate must be in [0, 1]")
+        if self.tail_latency_s is not None and self.tail_latency_s < 0:
+            raise ValueError("tail_latency_s must be >= 0")
+
+
+def _head_keep(trace_id: str, rate: float) -> bool:
+    """Deterministic head-sampling decision for one trace id."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return crc32(trace_id.encode()) < rate * _HASH_SPACE
+
+
+@dataclass(frozen=True)
+class Span:
+    """One node of a span tree: an exact ``[t_start, t_end]`` interval."""
+
+    span_id: str
+    parent_id: str | None
+    stage: str
+    node: str
+    t_start: float
+    t_end: float
+    outcome: str
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "stage": self.stage,
+            "node": self.node,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration_s": self.duration_s,
+            "outcome": self.outcome,
+        }
+
+
+@dataclass(frozen=True)
+class SpanTree:
+    """A message's full journey as a root span plus stage child spans."""
+
+    trace_id: str
+    job_id: int
+    rank: int
+    status: str
+    root: Span
+    #: Stage spans in hop order (the order the pipeline recorded them).
+    children: tuple
+
+    @classmethod
+    def from_trace(cls, trace: MessageTrace) -> "SpanTree":
+        """Derive the tree; purely a reshaping of recorded hops."""
+        t_end = trace.t_begin
+        stored_end = None
+        for hop in trace.hops:
+            if hop.t_out > t_end:
+                t_end = hop.t_out
+            if hop.outcome == STORED and stored_end is None:
+                stored_end = hop.t_out
+        # A stored message's root ends at its store instant; duplicate
+        # resends closing afterwards are off-tree tails, still rendered
+        # as children but never extending the end-to-end span.
+        if stored_end is not None:
+            t_end = stored_end
+        root_id = f"{trace.trace_id}#{_ROOT}"
+        root = Span(
+            span_id=root_id,
+            parent_id=None,
+            stage="end_to_end",
+            node="",
+            t_start=trace.t_begin,
+            t_end=t_end,
+            outcome=trace.status,
+        )
+        children = tuple(
+            Span(
+                span_id=f"{trace.trace_id}#{i}",
+                parent_id=root_id,
+                stage=hop.stage,
+                node=hop.node,
+                t_start=hop.t_in,
+                t_end=hop.t_out,
+                outcome=hop.outcome,
+            )
+            for i, hop in enumerate(trace.hops)
+        )
+        return cls(
+            trace_id=trace.trace_id,
+            job_id=trace.job_id,
+            rank=trace.rank,
+            status=trace.status,
+            root=root,
+            children=children,
+        )
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def t_begin(self) -> float:
+        return self.root.t_start
+
+    @property
+    def t_end(self) -> float:
+        return self.root.t_end
+
+    @property
+    def end_to_end_s(self) -> float | None:
+        """Root duration for stored traces; ``None`` otherwise."""
+        if self.status != "stored":
+            return None
+        return self.root.duration_s
+
+    @property
+    def has_recovery(self) -> bool:
+        return any(s.outcome in RECOVERY_OUTCOMES for s in self.children)
+
+    @property
+    def drop_site(self) -> tuple[str, str, str] | None:
+        for span in self.children:
+            if span.outcome.startswith("drop_"):
+                return (span.stage, span.node, span.outcome)
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "job_id": self.job_id,
+            "rank": self.rank,
+            "status": self.status,
+            "root": self.root.to_dict(),
+            "spans": [s.to_dict() for s in self.children],
+        }
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One gating stretch of a critical path.
+
+    ``span_id`` is ``None`` for :data:`GAP` segments (no span running —
+    simulator scheduling wait between hops).
+    """
+
+    t_start: float
+    t_end: float
+    stage: str
+    node: str
+    span_id: str | None
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "stage": self.stage,
+            "node": self.node,
+            "span_id": self.span_id,
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The gating chain: contiguous segments covering root start → end."""
+
+    trace_id: str
+    t_begin: float
+    t_end: float
+    segments: tuple
+    #: span_id -> seconds that span spent gating the path.
+    contributions: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        """Left-fold sum of segment durations.
+
+        Equals ``t_end - t_begin`` (and hence, for stored traces, the
+        end-to-end latency) *exactly*: segments are contiguous and all
+        timestamps lie within a factor of two of each other, so every
+        partial sum is itself an exact timestamp difference.
+        """
+        total = 0.0
+        for seg in self.segments:
+            total += seg.duration_s
+        return total
+
+    @property
+    def exact(self) -> bool:
+        """The path invariant: Σ segment durations == root duration."""
+        return self.total_s == self.t_end - self.t_begin
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Gating seconds per stage (:data:`GAP` included)."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.stage] = out.get(seg.stage, 0.0) + seg.duration_s
+        return out
+
+    @property
+    def gating_stage(self) -> str:
+        """The stage holding the most path time ('' for empty paths)."""
+        stages = self.stage_seconds()
+        if not stages:
+            return ""
+        return max(sorted(stages), key=lambda s: stages[s])
+
+    def slack_s(self, span: Span) -> float:
+        """How much of ``span`` ran off the path (shadowed/overlapped).
+
+        Zero for spans that gated for their whole duration; equal to
+        the full duration for spans that never gated.
+        """
+        return span.duration_s - self.contributions.get(span.span_id, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "t_begin": self.t_begin,
+            "t_end": self.t_end,
+            "total_s": self.total_s,
+            "exact": self.exact,
+            "gating_stage": self.gating_stage,
+            "segments": [s.to_dict() for s in self.segments],
+        }
+
+
+def critical_path(tree: SpanTree) -> CriticalPath:
+    """The gating chain of ``tree``: which span was in the way, when.
+
+    A forward time sweep from the root's start: at each instant the
+    gating span is the already-running child reaching furthest into the
+    future (ties broken by hop order, deterministically); where no span
+    is running the path records a :data:`GAP` segment up to the next
+    span start.  Segments are contiguous and clipped to the root
+    interval, so their durations telescope exactly to the end-to-end
+    latency (see :class:`CriticalPath.total_s`).
+    """
+    begin, end = tree.t_begin, tree.t_end
+    spans = [
+        s for s in tree.children
+        if s.t_end > s.t_start and s.t_start < end and s.t_end > begin
+    ]
+    # Elementary intervals between consecutive span boundaries: within
+    # one, the set of covering spans (and hence the gating decision) is
+    # constant.  Sweeping boundary-to-boundary matters: a span that
+    # starts mid-way through another's run but reaches further takes
+    # over the path at its start, not only once the earlier span ends.
+    bounds = {begin, end}
+    for span in spans:
+        if begin < span.t_start < end:
+            bounds.add(span.t_start)
+        if begin < span.t_end < end:
+            bounds.add(span.t_end)
+    cuts = sorted(bounds)
+    segments: list[PathSegment] = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        gating = None
+        for span in spans:
+            if span.t_start <= lo and span.t_end >= hi:
+                if gating is None or span.t_end > gating.t_end:
+                    gating = span
+        if gating is None:
+            stage, node, span_id = GAP, "", None
+        else:
+            stage, node, span_id = gating.stage, gating.node, gating.span_id
+        prev = segments[-1] if segments else None
+        if prev is not None and prev.span_id == span_id and prev.stage == stage:
+            # Same span still gating: extend the segment.  The merged
+            # duration stays exact — (b-a)+(c-b) sums to the
+            # representable c-a, so IEEE addition returns it exactly.
+            segments[-1] = PathSegment(prev.t_start, hi, stage, node, span_id)
+        else:
+            segments.append(PathSegment(lo, hi, stage, node, span_id))
+    contributions: dict[str, float] = {}
+    for seg in segments:
+        if seg.span_id is not None:
+            contributions[seg.span_id] = (
+                contributions.get(seg.span_id, 0.0) + seg.duration_s
+            )
+    return CriticalPath(
+        trace_id=tree.trace_id,
+        t_begin=begin,
+        t_end=end,
+        segments=tuple(segments),
+        contributions=contributions,
+    )
+
+
+class CriticalPathRollup:
+    """Campaign-level critical-path attribution over stored traces.
+
+    Where :class:`~repro.sim.profile.PipelineProfile` charges every
+    span's full duration per stage (overlaps double-charged, residual
+    explicit), the rollup charges only *gating* time — the two answer
+    different questions ("where is work done" vs "where is latency
+    actually paid") and must reconcile on the same end-to-end total.
+    """
+
+    def __init__(self):
+        #: stage -> Σ gating seconds on the critical paths.
+        self.path_seconds: dict[str, float] = {}
+        #: stage -> Σ slack seconds (span ran, something else gated).
+        self.slack_seconds: dict[str, float] = {}
+        #: Σ end-to-end latency over the rolled-up stored traces.
+        self.end_to_end_s: float = 0.0
+        #: Stored traces rolled up.
+        self.messages: int = 0
+        #: Trees skipped (never stored — no end-to-end span to roll up).
+        self.unstored: int = 0
+
+    @classmethod
+    def from_trees(cls, trees) -> "CriticalPathRollup":
+        rollup = cls()
+        for tree in trees:
+            rollup.add(tree)
+        return rollup
+
+    def add(self, tree: SpanTree) -> CriticalPath | None:
+        """Fold one tree in; returns its path (``None`` if unstored)."""
+        if tree.status != "stored":
+            self.unstored += 1
+            return None
+        path = critical_path(tree)
+        self.messages += 1
+        self.end_to_end_s += path.total_s
+        for stage, seconds in path.stage_seconds().items():
+            self.path_seconds[stage] = (
+                self.path_seconds.get(stage, 0.0) + seconds
+            )
+        for span in tree.children:
+            slack = path.slack_s(span)
+            if slack > 0.0:
+                self.slack_seconds[span.stage] = (
+                    self.slack_seconds.get(span.stage, 0.0) + slack
+                )
+        return path
+
+    # -- reconciliation ------------------------------------------------
+
+    def reconciles_with(self, profile, rel_tol: float = 1e-9) -> bool:
+        """Cross-check against a :class:`PipelineProfile` built from the
+        same traces: both must attribute the same end-to-end total, and
+        no stage can gate longer than it ran.
+        """
+        if self.messages != profile.messages:
+            return False
+        if not math.isclose(
+            self.end_to_end_s, profile.end_to_end_s,
+            rel_tol=rel_tol, abs_tol=1e-12,
+        ):
+            return False
+        for stage, seconds in self.path_seconds.items():
+            if stage == GAP:
+                continue
+            cost = profile.components.get(stage)
+            limit = cost.sim_seconds if cost is not None else 0.0
+            if seconds > limit * (1 + rel_tol) + 1e-12:
+                return False
+        return True
+
+    # -- rendering -----------------------------------------------------
+
+    def rows(self) -> list[dict]:
+        """Stage rows in pipeline order, shares of the e2e total."""
+        from repro.sim.profile import _STAGE_ORDER
+
+        order = [s for s in (*_STAGE_ORDER, GAP) if s != "unattributed"]
+        stages = [s for s in order if s in self.path_seconds]
+        stages += sorted(set(self.path_seconds) - set(order))
+        total = self.end_to_end_s
+        return [
+            {
+                "stage": stage,
+                "path_s": self.path_seconds[stage],
+                "slack_s": self.slack_seconds.get(stage, 0.0),
+                "share": self.path_seconds[stage] / total if total else 0.0,
+            }
+            for stage in stages
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "unstored": self.unstored,
+            "end_to_end_s": self.end_to_end_s,
+            "stages": self.rows(),
+        }
+
+    def render_text(self, width: int = 40) -> str:
+        """Flamegraph-style aggregate: one bar per stage, path share."""
+        lines = [
+            "== critical-path rollup ==",
+            f"messages={self.messages} unstored={self.unstored} "
+            f"end_to_end={self.end_to_end_s:.6f}s",
+            f"{'stage':<10} {'path_s':>12} {'slack_s':>12} {'share':>7}",
+        ]
+        for row in self.rows():
+            bar = "#" * max(int(row["share"] * width), 1 if row["path_s"] else 0)
+            lines.append(
+                f"{row['stage']:<10} {row['path_s']:>12.6f} "
+                f"{row['slack_s']:>12.6f} {row['share']:>6.1%} |{bar}"
+            )
+        return "\n".join(lines)
+
+
+class TraceRegistry:
+    """Retained span trees under head + tail sampling.
+
+    Feed it finished traces (:meth:`offer`, or
+    :meth:`from_collector` for everything a collector saw).  Retention
+    is decided per trace, deterministically:
+
+    * **head**: keep if ``crc32(trace_id)`` falls under
+      ``head_sample_rate`` — a rerun of the same campaign retains the
+      same ids;
+    * **tail**: keep regardless of the head decision if the trace
+      dropped, survived a recovery (replay, redelivery, failover, dedup
+      skip), is parked in a spill buffer, or breached
+      ``tail_latency_s``.
+    """
+
+    def __init__(self, config: TelemetryConfig | None = None):
+        self.config = config or TelemetryConfig()
+        #: trace_id -> SpanTree, in offer order.
+        self.trees: dict[str, SpanTree] = {}
+        self.offered = 0
+        self.head_kept = 0
+        self.tail_kept = 0
+
+    @classmethod
+    def from_collector(
+        cls, collector, config: TelemetryConfig | None = None
+    ) -> "TraceRegistry":
+        """Retain from everything ``collector`` recorded (offer order =
+        the collector's deterministic insertion order)."""
+        registry = cls(config)
+        for trace in collector.traces.values():
+            registry.offer(trace)
+        return registry
+
+    # -- retention -----------------------------------------------------
+
+    def _tail_keep(self, trace: MessageTrace, status: str) -> bool:
+        if status in ("dropped", "spilled"):
+            return True
+        if any(h.outcome in RECOVERY_OUTCOMES for h in trace.hops):
+            return True
+        threshold = self.config.tail_latency_s
+        if threshold is not None and status == "stored":
+            e2e = trace.end_to_end_latency_s
+            if e2e is not None and e2e >= threshold:
+                return True
+        return False
+
+    def offer(self, trace: MessageTrace) -> SpanTree | None:
+        """Apply the sampling policy; returns the tree iff retained."""
+        self.offered += 1
+        status = trace.status
+        head = _head_keep(trace.trace_id, self.config.head_sample_rate)
+        tail = self._tail_keep(trace, status)
+        if not head and not tail:
+            return None
+        if head:
+            self.head_kept += 1
+        if tail and not head:
+            self.tail_kept += 1
+        tree = SpanTree.from_trace(trace)
+        self.trees[trace.trace_id] = tree
+        return tree
+
+    # -- lookup --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def get(self, trace_id: str) -> SpanTree | None:
+        return self.trees.get(trace_id)
+
+    def slowest(self, n: int = 5) -> list[SpanTree]:
+        """The ``n`` slowest *stored* retained traces, slowest first
+        (ties broken by trace id, so the order is reproducible)."""
+        stored = [t for t in self.trees.values() if t.status == "stored"]
+        stored.sort(key=lambda t: (-t.root.duration_s, t.trace_id))
+        return stored[:n]
+
+    def drops(self) -> list[SpanTree]:
+        """Every retained dropped trace, in offer order."""
+        return [t for t in self.trees.values() if t.status == "dropped"]
+
+    def recovered(self) -> list[SpanTree]:
+        """Retained traces that lived through a recovery path."""
+        return [t for t in self.trees.values() if t.has_recovery]
+
+    # -- exemplars -----------------------------------------------------
+
+    def exemplars(self, histogram) -> dict[int, str]:
+        """Per-bucket exemplar trace ids for an e2e latency histogram.
+
+        The representative of each bucket is the first retained stored
+        trace (offer order) whose end-to-end latency bins there — so
+        every exemplar id resolves to a tree in this registry.
+        """
+        out: dict[int, str] = {}
+        for tree in self.trees.values():
+            e2e = tree.end_to_end_s
+            if e2e is None or e2e <= 0:
+                continue
+            idx = histogram._bin_of(e2e)
+            if idx not in out:
+                out[idx] = tree.trace_id
+        return out
+
+    def annotate(self, histogram) -> dict[int, str]:
+        """Attach exemplars onto ``histogram`` (see
+        :meth:`LogHistogram.set_exemplar`); returns the mapping."""
+        mapping = self.exemplars(histogram)
+        for idx, trace_id in sorted(mapping.items()):
+            histogram.set_exemplar(idx, trace_id)
+        return mapping
+
+    # -- aggregation ---------------------------------------------------
+
+    def rollup(self) -> CriticalPathRollup:
+        return CriticalPathRollup.from_trees(self.trees.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "retained": len(self.trees),
+            "head_kept": self.head_kept,
+            "tail_kept": self.tail_kept,
+            "head_sample_rate": self.config.head_sample_rate,
+            "tail_latency_s": self.config.tail_latency_s,
+        }

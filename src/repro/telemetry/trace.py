@@ -89,20 +89,49 @@ RECOVERY_OUTCOMES = frozenset({REPLAYED, REDELIVERED, FAILOVER, DUP_IGNORED})
 
 
 def make_trace_id(job_id: int, rank: int, seq: int) -> str:
-    """Deterministic trace id for the ``seq``-th message of a rank."""
+    """Deterministic trace id for the ``seq``-th message of a rank.
+
+    Components must be non-negative integers — a job id carrying the
+    ``:`` separator (or a negative rank smuggling a ``-``) would make
+    the id ambiguous to parse, so it is rejected here rather than
+    surfacing later as a mis-grouped reconciliation row.
+    """
+    for name, value in (("job_id", job_id), ("rank", rank), ("seq", seq)):
+        # bool is an int subclass; reject it — True is not a rank.
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"trace id {name} must be an int, got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(
+                f"trace id {name} must be non-negative, got {value}"
+            )
     return f"{job_id}:{rank}:{seq}"
 
 
-def parse_trace_id(trace_id: str) -> tuple[int, int, int] | None:
-    """Inverse of :func:`make_trace_id`; ``None`` for foreign ids."""
-    parts = trace_id.split(":")
-    if len(parts) != 3:
-        return None
-    try:
-        job_id, rank, seq = (int(p) for p in parts)
-    except ValueError:
-        return None
-    return job_id, rank, seq
+def parse_trace_id(
+    trace_id: str, strict: bool = False
+) -> tuple[int, int, int] | None:
+    """Inverse of :func:`make_trace_id`.
+
+    Malformed ids return ``None`` (callers on the hot path treat
+    foreign ids as unattributable, not fatal); with ``strict=True``
+    they raise a :class:`ValueError` naming the offending id instead.
+    """
+    parts = trace_id.split(":") if isinstance(trace_id, str) else None
+    if parts is not None and len(parts) == 3:
+        # Pure ASCII digits only: ``int()`` alone would also accept
+        # whitespace, ``+``, ``_`` separators and unicode digits, none
+        # of which :func:`make_trace_id` can emit — ids must round-trip.
+        if all(p.isascii() and p.isdigit() for p in parts):
+            job_id, rank, seq = (int(p) for p in parts)
+            return job_id, rank, seq
+    if strict:
+        raise ValueError(
+            f"malformed trace id {trace_id!r}: expected "
+            "'<job_id>:<rank>:<seq>' with non-negative integers"
+        )
+    return None
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,13 @@ from repro.webservices.grafana import (
 )
 from repro.webservices.html import render_html
 from repro.webservices.live import LiveDashboard
+from repro.webservices.tracing import (
+    flame_panel,
+    render_trace_panels,
+    render_waterfall,
+    trace_panels,
+    waterfall_panel,
+)
 from repro.webservices.signatures import (
     classify_workload,
     compare_signatures,
@@ -63,10 +70,15 @@ __all__ = [
     "op_dispersion",
     "detect_anomalous_jobs",
     "duration_stats_per_job",
+    "flame_panel",
     "op_counts_with_ci",
     "ops_per_node",
     "render_ascii",
     "render_html",
+    "render_trace_panels",
+    "render_waterfall",
+    "trace_panels",
+    "waterfall_panel",
     "rows_to_dataframe",
     "throughput_series",
     "timeline",

@@ -11,6 +11,7 @@ something to show.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -93,6 +94,12 @@ class Dashboard:
         return out
 
 
+def _finite(value) -> bool:
+    """True for real numbers a bar can be drawn from (rejects None,
+    NaN, ±inf and bools-as-numbers are fine)."""
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
 def render_ascii(data: PanelData, width: int = 64, height: int = 12) -> str:
     """Terminal rendering for bar/series/histogram/table payloads.
 
@@ -103,6 +110,9 @@ def render_ascii(data: PanelData, width: int = 64, height: int = 12) -> str:
     """
     lines = [f"== {data.title} =="]
     payload = data.payload
+    if isinstance(payload, (list, dict)) and not payload:
+        lines.append("(no rows)")
+        return "\n".join(lines)
     if isinstance(payload, dict) and "bin_edges" in payload and "counts" in payload:
         edges, counts = payload["bin_edges"], payload["counts"]
         top = max(counts) if any(counts) else 1
@@ -129,10 +139,21 @@ def render_ascii(data: PanelData, width: int = 64, height: int = 12) -> str:
     if isinstance(payload, dict) and payload and all(
         isinstance(v, dict) and "mean" in v for v in payload.values()
     ):
-        top = max(v["mean"] for v in payload.values()) or 1.0
+        finite = [
+            v["mean"] for v in payload.values() if _finite(v.get("mean"))
+        ]
+        top = max(finite, default=0.0) or 1.0
         for label, v in sorted(payload.items()):
-            bar = "#" * max(int(v["mean"] / top * width), 1)
-            lines.append(f"{label:>10} | {bar} {v['mean']:.1f} ±{v.get('ci', 0):.1f}")
+            mean = v.get("mean")
+            if not _finite(mean):
+                lines.append(f"{label:>10} | (no data)")
+                continue
+            ci = v.get("ci", 0)
+            bar = "#" * max(int(mean / top * width), 1)
+            lines.append(
+                f"{label:>10} | {bar} {mean:.1f} "
+                f"±{ci if _finite(ci) else 0.0:.1f}"
+            )
         return "\n".join(lines)
     if isinstance(payload, dict) and "edges" in payload:
         series = {

@@ -21,7 +21,7 @@ __all__ = ["LiveDashboard"]
 class LiveDashboard:
     """Windowed panel view over one diagnosis engine."""
 
-    def __init__(self, engine, window_s: float | None = None):
+    def __init__(self, engine, window_s: float | None = None, slow_traces: int = 5):
         self.engine = engine
         #: Trailing window each refresh draws (default: 8 rule windows).
         self.window_s = (
@@ -29,6 +29,9 @@ class LiveDashboard:
             if window_s is not None
             else 8 * engine.config.window_s
         )
+        #: How many slowest stored traces the drill-down panel shows
+        #: (0 disables the panel).
+        self.slow_traces = slow_traces
 
     # -- panels --------------------------------------------------------
 
@@ -71,6 +74,9 @@ class LiveDashboard:
                 rows_queried=len(engine.incidents),
             ),
         ]
+        slow_panel = self._slow_trace_panel()
+        if slow_panel is not None:
+            panels.append(slow_panel)
         for name, series in sorted(engine.rule_series.items()):
             tail = series.tail(self.window_s)
             panels.append(
@@ -85,6 +91,44 @@ class LiveDashboard:
                 )
             )
         return panels
+
+    def _slow_trace_panel(self) -> PanelData | None:
+        """Top-N slowest stored traces with their gating stage.
+
+        Read-only over the world's collector (no registry, no exemplar
+        annotation), so the live refresh never mutates telemetry state.
+        """
+        if self.slow_traces <= 0:
+            return None
+        collector = getattr(self.engine.world, "telemetry", None)
+        if collector is None:
+            return None
+        from repro.telemetry.spans import SpanTree, critical_path
+
+        stored = [
+            (trace.end_to_end_latency_s, trace)
+            for trace in collector.traces.values()
+            if trace.end_to_end_latency_s is not None
+        ]
+        stored.sort(key=lambda pair: (-pair[0], pair[1].trace_id))
+        rows = []
+        for e2e, trace in stored[: self.slow_traces]:
+            path = critical_path(SpanTree.from_trace(trace))
+            rows.append(
+                {
+                    "trace_id": trace.trace_id,
+                    "e2e_ms": f"{e2e * 1e3:.3f}",
+                    "gating": path.gating_stage,
+                    "gating_ms": f"{path.stage_seconds()[path.gating_stage] * 1e3:.3f}",
+                    "hops": len(trace.hops),
+                }
+            )
+        return PanelData(
+            title=f"slowest traces (top {len(rows)})",
+            viz="table",
+            payload=rows,
+            rows_queried=len(rows),
+        )
 
     # -- rendering -----------------------------------------------------
 

@@ -1,0 +1,210 @@
+"""Trace drill-down rendering: waterfalls and critical-path flames.
+
+The Grafana-style machinery in this package renders stored query
+results; this module renders **span trees** — the per-message and
+campaign-aggregated views behind the "which hop gated this slow
+message" workflow:
+
+* :func:`waterfall_panel` / :func:`render_waterfall` — one trace as an
+  OpenTelemetry-style waterfall: each span a bar positioned on the
+  root's timeline, critical-path spans marked and their gating share
+  shown as slack;
+* :func:`flame_panel` — the campaign
+  :class:`~repro.telemetry.spans.CriticalPathRollup` as a
+  flamegraph-style stage breakdown (gating seconds vs slack per
+  stage);
+* :func:`trace_panels` — the standard drill-down panel set for a
+  :class:`~repro.telemetry.spans.TraceRegistry` (slowest-trace table,
+  flame, per-trace waterfalls), all ordinary
+  :class:`~repro.webservices.grafana.PanelData` so they drop into
+  :func:`~repro.webservices.grafana.render_ascii` and the HTML
+  dashboard unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import GAP, SpanTree, critical_path
+from repro.webservices.grafana import PanelData, render_ascii
+
+__all__ = [
+    "flame_panel",
+    "render_waterfall",
+    "trace_panels",
+    "waterfall_panel",
+]
+
+
+def _format_s(seconds: float) -> str:
+    """Compact duration: microseconds below 1 ms, else milliseconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def render_waterfall(tree: SpanTree, width: int = 48) -> str:
+    """ASCII waterfall of one span tree.
+
+    Each child span draws as a bar offset proportionally inside the
+    root interval; ``█`` cells are on the critical path, ``░`` cells
+    are slack (the span ran but something else gated).  Zero-width
+    spans (instantaneous hops) render as a ``|`` marker.
+    """
+    path = critical_path(tree)
+    begin, end = tree.t_begin, tree.t_end
+    span_total = end - begin
+    scale = width / span_total if span_total > 0 else 0.0
+
+    # Per-span on-path cells, from the path's segments.
+    on_path: dict[str, list[tuple[float, float]]] = {}
+    for seg in path.segments:
+        if seg.span_id is not None:
+            on_path.setdefault(seg.span_id, []).append((seg.t_start, seg.t_end))
+
+    header = f"trace {tree.trace_id}  [{tree.status}]"
+    if tree.end_to_end_s is not None:
+        header += f"  e2e={_format_s(tree.end_to_end_s)}"
+    if tree.drop_site is not None:
+        stage, node, outcome = tree.drop_site
+        header += f"  dropped at {stage}/{node} ({outcome})"
+    lines = [header]
+    label_w = max(
+        [len(f"{s.stage}@{s.node}") for s in tree.children] + [12]
+    )
+    for span in tree.children:
+        label = f"{span.stage}@{span.node}" if span.node else span.stage
+        start_col = int((min(max(span.t_start, begin), end) - begin) * scale)
+        end_col = int((min(max(span.t_end, begin), end) - begin) * scale)
+        if span.t_end <= span.t_start:
+            row = " " * start_col + "|"
+        else:
+            cells = []
+            for col in range(start_col, max(end_col, start_col + 1)):
+                t_lo = begin + col / scale if scale else begin
+                gated = any(
+                    lo <= t_lo < hi for lo, hi in on_path.get(span.span_id, ())
+                )
+                cells.append("█" if gated else "░")
+            row = " " * start_col + "".join(cells)
+        lines.append(
+            f"{label:<{label_w}} {row:<{width + 1}} "
+            f"{_format_s(max(span.duration_s, 0.0)):>9}  {span.outcome}"
+        )
+    gap_s = path.stage_seconds().get(GAP, 0.0)
+    lines.append(
+        f"critical path: {_format_s(path.total_s)} "
+        f"(gating: {path.gating_stage}; gaps: {_format_s(gap_s)}; "
+        f"exact: {'yes' if path.exact else 'NO'})"
+    )
+    return "\n".join(lines)
+
+
+def waterfall_panel(tree: SpanTree) -> PanelData:
+    """One trace's waterfall as a ``PanelData`` (payload = span rows)."""
+    path = critical_path(tree)
+    rows = []
+    for span in tree.children:
+        rows.append(
+            {
+                "stage": span.stage,
+                "node": span.node,
+                "t_rel_s": span.t_start - tree.t_begin,
+                "duration_s": span.duration_s,
+                "path_s": path.contributions.get(span.span_id, 0.0),
+                "slack_s": path.slack_s(span),
+                "outcome": span.outcome,
+            }
+        )
+    return PanelData(
+        title=f"waterfall: {tree.trace_id}",
+        viz="waterfall",
+        payload={
+            "trace_id": tree.trace_id,
+            "status": tree.status,
+            "end_to_end_s": tree.end_to_end_s,
+            "gating_stage": path.gating_stage,
+            "spans": rows,
+        },
+        rows_queried=len(rows),
+    )
+
+
+def flame_panel(rollup) -> PanelData:
+    """Campaign critical-path rollup as a flamegraph-style panel.
+
+    The payload's ``{stage: {"mean": path_s}}`` shape reuses the
+    bar-chart branch of :func:`render_ascii`/HTML, so the aggregate
+    view needs no new renderer.
+    """
+    payload = {
+        row["stage"]: {"mean": row["path_s"] * 1e3, "ci": row["slack_s"] * 1e3}
+        for row in rollup.rows()
+    }
+    return PanelData(
+        title="critical-path flame (gating ms per stage; ±slack)",
+        viz="bars",
+        payload=payload,
+        rows_queried=rollup.messages,
+    )
+
+
+def trace_panels(registry, slowest: int = 5) -> list[PanelData]:
+    """The standard drill-down panel set for one registry."""
+    rollup = registry.rollup()
+    slow = registry.slowest(slowest)
+    slow_rows = []
+    for tree in slow:
+        path = critical_path(tree)
+        slow_rows.append(
+            {
+                "trace_id": tree.trace_id,
+                "e2e_s": f"{tree.end_to_end_s:.6f}",
+                "gating_stage": path.gating_stage,
+                "gating_s": f"{path.stage_seconds()[path.gating_stage]:.6f}",
+                "spans": len(tree.children),
+            }
+        )
+    panels = [
+        PanelData(
+            title=f"slowest retained traces (top {len(slow_rows)})",
+            viz="table",
+            payload=slow_rows,
+            rows_queried=len(slow_rows),
+        ),
+        flame_panel(rollup),
+    ]
+    panels.extend(waterfall_panel(tree) for tree in slow)
+    drop_rows = [
+        {
+            "trace_id": tree.trace_id,
+            "stage": site[0],
+            "node": site[1],
+            "outcome": site[2],
+        }
+        for tree in registry.drops()
+        for site in (tree.drop_site,)
+        if site is not None
+    ]
+    if drop_rows:
+        panels.append(
+            PanelData(
+                title="retained dropped traces",
+                viz="table",
+                payload=drop_rows,
+                rows_queried=len(drop_rows),
+            )
+        )
+    return panels
+
+
+def render_trace_panels(registry, slowest: int = 5, width: int = 64) -> str:
+    """ASCII rendering of :func:`trace_panels` plus full waterfalls."""
+    blocks = []
+    for panel in trace_panels(registry, slowest=slowest):
+        if panel.viz == "waterfall":
+            tree = registry.get(panel.payload["trace_id"])
+            blocks.append(render_waterfall(tree, width=width - 16))
+        else:
+            blocks.append(render_ascii(panel, width=width))
+    return "\n\n".join(blocks)

@@ -9,9 +9,11 @@ from repro.diagnosis.engine import DiagnosisConfig
 class _FakeView:
     """A WindowView stand-in: hand-built series + rank counts."""
 
-    def __init__(self, window_s=1.0, rank_counts=None, **series):
+    def __init__(self, window_s=1.0, rank_counts=None, slowest=None,
+                 **series):
         self.window_s = window_s
         self._rank_counts = rank_counts or {}
+        self._slowest = slowest
         self._series = {}
         for name, samples in series.items():
             s = SeriesWindow(name)
@@ -24,6 +26,9 @@ class _FakeView:
 
     def rank_window_counts(self):
         return dict(self._rank_counts)
+
+    def slowest_trace(self):
+        return self._slowest
 
 
 def _rule(rules, name):
@@ -72,6 +77,22 @@ def test_latency_slo_needs_min_count(rules):
     )
     ev = rule.evaluate(loud)
     assert ev.active and ev.value == pytest.approx(10.0)
+
+
+def test_latency_slo_names_the_worst_trace(rules):
+    rule = _rule(rules, "latency_slo")
+    view = _FakeView(
+        slowest=(12.5, "101:3:7"),
+        e2e_count=[(0, 0), (1, 50)], e2e_total_s=[(0, 0.0), (1, 500.0)],
+    )
+    ev = rule.evaluate(view)
+    assert ev.active
+    assert "worst 12.5000s trace 101:3:7" in ev.detail
+    # Without a retained exemplar the detail simply omits the clause.
+    bare = rule.evaluate(_FakeView(
+        e2e_count=[(0, 0), (1, 50)], e2e_total_s=[(0, 0.0), (1, 500.0)],
+    ))
+    assert bare.active and "worst" not in bare.detail
 
 
 def test_throughput_collapse_requires_backlog(rules):

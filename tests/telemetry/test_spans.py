@@ -1,0 +1,314 @@
+"""Unit tests for span trees, critical paths and sampled retention."""
+
+import pytest
+
+from repro.telemetry import LogHistogram
+from repro.telemetry.spans import (
+    GAP,
+    CriticalPathRollup,
+    SpanTree,
+    TelemetryConfig,
+    TraceRegistry,
+    _head_keep,
+    critical_path,
+)
+from repro.telemetry.trace import HopRecord, MessageTrace
+
+#: All sim timestamps live near this epoch (see experiments.world);
+#: using it here keeps the exactness tests honest about magnitudes.
+T0 = 1_650_000_000.0
+
+
+def _trace(trace_id="1:0:0", t_begin=T0, hops=()):
+    t = MessageTrace(trace_id=trace_id, job_id=1, rank=0, t_begin=t_begin)
+    t.hops.extend(HopRecord(*h) for h in hops)
+    return t
+
+
+def _stored_trace(trace_id="1:0:0", e2e=0.5):
+    """publish → forward (overlapping) → gap → ingest, stored."""
+    return _trace(trace_id, T0, [
+        ("publish", "n1", T0, T0 + 0.001, "published"),
+        ("bus", "n1", T0 + 0.001, T0 + 0.001, "delivered"),
+        ("forward", "n1", T0 + 0.0005, T0 + 0.003, "forwarded"),
+        ("ingest", "s1", T0 + 0.004, T0 + e2e, "stored"),
+    ])
+
+
+# ------------------------------------------------------------ config
+
+
+def test_telemetry_config_validation():
+    TelemetryConfig(head_sample_rate=0.0)
+    TelemetryConfig(head_sample_rate=1.0, tail_latency_s=0.0)
+    with pytest.raises(ValueError):
+        TelemetryConfig(head_sample_rate=1.5)
+    with pytest.raises(ValueError):
+        TelemetryConfig(head_sample_rate=-0.1)
+    with pytest.raises(ValueError):
+        TelemetryConfig(tail_latency_s=-1.0)
+
+
+def test_head_sampling_is_deterministic_and_monotone():
+    ids = [f"7:{r}:{s}" for r in range(8) for s in range(64)]
+    kept_30 = {i for i in ids if _head_keep(i, 0.3)}
+    # Rerun-stable.
+    assert kept_30 == {i for i in ids if _head_keep(i, 0.3)}
+    # Monotone in the rate: raising it only adds traces.
+    kept_60 = {i for i in ids if _head_keep(i, 0.6)}
+    assert kept_30 <= kept_60
+    # Edges short-circuit.
+    assert all(_head_keep(i, 1.0) for i in ids)
+    assert not any(_head_keep(i, 0.0) for i in ids)
+    # The hash spreads: 30% nominal keeps *some* and not *all*.
+    assert 0 < len(kept_30) < len(ids)
+
+
+# ------------------------------------------------------------ trees
+
+
+def test_span_tree_from_stored_trace():
+    tree = SpanTree.from_trace(_stored_trace(e2e=0.5))
+    assert tree.status == "stored"
+    assert tree.end_to_end_s == (T0 + 0.5) - T0
+    assert tree.root.stage == "end_to_end"
+    assert tree.root.parent_id is None
+    assert [s.stage for s in tree.children] == [
+        "publish", "bus", "forward", "ingest",
+    ]
+    assert all(s.parent_id == tree.root.span_id for s in tree.children)
+    # Span ids are deterministic (hop order).
+    assert tree.children[0].span_id == "1:0:0#0"
+
+
+def test_span_tree_root_ends_at_store_not_at_duplicate_tail():
+    trace = _stored_trace(e2e=0.5)
+    # A dedup hop after the store must not stretch the e2e span.
+    trace.hops.append(
+        HopRecord("ingest", "s1", T0 + 0.9, T0 + 0.9, "dup_ignored")
+    )
+    tree = SpanTree.from_trace(trace)
+    assert tree.t_end == T0 + 0.5
+    assert tree.has_recovery
+    assert len(tree.children) == 5  # the tail hop is still rendered
+
+
+def test_span_tree_drop_site():
+    tree = SpanTree.from_trace(_trace("1:0:1", T0, [
+        ("publish", "n1", T0, T0 + 0.001, "published"),
+        ("forward", "n1", T0 + 0.001, T0 + 0.002, "drop_overflow"),
+    ]))
+    assert tree.status == "dropped"
+    assert tree.end_to_end_s is None
+    assert tree.drop_site == ("forward", "n1", "drop_overflow")
+
+
+# ------------------------------------------------------------ paths
+
+
+def test_critical_path_sums_exactly_and_attributes_gaps():
+    tree = SpanTree.from_trace(_stored_trace(e2e=0.5))
+    path = critical_path(tree)
+    assert path.exact
+    assert path.total_s == tree.end_to_end_s
+    # Segments are contiguous and clipped to the root interval.
+    assert path.segments[0].t_start == tree.t_begin
+    assert path.segments[-1].t_end == tree.t_end
+    for a, b in zip(path.segments, path.segments[1:]):
+        assert a.t_end == b.t_start
+    # The inter-hop hole [T0+0.003, T0+0.004) shows up as GAP (expected
+    # values are computed from the rounded timestamps: at this epoch a
+    # float ulp is ~2.4e-7, so nominal literals would be off).
+    stages = path.stage_seconds()
+    assert stages[GAP] == (T0 + 0.004) - (T0 + 0.003)
+    assert path.gating_stage == "ingest"
+
+
+def test_critical_path_overlap_charges_the_longer_span():
+    # forward starts inside publish but reaches further: publish gates
+    # until forward's horizon passes it.
+    tree = SpanTree.from_trace(_trace("1:0:2", T0, [
+        ("publish", "n1", T0, T0 + 0.004, "published"),
+        ("forward", "n1", T0 + 0.001, T0 + 0.010, "forwarded"),
+        ("ingest", "s1", T0 + 0.010, T0 + 0.012, "stored"),
+    ]))
+    path = critical_path(tree)
+    assert path.exact
+    stages = path.stage_seconds()
+    # Forward takes the path over at its start (it reaches further),
+    # so publish gates only until forward begins.
+    assert stages["publish"] == (T0 + 0.001) - T0
+    assert stages["forward"] == (T0 + 0.010) - (T0 + 0.001)
+    assert stages["ingest"] == (T0 + 0.012) - (T0 + 0.010)
+    # Slack: publish ran 4ms but gated only 1ms of it.
+    publish = tree.children[0]
+    assert path.slack_s(publish) == (
+        ((T0 + 0.004) - T0) - ((T0 + 0.001) - T0)
+    )
+    forward = tree.children[1]
+    assert path.slack_s(forward) == 0.0
+
+
+def test_critical_path_empty_trace():
+    tree = SpanTree.from_trace(_trace("1:0:3", T0, []))
+    path = critical_path(tree)
+    assert path.segments == ()
+    assert path.total_s == 0.0
+    assert path.exact
+    assert path.gating_stage == ""
+
+
+# ------------------------------------------------------------ registry
+
+
+def test_registry_default_keeps_everything():
+    reg = TraceRegistry()
+    for i in range(10):
+        assert reg.offer(_stored_trace(f"1:0:{i}")) is not None
+    assert len(reg) == 10
+    assert reg.offered == 10
+    assert reg.head_kept == 10
+    assert reg.tail_kept == 0
+
+
+def test_registry_head_sampling_subsets():
+    ids = [f"9:{r}:{s}" for r in range(4) for s in range(32)]
+    low = TraceRegistry(TelemetryConfig(head_sample_rate=0.2))
+    for tid in ids:
+        low.offer(_stored_trace(tid))
+    assert 0 < len(low) < len(ids)
+    assert set(low.trees) == {t for t in ids if _head_keep(t, 0.2)}
+
+
+def test_registry_tail_keeps_drops_and_recoveries_at_rate_zero():
+    reg = TraceRegistry(TelemetryConfig(head_sample_rate=0.0))
+    # Clean stored trace: rejected.
+    assert reg.offer(_stored_trace("1:0:0")) is None
+    # Dropped: kept.
+    dropped = _trace("1:0:1", T0, [
+        ("forward", "n1", T0, T0 + 0.001, "drop_overflow"),
+    ])
+    assert reg.offer(dropped) is not None
+    # Recovery survivor (redelivered then stored): kept.
+    recovered = _stored_trace("1:0:2")
+    recovered.hops.insert(
+        3, HopRecord("forward", "n1", T0 + 0.003, T0 + 0.004, "redelivered")
+    )
+    assert reg.offer(recovered) is not None
+    # Spilled (non-terminal): kept.
+    spilled = _trace("1:0:3", T0, [
+        ("publish", "n1", T0, T0 + 0.001, "spilled"),
+    ])
+    assert reg.offer(spilled) is not None
+    assert len(reg) == 3
+    assert reg.tail_kept == 3
+    assert reg.head_kept == 0
+    assert [t.trace_id for t in reg.drops()] == ["1:0:1"]
+    # Spilled-and-not-yet-replayed is parked, not recovered.
+    assert {t.trace_id for t in reg.recovered()} == {"1:0:2"}
+
+
+def test_registry_tail_latency_threshold():
+    reg = TraceRegistry(
+        TelemetryConfig(head_sample_rate=0.0, tail_latency_s=0.4)
+    )
+    assert reg.offer(_stored_trace("1:0:0", e2e=0.1)) is None
+    slow = reg.offer(_stored_trace("1:0:1", e2e=0.5))
+    assert slow is not None
+    assert reg.tail_kept == 1
+
+
+def test_registry_slowest_is_sorted_and_stored_only():
+    reg = TraceRegistry()
+    reg.offer(_stored_trace("1:0:0", e2e=0.2))
+    reg.offer(_stored_trace("1:0:1", e2e=0.9))
+    reg.offer(_trace("1:0:2", T0, [
+        ("forward", "n1", T0, T0 + 0.001, "drop_overflow"),
+    ]))
+    reg.offer(_stored_trace("1:0:3", e2e=0.5))
+    slow = reg.slowest(2)
+    assert [t.trace_id for t in slow] == ["1:0:1", "1:0:3"]
+
+
+# ------------------------------------------------------------ exemplars
+
+
+def test_exemplars_annotate_and_resolve():
+    reg = TraceRegistry()
+    hist = LogHistogram()
+    trees = []
+    for i, e2e in enumerate((0.001, 0.0012, 0.5, 0.0013)):
+        tree = reg.offer(_stored_trace(f"1:0:{i}", e2e=e2e))
+        hist.observe(tree.end_to_end_s)
+        trees.append(tree)
+    mapping = reg.annotate(hist)
+    assert len(mapping) >= 2  # the values span several buckets
+    # Every exemplar id resolves to a retained tree binning there, and
+    # within a bucket the first retained trace (offer order) wins.
+    expected = {}
+    for tree in trees:
+        expected.setdefault(hist._bin_of(tree.end_to_end_s), tree.trace_id)
+    assert mapping == expected
+    for idx, trace_id in mapping.items():
+        assert reg.get(trace_id) is not None
+        assert hist.exemplars[idx] == trace_id
+        assert hist.exemplar_for(reg.get(trace_id).end_to_end_s) is not None
+    # to_dict carries them keyed as strings.
+    d = hist.to_dict()
+    assert d["exemplars"] == {str(k): v for k, v in mapping.items()}
+
+
+def test_histogram_exemplar_validation_and_merge():
+    h = LogHistogram()
+    with pytest.raises(ValueError):
+        h.set_exemplar(10**6, "1:0:0")
+    h.set_exemplar(3, "1:0:0")
+    other = LogHistogram()
+    other.set_exemplar(3, "9:9:9")
+    other.set_exemplar(4, "2:0:0")
+    h.merge(other)
+    # Existing exemplars win; new buckets adopt the other's.
+    assert h.exemplars == {3: "1:0:0", 4: "2:0:0"}
+    assert "exemplars" not in LogHistogram().to_dict()
+
+
+# ------------------------------------------------------------ rollup
+
+
+def test_rollup_reconciles_with_profile():
+    from repro.sim import PipelineProfile
+
+    reg = TraceRegistry()
+    for i, e2e in enumerate((0.1, 0.25, 0.4)):
+        reg.offer(_stored_trace(f"1:0:{i}", e2e=e2e))
+    reg.offer(_trace("1:0:9", T0, [
+        ("forward", "n1", T0, T0 + 0.001, "drop_overflow"),
+    ]))
+    rollup = reg.rollup()
+    assert rollup.messages == 3
+    assert rollup.unstored == 1
+    profile = PipelineProfile.from_registry(reg)
+    assert profile.reconciles()
+    assert rollup.reconciles_with(profile)
+    # Gating time never exceeds run time, stage by stage.
+    totals = profile.stage_seconds()
+    for stage, secs in rollup.path_seconds.items():
+        if stage != GAP:
+            assert secs <= totals[stage] + 1e-12
+    # Mismatched message counts must not reconcile.
+    reg.offer(_stored_trace("1:0:10", e2e=0.3))
+    assert not reg.rollup().reconciles_with(profile)
+
+
+def test_rollup_rows_and_render():
+    reg = TraceRegistry()
+    reg.offer(_stored_trace("1:0:0"))
+    rollup = reg.rollup()
+    rows = rollup.rows()
+    stages = [r["stage"] for r in rows]
+    # Pipeline order, GAP last among known stages.
+    assert stages.index("publish") < stages.index("ingest")
+    assert abs(sum(r["share"] for r in rows) - 1.0) < 1e-9
+    text = CriticalPathRollup.render_text(rollup)
+    assert "critical-path rollup" in text
+    assert "ingest" in text

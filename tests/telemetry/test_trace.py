@@ -28,6 +28,51 @@ def test_trace_id_parse_rejects_foreign_ids():
     assert parse_trace_id("1:2") is None
 
 
+@pytest.mark.parametrize(
+    "job_id,rank,seq",
+    [
+        (259903, 0, 0),            # rank 0, first message
+        (1, 0, 2**63),             # sequence beyond any int32
+        (2**40, 4096, 999_999),    # large job id
+    ],
+)
+def test_trace_id_round_trip_regressions(job_id, rank, seq):
+    tid = make_trace_id(job_id, rank, seq)
+    assert parse_trace_id(tid) == (job_id, rank, seq)
+    assert parse_trace_id(tid, strict=True) == (job_id, rank, seq)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",                 # empty
+        "1:2:3:4",          # too many separators
+        "1::3",             # empty component
+        "-1:0:0",           # negative job
+        "1:-2:3",           # negative rank
+        "1:2:-3",           # negative seq
+        "1:2:3.5",          # float component
+        " 1:2:3",           # whitespace (int() would accept it)
+        "0x1:2:3",          # non-decimal
+        12345,              # not a string at all
+    ],
+)
+def test_trace_id_parse_malformed(bad):
+    assert parse_trace_id(bad) is None
+    with pytest.raises(ValueError, match="malformed trace id"):
+        parse_trace_id(bad, strict=True)
+
+
+@pytest.mark.parametrize(
+    "job_id,rank,seq",
+    [(-1, 0, 0), (1, -1, 0), (1, 0, -1), (1.5, 0, 0), ("1", 0, 0),
+     (True, 0, 0)],
+)
+def test_make_trace_id_rejects_bad_components(job_id, rank, seq):
+    with pytest.raises(ValueError):
+        make_trace_id(job_id, rank, seq)
+
+
 def test_hop_record_drop_detection():
     ok = HopRecord("bus", "n1", 0.0, 0.0, "delivered")
     drop = HopRecord("forward", "n1", 0.0, 0.0, "drop_overflow")

@@ -218,3 +218,117 @@ def test_repro_cli_profile_json(capsys):
 def test_repro_cli_unknown_command():
     with pytest.raises(SystemExit):
         repro_main(["frobnicate"])
+
+
+# ----------------------------------------------------------- repro trace
+
+
+def test_repro_cli_trace_slowest_check(capsys):
+    assert repro_main(["trace", "--slowest", "3", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "retained 288 of 288 traces" in out
+    assert out.count("critical path:") == 3
+    assert "exact: yes" in out
+    assert "critical-path rollup" in out
+    assert "OK: 287 critical paths exact" in out
+
+
+def test_repro_cli_trace_drops_with_sampling(capsys):
+    assert repro_main([
+        "trace", "--drops", "--head-rate", "0.05",
+    ]) == 0
+    out = capsys.readouterr().out
+    # Tail sampling keeps drops even at a 5% head rate.
+    assert "dropped at" in out
+    assert "tail" in out
+
+
+def test_repro_cli_trace_by_id_and_missing_id(capsys):
+    assert repro_main(["trace", "--trace-id", "259900:1:4"]) == 0
+    out = capsys.readouterr().out
+    assert "trace 259900:1:4" in out
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["trace", "--trace-id", "999:9:9"])
+    assert exc.value.code == 1
+    assert "not retained" in capsys.readouterr().out
+
+
+def test_repro_cli_trace_json(capsys):
+    import json
+
+    assert repro_main(["trace", "--slowest", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rollup_reconciles_with_profile"] is True
+    assert payload["registry"]["retained"] == payload["registry"]["offered"]
+    assert len(payload["traces"]) == 2
+    for t in payload["traces"]:
+        assert t["critical_path"]["exact"] is True
+        assert t["critical_path"]["total_s"] == t["root"]["duration_s"]
+
+
+def test_repro_cli_trace_check_exits_nonzero_on_inexact(monkeypatch, capsys):
+    from repro.telemetry import spans
+
+    monkeypatch.setattr(
+        spans.CriticalPath, "exact", property(lambda self: False)
+    )
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["trace", "--slowest", "1", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL: critical path != end-to-end latency" in (
+        capsys.readouterr().out
+    )
+
+
+# --------------------------------------------------- sorted JSON contract
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["telemetry", "--json"],
+        ["chaos", "--seed", "7", "--json"],
+        ["profile", "--json"],
+        ["trace", "--slowest", "1", "--json"],
+    ],
+    ids=["telemetry", "chaos", "profile", "trace"],
+)
+def test_repro_cli_json_outputs_are_stable_sorted(argv, capsys):
+    """Every --json stdout is byte-stable: 2-space indent, sorted keys."""
+    import json
+
+    assert repro_main(argv) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_repro_cli_bench_json_sorted_and_snapshotted(monkeypatch, capsys,
+                                                     tmp_path):
+    """bench --json: sorted JSON on stdout, dated snapshot on disk."""
+    import json
+
+    from repro.experiments import bench
+
+    fake = {
+        "benchmark": "pipeline_fast_lane",
+        "campaign": {"quick": True},
+        "slow": {"wall_s": 2.0, "events_per_sec": 100.0, "engine_events": 5},
+        "fast": {"wall_s": 1.0, "events_per_sec": 200.0, "engine_events": 5},
+        "speedup_events_per_sec": 2.0,
+        "speedup_vs_seed_baseline": None,
+    }
+    monkeypatch.setattr(bench, "pipeline_benchmark", lambda **kw: fake)
+    monkeypatch.setattr(bench, "RESULTS_DIR", tmp_path)
+    assert repro_main(["bench", "--quick", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert out == json.dumps(fake, indent=2, sort_keys=True) + "\n"
+    snaps = list(tmp_path.glob("bench_pipeline_*.json"))
+    assert len(snaps) == 1
+    assert json.loads(snaps[0].read_text()) == fake
+    # The dated name embeds an ISO date.
+    import re
+
+    assert re.fullmatch(
+        r"bench_pipeline_\d{4}-\d{2}-\d{2}\.json", snaps[0].name
+    )

@@ -65,6 +65,19 @@ def test_system_correlation_runs(capsys):
     assert "EXPLAINS the I/O variability" in out
 
 
+def test_trace_drilldown_runs(capsys):
+    _load("trace_drilldown").main()
+    out = capsys.readouterr().out
+    assert "== retention ==" in out
+    assert "exemplar drill-down" in out
+    assert "== gating chain ==" in out
+    assert "exact: yes" in out
+    assert "a retained dropped trace" in out
+    assert "slowest retained traces" in out
+    assert "critical-path flame" in out
+    assert "rollup reconciles with sim-time profile: yes" in out
+
+
 def test_live_diagnosis_runs(capsys):
     _load("live_diagnosis").main()
     out = capsys.readouterr().out

@@ -115,3 +115,66 @@ def test_render_ascii_fallback():
 
     out = render_ascii(PanelData(title="x", viz="table", payload={"weird": 1}))
     assert "weird" in out
+
+
+# --------------------------------------------------------- edge cases
+
+
+def _panel(payload, viz="table"):
+    from repro.webservices import PanelData
+
+    return PanelData(title="edge", viz=viz, payload=payload)
+
+
+def test_render_ascii_empty_payloads():
+    assert "(no rows)" in render_ascii(_panel([]))
+    assert "(no rows)" in render_ascii(_panel({}))
+    # An all-zero histogram still renders its (empty) marker.
+    out = render_ascii(_panel({"bin_edges": [1e-6, 1e-5], "counts": [0]}))
+    assert "(empty)" in out
+
+
+def test_render_ascii_single_point_series():
+    import numpy as np
+
+    out = render_ascii(_panel(
+        {"edges": np.array([0.0, 1.0]), "write": {"bytes": np.array([5.0])}},
+        viz="timeseries",
+    ))
+    assert "write (bytes/bucket)" in out
+    # One bucket, positive value -> exactly one full-height cell.
+    assert out.splitlines()[-1] == "█"
+
+
+def test_render_ascii_nan_and_none_means():
+    nan = float("nan")
+    out = render_ascii(_panel(
+        {
+            "ok": {"mean": 4.0, "ci": 0.5},
+            "nan": {"mean": nan, "ci": 0.1},
+            "inf": {"mean": float("inf")},
+            "none": {"mean": None},
+            "nan_ci": {"mean": 2.0, "ci": nan},
+        },
+        viz="bars",
+    ))
+    lines = {ln.split("|")[0].strip(): ln for ln in out.splitlines()[1:]}
+    assert "#### " in lines["ok"] or "#" in lines["ok"]
+    assert "(no data)" in lines["nan"]
+    assert "(no data)" in lines["inf"]
+    assert "(no data)" in lines["none"]
+    # A NaN ci must not poison a finite mean's bar.
+    assert "±0.0" in lines["nan_ci"]
+    # The finite max sets the scale: 'ok' gets the longest bar.
+    assert lines["ok"].count("#") > lines["nan_ci"].count("#")
+
+
+def test_render_ascii_none_and_nan_table_cells():
+    out = render_ascii(_panel([
+        {"a": 1, "b": None},
+        {"a": float("nan"), "b": "x"},
+        {"a": 3},  # missing key entirely
+    ]))
+    assert "None" in out
+    assert "nan" in out
+    assert out.count("\n") == 4  # title + header + three rows

@@ -1,0 +1,112 @@
+"""Tests for the trace drill-down rendering layer."""
+
+from repro.telemetry.spans import SpanTree, TraceRegistry
+from repro.telemetry.trace import HopRecord, MessageTrace
+from repro.webservices import (
+    flame_panel,
+    render_ascii,
+    render_trace_panels,
+    render_waterfall,
+    trace_panels,
+    waterfall_panel,
+)
+
+T0 = 1_650_000_000.0
+
+
+def _trace(trace_id, hops):
+    t = MessageTrace(trace_id=trace_id, job_id=1, rank=0, t_begin=T0)
+    t.hops.extend(HopRecord(*h) for h in hops)
+    return t
+
+
+def _stored(trace_id="1:0:0", e2e=0.5):
+    return _trace(trace_id, [
+        ("publish", "n1", T0, T0 + 0.001, "published"),
+        ("bus", "n1", T0 + 0.001, T0 + 0.001, "delivered"),
+        ("forward", "n1", T0 + 0.001, T0 + 0.003, "forwarded"),
+        ("ingest", "s1", T0 + 0.004, T0 + e2e, "stored"),
+    ])
+
+
+def _registry(n=4):
+    reg = TraceRegistry()
+    for i in range(n):
+        reg.offer(_stored(f"1:0:{i}", e2e=0.1 * (i + 1)))
+    reg.offer(_trace("1:0:99", [
+        ("forward", "n1", T0, T0 + 0.002, "drop_overflow"),
+    ]))
+    return reg
+
+
+def test_render_waterfall_marks_path_and_slack():
+    tree = SpanTree.from_trace(_stored())
+    out = render_waterfall(tree)
+    assert "trace 1:0:0" in out
+    assert "[stored]" in out
+    assert "e2e=" in out
+    assert "█" in out            # on-path cells
+    assert "|" in out            # the instantaneous bus hop
+    assert "exact: yes" in out
+    assert "gating: ingest" in out
+
+
+def test_render_waterfall_dropped_trace():
+    tree = SpanTree.from_trace(_trace("1:0:9", [
+        ("publish", "n1", T0, T0 + 0.001, "published"),
+        ("forward", "n1", T0 + 0.001, T0 + 0.002, "drop_overflow"),
+    ]))
+    out = render_waterfall(tree)
+    assert "dropped at forward/n1 (drop_overflow)" in out
+    assert "e2e=" not in out
+
+
+def test_waterfall_panel_payload_shape():
+    tree = SpanTree.from_trace(_stored())
+    panel = waterfall_panel(tree)
+    assert panel.viz == "waterfall"
+    assert panel.payload["trace_id"] == "1:0:0"
+    assert panel.payload["gating_stage"] == "ingest"
+    spans = panel.payload["spans"]
+    assert len(spans) == 4
+    for row in spans:
+        # Gating + slack always re-sum to the span's duration.
+        assert row["path_s"] + row["slack_s"] == row["duration_s"]
+
+
+def test_flame_panel_feeds_the_bars_renderer():
+    panel = flame_panel(_registry().rollup())
+    assert panel.viz == "bars"
+    out = render_ascii(panel)
+    assert "ingest" in out
+    assert "#" in out
+
+
+def test_trace_panels_standard_set():
+    reg = _registry()
+    panels = trace_panels(reg, slowest=2)
+    titles = [p.title for p in panels]
+    assert titles[0].startswith("slowest retained traces")
+    assert "critical-path flame" in titles[1]
+    assert sum(p.viz == "waterfall" for p in panels) == 2
+    assert titles[-1] == "retained dropped traces"
+    # Slowest-first in the table.
+    table = panels[0].payload
+    assert [r["trace_id"] for r in table] == ["1:0:3", "1:0:2"]
+
+
+def test_render_trace_panels_end_to_end():
+    out = render_trace_panels(_registry(), slowest=1)
+    assert "slowest retained traces" in out
+    assert "critical-path flame" in out
+    assert "trace 1:0:3" in out
+    assert "retained dropped traces" in out
+
+
+def test_trace_panels_empty_registry():
+    reg = TraceRegistry()
+    panels = trace_panels(reg)
+    # No waterfalls, no drop table — but the set still renders.
+    assert sum(p.viz == "waterfall" for p in panels) == 0
+    out = render_trace_panels(reg)
+    assert "(no rows)" in out
