@@ -14,10 +14,17 @@ Usage::
     python -m repro.cli trace [--trace-id ID | --slowest N | --drops] \\
         [--head-rate R] [--tail-latency S] [--check] [--json]
     python -m repro.cli bench [--quick] [--check] [--json] [--out PATH]
+    python -m repro.cli fleet [--scan | --export | --catalog] [--check] [--json]
 
 All commands print the reproduced rows/series to stdout; scale flags
 trade fidelity for wall-clock time (see EXPERIMENTS.md for the
 scale-invariance argument).
+
+Exit codes are uniform across every ``--check``-capable command:
+0 = OK, 1 = an invariant is broken (ledger violated, fault undetected,
+critical path inexact, scorecard not reconciling, catalog incomplete,
+benchmark regression), 2 = usage error (bad flags, unknown/missing
+identifiers).
 """
 
 from __future__ import annotations
@@ -436,7 +443,7 @@ def _cmd_trace(args) -> None:
             print(f"trace {args.trace_id!r} not retained "
                   f"({len(registry)} of {registry.offered} kept; "
                   f"raise --head-rate to retain more)")
-            raise SystemExit(1)
+            raise SystemExit(2)  # unknown identifier = usage error
         selected = [tree]
     elif args.drops:
         selected = registry.drops()
@@ -560,6 +567,117 @@ def _cmd_bench(args) -> None:
         print(f"wrote {committed_path}")
 
 
+def _cmd_fleet(args) -> None:
+    """Fleet health console: probe scans, scorecards, signal catalog.
+
+    Default mode (``--scan``) scans the demo fleet — two clean clusters
+    plus one with an injected L1 crash and slow-store episode — and
+    renders the console: the fleet readiness table, each cluster's
+    scorecard/probe/incident drill-down, and the signal catalog.
+    ``--export`` prints the scan as an OpenMetrics text exposition;
+    ``--catalog`` prints just the catalog page.  All three honour
+    ``--json`` (byte-stable sorted payloads).  With ``--check``: scan
+    mode exits 1 unless every scorecard reconciles exactly and the
+    chaos cluster's faults show up in the matching components; catalog
+    and export modes exit 1 if any emitted signal is missing from the
+    catalog.  Mode flags are mutually exclusive (usage error, exit 2).
+    """
+    import json as _json
+    import sys
+
+    modes = [m for m in ("scan", "export", "catalog") if getattr(args, m)]
+    if len(modes) > 1:
+        print(f"repro fleet: --{modes[0]} and --{modes[1]} are mutually "
+              f"exclusive", file=sys.stderr)
+        raise SystemExit(2)
+    mode = modes[0] if modes else "scan"
+
+    from repro.diagnosis.signals import default_catalog
+
+    catalog = default_catalog()
+
+    if mode == "catalog":
+        if args.json:
+            print(_json.dumps(catalog.to_dict(), indent=2, sort_keys=True))
+        else:
+            from repro.webservices.console import FleetConsole
+            from repro.webservices.grafana import render_ascii
+
+            # No scan needed for the catalog page: an empty report.
+            console = FleetConsole((), catalog)
+            for panel in console.catalog_panels():
+                print(render_ascii(panel, width=100))
+        if args.check and not catalog.complete():
+            print("FAIL: signals missing from the catalog: "
+                  + ", ".join(catalog.missing()))
+            raise SystemExit(1)
+        if args.check:
+            print(f"OK: catalog complete ({len(catalog)} signals)")
+        return
+
+    from repro.fleet import scan_fleet
+
+    fast = not args.no_fast_lane
+    report = scan_fleet(fast_lane=fast)
+
+    if mode == "export":
+        from repro.telemetry import render_openmetrics
+
+        text = render_openmetrics(report, catalog)
+        print(text, end="")
+        if args.check:
+            failed = False
+            if "(uncatalogued)" in text:
+                print("FAIL: export contains uncatalogued families",
+                      file=sys.stderr)
+                failed = True
+            if not catalog.complete():
+                print("FAIL: signals missing from the catalog: "
+                      + ", ".join(catalog.missing()), file=sys.stderr)
+                failed = True
+            if failed:
+                raise SystemExit(1)
+            print("OK: every exported family catalogued", file=sys.stderr)
+        return
+
+    # -- scan (default) ------------------------------------------------
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        from repro.webservices.console import FleetConsole
+
+        print(FleetConsole(report, catalog).render_text())
+
+    if args.check:
+        failed = False
+        bad = [c.name for c in report if not c.score.reconciles()]
+        if bad:
+            print("FAIL: scorecard does not reconcile "
+                  "(Σ deductions != 100 - score) for: " + ", ".join(bad))
+            failed = True
+        # The chaos cluster's injected faults must register in the
+        # matching scorecard components.
+        for cluster in report:
+            if cluster.spec.faults is None:
+                continue
+            if cluster.score.component("probes").deduction == 0:
+                print(f"FAIL: {cluster.name}: injected daemon crash left "
+                      f"the probes component untouched")
+                failed = True
+            if cluster.score.component("store").deduction == 0:
+                print(f"FAIL: {cluster.name}: injected slow store left "
+                      f"the store component untouched")
+                failed = True
+            if cluster.score.ready:
+                print(f"FAIL: {cluster.name}: chaos cluster still "
+                      f"reports ready")
+                failed = True
+        if failed:
+            raise SystemExit(1)
+        print(f"OK: {len(report)} scorecards reconcile exactly; "
+              f"chaos faults deducted via matching components")
+
+
 def _cmd_report(args) -> None:
     from pathlib import Path
 
@@ -573,6 +691,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "diagnose": _cmd_diagnose,
+    "fleet": _cmd_fleet,
     "profile": _cmd_profile,
     "report": _cmd_report,
     "trace": _cmd_trace,
@@ -591,9 +710,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.cli`` / ``repro-experiments``."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--reps", type=int, default=2)
@@ -623,6 +746,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace: show the N slowest stored traces")
     parser.add_argument("--drops", action="store_true",
                         help="trace: show retained dropped traces instead")
+    parser.add_argument("--scan", action="store_true",
+                        help="fleet: scan the demo fleet and render the "
+                             "console (the default mode)")
+    parser.add_argument("--export", action="store_true",
+                        help="fleet: print the scan as an OpenMetrics text "
+                             "exposition")
+    parser.add_argument("--catalog", action="store_true",
+                        help="fleet: print the signal catalog page only")
     parser.add_argument("--head-rate", type=float, default=1.0,
                         help="trace: deterministic head-sampling rate "
                              "(1.0 = keep every trace)")
@@ -637,7 +768,10 @@ def main(argv: list[str] | None = None) -> int:
                              "unless every retained critical path sums "
                              "exactly to its end-to-end latency; bench: exit "
                              "nonzero on a >25%% speedup regression vs the "
-                             "committed result")
+                             "committed result; fleet: exit nonzero unless "
+                             "every scorecard reconciles exactly (scan) or "
+                             "the signal catalog is complete "
+                             "(catalog/export)")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

@@ -29,6 +29,12 @@ from repro.diagnosis.scoring import (
     fault_windows,
     score_incidents,
 )
+from repro.diagnosis.signals import (
+    Signal,
+    SignalCatalog,
+    default_catalog,
+    expected_signals,
+)
 from repro.diagnosis.tail import IngestTail
 from repro.diagnosis.windows import SeriesWindow
 
@@ -47,8 +53,12 @@ __all__ = [
     "Rule",
     "RuleEval",
     "SeriesWindow",
+    "Signal",
+    "SignalCatalog",
     "WindowView",
+    "default_catalog",
     "default_rules",
+    "expected_signals",
     "fault_windows",
     "score_incidents",
 ]

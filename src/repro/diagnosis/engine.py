@@ -27,7 +27,37 @@ from repro.diagnosis.tail import IngestTail
 from repro.diagnosis.windows import SeriesWindow
 from repro.telemetry.collector import END_TO_END
 
-__all__ = ["DiagnosisConfig", "DiagnosisEngine", "WindowView"]
+__all__ = ["DiagnosisConfig", "DiagnosisEngine", "SAMPLED_SERIES", "WindowView"]
+
+#: Every series the engine samples on each tick, as ``(name, unit,
+#: description)`` — the declarative registry :meth:`DiagnosisEngine._sample`
+#: iterates and the signal catalog (:mod:`repro.diagnosis.signals`) is
+#: checked against: a series added here without a catalog entry fails
+#: the catalog completeness check (``repro fleet --catalog --check``).
+SAMPLED_SERIES = (
+    ("stored_total", "messages",
+     "messages landed in DSOS so far (cumulative)"),
+    ("published_total", "messages",
+     "messages published on compute daemons so far (cumulative)"),
+    ("e2e_count", "messages",
+     "stored messages with a measured end-to-end latency"),
+    ("e2e_total_s", "seconds",
+     "sum of end-to-end latencies over all stored messages"),
+    ("daemons_failed", "daemons",
+     "fabric daemons currently reporting failed"),
+    ("forward_queue_depth", "messages",
+     "total forward-outbox depth across the fabric"),
+    ("retries_total", "sends",
+     "forward send retries so far (cumulative)"),
+    ("dead_letters_total", "messages",
+     "messages dead-lettered after exhausted retries (cumulative)"),
+    ("slow_pending", "messages",
+     "messages deferred by an active slow-store episode"),
+    ("spill_parked", "events",
+     "events parked in connector spill buffers awaiting replay"),
+    ("ingest_backlog", "messages",
+     "queue depth + slow-store deferrals + spill-parked events"),
+)
 
 
 @dataclass(frozen=True)
@@ -124,14 +154,7 @@ class DiagnosisEngine:
         if self._armed:
             raise RuntimeError("diagnosis engine already armed")
         self._armed = True
-        self.world.env.process(self._loop())
-
-    def _loop(self):
-        env = self.world.env
-        period = self.config.eval_period_s
-        while True:
-            yield env.timeout(period, weak=True)
-            self.tick()
+        self.world.env.every(self.config.eval_period_s, self.tick, weak=True)
 
     # -- sampling ------------------------------------------------------
 
@@ -174,20 +197,21 @@ class DiagnosisEngine:
         stored = self.tail.messages
         backlog = queue_depth + slow_pending + spill_parked
 
-        for name, value in (
-            ("stored_total", stored),
-            ("published_total", published),
-            ("e2e_count", e2e_count),
-            ("e2e_total_s", e2e_total),
-            ("daemons_failed", failed),
-            ("forward_queue_depth", queue_depth),
-            ("retries_total", retries),
-            ("dead_letters_total", dead_letters),
-            ("slow_pending", slow_pending),
-            ("spill_parked", spill_parked),
-            ("ingest_backlog", backlog),
-        ):
-            self.series(name).append(now, value)
+        values = {
+            "stored_total": stored,
+            "published_total": published,
+            "e2e_count": e2e_count,
+            "e2e_total_s": e2e_total,
+            "daemons_failed": failed,
+            "forward_queue_depth": queue_depth,
+            "retries_total": retries,
+            "dead_letters_total": dead_letters,
+            "slow_pending": slow_pending,
+            "spill_parked": spill_parked,
+            "ingest_backlog": backlog,
+        }
+        for name, _, _ in SAMPLED_SERIES:
+            self.series(name).append(now, values[name])
 
     # -- evaluation ----------------------------------------------------
 

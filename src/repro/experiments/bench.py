@@ -52,15 +52,28 @@ RESULTS_DIR = DEFAULT_RESULT_PATH.parent / "results"
 def snapshot_path(day=None) -> Path:
     """Dated snapshot location for one benchmark run.
 
-    ``repro bench --json`` writes here (one file per calendar day, last
-    run wins) so a history of measured speedups accumulates under
-    version control next to the tracked ``BENCH_pipeline.json``.
+    ``repro bench --json`` writes here so a history of measured
+    speedups accumulates under version control next to the tracked
+    ``BENCH_pipeline.json``.  Same-day reruns never overwrite an
+    earlier snapshot: the first run of a day gets the plain dated name,
+    later runs get a ``_runN`` suffix (N = 2, 3, ...) — the first free
+    slot wins.
     """
     import datetime
 
     if day is None:
         day = datetime.date.today()
-    return RESULTS_DIR / f"bench_pipeline_{day.isoformat()}.json"
+    base = RESULTS_DIR / f"bench_pipeline_{day.isoformat()}.json"
+    if not base.exists():
+        return base
+    run = 2
+    while True:
+        candidate = RESULTS_DIR / (
+            f"bench_pipeline_{day.isoformat()}_run{run}.json"
+        )
+        if not candidate.exists():
+            return candidate
+        run += 1
 
 #: The same campaign run on the pre-optimization tree (the commit this
 #: optimization series branched from), measured on the reference

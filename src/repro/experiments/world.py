@@ -89,6 +89,12 @@ class WorldConfig:
     #: time on *weak* engine ticks — observation-only: a seeded
     #: campaign is byte-identical with diagnosis armed or None.
     diagnosis: object | None = None
+    #: A :class:`~repro.fleet.ProbeConfig` arming a proactive
+    #: :class:`~repro.fleet.ProbeScanner` against this world.  Sweeps
+    #: run on weak ticks and ghost-traverse the spine read-only, so a
+    #: seeded campaign is byte-identical with the probe armed or None —
+    #: pinned by the fleet property suite.
+    probe: object | None = None
 
     @property
     def epoch(self) -> float:
@@ -182,6 +188,16 @@ class World:
 
             self.diagnosis = DiagnosisEngine(self, config.diagnosis)
             self.diagnosis.arm()
+
+        # Fleet probes: armed after diagnosis (sweeps are read-only and
+        # order-independent, but keeping arming order fixed keeps event
+        # sequence numbers reproducible across configs).
+        self.probe_scanner = None
+        if config.probe is not None:
+            from repro.fleet import ProbeScanner
+
+            self.probe_scanner = ProbeScanner(self, config.probe)
+            self.probe_scanner.arm()
 
         # Chaos: arm the fault plan last, so triggers and timers see the
         # fully built pipeline.

@@ -1,0 +1,55 @@
+"""Fleet health: proactive probe scans and readiness scorecards.
+
+The observability stack's *proactive* layer (ROADMAP open item 5):
+instead of waiting for a real job to suffer, :class:`ProbeScanner`
+sweeps synthetic probes across every compute node's spine on weak sim
+ticks, :func:`scan_cluster` folds the resulting surfaces (probe
+latency/loss, diagnosis incidents, the loss ledger, queue backlog,
+store stalls) into a reconciling 0–100 :class:`HealthScore`, and
+:func:`scan_fleet` rolls a whole fleet of clusters up into the report
+behind ``repro fleet`` and the fleet console page.
+"""
+
+from repro.fleet.probe import (
+    PROBE_METRICS,
+    NodeProbeStats,
+    ProbeConfig,
+    ProbeReport,
+    ProbeSample,
+    ProbeScanner,
+    flag_stragglers,
+)
+from repro.fleet.scan import (
+    ClusterReadiness,
+    FleetClusterSpec,
+    FleetReport,
+    default_fleet,
+    scan_cluster,
+    scan_fleet,
+)
+from repro.fleet.scorecard import (
+    COMPONENT_WEIGHTS,
+    ComponentDeduction,
+    HealthScore,
+    build_scorecard,
+)
+
+__all__ = [
+    "COMPONENT_WEIGHTS",
+    "ClusterReadiness",
+    "ComponentDeduction",
+    "FleetClusterSpec",
+    "FleetReport",
+    "HealthScore",
+    "NodeProbeStats",
+    "PROBE_METRICS",
+    "ProbeConfig",
+    "ProbeReport",
+    "ProbeSample",
+    "ProbeScanner",
+    "build_scorecard",
+    "default_fleet",
+    "flag_stragglers",
+    "scan_cluster",
+    "scan_fleet",
+]

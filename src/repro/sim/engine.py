@@ -116,6 +116,26 @@ class Environment:
         """Start a new simulated process driving ``generator``."""
         return Process(self, generator)
 
+    def every(self, period_s: float, fn, *, weak: bool = False) -> Process:
+        """Start a process calling ``fn()`` every ``period_s`` seconds.
+
+        The canonical home of the periodic-observer pattern: with
+        ``weak=True`` every tick is a weak timeout (see
+        :meth:`schedule`), so arming an observer — a diagnosis engine,
+        a fleet probe scanner — can never extend or perturb a run.
+        ``fn`` is called after each period elapses, with the clock at
+        the tick instant.
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+        def _loop():
+            while True:
+                yield self.timeout(period_s, weak=weak)
+                fn()
+
+        return self.process(_loop())
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Condition succeeding when every event in ``events`` has."""
         return AllOf(self, events)

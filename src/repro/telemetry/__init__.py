@@ -24,6 +24,7 @@ byte-identical results.
 """
 
 from repro.telemetry.collector import TraceCollector, collector_for, install, uninstall
+from repro.telemetry.exporter import render_openmetrics
 from repro.telemetry.histogram import GaugeStats, LogHistogram
 from repro.telemetry.spans import (
     CriticalPath,
@@ -101,6 +102,7 @@ __all__ = [
     "install",
     "make_trace_id",
     "parse_trace_id",
+    "render_openmetrics",
     "uninstall",
 ]
 

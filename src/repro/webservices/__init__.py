@@ -31,6 +31,7 @@ from repro.webservices.correlation import (
     bucket_series,
     correlate_durations_with_metric,
 )
+from repro.webservices.console import FleetConsole
 from repro.webservices.grafana import (
     Dashboard,
     DsosDataSource,
@@ -58,6 +59,7 @@ __all__ = [
     "DataFrameError",
     "Dashboard",
     "DsosDataSource",
+    "FleetConsole",
     "LiveDashboard",
     "Panel",
     "PanelData",

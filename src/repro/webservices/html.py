@@ -37,11 +37,26 @@ def _svg_header() -> str:
     )
 
 
+def _no_data_svg(note: str = "(no data)") -> str:
+    return (
+        _svg_header()
+        + f'<text x="{_PANEL_W / 2:.0f}" y="{_PANEL_H / 2:.0f}" '
+        f'text-anchor="middle" font-size="12" fill="#777">'
+        f"{_html.escape(note)}</text></svg>"
+    )
+
+
 def _bars_svg(payload: dict) -> str:
     labels = sorted(payload)
+    # Non-finite means/CIs (all-NaN series) must not leak NaN into SVG
+    # coordinates: draw them as zero-height bars labelled "n/a".
     means = [payload[k]["mean"] for k in labels]
     cis = [payload[k].get("ci", 0.0) for k in labels]
-    top = max((m + c for m, c in zip(means, cis)), default=1.0) or 1.0
+    means = [m if np.isfinite(m) else None for m in means]
+    cis = [c if np.isfinite(c) else 0.0 for c in cis]
+    top = max(
+        (m + c for m, c in zip(means, cis) if m is not None), default=1.0
+    ) or 1.0
     plot_w = _PANEL_W - 2 * _MARGIN
     plot_h = _PANEL_H - 2 * _MARGIN
     bar_w = plot_w / max(len(labels), 1) * 0.6
@@ -49,13 +64,13 @@ def _bars_svg(payload: dict) -> str:
     parts = [_svg_header()]
     for i, (label, mean, ci) in enumerate(zip(labels, means, cis)):
         x = _MARGIN + i * gap + (gap - bar_w) / 2
-        h = mean / top * plot_h
+        h = 0.0 if mean is None else mean / top * plot_h
         y = _PANEL_H - _MARGIN - h
         parts.append(
             f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
             f'height="{h:.1f}" fill="{_SERIES_COLORS["write"]}" />'
         )
-        if ci > 0:
+        if mean is not None and ci > 0:
             cx = x + bar_w / 2
             y_hi = _PANEL_H - _MARGIN - (mean + ci) / top * plot_h
             y_lo = _PANEL_H - _MARGIN - max(mean - ci, 0) / top * plot_h
@@ -67,9 +82,10 @@ def _bars_svg(payload: dict) -> str:
             f'<text x="{x + bar_w / 2:.1f}" y="{_PANEL_H - _MARGIN + 16}" '
             f'text-anchor="middle" font-size="11">{_html.escape(str(label))}</text>'
         )
+        value = "n/a" if mean is None else f"{mean:.0f}"
         parts.append(
             f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
-            f'text-anchor="middle" font-size="10">{mean:.0f}</text>'
+            f'text-anchor="middle" font-size="10">{value}</text>'
         )
     parts.append("</svg>")
     return "".join(parts)
@@ -82,7 +98,13 @@ def _series_svg(payload: dict) -> str:
         for op, v in payload.items()
         if isinstance(v, dict) and "bytes" in v
     }
-    top = max((s.max() for s in series.values() if len(s)), default=1.0) or 1.0
+    if len(edges) < 2 or not series:
+        return _no_data_svg()
+    finite_tops = [
+        np.nanmax(s) for s in series.values()
+        if len(s) and np.isfinite(s).any()
+    ]
+    top = max(finite_tops, default=1.0) or 1.0
     t0, t1 = edges[0], edges[-1]
     span = (t1 - t0) or 1.0
     plot_w = _PANEL_W - 2 * _MARGIN
@@ -103,9 +125,15 @@ def _series_svg(payload: dict) -> str:
     for op, values in sorted(series.items()):
         color = _SERIES_COLORS.get(op, "#d9a439")
         points = []
-        for i, v in enumerate(values):
+        # Non-finite samples (all-NaN series) are skipped rather than
+        # emitted as "nan" SVG coordinates.
+        for i, v in enumerate(values[: len(edges) - 1]):
+            if not np.isfinite(v):
+                continue
             points.append(f"{x_of(edges[i]):.1f},{y_of(v):.1f}")
             points.append(f"{x_of(edges[i + 1]):.1f},{y_of(v):.1f}")
+        if not points:
+            continue
         parts.append(
             f'<polyline fill="none" stroke="{color}" stroke-width="2" '
             f'points="{" ".join(points)}" />'
@@ -126,6 +154,8 @@ def _series_svg(payload: dict) -> str:
 def _hist_svg(payload: dict) -> str:
     edges = [float(e) for e in payload["bin_edges"]]
     counts = [int(c) for c in payload["counts"]]
+    if len(edges) < 2 or not counts:
+        return _no_data_svg()
     top = max(counts) if any(counts) else 1
     plot_w = _PANEL_W - 2 * _MARGIN
     plot_h = _PANEL_H - 2 * _MARGIN
@@ -186,6 +216,9 @@ def _panel_html(panel: PanelData) -> str:
         isinstance(r, dict) for r in payload
     ):
         body = _table_html(payload)
+    elif isinstance(payload, list) and not payload:
+        # An empty result set is a normal state, not a repr dump.
+        body = '<p class="meta">(no rows)</p>'
     else:
         body = f"<pre>{_html.escape(repr(payload))}</pre>"
     return (

@@ -1,0 +1,11 @@
+"""Shared fixtures: one demo-fleet scan, reused across the suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fleet_report():
+    """The default three-cluster scan (fast lane), run once per session."""
+    from repro.fleet import scan_fleet
+
+    return scan_fleet()

@@ -1,0 +1,103 @@
+"""The signal catalog: completeness against the live registries.
+
+The catalog's job is to make silent drift impossible: ``missing()``
+re-derives the expected names from the emitting modules' own tables
+every call, so adding a sampled series / rule / probe metric without a
+catalog row fails ``repro fleet --catalog --check``.  That derivation —
+not a hand-kept list — is what these tests pin.
+"""
+
+import pytest
+
+from repro.diagnosis import (
+    Signal,
+    SignalCatalog,
+    default_catalog,
+    expected_signals,
+)
+
+
+def test_default_catalog_is_complete():
+    catalog = default_catalog()
+    assert catalog.complete()
+    assert catalog.missing() == []
+    assert len(catalog) == len(expected_signals()) == 35
+
+
+def test_catalog_covers_every_registry():
+    names = set(default_catalog().names())
+    # One spot check per source registry.
+    assert "stored_total" in names           # SAMPLED_SERIES
+    assert "alert_daemon_down" in names      # default_rules
+    assert "hop_latency_end_to_end" in names  # hop histograms
+    assert "probe_latency_s" in names        # PROBE_METRICS
+    assert "health_score" in names           # scorecard
+    assert "score_deduction_probes" in names  # COMPONENT_WEIGHTS
+
+
+def test_kind_census():
+    by_kind = {}
+    for signal in default_catalog():
+        by_kind[signal.kind] = by_kind.get(signal.kind, 0) + 1
+    assert by_kind == {"counter": 7, "gauge": 7, "histogram": 6,
+                       "alert": 9, "score": 6}
+
+
+def test_series_rows_link_to_the_rules_they_feed():
+    catalog = default_catalog()
+    assert catalog.get("daemons_failed").rule == "daemon_down"
+    assert catalog.get("slow_pending").rule == "store_stall"
+    assert catalog.get("hop_latency_end_to_end").rule == "latency_slo"
+    assert catalog.get("probe_latency_s").rule == ""  # dashboards only
+
+
+def test_missing_detects_an_uncatalogued_series(monkeypatch):
+    from repro.diagnosis import engine
+
+    catalog = default_catalog()  # built from today's registries
+    monkeypatch.setattr(
+        engine, "SAMPLED_SERIES",
+        engine.SAMPLED_SERIES + (("brand_new_series", "widgets", "new"),),
+    )
+    # The registry grew; the already-built catalog must notice.
+    assert catalog.missing() == ["brand_new_series"]
+    assert not catalog.complete()
+    assert catalog.to_dict()["missing"] == ["brand_new_series"]
+
+
+def test_register_duplicate_raises():
+    catalog = SignalCatalog()
+    signal = Signal(name="x", unit="u", kind="gauge", source="s",
+                    description="d")
+    catalog.register(signal)
+    with pytest.raises(ValueError, match="already catalogued"):
+        catalog.register(signal)
+
+
+def test_signal_validation():
+    with pytest.raises(ValueError, match="unknown signal kind"):
+        Signal(name="x", unit="u", kind="vibes", source="s",
+               description="d")
+    with pytest.raises(ValueError, match="non-empty"):
+        Signal(name="", unit="u", kind="gauge", source="s",
+               description="d")
+
+
+def test_iteration_and_lookup():
+    catalog = default_catalog()
+    names = [s.name for s in catalog]
+    assert names == sorted(names) == catalog.names()
+    assert "health_score" in catalog
+    assert "nonsense" not in catalog
+    assert catalog.get("nonsense") is None
+
+
+def test_to_rows_sorted_by_kind_then_name():
+    rows = default_catalog().to_rows()
+    assert len(rows) == 35
+    keys = [(r["kind"], r["name"]) for r in rows]
+    assert keys == sorted(keys)
+    # Un-ruled signals render a dash, not an empty cell.
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["probe_stragglers"]["rule"] == "-"
+    assert by_name["daemons_failed"]["rule"] == "daemon_down"

@@ -1,0 +1,168 @@
+"""OpenMetrics exposition format pins (fast, fixture-built report).
+
+A hand-built one-cluster report exercises every family type the
+exporter emits — scorecard gauges, probe samples with node labels,
+zero-filled alert counters, sampled-series gauges, histogram
+count/sum pairs — and pins the text format scrapers will parse:
+sorted families, HELP/TYPE once per family, escaped labels, ``# EOF``.
+"""
+
+from dataclasses import dataclass
+
+from repro.fleet import (
+    ComponentDeduction,
+    HealthScore,
+    NodeProbeStats,
+    ProbeReport,
+)
+from repro.telemetry import render_openmetrics
+
+
+@dataclass
+class _Alert:
+    rule: str
+    severity: str
+
+
+@dataclass
+class _Hist:
+    count: int
+    total: float
+
+
+class _Collector:
+    def __init__(self, histograms):
+        self.histograms = histograms
+
+
+class _Health:
+    def __init__(self, histograms):
+        self.collector = _Collector(histograms)
+
+
+@dataclass
+class _Cluster:
+    name: str
+    score: HealthScore
+    probe_report: ProbeReport
+    incidents: list
+    gauges: dict
+    health: _Health
+
+
+def _cluster(name="c1"):
+    deductions = tuple(
+        ComponentDeduction(comp, weight, raw, min(raw, weight), "")
+        for comp, weight, raw in (
+            ("probes", 30, 10), ("alerts", 25, 10), ("ledger", 25, 0),
+            ("backlog", 10, 0), ("store", 10, 0),
+        )
+    )
+    score = HealthScore(cluster=name, score=80, deductions=deductions)
+    probe = ProbeReport(
+        nodes=[
+            NodeProbeStats(node="node01", probes=4, lost=1,
+                           mean_latency_s=0.00125, worst_latency_s=0.002,
+                           reasons=("L2 aggregator down",)),
+            NodeProbeStats(node="node02", probes=4, lost=0,
+                           mean_latency_s=0.001, worst_latency_s=0.001,
+                           reasons=()),
+        ],
+        stragglers=[], median_latency_s=0.001, fold=2.0, sweeps=4,
+    )
+    return _Cluster(
+        name=name, score=score, probe_report=probe,
+        incidents=[_Alert("daemon_down", "critical")],
+        gauges={"stored_total": 64, "ingest_backlog": 0},
+        health=_Health({"end_to_end": _Hist(count=64, total=0.32)}),
+    )
+
+
+def test_exposition_structure_and_terminator():
+    text = render_openmetrics([_cluster()])
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert text.endswith("# EOF\n")
+    # Families arrive in sorted name order.
+    families = [
+        line.split()[2] for line in lines if line.startswith("# TYPE")
+    ]
+    assert families == sorted(families)
+    # HELP/TYPE exactly once per family.
+    assert len(families) == len(set(families))
+
+
+def test_help_and_type_come_from_the_catalog():
+    text = render_openmetrics([_cluster()])
+    assert "# TYPE repro_health_score gauge" in text
+    assert "# HELP repro_health_score per-cluster readiness score" in text
+    assert "# TYPE repro_probe_lost_total counter" in text
+    assert "# TYPE repro_stored_total counter" in text
+    assert "(uncatalogued)" not in text
+
+
+def test_integer_values_render_without_decimal_point():
+    text = render_openmetrics([_cluster()])
+    assert 'repro_health_score{cluster="c1"} 80' in text
+    assert 'repro_score_deduction_probes{cluster="c1"} 10' in text
+    assert 'repro_stored_total{cluster="c1"} 64' in text
+
+
+def test_probe_samples_carry_sorted_node_labels():
+    text = render_openmetrics([_cluster()])
+    assert ('repro_probe_latency_s{cluster="c1",node="node01"} 0.00125'
+            in text)
+    assert 'repro_probe_lost_total{cluster="c1",node="node01"} 1' in text
+    assert 'repro_probe_lost_total{cluster="c1",node="node02"} 0' in text
+    assert 'repro_probe_stragglers{cluster="c1"} 0' in text
+
+
+def test_alert_families_are_zero_filled():
+    """Scrapers see the whole alert surface even when nothing fired."""
+    text = render_openmetrics([_cluster()])
+    assert 'repro_alert_daemon_down{cluster="c1"} 1' in text
+    # A rule with no incidents is still exported, at zero.
+    assert 'repro_alert_latency_slo{cluster="c1"} 0' in text
+    assert 'repro_alert_store_stall{cluster="c1"} 0' in text
+
+
+def test_histograms_expose_count_and_sum_under_one_family():
+    text = render_openmetrics([_cluster()])
+    assert "# TYPE repro_hop_latency_end_to_end histogram" in text
+    assert 'repro_hop_latency_end_to_end_count{cluster="c1"} 64' in text
+    assert 'repro_hop_latency_end_to_end_sum{cluster="c1"} 0.32' in text
+    # The _count/_sum samples must not grow their own HELP/TYPE headers.
+    assert "# TYPE repro_hop_latency_end_to_end_count" not in text
+    assert "# TYPE repro_hop_latency_end_to_end_sum" not in text
+
+
+def test_unknown_family_falls_back_to_uncatalogued_gauge():
+    cluster = _cluster()
+    cluster.gauges["mystery_gauge"] = 7
+    text = render_openmetrics([cluster])
+    assert "# HELP repro_mystery_gauge (uncatalogued)" in text
+    assert "# TYPE repro_mystery_gauge gauge" in text
+    assert 'repro_mystery_gauge{cluster="c1"} 7' in text
+
+
+def test_label_values_are_escaped():
+    text = render_openmetrics([_cluster(name='we"ird\\cluster')])
+    assert 'cluster="we\\"ird\\\\cluster"' in text
+
+
+def test_multi_cluster_samples_group_within_family():
+    text = render_openmetrics([_cluster("alpha"), _cluster("beta")])
+    lines = text.splitlines()
+    scores = [l for l in lines if l.startswith("repro_health_score{")]
+    assert scores == [
+        'repro_health_score{cluster="alpha"} 80',
+        'repro_health_score{cluster="beta"} 80',
+    ]
+    # One header pair serves both clusters' samples.
+    assert text.count("# TYPE repro_health_score gauge") == 1
+
+
+def test_render_is_deterministic():
+    assert render_openmetrics([_cluster()]) == render_openmetrics(
+        [_cluster()]
+    )

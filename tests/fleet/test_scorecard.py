@@ -1,0 +1,223 @@
+"""Scorecards: the reconciliation invariant and the component math.
+
+The load-bearing contract: Σ component deductions == 100 − score,
+exactly, with every deduction an integer in [0, weight] — under clean
+inputs, chaos-shaped inputs and inputs pinned at every cap.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.fleet import (
+    COMPONENT_WEIGHTS,
+    ComponentDeduction,
+    HealthScore,
+    NodeProbeStats,
+    ProbeReport,
+    build_scorecard,
+)
+
+
+@dataclass
+class _Alert:
+    rule: str
+    severity: str
+
+
+class _Health:
+    """Just the ledger surface build_scorecard reads."""
+
+    def __init__(self, published=100, dropped=0, in_flight_spill=0,
+                 ok=True):
+        self.published = published
+        self.dropped = dropped
+        self.in_flight_spill = in_flight_spill
+        self._ok = ok
+
+    def verify(self):
+        return self._ok
+
+
+def _probe_report(lost_nodes=(), stragglers=(), sweeps=5):
+    nodes = [
+        NodeProbeStats(node=n, probes=sweeps, lost=sweeps,
+                       mean_latency_s=0.0, worst_latency_s=0.0,
+                       reasons=("down",))
+        for n in lost_nodes
+    ] + [
+        NodeProbeStats(node=n, probes=sweeps, lost=0,
+                       mean_latency_s=1.0, worst_latency_s=1.0,
+                       reasons=())
+        for n in stragglers
+    ]
+    return ProbeReport(sorted(nodes, key=lambda n: n.node),
+                       sorted(stragglers), 0.1, 2.0, sweeps)
+
+
+def _card(**kw):
+    defaults = dict(
+        probe_report=_probe_report(),
+        incidents=[],
+        health=_Health(),
+        snapshots=[],
+        slow_pending=0,
+    )
+    defaults.update(kw)
+    return build_scorecard("test", **defaults)
+
+
+# ------------------------------------------------------------- invariant
+
+
+def test_weights_sum_to_100():
+    assert sum(COMPONENT_WEIGHTS.values()) == 100
+
+
+def test_clean_inputs_score_100():
+    score = _card()
+    assert score.score == 100
+    assert score.reconciles()
+    assert score.grade == "A" and score.ready
+    assert all(d.deduction == 0 for d in score.deductions)
+    assert [d.component for d in score.deductions] == list(COMPONENT_WEIGHTS)
+
+
+def test_everything_maxed_scores_zero():
+    score = _card(
+        probe_report=_probe_report(lost_nodes=["n1", "n2", "n3"]),
+        incidents=[_Alert("daemon_down", "critical")] * 5
+                  + [_Alert("store_stall", "critical")] * 3,
+        health=_Health(published=100, dropped=90),
+        snapshots=[{"forwards": [{"queue_depth": 50}]}],
+    )
+    assert score.score == 0
+    assert score.grade == "F" and not score.ready
+    assert score.reconciles()
+    for d in score.deductions:
+        assert d.deduction == d.weight
+        assert d.raw >= d.weight  # caps genuinely engaged
+
+
+# ------------------------------------------------------------ components
+
+
+def test_probes_component_lost_and_stragglers():
+    score = _card(probe_report=_probe_report(lost_nodes=["n1", "n2"],
+                                             stragglers=["n3"]))
+    d = score.component("probes")
+    assert d.raw == 10 * 2 + 5 * 1 == d.deduction == 25
+    assert score.score == 75 and score.reconciles()
+
+
+def test_probes_component_caps_at_weight():
+    score = _card(probe_report=_probe_report(
+        lost_nodes=["n1", "n2", "n3", "n4", "n5"]))
+    d = score.component("probes")
+    assert d.raw == 50 and d.deduction == COMPONENT_WEIGHTS["probes"] == 30
+    assert score.reconciles()
+
+
+def test_no_scanner_deducts_nothing():
+    score = _card(probe_report=None)
+    d = score.component("probes")
+    assert d.deduction == 0 and "no probe scanner" in d.detail
+
+
+def test_alerts_component_weighs_severity_and_skips_store_stall():
+    incidents = [
+        _Alert("daemon_down", "critical"),      # 10
+        _Alert("queue_backlog", "warning"),     # 5
+        _Alert("rank_imbalance", "info"),       # 2
+        _Alert("store_stall", "critical"),      # excluded: store's bill
+    ]
+    score = _card(incidents=incidents)
+    alerts = score.component("alerts")
+    assert alerts.raw == 17 and alerts.deduction == 17
+    assert "daemon_down" in alerts.detail
+    assert "store_stall" not in alerts.detail
+    store = score.component("store")
+    assert store.raw == 5 and "1 store_stall incident" in store.detail
+    assert score.score == 100 - 17 - 5 and score.reconciles()
+
+
+def test_ledger_component_is_ceil_loss_percent():
+    score = _card(health=_Health(published=1000, dropped=1,
+                                 in_flight_spill=0))
+    # 0.1% loss rounds *up* to 1 point — any loss at all costs.
+    assert score.component("ledger").deduction == 1
+    score = _card(health=_Health(published=100, dropped=10,
+                                 in_flight_spill=5))
+    assert score.component("ledger").deduction == 15
+
+
+def test_ledger_that_does_not_verify_is_full_weight():
+    score = _card(health=_Health(published=100, dropped=0, ok=False))
+    d = score.component("ledger")
+    assert d.deduction == COMPONENT_WEIGHTS["ledger"]
+    assert "does not reconcile" in d.detail
+    assert score.reconciles()
+
+
+def test_backlog_component_sums_forward_depths():
+    snapshots = [
+        {"forwards": [{"queue_depth": 2}, {"queue_depth": 1}]},
+        {"forwards": [{"queue_depth": 4}]},
+    ]
+    score = _card(snapshots=snapshots)
+    d = score.component("backlog")
+    assert d.raw == 7 and d.deduction == 7
+    assert score.reconciles()
+
+
+def test_store_component_counts_stalls_and_deferred():
+    score = _card(incidents=[_Alert("store_stall", "critical")] * 2,
+                  slow_pending=3)
+    d = score.component("store")
+    assert d.raw == 5 * 2 + 3 == 13
+    assert d.deduction == COMPONENT_WEIGHTS["store"] == 10
+    assert score.reconciles()
+
+
+# ------------------------------------------------------------ dataclasses
+
+
+def test_component_deduction_range_enforced():
+    with pytest.raises(ValueError):
+        ComponentDeduction(component="probes", weight=30, raw=40,
+                           deduction=40, detail="over cap")
+    with pytest.raises(ValueError):
+        ComponentDeduction(component="probes", weight=30, raw=0,
+                           deduction=-1, detail="negative")
+
+
+def test_component_lookup_keyerror():
+    with pytest.raises(KeyError):
+        _card().component("vibes")
+
+
+@pytest.mark.parametrize("score,grade,ready", [
+    (100, "A", True), (90, "A", True), (89, "B", True), (75, "B", True),
+    (74, "C", False), (50, "C", False), (49, "D", False), (25, "D", False),
+    (24, "F", False), (0, "F", False),
+])
+def test_grade_thresholds(score, grade, ready):
+    hs = HealthScore(cluster="x", score=score, deductions=())
+    assert hs.grade == grade and hs.ready is ready
+
+
+def test_reconciles_rejects_mismatched_sum():
+    bad = HealthScore(cluster="x", score=90, deductions=(
+        ComponentDeduction("probes", 30, 5, 5, ""),
+    ))
+    assert not bad.reconciles()  # 5 != 100 - 90
+
+
+def test_to_dict_and_rows_shapes():
+    score = _card(incidents=[_Alert("daemon_down", "critical")])
+    payload = score.to_dict()
+    assert payload["score"] == 90 and payload["reconciles"] is True
+    assert sum(d["deduction"] for d in payload["deductions"]) == 10
+    rows = score.to_rows()
+    assert [r["component"] for r in rows] == list(COMPONENT_WEIGHTS)
+    assert {r["deduction"] for r in rows} == {"-0", "-10"}

@@ -147,3 +147,50 @@ def test_many_weak_tickers_never_extend_the_run(n_weak):
     assert env.now == 1.0
     for log in logs:
         assert log == [0.25, 0.5, 0.75, 1.0]
+
+
+# ------------------------------------------------------ Environment.every
+
+
+def test_every_calls_fn_at_each_period():
+    env = Environment()
+    ticks = []
+    env.every(1.0, lambda: ticks.append(env.now))
+
+    def work():
+        yield env.timeout(3.5)
+
+    env.run(env.process(work()))
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_every_weak_never_extends_the_run():
+    env = Environment()
+    ticks = []
+    env.every(0.5, lambda: ticks.append(env.now), weak=True)
+    env.run()
+    # A weak-only queue counts as drained: no tick ever ran.
+    assert ticks == [] and env.now == 0.0
+
+    def work():
+        yield env.timeout(1.2)
+
+    env.run(env.process(work()))
+    assert ticks == [0.5, 1.0]
+    assert env.now == 1.2
+
+
+def test_every_strong_keeps_the_clock_alive_to_a_horizon():
+    env = Environment()
+    ticks = []
+    env.every(1.0, lambda: ticks.append(env.now))
+    env.run(until=3.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_every_rejects_nonpositive_period():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.every(0.0, lambda: None)
+    with pytest.raises(ValueError):
+        env.every(-1.0, lambda: None, weak=True)

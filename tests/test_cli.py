@@ -247,9 +247,11 @@ def test_repro_cli_trace_by_id_and_missing_id(capsys):
     assert repro_main(["trace", "--trace-id", "259900:1:4"]) == 0
     out = capsys.readouterr().out
     assert "trace 259900:1:4" in out
+    # An unknown identifier is a usage error (exit 2), not a broken
+    # invariant (exit 1) — the uniform exit-code contract.
     with pytest.raises(SystemExit) as exc:
         repro_main(["trace", "--trace-id", "999:9:9"])
-    assert exc.value.code == 1
+    assert exc.value.code == 2
     assert "not retained" in capsys.readouterr().out
 
 
@@ -332,3 +334,126 @@ def test_repro_cli_bench_json_sorted_and_snapshotted(monkeypatch, capsys,
     assert re.fullmatch(
         r"bench_pipeline_\d{4}-\d{2}-\d{2}\.json", snaps[0].name
     )
+
+
+def test_bench_same_day_snapshots_never_overwrite(monkeypatch, tmp_path):
+    """Same-day reruns get _runN suffixes — the first free slot wins."""
+    import datetime
+
+    from repro.experiments import bench
+
+    monkeypatch.setattr(bench, "RESULTS_DIR", tmp_path)
+    day = datetime.date(2026, 8, 9)
+    first = bench.snapshot_path(day)
+    assert first.name == "bench_pipeline_2026-08-09.json"
+    first.write_text("{}")
+    second = bench.snapshot_path(day)
+    assert second.name == "bench_pipeline_2026-08-09_run2.json"
+    second.write_text("{}")
+    third = bench.snapshot_path(day)
+    assert third.name == "bench_pipeline_2026-08-09_run3.json"
+    # A gap is reused: delete run2 and the next snapshot lands there.
+    second.unlink()
+    assert bench.snapshot_path(day).name == "bench_pipeline_2026-08-09_run2.json"
+
+
+# -------------------------------------------------------------- repro fleet
+
+
+def test_repro_cli_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip().startswith("repro ")
+
+
+def test_repro_cli_fleet_catalog_check(capsys):
+    assert repro_main(["fleet", "--catalog", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "== signal catalog (35 signals, complete) ==" in out
+    assert "OK: catalog complete (35 signals)" in out
+
+
+def test_repro_cli_fleet_catalog_json(capsys):
+    import json
+
+    assert repro_main(["fleet", "--catalog", "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["complete"] is True
+    assert payload["count"] == 35 and payload["missing"] == []
+    assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_repro_cli_fleet_catalog_check_fails_when_incomplete(
+    monkeypatch, capsys
+):
+    # Simulate the stack emitting a signal nobody catalogued.  (The
+    # registries themselves can't be patched here: default_catalog()
+    # reads the same tables expected_signals() does, so growing one
+    # grows both.)
+    from repro.diagnosis import signals
+
+    real = signals.expected_signals
+    monkeypatch.setattr(signals, "expected_signals",
+                        lambda: real() | {"ghost_series"})
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["fleet", "--catalog", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL: signals missing from the catalog: ghost_series" in (
+        capsys.readouterr().out
+    )
+
+
+def test_repro_cli_fleet_modes_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["fleet", "--export", "--catalog"])
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_repro_cli_fleet_scan_check(capsys):
+    assert repro_main(["fleet", "--scan", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "== fleet readiness ==" in out
+    assert "== attaway: scorecard" in out
+    assert "== signal catalog (35 signals, complete) ==" in out
+    assert ("OK: 3 scorecards reconcile exactly; chaos faults deducted "
+            "via matching components") in out
+
+
+def test_repro_cli_fleet_json_sorted_and_stable(capsys):
+    import json
+
+    assert repro_main(["fleet", "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    assert payload["fleet_ready"] is False
+    assert payload["worst_cluster"] == "attaway"
+    names = [c["cluster"] for c in payload["clusters"]]
+    assert names == ["voltrino", "chama", "attaway"]
+    for c in payload["clusters"]:
+        assert c["scorecard"]["reconciles"] is True
+
+
+def test_repro_cli_fleet_export_check(capsys):
+    assert repro_main(["fleet", "--export", "--check"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.endswith("# EOF\n")
+    assert "# TYPE repro_health_score gauge" in captured.out
+    assert 'repro_health_score{cluster="attaway"}' in captured.out
+    assert "(uncatalogued)" not in captured.out
+    assert "OK: every exported family catalogued" in captured.err
+
+
+def test_repro_cli_fleet_scan_check_fails_on_broken_reconciliation(
+    monkeypatch, capsys
+):
+    from repro.fleet.scorecard import HealthScore
+
+    monkeypatch.setattr(HealthScore, "reconciles", lambda self: False)
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["fleet", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL: scorecard does not reconcile" in capsys.readouterr().out

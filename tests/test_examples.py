@@ -78,6 +78,18 @@ def test_trace_drilldown_runs(capsys):
     assert "rollup reconciles with sim-time profile: yes" in out
 
 
+def test_fleet_console_runs(capsys):
+    _load("fleet_console").main()
+    out = capsys.readouterr().out
+    assert "== fleet readiness ==" in out
+    assert "== attaway: scorecard" in out
+    assert "== signal catalog (35 signals, complete) ==" in out
+    assert "fleet ready: False" in out
+    assert "worst: attaway" in out
+    assert "OpenMetrics exposition:" in out
+    assert "catalog complete" in out
+
+
 def test_live_diagnosis_runs(capsys):
     _load("live_diagnosis").main()
     out = capsys.readouterr().out

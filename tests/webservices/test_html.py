@@ -69,6 +69,118 @@ def test_titles_are_escaped():
     assert "a&lt;b&gt;c" in page
 
 
+# ------------------------------------------------- degenerate payloads
+#
+# The console feeds the renderer whatever a scan produced — including
+# empty result sets and all-NaN statistics.  None of those may leak
+# "nan" into SVG coordinates or crash the page.
+
+
+def test_zero_panels_page_still_renders():
+    page = render_html("empty fleet", [])
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<title>empty fleet</title>" in page
+    assert "<section" not in page
+
+
+def test_all_nan_bars_render_na_without_nan_coordinates():
+    panel = PanelData(
+        title="ops", viz="bars",
+        payload={
+            "write": {"mean": float("nan"), "ci": float("nan")},
+            "read": {"mean": 50.0, "ci": 5.0},
+        },
+        rows_queried=2,
+    )
+    page = render_html("t", [panel])
+    assert "n/a" in page          # the NaN bar is labelled, not drawn
+    assert "nan" not in page
+    assert page.count("<rect") == 2  # both bars (one zero-height)
+    assert page.count("<line") == 1  # only the finite bar gets a whisker
+
+
+def test_every_bar_nan_still_renders():
+    panel = PanelData(
+        title="ops", viz="bars",
+        payload={"write": {"mean": float("nan"), "ci": 0.0}},
+        rows_queried=1,
+    )
+    page = render_html("t", [panel])
+    assert "nan" not in page and "n/a" in page
+
+
+def test_all_nan_series_skips_polylines():
+    nan = float("nan")
+    panel = PanelData(
+        title="tp", viz="timeseries",
+        payload={
+            "edges": np.asarray([0.0, 1.0, 2.0]),
+            "write": {"bytes": np.asarray([nan, nan]), "count": np.asarray([0, 0])},
+        },
+        rows_queried=0,
+    )
+    page = render_html("t", [panel])
+    assert "<polyline" not in page
+    assert "nan" not in page
+    assert "</svg>" in page  # still a chart, axis and legend intact
+
+
+def test_partially_nan_series_skips_only_the_bad_points():
+    panel = PanelData(
+        title="tp", viz="timeseries",
+        payload={
+            "edges": np.asarray([0.0, 1.0, 2.0, 3.0]),
+            "write": {"bytes": np.asarray([1e6, float("nan"), 3e6]),
+                      "count": np.asarray([1, 0, 3])},
+        },
+        rows_queried=4,
+    )
+    page = render_html("t", [panel])
+    assert page.count("<polyline") == 1
+    assert "nan" not in page
+
+
+def test_series_with_too_few_edges_shows_no_data():
+    panel = PanelData(
+        title="tp", viz="timeseries",
+        payload={"edges": np.asarray([0.0]),
+                 "write": {"bytes": np.asarray([]), "count": np.asarray([])}},
+        rows_queried=0,
+    )
+    page = render_html("t", [panel])
+    assert "(no data)" in page and "<polyline" not in page
+
+
+def test_histogram_with_empty_counts_shows_no_data():
+    panel = PanelData(
+        title="hist", viz="histogram",
+        payload={"bin_edges": [1.0], "counts": []},
+        rows_queried=0,
+    )
+    page = render_html("t", [panel])
+    assert "(no data)" in page and "<rect" not in page
+
+
+def test_empty_row_table_renders_no_rows_placeholder():
+    panel = PanelData(title="incidents", viz="table", payload=[],
+                      rows_queried=0)
+    page = render_html("t", [panel])
+    assert "(no rows)" in page
+    assert "<table>" not in page and "<pre>" not in page
+
+
+def test_single_row_table_renders_header_and_row():
+    panel = PanelData(
+        title="one", viz="table",
+        payload=[{"cluster": "voltrino", "score": 100}],
+        rows_queried=1,
+    )
+    page = render_html("t", [panel])
+    assert page.count("<tr>") == 2  # header + the single row
+    assert "<th>cluster</th>" in page
+    assert "<td>voltrino</td>" in page and "<td>100</td>" in page
+
+
 def test_end_to_end_dashboard_to_html(tmp_path):
     """Real campaign -> Grafana panels -> HTML file."""
     from repro.apps import MpiIoTest
