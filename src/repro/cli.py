@@ -8,7 +8,8 @@ Usage::
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
     python -m repro.cli telemetry [--queue-depth 1] [--inject-failure] [--check] [--json]
-    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane] [--json]
+    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane] \\
+        [--columnar] [--json]
     python -m repro.cli diagnose [--seed 42] [--check] [--no-fast-lane] [--json]
     python -m repro.cli profile [--seed 42] [--json]
     python -m repro.cli trace [--trace-id ID | --slowest N | --drops] \\
@@ -195,6 +196,8 @@ def _cmd_chaos(args) -> None:
     ingest.  Prints the applied-fault log and the health report; with
     ``--check``, exits nonzero unless the ledger closes exactly.
     """
+    import sys
+
     from repro.apps import MpiIoTest
     from repro.core import ConnectorConfig
     from repro.experiments import World, WorldConfig, run_job
@@ -202,6 +205,11 @@ def _cmd_chaos(args) -> None:
     from repro.ldms.resilience import RetryPolicy
 
     fast = not args.no_fast_lane
+    columnar = args.columnar
+    if columnar and not fast:
+        print("repro chaos: --columnar requires the fast lane "
+              "(drop --no-fast-lane)", file=sys.stderr)
+        raise SystemExit(2)
     plan = FaultPlan((
         DaemonCrash("l1", after_messages=args.fail_after, down_for=0.5),
         LinkPartition("nid00001", "head", at=0.2, duration=0.3),
@@ -210,6 +218,7 @@ def _cmd_chaos(args) -> None:
     world = World(WorldConfig(
         seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
         fast_lane=fast, faults=plan, retry=RetryPolicy(), standby_l1=True,
+        columnar=columnar,
     ))
     app = MpiIoTest(
         n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=8,
@@ -218,7 +227,8 @@ def _cmd_chaos(args) -> None:
     # No inter-job gap: the job starts at t=0, so the timed fault
     # windows above land inside the I/O burst instead of before it.
     result = run_job(world, app, "nfs",
-                     connector_config=ConnectorConfig(spill=True, fast_lane=fast),
+                     connector_config=ConnectorConfig(
+                         spill=True, fast_lane=fast, columnar=columnar),
                      inter_job_gap_s=0.0)
     journal = world.store.journal
     duplicates = journal.duplicates_skipped if journal else 0
@@ -229,6 +239,7 @@ def _cmd_chaos(args) -> None:
         payload = {
             "seed": args.seed,
             "fast_lane": fast,
+            "columnar": columnar,
             "applied_faults": [
                 {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
                 for f in world.fault_injector.applied
@@ -508,15 +519,18 @@ def _cmd_trace(args) -> None:
 
 
 def _cmd_bench(args) -> None:
-    """Tracked pipeline benchmark: slow vs fast lane, one process.
+    """Tracked pipeline benchmark: slow vs fast vs columnar, one process.
 
     Writes ``benchmarks/BENCH_pipeline.json`` (or ``--out``).  With
     ``--json``, prints the result payload as sorted JSON on stdout
     (diagnostics go to stderr) and writes a dated snapshot under
     ``benchmarks/results/`` instead of touching the tracked file.  With
-    ``--check``, compares the measured slow→fast speedup against the
-    committed file and exits nonzero on a >25 % regression — the ratio,
-    not the wall, so the check is machine-independent.
+    ``--check``, compares the measured lane speedups against the
+    committed file and exits nonzero on a >25 % regression — the
+    ratios, not the walls, so the check is machine-independent — and
+    likewise fails any lane whose peak RSS regressed >25 % over the
+    committed per-lane peak (skipped where the kernel offers no
+    per-lane watermark reset).
     """
     import json
     import sys
@@ -524,12 +538,12 @@ def _cmd_bench(args) -> None:
 
     from repro.experiments.bench import (
         DEFAULT_RESULT_PATH,
+        LANES,
         pipeline_benchmark,
         snapshot_path,
     )
 
     result = pipeline_benchmark(quick=args.quick, seed=args.seed)
-    slow, fast = result["slow"], result["fast"]
     log = sys.stderr if args.json else sys.stdout
     if args.json:
         print(json.dumps(result, indent=2, sort_keys=True))
@@ -540,27 +554,61 @@ def _cmd_bench(args) -> None:
     else:
         print(f"campaign: hmmer families={result['campaign']['n_families']} "
               f"rpn=8 nodes=2 seed={args.seed} (quick={args.quick})")
-        for label, r in (("slow", slow), ("fast", fast)):
-            print(f"  {label:<5} wall={r['wall_s']:>7.2f}s "
+        for lane in LANES:
+            r = result[lane]
+            print(f"  {lane:<8} wall={r['wall_s']:>7.2f}s "
                   f"events/s={r['events_per_sec']:>8.1f} "
-                  f"engine_events={r['engine_events']}")
+                  f"engine_events={r['engine_events']} "
+                  f"peak_rss_kib={r['peak_rss_kib']}")
+        spine = result["columnar"].get("spine")
+        if spine:
+            print(f"  spine: {spine['record_batches']} record batches, "
+                  f"mean {spine['mean_batch_rows']:.1f} rows "
+                  f"(max {spine['max_batch_rows']}), "
+                  f"{spine['ingest_flushes']} ingest flushes, "
+                  f"{spine['dearms']} de-arms")
         print(f"  speedup (events/s, fast vs slow): "
               f"{result['speedup_events_per_sec']:.2f}x")
+        print(f"  speedup (events/s, columnar vs fast): "
+              f"{result['speedup_columnar_vs_fast']:.2f}x "
+              f"(vs slow: {result['speedup_columnar_vs_slow']:.2f}x)")
+        if result["speedup_vs_fast_baseline"]:
+            print(f"  columnar vs recorded fast-lane baseline: "
+                  f"{result['speedup_vs_fast_baseline']:.2f}x")
         if result["speedup_vs_seed_baseline"]:
-            print(f"  speedup vs pre-optimization baseline: "
+            print(f"  columnar vs pre-optimization baseline: "
                   f"{result['speedup_vs_seed_baseline']:.2f}x")
 
     committed_path = Path(args.out) if args.out else DEFAULT_RESULT_PATH
     if args.check:
         committed = json.loads(committed_path.read_text())
-        floor = committed["speedup_events_per_sec"] * 0.75
-        if result["speedup_events_per_sec"] < floor:
-            print(f"FAIL: speedup {result['speedup_events_per_sec']:.2f}x "
-                  f"regressed below 75% of committed "
-                  f"{committed['speedup_events_per_sec']:.2f}x", file=log)
+        failed = False
+        for key in ("speedup_events_per_sec", "speedup_columnar_vs_slow"):
+            if key not in committed:
+                continue
+            floor = committed[key] * 0.75
+            if result[key] < floor:
+                print(f"FAIL: {key} {result[key]:.2f}x regressed below 75% "
+                      f"of committed {committed[key]:.2f}x", file=log)
+                failed = True
+        for lane in LANES:
+            mine, theirs = result[lane], committed.get(lane)
+            if (
+                theirs is None
+                or not mine.get("peak_rss_resettable")
+                or not theirs.get("peak_rss_resettable")
+            ):
+                continue
+            ceiling = theirs["peak_rss_kib"] * 1.25
+            if mine["peak_rss_kib"] > ceiling:
+                print(f"FAIL: {lane} lane peak RSS {mine['peak_rss_kib']} KiB "
+                      f"regressed >25% over committed "
+                      f"{theirs['peak_rss_kib']} KiB", file=log)
+                failed = True
+        if failed:
             raise SystemExit(1)
-        print(f"OK: speedup within 25% of committed "
-              f"{committed['speedup_events_per_sec']:.2f}x", file=log)
+        print("OK: lane speedups and peak RSS within 25% of committed",
+              file=log)
     elif not args.json:
         committed_path.parent.mkdir(parents=True, exist_ok=True)
         committed_path.write_text(json.dumps(result, indent=2) + "\n")
@@ -735,6 +783,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-fast-lane", action="store_true",
                         help="chaos/diagnose/profile: per-message reference "
                              "path instead of the batched fast lane")
+    parser.add_argument("--columnar", action="store_true",
+                        help="chaos: arm the columnar record-batch lane "
+                             "(the express spine stands down under faults; "
+                             "results are bit-identical to the fast lane)")
     parser.add_argument("--json", action="store_true",
                         help="telemetry/chaos/diagnose/profile: machine-"
                              "readable JSON instead of the text report")

@@ -42,6 +42,12 @@ class TransferResult:
 class Link:
     """A physical link: propagation latency plus serialized bandwidth."""
 
+    #: Express-spine back-pointer (repro.core.batch): while an armed
+    #: spine virtualizes transfers over this link, any state change
+    #: (partition, degrade) must de-arm it first so in-flight virtual
+    #: batches complete against the timing they were launched with.
+    _express_spine = None
+
     def __init__(
         self,
         env: Environment,
@@ -88,6 +94,8 @@ class Link:
         """
         if up == self._up:
             return
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         self._up = up
         if up and self._up_waiters is not None:
             waiters, self._up_waiters = self._up_waiters, None
@@ -97,6 +105,8 @@ class Link:
         """Multiply serialization times by ``factor`` (1.0 = healthy)."""
         if factor <= 0:
             raise ValueError("degrade factor must be positive")
+        if self._express_spine is not None and factor != self._degrade:
+            self._express_spine.on_mutation()
         self._degrade = factor
 
     def wait_up(self) -> Event:
@@ -125,6 +135,9 @@ class Link:
 class Network:
     """A graph of named endpoints joined by :class:`Link` objects."""
 
+    #: Express-spine back-pointer (see :class:`Link`).
+    _express_spine = None
+
     def __init__(self, env: Environment):
         self.env = env
         self.graph = nx.Graph()
@@ -141,6 +154,8 @@ class Network:
         """Attach a time-varying congestion factor to every link."""
         if not hasattr(load_process, "factor"):
             raise TypeError("congestion source needs a factor(t) method")
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         self._congestion = load_process
 
     def congestion_factor(self) -> float:

@@ -35,18 +35,32 @@ from __future__ import annotations
 
 import json
 import os
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.core.metrics import MESSAGE_FIELDS, SEG_FIELDS
 from repro.darshan.runtime import IOEvent
 
-__all__ = ["FormatCostModel", "MessageBuilder", "FormattedMessage"]
+__all__ = [
+    "FormatCostModel",
+    "MessageBuilder",
+    "FormattedMessage",
+    "ColumnarFormatted",
+]
 
 #: Per-message template verification + wire-format asserts (slow).
 FORMAT_DEBUG = bool(os.environ.get("REPRO_FORMAT_DEBUG"))
 
 _INF = float("inf")
 _MISSING = object()
+
+#: Powers of ten for closed-form ``len(repr(int))``: an n-digit
+#: non-negative int v satisfies ``_POW10[n-2] <= v < _POW10[n-1]``, so
+#: ``bisect_right(_POW10, v) + 1`` is its digit count.  63-bit record
+#: ids top out at 19 digits; the table's headroom covers any plausible
+#: counter, with a ``repr`` fallback beyond it.
+_POW10 = tuple(10**k for k in range(1, 26))
+_POW10_MAX = _POW10[-1]
 
 
 @dataclass(frozen=True)
@@ -104,11 +118,19 @@ def _scalar(value) -> str:
 class _Shape:
     """One compiled message template: static chunks around varying slots."""
 
-    __slots__ = ("statics", "static_numeric", "context", "base", "seg_base")
+    __slots__ = (
+        "statics", "static_numeric", "static_chars", "context",
+        "base", "seg_base",
+    )
 
     def __init__(self, statics: tuple, static_numeric: int, context):
         self.statics = statics
         self.static_numeric = static_numeric
+        #: Characters contributed by the static chunks; the rendered
+        #: payload length is exactly ``static_chars + Σ len(value_str)``
+        #: because the join interleaves statics and value strings with
+        #: nothing in between.
+        self.static_chars = sum(map(len, statics))
         # Strong reference: the cache key uses id(context), which must
         # not be reused by a new context while this shape is cached.
         self.context = context
@@ -165,6 +187,108 @@ class _Shape:
             append(statics[i])
             i += 1
         return "".join(parts), n
+
+    def render_parts(self, values) -> tuple[list, int, int]:
+        """Render only the varying slots; defer the payload join.
+
+        Returns ``(value_strings, numeric, payload_chars)`` where
+        ``payload_chars`` equals ``len(self.payload(value_strings))``
+        exactly — the cost model and ``size_bytes`` accounting need the
+        length, but the columnar lane may never need the joined string.
+        """
+        vstrs = []
+        append = vstrs.append
+        # Every slot is presumed numeric (true for all template shapes);
+        # the rare non-numeric slot deducts itself in its branch.
+        n = self.static_numeric + len(values)
+        chars = self.static_chars
+        dumps = json.dumps
+        for v in values:
+            t = type(v)
+            if t is int:
+                s = repr(v)
+            elif t is float:
+                if v == v and v != _INF and v != -_INF:
+                    s = float.__repr__(v)
+                else:
+                    s = dumps(v)
+            else:
+                s = dumps(v)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    n -= 1
+            append(s)
+            chars += len(s)
+        return vstrs, n, chars
+
+    def render_meta(self, values) -> tuple[int, int]:
+        """Accounting only: ``(numeric, payload_chars)``, nothing rendered.
+
+        Exactly the last two results of :meth:`render_parts` — int slot
+        lengths come from the digit-count table instead of ``repr``,
+        floats still repr for their length (no closed form exists) —
+        but no value string is kept.  The express columnar lane never
+        joins a payload, so this is all it needs.
+        """
+        n = self.static_numeric + len(values)
+        chars = self.static_chars
+        for v in values:
+            t = type(v)
+            if t is int:
+                if 0 <= v:
+                    if v < _POW10_MAX:
+                        chars += bisect_right(_POW10, v) + 1
+                    else:
+                        chars += len(repr(v))
+                else:
+                    nv = -v
+                    if nv < _POW10_MAX:
+                        chars += bisect_right(_POW10, nv) + 2
+                    else:
+                        chars += len(repr(v))
+            elif t is float:
+                if v == v and v != _INF and v != -_INF:
+                    chars += len(float.__repr__(v))
+                else:
+                    chars += len(json.dumps(v))
+            else:
+                s = json.dumps(v)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    n -= 1
+                chars += len(s)
+        return n, chars
+
+    def payload(self, vstrs) -> str:
+        """Join value strings back into the full payload (one pass)."""
+        statics = self.statics
+        parts = [statics[0]]
+        append = parts.append
+        i = 1
+        for s in vstrs:
+            append(s)
+            append(statics[i])
+            i += 1
+        return "".join(parts)
+
+
+class ColumnarFormatted:
+    """One event rendered column-wise: the shape, its slot values and
+    their string renderings, plus the usual accounting — with the
+    payload join and dict materialization deferred.  The columnar lane
+    appends these straight into a RecordBatch; the joined payload is
+    only ever built if something downstream actually reads it."""
+
+    __slots__ = (
+        "shape", "values", "vstrs", "numeric_conversions",
+        "payload_chars", "format_cost_s",
+    )
+
+    def __init__(self, shape, values, vstrs, numeric, nchars, cost):
+        self.shape = shape
+        self.values = values
+        self.vstrs = vstrs
+        self.numeric_conversions = numeric
+        self.payload_chars = nchars
+        self.format_cost_s = cost
 
 
 class MessageBuilder:
@@ -388,3 +512,41 @@ class MessageBuilder:
             payload=payload, numeric_conversions=numeric, format_cost_s=cost,
             parsed=parsed,
         )
+
+    def format_columnar(
+        self, event: IOEvent, mode: str = "json", *, lazy: bool = False
+    ) -> "ColumnarFormatted | FormattedMessage":
+        """Columnar-lane front half: render the varying slots, skip the
+        payload join.
+
+        Returns a :class:`ColumnarFormatted` when the shape compiles.
+        Falls back to :meth:`format`'s FormattedMessage for the
+        ``mode="none"`` ablation, shapes that failed their self-check,
+        the slow builder, and debug mode (where the per-message
+        cross-check needs the joined payload anyway).  Costs and counts
+        are identical either way: ``payload_chars`` is exactly the
+        joined payload's length.
+
+        With ``lazy=True`` even the per-slot value strings are skipped
+        (``vstrs`` is None): :meth:`_Shape.render_meta` supplies the
+        identical numeric/char accounting, and any consumer that does
+        need the payload re-renders from ``values`` — the express spine
+        never does.
+        """
+        if mode != "json" or not self._fast or self._debug:
+            return self.format(event, mode)
+        shapes = self._shapes
+        key = self._shape_key(event)
+        shape = shapes.get(key, _MISSING)
+        if shape is _MISSING:
+            shape = shapes[key] = self._compile(event)
+        if shape is None:
+            return self._format_slow(event)
+        values = self._values(event)
+        if lazy:
+            numeric, nchars = shape.render_meta(values)
+            cost = self.cost_model.cost(numeric, nchars)
+            return ColumnarFormatted(shape, values, None, numeric, nchars, cost)
+        vstrs, numeric, nchars = shape.render_parts(values)
+        cost = self.cost_model.cost(numeric, nchars)
+        return ColumnarFormatted(shape, values, vstrs, numeric, nchars, cost)

@@ -35,6 +35,11 @@ SIZE_BUCKETS = [
 ]
 
 
+#: (op, bucket label) -> pre-built suffix; the f-string and ``.upper()``
+#: only run once per distinct pair, not once per access.
+_SUFFIX_CACHE: dict[tuple[str, str], str] = {}
+
+
 def size_bucket_suffix(op: str, nbytes: int) -> str:
     """The histogram counter suffix for an access of ``nbytes``."""
     label = SIZE_BUCKETS[-1][2]
@@ -42,7 +47,12 @@ def size_bucket_suffix(op: str, nbytes: int) -> str:
         if hi is None or nbytes < hi:
             label = name
             break
-    return f"SIZE_{op.upper()}_{label}"
+    cached = _SUFFIX_CACHE.get((op, label))
+    if cached is not None:
+        return cached
+    suffix = f"SIZE_{op.upper()}_{label}"
+    _SUFFIX_CACHE[(op, label)] = suffix
+    return suffix
 
 
 _SIZE_COUNTERS = [
@@ -134,6 +144,11 @@ MODULE_FCOUNTERS: dict[str, list[str]] = {
 SUPPORTED_MODULES = tuple(MODULE_COUNTERS)
 
 
+#: path -> record id memo (a campaign touches each path thousands of
+#: times; the hash is pure, so one digest per distinct path suffices).
+_RECORD_ID_CACHE: dict[str, int] = {}
+
+
 def record_id_for(path: str) -> int:
     """Darshan file record id: a stable 64-bit hash of the path.
 
@@ -141,6 +156,10 @@ def record_id_for(path: str) -> int:
     64-bit digest preserves the semantics (equal paths collide across
     ranks and modules, which is what joins records together).
     """
-    digest = hashlib.blake2b(path.encode("utf-8"), digest_size=8).digest()
-    # Mask to 63 bits so the id survives signed-int64 columns downstream.
-    return int.from_bytes(digest, "little") & 0x7FFF_FFFF_FFFF_FFFF
+    rid = _RECORD_ID_CACHE.get(path)
+    if rid is None:
+        digest = hashlib.blake2b(path.encode("utf-8"), digest_size=8).digest()
+        # Mask to 63 bits so the id survives signed-int64 columns downstream.
+        rid = int.from_bytes(digest, "little") & 0x7FFF_FFFF_FFFF_FFFF
+        _RECORD_ID_CACHE[path] = rid
+    return rid

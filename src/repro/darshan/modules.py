@@ -12,7 +12,7 @@ listeners (the connector).
 from __future__ import annotations
 
 from repro.darshan.counters import size_bucket_suffix
-from repro.darshan.records import DarshanRecord
+from repro.darshan.records import DarshanRecord, module_key_table
 from repro.fs.base import OpRecord
 from repro.fs.lustre import LustreFileSystem
 from repro.fs.posix import IOContext
@@ -21,6 +21,11 @@ __all__ = ["ModuleHook"]
 
 #: Modules that carry the common size-histogram / access-pattern counters.
 _PATTERN_MODULES = ("POSIX", "STDIO", "H5D")
+
+#: Access-pattern counter suffixes, pre-built (hot path: one lookup per
+#: read/write instead of two f-string constructions).
+_SEQ_SUFFIX = {"read": "SEQ_READS", "write": "SEQ_WRITES"}
+_CONSEC_SUFFIX = {"read": "CONSEC_READS", "write": "CONSEC_WRITES"}
 
 
 class ModuleHook:
@@ -61,6 +66,16 @@ class ModuleHook:
             self._update_mpiio(rec, record, rel_start, rel_end)
             return
 
+        if op == "read" or op == "write":
+            # The two hot ops (tens of thousands per campaign) update
+            # their counters through the per-module key table directly —
+            # same keys, same order, same first/last stamp rules as the
+            # DarshanRecord helpers, minus five method calls per event.
+            self._update_rw(module, rec, record, runtime, op, rel_start, rel_end)
+            if module == "H5D":
+                self._update_h5d_meta(rec, record)
+            return
+
         if op == "open":
             rec.inc("OPENS")
             rec.stamp("F_OPEN_START_TIMESTAMP", rel_start, first=True)
@@ -71,26 +86,6 @@ class ModuleHook:
             rec.stamp("F_CLOSE_START_TIMESTAMP", rel_start, first=True)
             rec.stamp("F_CLOSE_END_TIMESTAMP", rel_end)
             rec.add_time("F_META_TIME", record.duration)
-        elif op == "read":
-            rec.inc("READS")
-            rec.inc("BYTES_READ", record.nbytes)
-            if record.nbytes:
-                rec.maximize("MAX_BYTE_READ", record.offset + record.nbytes - 1)
-            rec.stamp("F_READ_START_TIMESTAMP", rel_start, first=True)
-            rec.stamp("F_READ_END_TIMESTAMP", rel_end)
-            rec.add_time("F_READ_TIME", record.duration)
-            self._rw_switch(module, rec, "read")
-            self._access_pattern(module, rec, "read", record)
-        elif op == "write":
-            rec.inc("WRITES")
-            rec.inc("BYTES_WRITTEN", record.nbytes)
-            if record.nbytes:
-                rec.maximize("MAX_BYTE_WRITTEN", record.offset + record.nbytes - 1)
-            rec.stamp("F_WRITE_START_TIMESTAMP", rel_start, first=True)
-            rec.stamp("F_WRITE_END_TIMESTAMP", rel_end)
-            rec.add_time("F_WRITE_TIME", record.duration)
-            self._rw_switch(module, rec, "write")
-            self._access_pattern(module, rec, "write", record)
         elif op == "fsync":
             if module == "POSIX":
                 rec.inc("FSYNCS")
@@ -105,20 +100,82 @@ class ModuleHook:
             rec.add_time("F_META_TIME", record.duration)
 
         if module == "H5D":
-            h5 = self._hdf5_meta(record)
-            if h5 is not None:
-                # Selection counters are cumulative on the dataset; flush
-                # records carry -1 sentinels, which must not clobber them.
-                if h5["pt_sel"] >= 0:
-                    rec.maximize("POINT_SELECTS", h5["pt_sel"])
-                if h5["reg_hslab"] >= 0:
-                    rec.maximize("REGULAR_HYPERSLAB_SELECTS", h5["reg_hslab"])
-                if h5["irreg_hslab"] >= 0:
-                    rec.maximize("IRREGULAR_HYPERSLAB_SELECTS", h5["irreg_hslab"])
-                if h5["ndims"] >= 0:
-                    rec.set_counter("DATASPACE_NDIMS", h5["ndims"])
-                if h5["npoints"] >= 0:
-                    rec.maximize("DATASPACE_NPOINTS", h5["npoints"])
+            self._update_h5d_meta(rec, record)
+
+    def _update_rw(
+        self, module, rec, record, runtime, op, rel_start, rel_end
+    ) -> None:
+        """Direct-key counter updates for the hot read/write ops.
+
+        Behaviorally identical to the ``inc``/``maximize``/``stamp``/
+        ``add_time`` helper sequence (plus :meth:`_rw_switch` and
+        :meth:`_access_pattern`) — updates land on the same keys in the
+        same order with the same first/last rules.
+        """
+        K = module_key_table(module)
+        c = rec.counters
+        fc = rec.fcounters
+        nbytes = record.nbytes
+        if op == "read":
+            k_count, k_bytes, k_max = "READS", "BYTES_READ", "MAX_BYTE_READ"
+            k_start = "F_READ_START_TIMESTAMP"
+            k_end = "F_READ_END_TIMESTAMP"
+            k_time = "F_READ_TIME"
+            k_seq, k_consec = "SEQ_READS", "CONSEC_READS"
+        else:
+            k_count, k_bytes, k_max = "WRITES", "BYTES_WRITTEN", "MAX_BYTE_WRITTEN"
+            k_start = "F_WRITE_START_TIMESTAMP"
+            k_end = "F_WRITE_END_TIMESTAMP"
+            k_time = "F_WRITE_TIME"
+            k_seq, k_consec = "SEQ_WRITES", "CONSEC_WRITES"
+        c[K[k_count]] += 1
+        c[K[k_bytes]] += nbytes
+        if nbytes:
+            key = K[k_max]
+            max_byte = record.offset + nbytes - 1
+            if max_byte > c[key]:
+                c[key] = max_byte
+        key = K[k_start]
+        current = fc[key]
+        if current == 0.0 or rel_start < current:
+            fc[key] = rel_start
+        key = K[k_end]
+        if rel_end > fc[key]:
+            fc[key] = rel_end
+        fc[K[k_time]] += record.duration
+        # _rw_switch, inlined.
+        rw_key = (module, rec.record_id, rec.rank)
+        last_rw = runtime._last_rw.get(rw_key)
+        if last_rw is not None and last_rw != op:
+            c[K["RW_SWITCHES"]] += 1
+        runtime._last_rw[rw_key] = op
+        # _access_pattern, inlined.
+        if module in _PATTERN_MODULES:
+            c[K[size_bucket_suffix(op, nbytes)]] += 1
+            ext_key = (module, rec.record_id, rec.rank, op)
+            last_end = runtime._last_extent.get(ext_key)
+            if last_end is not None:
+                if record.offset >= last_end:
+                    c[K[k_seq]] += 1
+                if record.offset == last_end:
+                    c[K[k_consec]] += 1
+            runtime._last_extent[ext_key] = record.offset + nbytes
+
+    def _update_h5d_meta(self, rec, record) -> None:
+        h5 = self._hdf5_meta(record)
+        if h5 is not None:
+            # Selection counters are cumulative on the dataset; flush
+            # records carry -1 sentinels, which must not clobber them.
+            if h5["pt_sel"] >= 0:
+                rec.maximize("POINT_SELECTS", h5["pt_sel"])
+            if h5["reg_hslab"] >= 0:
+                rec.maximize("REGULAR_HYPERSLAB_SELECTS", h5["reg_hslab"])
+            if h5["irreg_hslab"] >= 0:
+                rec.maximize("IRREGULAR_HYPERSLAB_SELECTS", h5["irreg_hslab"])
+            if h5["ndims"] >= 0:
+                rec.set_counter("DATASPACE_NDIMS", h5["ndims"])
+            if h5["npoints"] >= 0:
+                rec.maximize("DATASPACE_NPOINTS", h5["npoints"])
 
     def _update_mpiio(self, rec, record, rel_start, rel_end) -> None:
         op = record.op
@@ -169,9 +226,9 @@ class ModuleHook:
         last_end = self.runtime._last_extent.get(key)
         if last_end is not None:
             if record.offset >= last_end:
-                rec.inc(f"SEQ_{direction.upper()}S")
+                rec.inc(_SEQ_SUFFIX[direction])
             if record.offset == last_end:
-                rec.inc(f"CONSEC_{direction.upper()}S")
+                rec.inc(_CONSEC_SUFFIX[direction])
         self.runtime._last_extent[key] = record.offset + record.nbytes
 
     # -- LUSTRE static module -------------------------------------------------------

@@ -11,7 +11,34 @@ from dataclasses import dataclass, field
 
 from repro.darshan.counters import MODULE_COUNTERS, MODULE_FCOUNTERS
 
-__all__ = ["DarshanRecord", "NameRecord"]
+__all__ = ["DarshanRecord", "NameRecord", "module_key_table"]
+
+#: (module, suffix) -> validated "<MODULE>_<suffix>" key.  Counter names
+#: are a per-module constant, so the f-string build and the two
+#: membership checks in :meth:`DarshanRecord._key` only need to run once
+#: per distinct (module, suffix) — not once per counter update.
+_KEY_CACHE: dict[tuple[str, str], str] = {}
+
+_MODULE_KEY_TABLES: dict[str, dict[str, str]] = {}
+
+
+def module_key_table(module: str) -> dict[str, str]:
+    """suffix -> full counter/fcounter key for ``module``.
+
+    The hot counter-update paths index ``rec.counters`` directly with
+    keys from this table instead of going through :meth:`DarshanRecord`
+    helper methods; a suffix the module does not define is simply
+    absent, so misuse still raises ``KeyError`` like ``_key`` would.
+    """
+    table = _MODULE_KEY_TABLES.get(module)
+    if table is None:
+        prefix = len(module) + 1
+        table = {
+            name[prefix:]: name
+            for name in (*MODULE_COUNTERS[module], *MODULE_FCOUNTERS[module])
+        }
+        _MODULE_KEY_TABLES[module] = table
+    return table
 
 
 @dataclass(frozen=True)
@@ -80,7 +107,12 @@ class DarshanRecord:
         return self.fcounters[self._key(suffix)]
 
     def _key(self, suffix: str) -> str:
-        key = f"{self.module}_{suffix}"
+        module = self.module
+        cached = _KEY_CACHE.get((module, suffix))
+        if cached is not None:
+            return cached
+        key = f"{module}_{suffix}"
         if key not in self.counters and key not in self.fcounters:
             raise KeyError(f"module {self.module} has no counter {key}")
+        _KEY_CACHE[(module, suffix)] = key
         return key

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.darshan.counters import SUPPORTED_MODULES, record_id_for
+from repro.darshan.counters import (
+    MODULE_COUNTERS,
+    SUPPORTED_MODULES,
+    record_id_for,
+)
 from repro.darshan.dxt import DxtTracer
 from repro.darshan.records import DarshanRecord, NameRecord
 from repro.fs.base import OpRecord
@@ -33,6 +37,15 @@ __all__ = ["DarshanConfig", "DarshanRuntime", "IOEvent"]
 
 #: Ops that produce run-time events (Table I: read, write, open, close).
 _EVENT_OPS = frozenset({"open", "close", "read", "write"})
+
+#: module -> its RW_SWITCHES counter key, for the per-event read in
+#: :meth:`DarshanRuntime.observe` (modules without the counter are
+#: absent, so a misuse still raises ``KeyError`` like ``.get`` would).
+_RW_SWITCHES_KEY = {
+    m: f"{m}_RW_SWITCHES"
+    for m in SUPPORTED_MODULES
+    if f"{m}_RW_SWITCHES" in MODULE_COUNTERS[m]
+}
 
 
 @dataclass(frozen=True)
@@ -183,59 +196,67 @@ class DarshanRuntime:
     ):
         """Generator: count the op, trace it, and fan out to listeners."""
         self.total_events += 1
+        op = op_record.op
+        rank = context.rank
+        nbytes = op_record.nbytes
+        offset = op_record.offset
+        start_time = self.start_time
         if self.heatmap is not None and module == "POSIX":
             self.heatmap.record(
-                context.rank,
-                op_record.op,
-                op_record.nbytes,
-                op_record.start - self.start_time,
-                op_record.end - self.start_time,
+                rank,
+                op,
+                nbytes,
+                op_record.start - start_time,
+                op_record.end - start_time,
             )
         if self.dxt is not None:
             self.dxt.trace(
                 module,
-                context.rank,
+                rank,
                 darshan_record.record_id,
-                op_record.op,
-                op_record.offset,
-                op_record.nbytes,
-                op_record.start - self.start_time,
-                op_record.end - self.start_time,
+                op,
+                offset,
+                nbytes,
+                op_record.start - start_time,
+                op_record.end - start_time,
             )
-        if op_record.op not in _EVENT_OPS or not self._listeners:
-            if op_record.op == "close":
-                self._op_counts[(module, context.rank)] = 0
+        if op not in _EVENT_OPS or not self._listeners:
+            if op == "close":
+                self._op_counts[(module, rank)] = 0
             return
 
-        count_key = (module, context.rank)
+        count_key = (module, rank)
         cnt = self._op_counts.get(count_key, 0) + 1
-        self._op_counts[count_key] = 0 if op_record.op == "close" else cnt
+        self._op_counts[count_key] = 0 if op == "close" else cnt
 
-        if op_record.op in ("read", "write"):
-            max_byte = op_record.offset + op_record.nbytes - 1
-            switches = darshan_record.get("RW_SWITCHES") if module != "LUSTRE" else -1
+        if op == "read" or op == "write":
+            max_byte = offset + nbytes - 1
+            switches = (
+                darshan_record.counters[_RW_SWITCHES_KEY[module]]
+                if module != "LUSTRE" else -1
+            )
         else:
             max_byte = -1
             switches = -1
         if module in ("H5F", "H5D"):
-            flushes = darshan_record.get("FLUSHES")
+            flushes = darshan_record.counters[module + "_FLUSHES"]
         else:
             flushes = -1
 
         if self.config.absolute_timestamps:
             start, end = op_record.start, op_record.end
         else:
-            start = op_record.start - self.start_time
-            end = op_record.end - self.start_time
+            start = op_record.start - start_time
+            end = op_record.end - start_time
 
         event = IOEvent(
             module=module,
-            op=op_record.op,
+            op=op,
             path=op_record.path,
             record_id=darshan_record.record_id,
             context=context,
-            offset=op_record.offset,
-            nbytes=op_record.nbytes,
+            offset=offset,
+            nbytes=nbytes,
             start=start,
             end=end,
             cnt=cnt,

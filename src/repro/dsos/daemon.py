@@ -8,6 +8,8 @@ what the latency model charges.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.dsos.index import SortedIndex
 from repro.dsos.schema import Schema, SchemaError
 
@@ -45,19 +47,26 @@ class _Shard:
         """Append a batch: one index pass per index, not per object.
 
         Keys are built straight from the schema's key attrs (same tuples
-        :meth:`~repro.dsos.schema.Schema.key_for` would produce), so the
-        per-key length check in ``SortedIndex.add`` is redundant here.
+        :meth:`~repro.dsos.schema.Schema.key_for` would produce — an
+        ``itemgetter`` over several attrs already yields the tuple), so
+        the per-key length check in ``SortedIndex.add`` is redundant
+        here.
         """
         base = len(self.objects)
         self.objects.extend(objs)
         for name, index in self.indices.items():
             attrs = self.schema.indices[name]
-            index.extend_unchecked(
-                [
-                    (tuple(obj[a] for a in attrs), base + i)
-                    for i, obj in enumerate(objs)
+            if len(attrs) == 1:
+                a0 = attrs[0]
+                entries = [
+                    ((obj[a0],), base + i) for i, obj in enumerate(objs)
                 ]
-            )
+            else:
+                getter = itemgetter(*attrs)
+                entries = [
+                    (getter(obj), base + i) for i, obj in enumerate(objs)
+                ]
+            index.extend_unchecked(entries)
 
 
 class Dsosd:

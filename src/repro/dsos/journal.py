@@ -49,6 +49,22 @@ class IngestJournal:
         self.wal.append(WalEntry(self.env.now, trace_id))
         return True
 
+    def admit_at(self, trace_id: str, t: float) -> bool:
+        """:meth:`admit` with an explicit admission instant.
+
+        The express spine lands messages at virtual completion times
+        the engine clock has not necessarily reached; the WAL entry
+        must carry the delivery instant, not ``env.now``.
+        """
+        if not trace_id:
+            return True
+        if trace_id in self._seen:
+            self.duplicates_skipped += 1
+            return False
+        self._seen.add(trace_id)
+        self.wal.append(WalEntry(t, trace_id))
+        return True
+
     def __contains__(self, trace_id: str) -> bool:
         return trace_id in self._seen
 

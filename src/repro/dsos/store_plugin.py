@@ -38,6 +38,15 @@ _FLOAT_DEFAULT = -1.0
 
 _EXACT_TYPES = {"int": int, "float": float, "string": str}
 
+#: Varying-slot index per message field, by slot-tuple arity — the two
+#: template layouts of :meth:`repro.core.json_format._Shape.parsed`.
+_VAR_OUTER = {"record_id": 0, "max_byte": 1, "switches": 2, "flushes": 3, "cnt": 4}
+_VAR_SEG_9 = {"off": 5, "len": 6, "dur": 7, "timestamp": 8}
+_VAR_SEG_14 = {
+    "pt_sel": 5, "irreg_hslab": 6, "reg_hslab": 7, "ndims": 8,
+    "npoints": 9, "off": 10, "len": 11, "dur": 12, "timestamp": 13,
+}
+
 
 class DsosStreamStore:
     """Streams-subscriber that lands connector messages in DSOS."""
@@ -73,6 +82,11 @@ class DsosStreamStore:
         #: (attr_name, comes-from-seg, source key, exact type, type name)
         #: per schema attribute, in schema order.
         self._row_plan = self._compile_row_plan(schema)
+        #: id(shape) -> (shape, var-spec | None): the columnar row
+        #: builder per message shape (None = self-check failed, build
+        #: through the parsed dict instead).  The shape reference keeps
+        #: the id stable for the cache's lifetime.
+        self._columnar_plans: dict[int, tuple] = {}
         self._bus = daemon.streams
         self._pending_rows: list[dict] = []
         #: Live-tail observers: ``cb(message, n_rows)`` called the
@@ -83,9 +97,15 @@ class DsosStreamStore:
         daemon.streams.subscribe(tag, self.on_message)
         daemon.streams.add_batch_sink(self._flush_batch)
 
+    #: Express-spine back-pointer (set while an armed spine owns this
+    #: store's ingest; any guard-relevant mutation de-arms it first).
+    _express_spine = None
+
     def add_ingest_observer(self, callback) -> None:
         """Register a live tail: ``callback(message, n_rows)`` fires at
         the simulated instant each message's rows are stored."""
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         self._observers.append(callback)
 
     @staticmethod
@@ -240,6 +260,74 @@ class DsosStreamStore:
                     obj[name] = coerce(raw, tname)
             rows.append(obj)
         return rows
+
+    # -- columnar ingest (the express spine's terminal hop) ----------------
+
+    def columnar_rows(self, shape, values) -> list[dict]:
+        """Database rows for one columnar row — no message dict, no parse.
+
+        The spine hands over the compiled message shape plus its varying
+        slot values; a per-shape *var spec* maps each schema attribute
+        either to a pre-coerced static (from the shape's templates) or
+        to a slot index.  The first build per shape is self-checked
+        against the reference ``_flatten_fast`` path; a mismatching
+        shape falls back to building through its parsed dict forever.
+        """
+        plans = self._columnar_plans
+        entry = plans.get(id(shape))
+        if entry is None or entry[0] is not shape:
+            spec = self._compile_columnar_spec(shape, values)
+            if spec is not None:
+                built = self._build_columnar(spec, values)
+                if built != self._flatten_fast(shape.parsed(values)):
+                    spec = None
+            plans[id(shape)] = entry = (shape, spec)
+        spec = entry[1]
+        if spec is None:
+            return self._flatten_fast(shape.parsed(values))
+        # _build_columnar, inlined (the per-event express path).
+        template, var_spec = spec
+        coerce = self._coerce
+        obj = template.copy()
+        for name, idx, exact, tname in var_spec:
+            raw = values[idx]
+            obj[name] = raw if type(raw) is exact else coerce(raw, tname)
+        return [obj]
+
+    def _compile_columnar_spec(self, shape, values):
+        if shape.base is None or shape.seg_base is None:
+            return None
+        if len(values) == 14:
+            seg_map = _VAR_SEG_14
+        elif len(values) == 9:
+            seg_map = _VAR_SEG_9
+        else:
+            return None
+        # Row template in row-plan attribute order, statics pre-coerced
+        # and var slots as placeholders: a ``dict.copy`` of it preserves
+        # the exact key order the reference builder produces, and the
+        # per-row loop then touches only the varying attributes.
+        template = {}
+        var_spec = []
+        for name, from_seg, key, exact, tname in self._row_plan:
+            idx = seg_map.get(key) if from_seg else _VAR_OUTER.get(key)
+            if idx is None:
+                raw = shape.seg_base.get(key) if from_seg else shape.base.get(key)
+                template[name] = raw if type(raw) is exact else self._coerce(raw, tname)
+            else:
+                template[name] = None
+                var_spec.append((name, idx, exact, tname))
+        return (template, tuple(var_spec))
+
+    def _build_columnar(self, spec, values) -> list[dict]:
+        template, var_spec = spec
+        coerce = self._coerce
+        obj = template.copy()
+        for name, idx, exact, tname in var_spec:
+            raw = values[idx]
+            obj[name] = raw if type(raw) is exact else coerce(raw, tname)
+        # Template shapes carry exactly one seg entry — one row.
+        return [obj]
 
     def _flatten(self, data: dict):
         segments = data.get("seg") or [{}]

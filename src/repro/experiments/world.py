@@ -71,6 +71,13 @@ class WorldConfig:
     #: forward delivery + batched DSOS ingest).  Simulated results are
     #: identical either way; False keeps the per-message reference path.
     fast_lane: bool = True
+    #: Columnar record-batch lane (requires ``fast_lane``): connector
+    #: bursts move as RecordBatches and, when the world is provably
+    #: inert (no faults/retry/standby/diagnosis/probe/CSV/samplers),
+    #: an express spine virtualizes publish→forward→ingest so engine
+    #: events scale with application I/O instead of monitoring
+    #: messages.  Simulated results are bit-identical either way.
+    columnar: bool = False
     #: A :class:`~repro.faults.FaultPlan` to arm against this world
     #: (None = no injector at all; an *empty* plan arms to nothing and
     #: is bit-identical to None — pinned by the property suite).
@@ -208,6 +215,24 @@ class World:
             self.fault_injector = FaultInjector(self, config.faults)
             self.fault_injector.arm()
 
+        # Columnar express spine: built last of all so its arming guard
+        # sees the finished world.  try_arm refuses whenever anything
+        # could observe the virtualization (and any later guard-breaking
+        # mutation de-arms it mid-run), so `spine.armed` is False on
+        # every chaos/retry/diagnosis configuration — those worlds run
+        # the columnar per-message fallback, bit-identical to fast lane.
+        self.spine = None
+        if config.columnar:
+            if not config.fast_lane:
+                raise ValueError(
+                    "columnar is a refinement of the fast lane "
+                    "(WorldConfig(columnar=True) requires fast_lane=True)"
+                )
+            from repro.core.batch import ColumnarSpine
+
+            self.spine = ColumnarSpine(self)
+            self.spine.try_arm()
+
     # -- system telemetry (classic LDMS samplers) -----------------------------
 
     def start_samplers(self, interval_s: float = 5.0) -> None:
@@ -217,6 +242,8 @@ class World:
         by absolute timestamp."""
         if self._samplers_running:
             raise RuntimeError("samplers already running")
+        if self.spine is not None:
+            self.spine.dearm()
         from repro.dsos.metric_store import MetricStreamStore
 
         tags = []
@@ -252,6 +279,8 @@ class World:
         """
         if self._pipeline_samplers_running:
             raise RuntimeError("pipeline samplers already running")
+        if self.spine is not None:
+            self.spine.dearm()
         from repro.dsos.metric_store import MetricStreamStore
         from repro.telemetry.metrics import PipelineStatsSampler
 
@@ -315,6 +344,15 @@ class World:
             self.env.run(until=self.env.now + 2.0)
         else:
             self.env.run()
+            if self.spine is not None:
+                # Virtual completions may lie beyond the last engine
+                # event; land them and move the clock to the instant
+                # the event-driven pipeline would have finished at.
+                t_end = self.spine.drain_all()
+                if t_end > self.env.now:
+                    if not self.env.advance_if_idle(t_end):
+                        self.env.timeout_at(t_end)
+                        self.env.run()
 
     def query_job(self, job_id: int):
         """All stored events of one job, in (rank, time) order."""

@@ -321,15 +321,21 @@ class _Forwarder:
         collector = collector_for(self.env)
         if collector is not None:
             node = self.owner.node.name
-            for message in batch:
-                if message.trace_id:
-                    for outcome in recovery:
-                        collector.hop(
-                            message.trace_id, _trace.STAGE_FORWARD, node, outcome
+            if not recovery:
+                collector.close_hop_batch(
+                    [m.trace_id for m in batch],
+                    _trace.STAGE_FORWARD, node, _trace.FORWARDED,
+                )
+            else:
+                for message in batch:
+                    if message.trace_id:
+                        for outcome in recovery:
+                            collector.hop(
+                                message.trace_id, _trace.STAGE_FORWARD, node, outcome
+                            )
+                        collector.close_hop(
+                            message.trace_id, _trace.STAGE_FORWARD, node, _trace.FORWARDED
                         )
-                    collector.close_hop(
-                        message.trace_id, _trace.STAGE_FORWARD, node, _trace.FORWARDED
-                    )
         if self.batch_deliver:
             peer.receive_batch(batch)
         else:
@@ -341,15 +347,14 @@ class _Forwarder:
         self.stats.dead_letters += len(batch)
         collector = collector_for(self.env)
         if collector is not None:
-            node = self.owner.node.name
-            for message in batch:
-                if message.trace_id:
-                    collector.close_hop(
-                        message.trace_id,
-                        _trace.STAGE_FORWARD,
-                        node,
-                        _trace.DROP_DEAD_LETTER,
-                    )
+            # Count-weighted: the batch died as one unit, but every one
+            # of its N messages is attributed to this drop site.
+            collector.close_hop_batch(
+                [m.trace_id for m in batch],
+                _trace.STAGE_FORWARD,
+                self.owner.node.name,
+                _trace.DROP_DEAD_LETTER,
+            )
 
     def _retry_loop(self, batch: list, total_bytes: int, delivered: bool, seq: int):
         """Back off, resend, fail over; dead-letter on exhaustion.
@@ -456,6 +461,13 @@ class _Forwarder:
 class Ldmsd:
     """One LDMS daemon on one node."""
 
+    #: Express-spine back-pointer (repro.core.batch).  While an armed
+    #: spine virtualizes this daemon's stream traffic, any publish or
+    #: fault applied through the daemon itself de-arms the spine first —
+    #: queued virtual rows complete delivery, then the per-message path
+    #: handles everything from the mutation on.
+    _express_spine = None
+
     def __init__(
         self,
         env: Environment,
@@ -523,6 +535,8 @@ class Ldmsd:
 
     def set_flaky(self, error_rate: float, mode: str, rng, tag: str | None = None) -> None:
         """Make forward sends (on ``tag``, or all rules) error randomly."""
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         for fwd in self._forwarders:
             if tag is None or fwd.tag == tag:
                 fwd.set_flaky(error_rate, mode, rng)
@@ -587,6 +601,8 @@ class Ldmsd:
         costs the caller the same tiny send time and silently loses the
         message — monitoring failure never breaks the application.
         """
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         if not isinstance(payload, str):
             payload = json.dumps(payload, separators=(",", ":"))
         message = StreamMessage(
@@ -628,6 +644,8 @@ class Ldmsd:
         charged); failure is checked *now*, exactly like :meth:`publish`
         checks after its own timeout.
         """
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         t_pub = self.env.now if publish_time is None else publish_time
         if self._failed:
             self.dropped_while_failed += 1
@@ -645,8 +663,32 @@ class Ldmsd:
         self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.PUBLISHED, t_in=t_pub)
         return self.streams.publish(message)
 
+    def publish_prepaid_message(self, message) -> int:
+        """:meth:`publish_prepaid` for a caller-built message object.
+
+        The columnar per-message fallback publishes a lazy
+        :class:`~repro.core.batch.ColumnarMessage` whose payload joins
+        only if something downstream reads it; semantics (failure
+        check, publish hop, bus delivery) are identical.
+        """
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
+        if self._failed:
+            self.dropped_while_failed += 1
+            self._record_hop(
+                message.trace_id, _trace.STAGE_PUBLISH, _trace.DROP_DAEMON_FAILED
+            )
+            return 0
+        self._record_hop(
+            message.trace_id, _trace.STAGE_PUBLISH, _trace.PUBLISHED,
+            t_in=message.publish_time,
+        )
+        return self.streams.publish(message)
+
     def publish_now(self, tag: str, payload, fmt: str = "json", trace_id: str = "") -> int:
         """Zero-cost publish for daemon-internal producers (samplers)."""
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         if self._failed:
             self.dropped_while_failed += 1
             self._record_hop(trace_id, _trace.STAGE_PUBLISH, _trace.DROP_DAEMON_FAILED)
@@ -676,6 +718,8 @@ class Ldmsd:
 
     def receive(self, message: StreamMessage) -> None:
         """Deliver a forwarded message to this daemon's local bus."""
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         if self._failed:
             self.dropped_while_failed += 1
             self._record_hop(
@@ -694,6 +738,8 @@ class Ldmsd:
         window the bus opens around it — batch sinks (the DSOS store)
         buffer their per-message work and flush it once per batch.
         """
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         if len(messages) == 1:
             # A batch window around one message buys nothing — skip the
             # begin/flush scaffolding (same failed-daemon check, same
@@ -726,6 +772,8 @@ class Ldmsd:
         (Streams is best-effort — no reconnect, no resend), and its own
         queued-but-unsent outbox contents die with the process.  Batches
         already mid-transfer are packets on the wire and complete."""
+        if self._express_spine is not None:
+            self._express_spine.on_mutation()
         self._failed = True
         for fwd in self._forwarders:
             fwd.purge_on_crash()

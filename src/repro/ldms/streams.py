@@ -55,6 +55,12 @@ class BusStats:
 class StreamsBus:
     """Per-daemon pub/sub fabric."""
 
+    #: Express-spine back-pointer (repro.core.batch): while an armed
+    #: spine virtualizes traffic over this bus, topology edits must
+    #: de-arm it first so in-flight virtual rows deliver to the
+    #: topology they were sent into.
+    _express_spine = None
+
     def __init__(self):
         self._subscribers: dict[str, list] = {}
         self.stats = BusStats()
@@ -116,6 +122,8 @@ class StreamsBus:
         """Register ``callback(message)`` for messages matching ``tag``."""
         if not callable(callback):
             raise TypeError(f"subscriber callback {callback!r} is not callable")
+        if self._express_spine is not None:
+            self._express_spine.on_subscribe(self, tag)
         self._subscribers.setdefault(tag, []).append(callback)
 
     def unsubscribe(self, tag: str, callback) -> None:

@@ -40,6 +40,7 @@ class Environment:
         self._seq = 0  # tie-breaker; also counts scheduled events
         self._strong_pending = 0  # queued events that keep the sim alive
         self._active_process: Optional[Process] = None
+        self._horizon = float("inf")  # numeric run(until=) ceiling
 
     # -- clock ---------------------------------------------------------
 
@@ -78,6 +79,33 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    def advance_if_idle(self, when: float) -> bool:
+        """Fast-forward the clock to ``when`` if nothing would notice.
+
+        The columnar lane's macro-event rule: a process that knows the
+        absolute completion time of a whole burst may move the clock
+        there directly — *only* when no queued event (weak or strong)
+        is due at or before ``when`` and ``when`` does not overrun a
+        numeric ``run(until=...)`` horizon.  Under those conditions the
+        jump is observationally identical to scheduling a timeout and
+        draining the queue to it, minus the heap traffic: the DES clock
+        rule ("the clock moves to the next due event") is preserved
+        because ``when`` *is* the next due instant.
+
+        Returns ``True`` on success; ``False`` means the caller must
+        fall back to a real :meth:`timeout_at` yield.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"advance_if_idle({when}) is in the past (now={self._now})"
+            )
+        if self._queue and self._queue[0][0] <= when:
+            return False
+        if when > self._horizon:
+            return False
+        self._now = when
+        return True
 
     # -- factories -----------------------------------------------------
 
@@ -226,22 +254,29 @@ class Environment:
         # Weak events are ignored by the stop rules here too: a queue
         # holding only weak events is drained (clock stays), and only a
         # *strong* event beyond the horizon advances the clock to it.
-        while queue and self._strong_pending:
-            t = queue[0][0]
-            if t > stop_time:
-                self._now = stop_time
-                break
-            # Same-time drain: events dispatched at t that schedule more
-            # work at t (zero delays are everywhere in the stream path)
-            # are processed without re-checking the horizon.
-            while queue and queue[0][0] == t:
-                self._now, _, event = pop(queue)
-                if not event._weak:
-                    self._strong_pending -= 1
-                callbacks, event.callbacks = event.callbacks, None
-                event._processed = True
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event.value
+        # The horizon is published so advance_if_idle cannot jump the
+        # clock past ``until`` from inside a dispatched event.
+        self._horizon = stop_time
+        try:
+            while queue and self._strong_pending:
+                t = queue[0][0]
+                if t > stop_time:
+                    self._now = stop_time
+                    break
+                # Same-time drain: events dispatched at t that schedule
+                # more work at t (zero delays are everywhere in the
+                # stream path) are processed without re-checking the
+                # horizon.
+                while queue and queue[0][0] == t:
+                    self._now, _, event = pop(queue)
+                    if not event._weak:
+                        self._strong_pending -= 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event.value
+        finally:
+            self._horizon = float("inf")
         return None

@@ -1,0 +1,157 @@
+"""Unit tests for the columnar record-batch spine building blocks.
+
+Covers the pieces ``tests/property/test_columnar_properties.py`` drives
+only end to end: the RecordBatch columns, the lazy ColumnarMessage view
+(eager vstrs and the lazy re-render fallback), and the virtual
+forwarder's batching edges — a single-event batch and a burst split
+across the ``batch_size`` window.
+"""
+
+import json
+
+from repro.core import ConnectorConfig, MessageBuilder
+from repro.core.batch import ColumnarMessage, RecordBatch
+from repro.core.json_format import ColumnarFormatted
+from repro.darshan.runtime import IOEvent
+from repro.experiments.world import World, WorldConfig
+from repro.fs.posix import IOContext
+
+
+def _event(op="write", offset=0, nbytes=512):
+    ctx = IOContext(
+        job_id=77, uid=1000, rank=3, node_name="nid00001",
+        exe="/apps/bench", app="bench",
+    )
+    return IOEvent(
+        module="POSIX", op=op, path="/scratch/a.dat", record_id=12345,
+        context=ctx, offset=offset, nbytes=nbytes,
+        start=10.0, end=10.5, cnt=4, switches=1, flushes=-1,
+        max_byte=offset + nbytes - 1,
+    )
+
+
+def _columnar(event, *, lazy=False):
+    builder = MessageBuilder(fast=True)
+    formatted = builder.format_columnar(event, lazy=lazy)
+    assert type(formatted) is ColumnarFormatted
+    return formatted
+
+
+# ------------------------------------------------------------ RecordBatch
+
+
+def test_record_batch_columns():
+    batch = RecordBatch()
+    assert len(batch) == 0 and batch.total_bytes == 0
+    f = _columnar(_event())
+    batch.append("1:0:0", 100, f.shape, f.values, 2.5)
+    batch.append("1:0:1", 250, f.shape, f.values, 3.0)
+    assert len(batch) == 2
+    assert batch.total_bytes == 350
+    assert batch.trace_ids == ["1:0:0", "1:0:1"]
+    assert batch.times == [2.5, 3.0]
+    assert batch.shapes[0] is f.shape
+
+
+# -------------------------------------------------------- ColumnarMessage
+
+
+def test_columnar_message_matches_reference_payload():
+    event = _event()
+    f = _columnar(event)
+    reference = MessageBuilder(fast=False).format(event)
+    msg = ColumnarMessage(
+        "darshanConnector", f.shape, f.values, f.vstrs, f.payload_chars,
+        src_node="nid00001", publish_time=1.0, trace_id="77:3:0",
+    )
+    assert msg.size_bytes == len(reference.payload)
+    assert msg.payload == reference.payload
+    assert msg.parsed == json.loads(reference.payload)
+    # Cached after first access.
+    assert msg.payload is msg.payload
+
+
+def test_columnar_message_lazy_rerenders_from_values():
+    event = _event()
+    f = _columnar(event, lazy=True)
+    assert f.vstrs is None  # lazy mode skipped the slot strings
+    eager = _columnar(event)
+    assert f.numeric_conversions == eager.numeric_conversions
+    assert f.payload_chars == eager.payload_chars
+    assert f.format_cost_s == eager.format_cost_s
+    msg = ColumnarMessage(
+        "darshanConnector", f.shape, f.values, None, f.payload_chars,
+    )
+    reference = MessageBuilder(fast=False).format(event)
+    assert msg.payload == reference.payload
+    assert msg.parsed == json.loads(reference.payload)
+
+
+def test_render_meta_matches_render_parts():
+    for op, nbytes in (("write", 0), ("read", 7), ("write", 2**30 + 17)):
+        event = _event(op=op, nbytes=nbytes, offset=2**40)
+        shape = _columnar(event).shape
+        values = MessageBuilder._values(event)
+        vstrs, numeric, chars = shape.render_parts(values)
+        assert shape.render_meta(values) == (numeric, chars)
+        assert chars == len(shape.payload(vstrs))
+
+
+# ------------------------------------------------ virtual forwarder edges
+
+
+def _armed_world():
+    world = World(WorldConfig(
+        seed=7, quiet=True, n_compute_nodes=2, fast_lane=True, columnar=True,
+    ))
+    assert world.spine is not None and world.spine.armed
+    return world
+
+
+def _stuff_rows(world, vfwd, n):
+    f = _columnar(_event())
+    for i in range(n):
+        vfwd.outbox.append((f"77:3:{i}", 100, f.shape, f.values, 0.0))
+
+
+def test_single_event_batch_drains_whole():
+    world = _armed_world()
+    spine = world.spine
+    vfwd = next(iter(spine._l0.values()))
+    _stuff_rows(world, vfwd, 1)
+    vfwd.drain(0.0)
+    assert not vfwd.outbox          # the lone row left immediately
+    assert vfwd.tracked             # completion entry on the heap
+    spine.drain_all()
+    assert spine.stats.record_batches >= 1
+    assert spine.stats.max_batch_rows == 1
+    assert world.store.objects_stored == 1
+
+
+def test_burst_splits_across_batch_size_window():
+    world = _armed_world()
+    spine = world.spine
+    vfwd = next(iter(spine._l0.values()))
+    cap = vfwd.fwd.batch_size
+    _stuff_rows(world, vfwd, cap + 6)
+    vfwd.drain(0.0)
+    # First window takes exactly batch_size rows; the tail waits for
+    # the transfer to complete.
+    assert len(vfwd.outbox) == 6
+    spine.drain_all()
+    assert not vfwd.outbox
+    assert spine.stats.batch_rows == cap + 6
+    assert spine.stats.max_batch_rows == cap
+    assert world.store.objects_stored == cap + 6
+
+
+def test_columnar_requires_fast_lane():
+    import pytest
+
+    with pytest.raises(ValueError, match="fast_lane"):
+        ConnectorConfig(columnar=True, fast_lane=False)
+    with pytest.raises(ValueError, match="fast_lane"):
+        World(WorldConfig(
+            seed=1, quiet=True, n_compute_nodes=2,
+            fast_lane=False, columnar=True,
+        ))
