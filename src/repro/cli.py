@@ -8,8 +8,10 @@ Usage::
     python -m repro.cli fig5 | fig6 | fig7 | fig8 | fig9
     python -m repro.cli ablations
     python -m repro.cli telemetry [--queue-depth 1] [--inject-failure] [--check] [--json]
-    python -m repro.cli chaos [--seed 42] [--check] [--no-fast-lane] \\
-        [--columnar] [--json]
+    python -m repro.cli chaos [--seed 42] [--seeds N] [--check] \\
+        [--no-fast-lane] [--columnar] [--json]
+    python -m repro.cli store [--topology | --drill] [--no-repair] \\
+        [--check] [--no-fast-lane] [--columnar] [--json]
     python -m repro.cli diagnose [--seed 42] [--check] [--no-fast-lane] [--json]
     python -m repro.cli profile [--seed 42] [--json]
     python -m repro.cli trace [--trace-id ID | --slowest N | --drops] \\
@@ -186,37 +188,21 @@ def _cmd_telemetry(args) -> None:
         raise SystemExit(1)
 
 
-def _cmd_chaos(args) -> None:
-    """Seeded chaos campaign against the self-healing pipeline.
-
-    Crashes the L1 aggregator mid-run (it restarts after half a
-    second), partitions one compute node's uplink, and stalls the DSOS
-    store — with every recovery path armed: spill/replay connector,
-    retry/backoff forwarders, a hot-standby L1, journaled idempotent
-    ingest.  Prints the applied-fault log and the health report; with
-    ``--check``, exits nonzero unless the ledger closes exactly.
-    """
-    import sys
-
+def _chaos_run(seed: int, fast: bool, columnar: bool, args):
+    """One seeded chaos campaign; returns ``(world, result, duplicates)``."""
     from repro.apps import MpiIoTest
     from repro.core import ConnectorConfig
     from repro.experiments import World, WorldConfig, run_job
     from repro.faults import DaemonCrash, FaultPlan, LinkPartition, SlowStore
     from repro.ldms.resilience import RetryPolicy
 
-    fast = not args.no_fast_lane
-    columnar = args.columnar
-    if columnar and not fast:
-        print("repro chaos: --columnar requires the fast lane "
-              "(drop --no-fast-lane)", file=sys.stderr)
-        raise SystemExit(2)
     plan = FaultPlan((
         DaemonCrash("l1", after_messages=args.fail_after, down_for=0.5),
         LinkPartition("nid00001", "head", at=0.2, duration=0.3),
         SlowStore(at=0.1, duration=0.4),
     ))
     world = World(WorldConfig(
-        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        seed=seed, quiet=True, n_compute_nodes=4, telemetry=True,
         fast_lane=fast, faults=plan, retry=RetryPolicy(), standby_l1=True,
         columnar=columnar,
     ))
@@ -232,23 +218,56 @@ def _cmd_chaos(args) -> None:
                      inter_job_gap_s=0.0)
     journal = world.store.journal
     duplicates = journal.duplicates_skipped if journal else 0
-    epoch = world.config.epoch
-    if args.json:
-        import json
+    return world, result, duplicates
 
-        payload = {
-            "seed": args.seed,
-            "fast_lane": fast,
-            "columnar": columnar,
-            "applied_faults": [
-                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
-                for f in world.fault_injector.applied
-            ],
-            "duplicates_skipped": duplicates,
-            "health": result.health.to_dict(),
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
+
+def _cmd_chaos(args) -> None:
+    """Seeded chaos campaign against the self-healing pipeline.
+
+    Crashes the L1 aggregator mid-run (it restarts after half a
+    second), partitions one compute node's uplink, and stalls the DSOS
+    store — with every recovery path armed: spill/replay connector,
+    retry/backoff forwarders, a hot-standby L1, journaled idempotent
+    ingest.  Prints the applied-fault log and the health report; with
+    ``--check``, exits nonzero unless the ledger closes exactly.
+    ``--seeds N`` sweeps seeds ``seed .. seed+N-1`` in one process (the
+    CI smoke lane); the combined exit code fails if *any* seed does.
+    """
+    import sys
+
+    fast = not args.no_fast_lane
+    columnar = args.columnar
+    if columnar and not fast:
+        print("repro chaos: --columnar requires the fast lane "
+              "(drop --no-fast-lane)", file=sys.stderr)
+        raise SystemExit(2)
+    if args.seeds < 1:
+        print("repro chaos: --seeds must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+
+    seeds = range(args.seed, args.seed + args.seeds)
+    payloads = []
+    broken: list[int] = []
+    for seed in seeds:
+        world, result, duplicates = _chaos_run(seed, fast, columnar, args)
+        epoch = world.config.epoch
+        if not result.health.verify():
+            broken.append(seed)
+        if args.json:
+            payloads.append({
+                "seed": seed,
+                "fast_lane": fast,
+                "columnar": columnar,
+                "applied_faults": [
+                    {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                    for f in world.fault_injector.applied
+                ],
+                "duplicates_skipped": duplicates,
+                "health": result.health.to_dict(),
+            })
+            continue
+        if args.seeds > 1:
+            print(f"== seed {seed} ==")
         print("== applied faults ==")
         for fault in world.fault_injector.applied:
             print(f"  t={fault.t - epoch:9.3f}s "
@@ -256,9 +275,176 @@ def _cmd_chaos(args) -> None:
         print(f"duplicates skipped by ingest journal: {duplicates}")
         print()
         print(result.health.render_text())
-    if args.check and not result.health.verify():
-        print("FAIL: unaccounted events under fault injection")
+        if args.seeds > 1:
+            print()
+
+    if args.json:
+        import json
+
+        # One seed keeps the original flat payload; a sweep nests them.
+        out = payloads[0] if args.seeds == 1 else {"runs": payloads}
+        print(json.dumps(out, indent=2, sort_keys=True))
+    if args.check and broken:
+        print("FAIL: unaccounted events under fault injection "
+              f"(seed(s) {', '.join(str(s) for s in broken)})")
         raise SystemExit(1)
+    if args.check and args.seeds > 1:
+        print(f"OK: ledger exact across {args.seeds} seeds")
+
+
+def _cmd_store(args) -> None:
+    """Replicated-store resilience: topology, crash drill, census check.
+
+    Builds a sharded, quorum-replicated DSOS cluster (2 shards × 2
+    replicas, write quorum 2) and drives the chaos campaign through it.
+    ``--topology`` prints the shard layout of a clean run; ``--drill``
+    (the default) crashes one replica per shard mid-run — one with a
+    torn WAL tail — lets WAL replay and anti-entropy repair bring them
+    back, and prints the fault log, replica census and recovery ledger.
+    ``--no-repair`` disables anti-entropy (the drill then leaves
+    under-replicated objects behind — the negative control).  With
+    ``--check``, exits 1 unless the loss ledger closes exactly, the
+    census is complete (zero lost, zero under-replicated objects) and
+    every replica is back alive.
+    """
+    import sys
+
+    from repro.apps import MpiIoTest
+    from repro.core import ConnectorConfig
+    from repro.experiments import World, WorldConfig, run_job
+    from repro.faults import FaultPlan, StoreCrash
+    from repro.ldms.resilience import RetryPolicy
+
+    modes = [m for m in ("topology", "drill") if getattr(args, m)]
+    if len(modes) > 1:
+        print("repro store: --topology and --drill are mutually exclusive",
+              file=sys.stderr)
+        raise SystemExit(2)
+    mode = modes[0] if modes else "drill"
+
+    fast = not args.no_fast_lane
+    columnar = args.columnar
+    if columnar and not fast:
+        print("repro store: --columnar requires the fast lane "
+              "(drop --no-fast-lane)", file=sys.stderr)
+        raise SystemExit(2)
+
+    plan = None
+    if mode == "drill":
+        # One replica per shard goes down mid-burst; the first loses a
+        # torn WAL tail too, so recovery must truncate and repair must
+        # re-pull.  down_for exceeds the diagnosis hold so the outage
+        # is also visible to the alerting stack when armed.
+        plan = FaultPlan((
+            StoreCrash(0, at=0.15, down_for=0.8, tear_tail=True),
+            StoreCrash(3, at=0.25, down_for=0.25),
+        ))
+    world = World(WorldConfig(
+        seed=args.seed, quiet=True, n_compute_nodes=4, telemetry=True,
+        fast_lane=fast, columnar=columnar, faults=plan,
+        retry=RetryPolicy(), standby_l1=True,
+        dsos_shards=2, dsos_replication=2, dsos_write_quorum=2,
+        dsos_repair=not args.no_repair,
+    ))
+    app = MpiIoTest(
+        n_nodes=2, ranks_per_node=args.ranks_per_node, iterations=8,
+        block_size=2**20, collective=False, sync_per_iteration=False,
+    )
+    result = run_job(world, app, "nfs",
+                     connector_config=ConnectorConfig(
+                         spill=True, fast_lane=fast, columnar=columnar),
+                     inter_job_gap_s=0.0)
+    cluster = world.dsos.cluster
+    census = cluster.census()
+    epoch = world.config.epoch
+    store_recoveries = {
+        site: n for site, n in sorted(result.health.recovery_sites().items())
+        if site[2] in ("wal_replayed", "repair_pulled", "quorum_degraded")
+    }
+
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "mode": mode,
+            "fast_lane": fast,
+            "columnar": columnar,
+            "repair": not args.no_repair,
+            "applied_faults": [
+                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                for f in (world.fault_injector.applied
+                          if world.fault_injector else ())
+            ],
+            "layout": cluster.shard_layout(),
+            "census": {
+                "objects": census.objects,
+                "lost": census.lost,
+                "under_replicated": census.under_replicated,
+                "replicas_down": census.replicas_down,
+                "degraded_shards": list(census.degraded_shards),
+                "complete": census.complete,
+            },
+            "store": cluster.stats_snapshot(),
+            "store_recoveries": [
+                {"stage": s, "node": n, "outcome": o, "count": c}
+                for (s, n, o), c in store_recoveries.items()
+            ],
+            "ledger_exact": result.health.verify(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"== store topology ({cluster.shards} shard(s) x "
+              f"{cluster.replication} replica(s), "
+              f"W={cluster.write_quorum}) ==")
+        for row in cluster.shard_layout():
+            daemons = ", ".join(
+                f"{d}{'' if alive else ' (down)'} [{objs}]"
+                for d, alive, objs in
+                zip(row["daemons"], row["alive"], row["objects"])
+            )
+            print(f"  shard {row['shard']}: {daemons}")
+        if mode == "drill":
+            print("\n== applied faults ==")
+            for fault in world.fault_injector.applied:
+                print(f"  t={fault.t - epoch:9.3f}s "
+                      f"{fault.kind:<16} {fault.detail}")
+            print("\n== recovery ledger (store) ==")
+            for (stage, node, outcome), count in store_recoveries.items():
+                print(f"  {stage}/{node}: {outcome} x{count}")
+            if not store_recoveries:
+                print("  (none)")
+            snap = cluster.stats_snapshot()
+            print(f"\nwrites={snap['writes']} "
+                  f"quorum_degraded={snap['quorum_degraded_writes']} "
+                  f"rejected={snap['rejected_writes']}")
+        print(f"census: {census.objects} object(s), {census.lost} lost, "
+              f"{census.under_replicated} under-replicated, "
+              f"{census.replicas_down} replica(s) down, "
+              f"degraded shards {list(census.degraded_shards) or 'none'}")
+        print(f"ledger: {'exact' if result.health.verify() else 'VIOLATED'}")
+
+    if args.check:
+        failed = False
+        if not result.health.verify():
+            print("FAIL: loss ledger does not close under the store drill")
+            failed = True
+        if census.lost:
+            print(f"FAIL: {census.lost} object(s) lost "
+                  f"(no live copy anywhere)")
+            failed = True
+        if census.under_replicated:
+            print(f"FAIL: {census.under_replicated} object(s) "
+                  f"under-replicated after recovery"
+                  + (" (repair disabled)" if args.no_repair else ""))
+            failed = True
+        if census.replicas_down:
+            print(f"FAIL: {census.replicas_down} replica(s) still down")
+            failed = True
+        if failed:
+            raise SystemExit(1)
+        print(f"OK: census complete — every object holds quorum copies "
+              f"({census.objects} objects, ledger exact)")
 
 
 def _diagnosis_campaign(seed: int, fast: bool, faults, ranks_per_node: int):
@@ -742,6 +928,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "store": _cmd_store,
     "trace": _cmd_trace,
     "table2a": _cmd_table2a,
     "table2b": _cmd_table2b,
@@ -780,9 +967,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fail-after", type=int, default=50,
                         help="telemetry/chaos: messages seen at L1 before "
                              "the crash")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="chaos: sweep this many consecutive seeds "
+                             "starting at --seed in one process")
+    parser.add_argument("--topology", action="store_true",
+                        help="store: print the shard/replica layout of a "
+                             "clean replicated run")
+    parser.add_argument("--drill", action="store_true",
+                        help="store: run the crash/recovery drill against "
+                             "the replicated store (the default mode)")
+    parser.add_argument("--no-repair", action="store_true",
+                        help="store: disable anti-entropy repair (negative "
+                             "control; --check then fails)")
     parser.add_argument("--no-fast-lane", action="store_true",
-                        help="chaos/diagnose/profile: per-message reference "
-                             "path instead of the batched fast lane")
+                        help="chaos/diagnose/profile/store: per-message "
+                             "reference path instead of the batched fast "
+                             "lane")
     parser.add_argument("--columnar", action="store_true",
                         help="chaos: arm the columnar record-batch lane "
                              "(the express spine stands down under faults; "
@@ -823,7 +1023,8 @@ def main(argv: list[str] | None = None) -> int:
                              "committed result; fleet: exit nonzero unless "
                              "every scorecard reconciles exactly (scan) or "
                              "the signal catalog is complete "
-                             "(catalog/export)")
+                             "(catalog/export); store: exit nonzero on any "
+                             "lost or under-replicated object")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

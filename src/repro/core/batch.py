@@ -308,6 +308,11 @@ class ColumnarSpine:
             return False
         if not store._fast or store._slow or store._observers or store._bus.in_batch:
             return False
+        # Replicated DSOS: quorum acks and per-write sequence numbers
+        # are not virtualizable — the express spine only serves the
+        # legacy flat cluster.
+        if store._sharded:
+            return False
         net = world.cluster.network
         if net._congestion is not None:
             return False

@@ -57,6 +57,14 @@ SAMPLED_SERIES = (
      "events parked in connector spill buffers awaiting replay"),
     ("ingest_backlog", "messages",
      "queue depth + slow-store deferrals + spill-parked events"),
+    ("store_replicas_down", "daemons",
+     "dsosd replicas currently crashed (0 on a legacy flat cluster)"),
+    ("store_under_replicated", "objects",
+     "objects below min(R, live replicas) copies — repair owes them"),
+    ("store_replica_lag", "objects",
+     "worst applied-object gap between live replicas of one shard"),
+    ("store_shard_skew", "objects",
+     "visible-object spread between the fullest and emptiest shard"),
 )
 
 
@@ -85,6 +93,14 @@ class DiagnosisConfig:
     #: Rank imbalance: worst rank > ratio × mean, over >= min events.
     imbalance_ratio: float = 4.0
     imbalance_min_events: int = 64
+    #: Replica lag (objects) a quorum-replicated store may carry before
+    #: the replica_lag rule speaks.
+    replica_lag_threshold: int = 0
+    #: Shard skew (objects between fullest and emptiest shard) before
+    #: the shard_skew rule speaks.  Small campaigns are legitimately
+    #: skewed — job-hash routing puts one job on one shard — so the
+    #: default only catches fleet-scale imbalance.
+    shard_skew_threshold: int = 1024
     #: Rule set override (None = :func:`default_rules` from this config).
     rules: tuple | None = None
 
@@ -196,6 +212,7 @@ class DiagnosisEngine:
 
         stored = self.tail.messages
         backlog = queue_depth + slow_pending + spill_parked
+        store_health = world.dsos.cluster.health_summary()
 
         values = {
             "stored_total": stored,
@@ -209,6 +226,10 @@ class DiagnosisEngine:
             "slow_pending": slow_pending,
             "spill_parked": spill_parked,
             "ingest_backlog": backlog,
+            "store_replicas_down": store_health["replicas_down"],
+            "store_under_replicated": store_health["under_replicated"],
+            "store_replica_lag": store_health["replica_lag"],
+            "store_shard_skew": store_health["shard_skew"],
         }
         for name, _, _ in SAMPLED_SERIES:
             self.series(name).append(now, values[name])

@@ -155,6 +155,37 @@ def _retry_growth(view) -> RuleEval:
     )
 
 
+def _under_replication(view) -> RuleEval:
+    down = view.series("store_replicas_down").latest
+    under = view.series("store_under_replicated").latest
+    return RuleEval(
+        down + under > 0, down + under, 0,
+        f"{down:.0f} replica(s) down, {under:.0f} object(s) below quorum copies",
+    )
+
+
+def _replica_lag(lag_threshold: int):
+    def evaluate(view) -> RuleEval:
+        lag = view.series("store_replica_lag").latest
+        return RuleEval(
+            lag > lag_threshold, lag, lag_threshold,
+            f"worst live-replica gap {lag:.0f} objects",
+        )
+
+    return evaluate
+
+
+def _shard_skew(skew_threshold: int):
+    def evaluate(view) -> RuleEval:
+        skew = view.series("store_shard_skew").latest
+        return RuleEval(
+            skew > skew_threshold, skew, skew_threshold,
+            f"fullest vs emptiest shard differ by {skew:.0f} objects",
+        )
+
+    return evaluate
+
+
 def _deadletter_growth(view) -> RuleEval:
     dead = view.series("dead_letters_total").delta(view.window_s)
     return RuleEval(
@@ -211,5 +242,20 @@ def default_rules(config) -> tuple:
         Rule(
             "deadletter_growth", "critical",
             "messages are being dead-lettered", hold, _deadletter_growth,
+        ),
+        Rule(
+            "under_replication", "critical",
+            "a dsosd replica is down or objects sit below quorum copies",
+            hold, _under_replication,
+        ),
+        Rule(
+            "replica_lag", "warning",
+            "live replicas of one shard have diverged (repair owed)", hold,
+            _replica_lag(config.replica_lag_threshold),
+        ),
+        Rule(
+            "shard_skew", "info",
+            "object placement across shards is badly imbalanced", hold,
+            _shard_skew(config.shard_skew_threshold),
         ),
     )

@@ -30,6 +30,7 @@ _BEGIN_KINDS = {
     "link_partition": ("link_partition", "link_heal"),
     "link_degrade": ("link_degrade", "link_restore"),
     "slow_store_begin": ("slow_store", "slow_store_end"),
+    "store_crash": ("store_crash", "store_recover"),
     "flaky_on": ("flaky_transport", "flaky_off"),
 }
 
@@ -45,6 +46,9 @@ DETECTORS = {
         {"latency_slo", "queue_backlog", "retry_growth"}
     ),
     "slow_store": frozenset({"store_stall", "throughput_collapse"}),
+    "store_crash": frozenset(
+        {"under_replication", "replica_lag", "shard_skew"}
+    ),
     "flaky_transport": frozenset({"retry_growth", "deadletter_growth"}),
 }
 
@@ -62,9 +66,12 @@ class FaultWindow:
 
 def _pair_key(kind: str, detail: str) -> str:
     """What ties a begin entry to its end entry across detail drift
-    (``a -- b x10`` degrades restore as ``a -- b``)."""
+    (``a -- b x10`` degrades restore as ``a -- b``; store entries
+    carry per-event annotations after the daemon name)."""
     if kind.startswith("link_"):
         return " -- ".join(detail.split(" -- ")[:2]).split(" x")[0]
+    if kind.startswith("store_"):
+        return detail.split(" ")[0]
     return detail.split(" p=")[0]
 
 

@@ -123,6 +123,7 @@ class SignalCatalog:
 def expected_signals() -> set:
     """Every signal name the stack's live registries say it emits."""
     from repro.diagnosis.engine import SAMPLED_SERIES
+    from repro.dsos.cluster import STORE_METRICS
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
     from repro.telemetry.collector import END_TO_END
@@ -135,6 +136,7 @@ def expected_signals() -> set:
     )
 
     expected = {name for name, _, _ in SAMPLED_SERIES}
+    expected |= {name for name, _, _ in STORE_METRICS}
     expected |= {f"alert_{rule.name}" for rule in _standard_rules()}
     expected |= {
         f"hop_latency_{stage}"
@@ -167,6 +169,7 @@ def default_catalog() -> SignalCatalog:
     """The complete catalog for the current stack, built from the same
     live registries :func:`expected_signals` reads."""
     from repro.diagnosis.engine import SAMPLED_SERIES
+    from repro.dsos.cluster import STORE_METRICS
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
     from repro.telemetry.collector import END_TO_END
@@ -190,6 +193,10 @@ def default_catalog() -> SignalCatalog:
         "dead_letters_total": "deadletter_growth",
         "slow_pending": "store_stall",
         "spill_parked": "spill_growth",
+        "store_replicas_down": "under_replication",
+        "store_under_replicated": "under_replication",
+        "store_replica_lag": "replica_lag",
+        "store_shard_skew": "shard_skew",
     }
 
     catalog = SignalCatalog()
@@ -222,6 +229,16 @@ def default_catalog() -> SignalCatalog:
             source="repro.telemetry.collector",
             description=f"hop latency histogram: {description}",
             rule="latency_slo" if stage == END_TO_END else "",
+        ))
+    for name, unit, description in STORE_METRICS:
+        catalog.register(Signal(
+            name=name, unit=unit,
+            kind="counter" if name.endswith("_total") else "gauge",
+            source="repro.dsos.cluster",
+            description=description,
+            rule="under_replication" if name in (
+                "store_quorum_degraded_total", "store_rejected_writes_total",
+            ) else "",
         ))
     for name, unit, description in PROBE_METRICS:
         catalog.register(Signal(

@@ -4,6 +4,19 @@ Each daemon stores a shard of every schema's objects together with the
 schema's indices over *its* shard.  Cluster-level queries fan out to
 daemons and merge; the per-daemon work (rows scanned in index order) is
 what the latency model charges.
+
+Replicated clusters run daemons in **WAL mode**: every applied object
+carries a cluster-assigned per-shard sequence number, is logged to a
+checksummed :class:`~repro.dsos.journal.StoreWal` before it becomes
+visible, and is tracked in an applied-set so peers can compute the
+set difference for anti-entropy repair.  A crash (:meth:`fail`) wipes
+all in-memory state — objects, indices, applied-set — but the WAL
+bytes survive (host-side durable, minus an optional torn tail);
+:meth:`recover` replays the longest clean WAL prefix and the cluster's
+repair pass pulls whatever the tail lost from peer replicas.
+
+Legacy daemons (WAL off) skip all of it: no sequence bookkeeping, no
+log appends, byte-identical to the pre-replication store.
 """
 
 from __future__ import annotations
@@ -11,9 +24,10 @@ from __future__ import annotations
 from operator import itemgetter
 
 from repro.dsos.index import SortedIndex
+from repro.dsos.journal import StoreWal, WalRecovery
 from repro.dsos.schema import Schema, SchemaError
 
-__all__ = ["Dsosd"]
+__all__ = ["Dsosd", "StoreDownError"]
 
 _OPS = {
     "==": lambda a, b: a == b,
@@ -23,6 +37,10 @@ _OPS = {
     ">": lambda a, b: a > b,
     ">=": lambda a, b: a >= b,
 }
+
+
+class StoreDownError(RuntimeError):
+    """An operation reached a crashed daemon (or a replica-less shard)."""
 
 
 class _Shard:
@@ -72,11 +90,26 @@ class _Shard:
 class Dsosd:
     """One DSOS storage daemon."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, *, wal_enabled: bool = False):
         self.name = name
         self._shards: dict[str, _Shard] = {}
-        #: Ingest accounting.
+        #: Ingest accounting (objects currently applied; a crash resets
+        #: it and recovery/repair re-earn it).
         self.objects_stored = 0
+        self.alive = True
+        #: Which replica group this daemon serves (set by the cluster).
+        self.shard_id = 0
+        self.wal_enabled = wal_enabled
+        self.wal = StoreWal() if wal_enabled else None
+        #: Sequence numbers applied on this daemon (WAL mode only).
+        self.applied: set[int] = set()
+        #: seq -> (schema_name, obj, trace_id); the repair-pull source.
+        self._by_seq: dict[int, tuple] = {}
+        # Resilience accounting.
+        self.crashes = 0
+        self.wal_replayed = 0
+        self.wal_truncated_bytes = 0
+        self.repair_pulled = 0
 
     def attach_schema(self, schema: Schema) -> None:
         if schema.name in self._shards:
@@ -117,8 +150,122 @@ class Dsosd:
             shard.add_many(objs)
             self.objects_stored += len(objs)
 
+    def insert_seq(
+        self,
+        schema_name: str,
+        seq: int,
+        obj: dict,
+        *,
+        trace_id: str = "",
+        validate: bool = True,
+    ) -> None:
+        """Replicated apply: WAL first, then the in-memory shard.
+
+        The WAL append precedes visibility, so a crash between the two
+        can only lose an object the log already holds — replay puts it
+        back.
+        """
+        if not self.alive:
+            raise StoreDownError(f"daemon {self.name} is down")
+        if self.wal is None:
+            raise SchemaError(
+                f"daemon {self.name} is not in WAL mode; use insert()"
+            )
+        shard = self._shard(schema_name)
+        if validate:
+            shard.schema.validate(obj)
+        self.wal.append(seq, schema_name, obj, trace_id)
+        shard.add(obj)
+        self.applied.add(seq)
+        self._by_seq[seq] = (schema_name, obj, trace_id)
+        self.objects_stored += 1
+
     def count(self, schema_name: str) -> int:
         return len(self._shard(schema_name).objects)
+
+    # -- crash / recovery --------------------------------------------------------
+
+    def fail(self, *, tear_tail: bool = False, tear_bytes: int = 7) -> None:
+        """Crash: all in-memory state is gone; the WAL bytes survive.
+
+        ``tear_tail`` models the crash landing mid-append — the last
+        ``tear_bytes`` of the log never made it to disk, so recovery
+        must truncate (not trust) the torn record.
+        """
+        self.alive = False
+        self.crashes += 1
+        self._shards = {
+            name: _Shard(shard.schema) for name, shard in self._shards.items()
+        }
+        self.applied = set()
+        self._by_seq = {}
+        self.objects_stored = 0
+        if tear_tail:
+            if self.wal is None:
+                raise SchemaError(f"daemon {self.name} has no WAL to tear")
+            self.wal.tear_tail(tear_bytes)
+
+    def recover(self) -> WalRecovery:
+        """Restart: replay the longest clean WAL prefix, then live again.
+
+        Replayed objects skip validation (they validated on first
+        apply) and do not re-append to the WAL.  Whatever a torn or
+        corrupt tail lost stays missing until the cluster's
+        anti-entropy repair pulls it from peers.
+        """
+        if self.wal is None:
+            raise SchemaError(f"daemon {self.name} has no WAL to recover from")
+        recovery = self.wal.recover()
+        for record in recovery.entries:
+            shard = self._shard(record.schema)
+            obj = record.obj
+            shard.add(obj)
+            self.applied.add(record.seq)
+            self._by_seq[record.seq] = (record.schema, obj, record.trace_id)
+            self.objects_stored += 1
+        self.wal_replayed += len(recovery.entries)
+        self.wal_truncated_bytes += recovery.truncated_bytes
+        self.alive = True
+        return recovery
+
+    def records_for(self, seqs) -> list[tuple]:
+        """Repair-pull source: ``(seq, schema, obj, trace_id)`` for every
+        requested sequence number this daemon has applied."""
+        out = []
+        for seq in seqs:
+            entry = self._by_seq.get(seq)
+            if entry is not None:
+                out.append((seq, *entry))
+        return out
+
+    def apply_repair(self, seq: int, schema_name: str, obj: dict,
+                     trace_id: str = "") -> None:
+        """Apply one object pulled from a peer replica (idempotent)."""
+        if seq in self.applied:
+            return
+        self.insert_seq(schema_name, seq, obj, trace_id=trace_id, validate=False)
+        self.repair_pulled += 1
+
+    # -- observability ------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Per-daemon counters, qualified by daemon name and shard id —
+        two daemons on one node must stay two series."""
+        snap = {
+            "daemon": self.name,
+            "shard": self.shard_id,
+            "alive": self.alive,
+            "objects_stored": self.objects_stored,
+            "crashes": self.crashes,
+        }
+        if self.wal is not None:
+            snap.update(
+                wal_records=self.wal.records_appended,
+                wal_replayed=self.wal_replayed,
+                wal_truncated_bytes=self.wal_truncated_bytes,
+                repair_pulled=self.repair_pulled,
+            )
+        return snap
 
     # -- shard-local query -------------------------------------------------------
 

@@ -6,6 +6,15 @@ based on the index selected by the user".  :class:`Query` is a small
 builder over that operation; :class:`QueryStats` carries the work
 accounting (rows scanned per shard) and an analytic latency estimate —
 the quantity the index-choice ablation compares.
+
+Against a replicated cluster the fan-out is per *shard*, not per
+daemon: each shard answers from its first live replica (primary
+preferred), so a down replica per shard is tolerated transparently —
+only a shard with *no* live replica fails the query.  ``.quorum()``
+upgrades the read: every live replica of every shard is consulted and
+lagging replicas are read-repaired (missing objects pulled from peers)
+before the scan, so the rows reflect every surviving object even when
+the primary restarted with a torn WAL.
 """
 
 from __future__ import annotations
@@ -30,6 +39,10 @@ class QueryStats:
     rows_scanned_per_shard: list[int] = field(default_factory=list)
     rows_returned: int = 0
     filters_applied: int = 0
+    #: Dead replicas the per-shard fan-out routed around.
+    replicas_skipped: int = 0
+    #: Objects pulled onto lagging replicas by a quorum read.
+    read_repaired: int = 0
 
     @property
     def rows_scanned(self) -> int:
@@ -72,6 +85,7 @@ class Query:
         self._prefix: tuple | None = None
         self._filters: list[tuple] = []
         self._limit: int | None = None
+        self._quorum = False
 
     def range(self, begin: tuple | None, end: tuple | None) -> "Query":
         """Half-open key range ``[begin, end)`` on the index."""
@@ -95,22 +109,53 @@ class Query:
         self._limit = n
         return self
 
+    def quorum(self) -> "Query":
+        """Quorum read: read-repair lagging replicas before answering
+        (no-op on a legacy cluster)."""
+        self._quorum = True
+        return self
+
+    def _scan_shard(self, daemon, stats: QueryStats) -> list[tuple]:
+        pairs, scanned = daemon.query_shard(
+            self.schema_name,
+            self.index_name,
+            begin=self._begin,
+            end=self._end,
+            prefix=self._prefix,
+            filters=self._filters,
+        )
+        stats.shards_queried += 1
+        stats.rows_scanned_per_shard.append(scanned)
+        return pairs
+
     def execute(self) -> QueryResult:
-        """Fan out to every daemon, merge shard streams in key order."""
+        """Fan out (per daemon, or per shard when replicated), merge
+        shard streams in key order."""
         stats = QueryStats(filters_applied=len(self._filters))
         shard_results = []
-        for daemon in self.cluster.daemons:
-            pairs, scanned = daemon.query_shard(
-                self.schema_name,
-                self.index_name,
-                begin=self._begin,
-                end=self._end,
-                prefix=self._prefix,
-                filters=self._filters,
-            )
-            stats.shards_queried += 1
-            stats.rows_scanned_per_shard.append(scanned)
-            shard_results.append(pairs)
+        if not getattr(self.cluster, "sharded", False):
+            for daemon in self.cluster.daemons:
+                shard_results.append(self._scan_shard(daemon, stats))
+        else:
+            from repro.dsos.daemon import StoreDownError
+
+            if self._quorum:
+                for replicas in self.cluster.replica_sets:
+                    for replica in replicas:
+                        if replica.alive:
+                            stats.read_repaired += len(
+                                self.cluster.repair_daemon(replica)
+                            )
+            for shard, replicas in enumerate(self.cluster.replica_sets):
+                live = [r for r in replicas if r.alive]
+                stats.replicas_skipped += len(replicas) - len(live)
+                primary = live[0] if live else None
+                if primary is None:
+                    raise StoreDownError(
+                        f"shard {shard} has no live replica "
+                        f"({', '.join(r.name for r in replicas)} all down)"
+                    )
+                shard_results.append(self._scan_shard(primary, stats))
         merged = heapq.merge(*shard_results, key=lambda kv: kv[0])
         rows = []
         for _, obj in merged:

@@ -23,7 +23,9 @@ from repro.dsos.schema import DARSHAN_DATA_SCHEMA
 from repro.telemetry.collector import collector_for
 from repro.telemetry.trace import (
     DROP_PARSE_ERROR,
+    DROP_STORE_DOWN,
     DUP_IGNORED,
+    QUORUM_DEGRADED,
     STAGE_INGEST,
     STORED,
 )
@@ -69,6 +71,12 @@ class DsosStreamStore:
         self.parse_errors = 0
         self.objects_stored = 0
         self._fast = fast
+        #: Replicated cluster: route per message through quorum ingest
+        #: (bypassing the batch buffer — acks are per write).
+        self._sharded = getattr(client.cluster, "sharded", False)
+        #: Messages stored below write quorum / rejected outright.
+        self.quorum_degraded = 0
+        self.store_down_drops = 0
         #: Idempotent ingest: upstream recovery (spill replay, retry on
         #: lost acks, failover) may resend a message; the journal admits
         #: each trace id once.  With no duplicates it only costs a set
@@ -153,6 +161,18 @@ class DsosStreamStore:
                         message.trace_id, STAGE_INGEST, self.daemon.node.name
                     )
             return
+        if self._sharded:
+            rows = (
+                self._flatten_fast(data) if self._fast else list(self._flatten(data))
+            )
+            outcome, degraded, n_rows = self._store_replicated(message, rows)
+            self._ingest_hop(message, outcome)
+            if degraded:
+                self._ingest_hop(message, QUORUM_DEGRADED)
+            if outcome is STORED and self._observers:
+                for cb in self._observers:
+                    cb(message, n_rows)
+            return
         if self._fast:
             rows = self._flatten_fast(data)
             if self._bus.in_batch:
@@ -186,6 +206,36 @@ class DsosStreamStore:
             self._pending_rows = []
             self.client.cluster.insert_many(self.schema.name, rows, validate=False)
 
+    # -- replicated ingest (sharded clusters) -----------------------------
+
+    def _store_replicated(self, message, rows) -> tuple:
+        """Quorum write of one message's rows; ``(outcome, degraded, n)``.
+
+        All rows of one message share a job id, hence a shard and a
+        replica set, so acks are uniform across the message: it is
+        *stored* (W acks), stored-degraded (fewer, repair owes copies)
+        or rejected (``drop_store_down`` — no live replica held any
+        copy).
+        """
+        insert = self.client.cluster.insert_replicated
+        name = self.schema.name
+        trace_id = message.trace_id
+        accepted = True
+        degraded = False
+        for obj in rows:
+            ack = insert(name, obj, trace_id=trace_id, validate=False)
+            if not ack.accepted:
+                accepted = False
+            elif not ack.quorum_met:
+                degraded = True
+        if not accepted:
+            self.store_down_drops += 1
+            return DROP_STORE_DOWN, degraded, 0
+        if degraded:
+            self.quorum_degraded += 1
+        self.objects_stored += len(rows)
+        return STORED, degraded, len(rows)
+
     # -- slow-store episodes (repro.faults) ------------------------------
 
     @property
@@ -217,6 +267,23 @@ class DsosStreamStore:
         self._slow = False
         pending, self._slow_pending = self._slow_pending, []
         if not pending:
+            return
+        if self._sharded:
+            collector = collector_for(self.daemon.env)
+            node = self.daemon.node.name
+            for message, rows in pending:
+                outcome, degraded, n_rows = self._store_replicated(message, rows)
+                if message.trace_id and collector is not None:
+                    collector.close_hop(
+                        message.trace_id, STAGE_INGEST, node, outcome
+                    )
+                    if degraded:
+                        collector.hop(
+                            message.trace_id, STAGE_INGEST, node, QUORUM_DEGRADED
+                        )
+                if outcome is STORED and self._observers:
+                    for cb in self._observers:
+                        cb(message, n_rows)
             return
         all_rows = [row for _, rows in pending for row in rows]
         if all_rows:

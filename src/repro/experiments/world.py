@@ -56,6 +56,21 @@ class WorldConfig:
     nfs_params: NFSParams = field(default_factory=NFSParams)
     lustre_params: LustreParams = field(default_factory=LustreParams)
     dsos_daemons: int = 4
+    #: Replicated store topology: with either knob above 1 the cluster
+    #: rebuilds as ``dsos_shards × dsos_replication`` WAL-mode daemons
+    #: (one replica set per shard, job-hash routing, quorum-acked
+    #: ingest) and ``dsos_daemons`` no longer applies.  The default
+    #: (1, 1) keeps the flat legacy cluster, byte-identical to pre-
+    #: replication behavior on every lane — pinned by the store
+    #: property suite.
+    dsos_shards: int = 1
+    dsos_replication: int = 1
+    #: Write quorum W (None = majority, R // 2 + 1).
+    dsos_write_quorum: int | None = None
+    #: Run anti-entropy repair after a crashed daemon restarts (the
+    #: ``repro store --no-repair`` drill disables it to demonstrate
+    #: under-replication).
+    dsos_repair: bool = True
     keep_csv: bool = False  # also attach the CSV store plugin
     #: Install a repro.telemetry TraceCollector: hop traces, latency
     #: histograms and loss reconciliation for the pipeline itself.
@@ -172,7 +187,16 @@ class World:
             fast_lane=config.fast_lane, retry=config.retry,
             standby_l1=config.standby_l1,
         )
-        self.dsos = DsosClient(DsosCluster("shirley-dsos", config.dsos_daemons))
+        self.dsos = DsosClient(
+            DsosCluster(
+                "shirley-dsos",
+                config.dsos_daemons,
+                shards=config.dsos_shards,
+                replication=config.dsos_replication,
+                write_quorum=config.dsos_write_quorum,
+                repair=config.dsos_repair,
+            )
+        )
         self.store = DsosStreamStore(
             self.fabric.l2, STREAM_TAG, self.dsos, fast=config.fast_lane
         )

@@ -20,6 +20,7 @@ from repro.faults.plan import (
     LinkDegrade,
     LinkPartition,
     SlowStore,
+    StoreCrash,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "LinkDegrade",
     "LinkPartition",
     "SlowStore",
+    "StoreCrash",
 ]

@@ -24,6 +24,7 @@ from repro.faults.plan import (
     LinkDegrade,
     LinkPartition,
     SlowStore,
+    StoreCrash,
 )
 
 __all__ = ["AppliedFault", "FaultInjector"]
@@ -66,6 +67,20 @@ class FaultInjector:
                 self.world.env.process(self._degrade_proc(fault))
             elif isinstance(fault, SlowStore):
                 self.world.env.process(self._slow_store_proc(fault))
+            elif isinstance(fault, StoreCrash):
+                cluster = self.world.dsos.cluster
+                if not cluster.sharded:
+                    raise ValueError(
+                        "plan contains a StoreCrash but the DSOS cluster "
+                        "is not replicated (WorldConfig(dsos_replication"
+                        "=R) or dsos_shards=S with R or S > 1)"
+                    )
+                if fault.daemon >= len(cluster.daemons):
+                    raise ValueError(
+                        f"StoreCrash targets daemon {fault.daemon} but the "
+                        f"cluster has {len(cluster.daemons)} daemons"
+                    )
+                self.world.env.process(self._store_crash_proc(fault))
             elif isinstance(fault, FlakyTransport):
                 self.world.env.process(self._flaky_proc(fault))
 
@@ -160,6 +175,59 @@ class FaultInjector:
         yield env.timeout(fault.duration)
         store.end_slow_episode()
         self._log("slow_store_end", store.daemon.node.name)
+
+    def _store_crash_proc(self, fault: StoreCrash):
+        env = self.world.env
+        cluster = self.world.dsos.cluster
+        yield env.timeout(fault.at)
+        daemon = cluster.daemons[fault.daemon]
+        if not daemon.alive:
+            return
+        cluster.crash_daemon(daemon, tear_tail=fault.tear_tail)
+        detail = f"{daemon.name} (shard {daemon.shard_id})"
+        if fault.tear_tail:
+            detail += " torn-tail"
+        self._log("store_crash", detail)
+        if fault.down_for is not None:
+            yield env.timeout(fault.down_for)
+            recovery = cluster.recover_daemon(daemon)
+            self._log(
+                "store_recover",
+                f"{daemon.name} replayed={len(recovery.entries)} "
+                f"truncated={recovery.truncated_bytes}B",
+            )
+            from repro.telemetry.trace import REPAIR_PULLED, WAL_REPLAYED
+
+            self._stamp_store_hops(
+                daemon, (r.trace_id for r in recovery.entries), WAL_REPLAYED
+            )
+            if cluster.repair_enabled:
+                pulled = cluster.repair_daemon(daemon)
+                self._log(
+                    "store_repair", f"{daemon.name} pulled={len(pulled)}"
+                )
+                self._stamp_store_hops(
+                    daemon, (tid for _, tid in pulled), REPAIR_PULLED
+                )
+
+    def _stamp_store_hops(self, daemon, trace_ids, outcome: str) -> None:
+        """One recovery hop per distinct message a restart re-earned.
+
+        The node field is the *dsosd* name, not the host — two daemons
+        on one node must stay two recovery sites.
+        """
+        from repro.telemetry.collector import collector_for
+
+        collector = collector_for(self.world.env)
+        if collector is None:
+            return
+        from repro.telemetry.trace import STAGE_INGEST
+
+        seen = set()
+        for trace_id in trace_ids:
+            if trace_id and trace_id not in seen:
+                seen.add(trace_id)
+                collector.hop(trace_id, STAGE_INGEST, daemon.name, outcome)
 
     # -- transport -----------------------------------------------------
 

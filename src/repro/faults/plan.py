@@ -28,6 +28,7 @@ __all__ = [
     "LinkDegrade",
     "LinkPartition",
     "SlowStore",
+    "StoreCrash",
 ]
 
 #: Daemon targets the injector resolves specially (anything else is
@@ -112,6 +113,33 @@ class SlowStore:
 
 
 @dataclass(frozen=True)
+class StoreCrash:
+    """Crash one ``dsosd`` storage daemon (replicated clusters only).
+
+    ``daemon`` indexes the cluster's daemon list (shard ``i // R``,
+    replica ``i % R``).  ``down_for=None`` leaves it dead — its shard
+    serves from the surviving replicas; ``down_for=t`` restarts it
+    after ``t`` seconds, replaying its WAL and (when the cluster has
+    repair enabled) running anti-entropy against its peers.
+    ``tear_tail`` makes the crash land mid-append: the WAL loses its
+    last record, which recovery must truncate, not trust.
+    """
+
+    daemon: int
+    at: float
+    down_for: float | None = None
+    tear_tail: bool = False
+
+    def __post_init__(self):
+        if self.daemon < 0:
+            raise ValueError("daemon must be a daemon index >= 0")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.down_for is not None:
+            _require_positive("down_for", self.down_for)
+
+
+@dataclass(frozen=True)
 class FlakyTransport:
     """Make a daemon's forward sends error with seeded probability.
 
@@ -138,7 +166,10 @@ class FlakyTransport:
             raise ValueError("mode must be 'lost' or 'unacked'")
 
 
-_FAULT_TYPES = (DaemonCrash, LinkPartition, LinkDegrade, SlowStore, FlakyTransport)
+_FAULT_TYPES = (
+    DaemonCrash, LinkPartition, LinkDegrade, SlowStore, StoreCrash,
+    FlakyTransport,
+)
 
 
 @dataclass(frozen=True)

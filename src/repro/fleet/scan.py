@@ -14,7 +14,7 @@ behind ``repro fleet --json``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.fleet.probe import ProbeConfig
 from repro.fleet.scorecard import HealthScore, build_scorecard
@@ -47,6 +47,12 @@ class FleetClusterSpec:
     standby_l1: bool = False
     #: Connector-side spill buffering for the scan campaign.
     spill: bool = False
+    #: DSOS store topology (1/1 = the legacy flat store; anything else
+    #: scans a replicated sharded cluster with quorum ingest).
+    dsos_shards: int = 1
+    dsos_replication: int = 1
+    dsos_write_quorum: int | None = None
+    dsos_repair: bool = True
 
     def world_config(self, *, fast_lane: bool = True):
         """The :class:`~repro.experiments.world.WorldConfig` this spec
@@ -63,6 +69,10 @@ class FleetClusterSpec:
             faults=self.faults,
             retry=self.retry,
             standby_l1=self.standby_l1,
+            dsos_shards=self.dsos_shards,
+            dsos_replication=self.dsos_replication,
+            dsos_write_quorum=self.dsos_write_quorum,
+            dsos_repair=self.dsos_repair,
             diagnosis=DiagnosisConfig(
                 eval_period_s=_SCAN_EVAL_PERIOD_S,
                 window_s=0.25,
@@ -87,13 +97,17 @@ class ClusterReadiness:
     #: End-of-scan values of every diagnosis sampled series (name →
     #: last sampled value) — what the OpenMetrics exporter exposes.
     gauges: dict
+    #: ``DsosCluster.stats_snapshot()`` at scan end — per-(shard,
+    #: daemon) store counters (empty dict on a legacy flat store so
+    #: non-replicated payloads stay unchanged).
+    store: dict = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.spec.name
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "cluster": self.spec.name,
             "seed": self.spec.seed,
             "n_compute_nodes": self.spec.n_compute_nodes,
@@ -105,6 +119,9 @@ class ClusterReadiness:
             "gauges": dict(sorted(self.gauges.items())),
             "health": self.health.to_dict(),
         }
+        if self.store:
+            out["store"] = self.store
+        return out
 
 
 class FleetReport:
@@ -195,6 +212,7 @@ def scan_cluster(spec: FleetClusterSpec, *,
         name: world.diagnosis.series(name).latest
         for name, _, _ in SAMPLED_SERIES
     }
+    dsos_cluster = world.dsos.cluster
     score = build_scorecard(
         spec.name,
         probe_report=probe_report,
@@ -202,6 +220,7 @@ def scan_cluster(spec: FleetClusterSpec, *,
         health=health,
         snapshots=world.fabric.health_snapshots(),
         slow_pending=world.store.slow_pending,
+        store_census=dsos_cluster.census() if dsos_cluster.sharded else None,
     )
     return ClusterReadiness(
         spec=spec,
@@ -211,6 +230,7 @@ def scan_cluster(spec: FleetClusterSpec, *,
         health=health,
         runtime_s=result.runtime_s,
         gauges=gauges,
+        store=dsos_cluster.stats_snapshot() if dsos_cluster.sharded else {},
     )
 
 

@@ -32,7 +32,7 @@ COMPONENT_WEIGHTS = {
     "alerts": 25,   # diagnosis incidents (excluding store_stall)
     "ledger": 25,   # dropped / dead-lettered / spill-parked messages
     "backlog": 10,  # forward outboxes still holding messages
-    "store": 10,    # slow-store episodes (store_stall incidents)
+    "store": 10,    # store stalls + replication debt (census)
 }
 assert sum(COMPONENT_WEIGHTS.values()) == 100
 
@@ -133,7 +133,8 @@ class HealthScore:
 
 
 def build_scorecard(cluster: str, *, probe_report, incidents, health,
-                    snapshots, slow_pending: int = 0) -> HealthScore:
+                    snapshots, slow_pending: int = 0,
+                    store_census=None) -> HealthScore:
     """Fold one scanned cluster's surfaces into a :class:`HealthScore`.
 
     Parameters
@@ -149,6 +150,10 @@ def build_scorecard(cluster: str, *, probe_report, incidents, health,
         ``fabric.health_snapshots()`` at scan end (backlog component).
     slow_pending:
         Messages still deferred by a slow-store episode at scan end.
+    store_census:
+        A :class:`~repro.dsos.cluster.StoreCensus` for replicated
+        clusters (``None`` on a legacy flat store — the store component
+        then bills only stalls and deferrals).
     """
     deductions = []
 
@@ -200,13 +205,24 @@ def build_scorecard(cluster: str, *, probe_report, incidents, health,
         "backlog", depth, f"Σ forward outbox depth {depth}"
     ))
 
-    # -- store: slow-store episodes and still-deferred messages --------
+    # -- store: stalls, deferrals, and replication debt ----------------
     stalls = sum(1 for a in incidents if a.rule == "store_stall")
     raw = 5 * stalls + slow_pending
-    deductions.append(_capped(
-        "store", raw,
-        f"{stalls} store_stall incident(s), {slow_pending} deferred",
-    ))
+    detail = f"{stalls} store_stall incident(s), {slow_pending} deferred"
+    if store_census is not None:
+        # Degraded shards bill per shard; any *lost* object is a
+        # full-weight failure — a store that cannot produce an object
+        # it acked is not "slightly unhealthy".
+        raw += (3 * store_census.under_replicated
+                + 2 * len(store_census.degraded_shards))
+        if store_census.lost:
+            raw = max(raw, COMPONENT_WEIGHTS["store"])
+        detail += (
+            f"; census: {store_census.lost} lost, "
+            f"{store_census.under_replicated} under-replicated, "
+            f"{len(store_census.degraded_shards)} degraded shard(s)"
+        )
+    deductions.append(_capped("store", raw, detail))
 
     total = sum(d.deduction for d in deductions)
     return HealthScore(

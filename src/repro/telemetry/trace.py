@@ -31,14 +31,18 @@ __all__ = [
     "DROP_NO_SUBSCRIBER",
     "DROP_OVERFLOW",
     "DROP_PARSE_ERROR",
+    "DROP_STORE_DOWN",
     "DUP_IGNORED",
     "FAILOVER",
     "FORWARDED",
     "PUBLISHED",
+    "QUORUM_DEGRADED",
     "REDELIVERED",
+    "REPAIR_PULLED",
     "REPLAYED",
     "SPILLED",
     "STORED",
+    "WAL_REPLAYED",
 ]
 
 # -- hop stages (in pipeline order) ----------------------------------------
@@ -64,6 +68,9 @@ DROP_PARSE_ERROR = "drop_parse_error"
 #: Undeliverable after the fabric gave up: retries exhausted, or a
 #: flaky-transport loss with no retry policy to recover it.
 DROP_DEAD_LETTER = "drop_dead_letter"
+#: The message reached ingest but its shard had no live replica — the
+#: store rejected the write outright (every copy target was down).
+DROP_STORE_DOWN = "drop_store_down"
 
 # -- recovery outcomes -------------------------------------------------------
 #
@@ -83,9 +90,24 @@ FAILOVER = "failover"
 #: message is already stored; this hop just records the dedup.
 DUP_IGNORED = "dup_ignored"
 
+# Store-resilience recovery (the replicated DSOS layer).  All three are
+# non-terminal annotations on an otherwise-stored message: the write
+# landed below quorum (repair owes copies), or a restarted daemon
+# re-earned the object from its WAL / a peer replica.
+
+#: Stored with fewer than ``write_quorum`` replica acks.
+QUORUM_DEGRADED = "quorum_degraded"
+#: Re-applied from the daemon's own write-ahead log on restart.
+WAL_REPLAYED = "wal_replayed"
+#: Pulled from a peer replica by anti-entropy repair.
+REPAIR_PULLED = "repair_pulled"
+
 #: Outcomes the recovery-site ledger counts (dedup skips included:
 #: a skipped duplicate is evidence a recovery path re-sent the message).
-RECOVERY_OUTCOMES = frozenset({REPLAYED, REDELIVERED, FAILOVER, DUP_IGNORED})
+RECOVERY_OUTCOMES = frozenset({
+    REPLAYED, REDELIVERED, FAILOVER, DUP_IGNORED,
+    QUORUM_DEGRADED, WAL_REPLAYED, REPAIR_PULLED,
+})
 
 
 def make_trace_id(job_id: int, rank: int, seq: int) -> str:

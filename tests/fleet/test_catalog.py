@@ -21,7 +21,7 @@ def test_default_catalog_is_complete():
     catalog = default_catalog()
     assert catalog.complete()
     assert catalog.missing() == []
-    assert len(catalog) == len(expected_signals()) == 35
+    assert len(catalog) == len(expected_signals()) == 51
 
 
 def test_catalog_covers_every_registry():
@@ -33,14 +33,16 @@ def test_catalog_covers_every_registry():
     assert "probe_latency_s" in names        # PROBE_METRICS
     assert "health_score" in names           # scorecard
     assert "score_deduction_probes" in names  # COMPONENT_WEIGHTS
+    assert "store_wal_replayed_total" in names  # STORE_METRICS
+    assert "alert_under_replication" in names  # replication rules
 
 
 def test_kind_census():
     by_kind = {}
     for signal in default_catalog():
         by_kind[signal.kind] = by_kind.get(signal.kind, 0) + 1
-    assert by_kind == {"counter": 7, "gauge": 7, "histogram": 6,
-                       "alert": 9, "score": 6}
+    assert by_kind == {"counter": 15, "gauge": 12, "histogram": 6,
+                       "alert": 12, "score": 6}
 
 
 def test_series_rows_link_to_the_rules_they_feed():
@@ -94,7 +96,7 @@ def test_iteration_and_lookup():
 
 def test_to_rows_sorted_by_kind_then_name():
     rows = default_catalog().to_rows()
-    assert len(rows) == 35
+    assert len(rows) == 51
     keys = [(r["kind"], r["name"]) for r in rows]
     assert keys == sorted(keys)
     # Un-ruled signals render a dash, not an empty cell.

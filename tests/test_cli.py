@@ -370,8 +370,8 @@ def test_repro_cli_version(capsys):
 def test_repro_cli_fleet_catalog_check(capsys):
     assert repro_main(["fleet", "--catalog", "--check"]) == 0
     out = capsys.readouterr().out
-    assert "== signal catalog (35 signals, complete) ==" in out
-    assert "OK: catalog complete (35 signals)" in out
+    assert "== signal catalog (51 signals, complete) ==" in out
+    assert "OK: catalog complete (51 signals)" in out
 
 
 def test_repro_cli_fleet_catalog_json(capsys):
@@ -381,7 +381,7 @@ def test_repro_cli_fleet_catalog_json(capsys):
     out = capsys.readouterr().out
     payload = json.loads(out)
     assert payload["complete"] is True
-    assert payload["count"] == 35 and payload["missing"] == []
+    assert payload["count"] == 51 and payload["missing"] == []
     assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -417,7 +417,7 @@ def test_repro_cli_fleet_scan_check(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (35 signals, complete) ==" in out
+    assert "== signal catalog (51 signals, complete) ==" in out
     assert ("OK: 3 scorecards reconcile exactly; chaos faults deducted "
             "via matching components") in out
 

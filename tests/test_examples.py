@@ -83,7 +83,7 @@ def test_fleet_console_runs(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (35 signals, complete) ==" in out
+    assert "== signal catalog (51 signals, complete) ==" in out
     assert "fleet ready: False" in out
     assert "worst: attaway" in out
     assert "OpenMetrics exposition:" in out
