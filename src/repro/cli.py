@@ -912,6 +912,182 @@ def _cmd_fleet(args) -> None:
               f"chaos faults deducted via matching components")
 
 
+def _cmd_forensics(args) -> None:
+    """Black-box flight recorder: capture, timelines, bundle diffs.
+
+    Default mode (``--capture``) runs the chaos campaign with the
+    flight recorder armed and prints the frozen forensic bundles, ring
+    ledgers and fault-class evidence matches.  ``--show ID``
+    reconstructs one bundle's merged cross-layer timeline; ``--diff A
+    B`` compares two bundles (the clean control run freezes a
+    whole-run snapshot under the id ``clean-0``) and reports which
+    streams diverged first.  All modes honour ``--json`` (byte-stable
+    sorted payloads).  With ``--check``, capture mode reruns the
+    campaign on the slow and columnar lanes and exits 1 unless every
+    injected fault class produced at least one bundle whose evidence
+    names a detecting signal, every ring reconciles ``captured ==
+    retained + evicted``, and bundle JSON is byte-stable across
+    repeated same-seed runs.
+    """
+    import json as _json
+    import sys
+
+    from repro.diagnosis.forensics import (
+        capture_campaign,
+        check_forensics,
+        diff_bundles,
+        diff_panel,
+        match_bundles,
+        timeline_panel,
+    )
+
+    modes = [m for m in ("capture", "show", "diff") if getattr(args, m)]
+    if len(modes) > 1:
+        print(f"repro forensics: --{modes[0]} and --{modes[1]} are "
+              f"mutually exclusive", file=sys.stderr)
+        raise SystemExit(2)
+    mode = modes[0] if modes else "capture"
+
+    fast = not args.no_fast_lane
+    columnar = args.columnar
+    if columnar and not fast:
+        print("repro forensics: --columnar requires the fast lane "
+              "(drop --no-fast-lane)", file=sys.stderr)
+        raise SystemExit(2)
+
+    if mode == "show":
+        cap = capture_campaign(args.seed, fast=fast, columnar=columnar,
+                               fail_after=args.fail_after)
+        bundle = cap.find(args.show)
+        if bundle is None:
+            frozen = ", ".join(b.bundle_id for b in cap.bundles) or "(none)"
+            print(f"repro forensics: no bundle {args.show!r} "
+                  f"(frozen this run: {frozen})", file=sys.stderr)
+            raise SystemExit(2)  # unknown identifier = usage error
+        if args.json:
+            print(_json.dumps(bundle.to_dict(), indent=2, sort_keys=True))
+        else:
+            from repro.webservices.grafana import render_ascii
+
+            print(render_ascii(timeline_panel(bundle), width=110))
+            evidence = bundle.evidence
+            print("evidence links:")
+            print("  rules:     " + (", ".join(evidence["rules"]) or "-"))
+            print("  signals:   " + (", ".join(evidence["signals"]) or "-"))
+            print("  incidents: " + (", ".join(
+                str(i) for i in evidence["incidents"]) or "-"))
+            print(f"  traces:    {evidence['trace_id_count']} distinct "
+                  f"id(s), {len(evidence['trace_ids'])} listed")
+        return
+
+    if mode == "diff":
+        a_id, b_id = args.diff
+        faulted = capture_campaign(args.seed, fast=fast, columnar=columnar,
+                                   fail_after=args.fail_after)
+        clean = capture_campaign(args.seed, fast=fast, columnar=columnar,
+                                 faults=None, snapshot_id="clean-0")
+
+        def find(bundle_id):
+            found = faulted.find(bundle_id)
+            return found if found is not None else clean.find(bundle_id)
+
+        a, b = find(a_id), find(b_id)
+        if a is None or b is None:
+            missing = [i for i, bb in ((a_id, a), (b_id, b)) if bb is None]
+            known = [x.bundle_id for x in (*faulted.bundles, *clean.bundles)]
+            print(f"repro forensics: unknown bundle(s) "
+                  f"{', '.join(missing)} (known: {', '.join(known)})",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        diff = diff_bundles(a, b)
+        if args.json:
+            print(_json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            from repro.webservices.grafana import render_ascii
+
+            print(render_ascii(diff_panel(diff), width=110))
+            first = diff.first
+            if first is None:
+                print("no divergence inside the window overlap")
+            else:
+                print(f"first divergence: stream {first.stream!r} at "
+                      f"t={first.t:.3f}s")
+        return
+
+    # -- capture (default) ---------------------------------------------
+    cap = capture_campaign(args.seed, fast=fast, columnar=columnar,
+                           fail_after=args.fail_after)
+    recorder = cap.recorder
+    epoch = cap.epoch
+    matches = match_bundles(cap.applied, cap.bundles, epoch)
+
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "fast_lane": fast,
+            "columnar": columnar,
+            "applied_faults": [
+                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                for f in cap.applied
+            ],
+            "bundles": [b.to_dict() for b in cap.bundles],
+            "recorder": recorder.stats(),
+            "reconciles": recorder.reconciles(),
+            "matches": {
+                cls: match.to_dict() for cls, match in sorted(matches.items())
+            },
+            "archive_bytes": len(recorder.log.to_bytes()),
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("== applied faults ==")
+        for fault in cap.applied:
+            print(f"  t={fault.t - epoch:9.3f}s "
+                  f"{fault.kind:<16} {fault.detail}")
+        print("\n== frozen bundles ==")
+        if not cap.bundles:
+            print("  (none)")
+        for bundle in cap.bundles:
+            evidence = bundle.evidence
+            print(f"  {bundle.bundle_id:<6} "
+                  f"{bundle.trigger_kind}({bundle.trigger_detail}) "
+                  f"t={bundle.t_trigger:7.3f}s "
+                  f"window [{bundle.window[0]:.3f}, {bundle.window[1]:.3f}] "
+                  f"{bundle.n_records():>4} records, "
+                  f"{len(evidence['rules'])} rule(s), "
+                  f"{len(evidence['signals'])} signal(s), "
+                  f"{evidence['trace_id_count']} trace(s)")
+        print("\n== rings (captured == retained + evicted) ==")
+        print(f"  {'stream':<10} {'captured':>9} {'evicted':>8} "
+              f"{'retained':>9}  ok")
+        for name, ring in recorder.rings.items():
+            print(f"  {name:<10} {ring.captured:>9} {ring.evicted:>8} "
+                  f"{ring.retained:>9}  "
+                  f"{'yes' if ring.reconciles() else 'NO'}")
+        print("\n== fault-class evidence matches ==")
+        for cls, match in sorted(matches.items()):
+            if match.bundles:
+                listing = ", ".join(
+                    f"{bid} [{', '.join(signals)}]"
+                    for bid, signals in sorted(match.bundles.items())
+                )
+            else:
+                listing = "UNMATCHED"
+            print(f"  {cls:<16} {listing}")
+        print(f"\nrecorder: {recorder.bundles_frozen} bundle(s) frozen, "
+              f"{recorder.bundle_bytes} archive byte(s), "
+              f"{recorder.triggers_dropped} trigger(s) dropped")
+
+    if args.check:
+        ok, lines = check_forensics(args.seed)
+        for line in lines:
+            print(line)
+        if not ok:
+            raise SystemExit(1)
+        print("OK: every fault class matched a bundle naming its signal "
+              "on both lanes; rings reconcile; bundles byte-stable")
+
+
 def _cmd_report(args) -> None:
     from pathlib import Path
 
@@ -926,6 +1102,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "diagnose": _cmd_diagnose,
     "fleet": _cmd_fleet,
+    "forensics": _cmd_forensics,
     "profile": _cmd_profile,
     "report": _cmd_report,
     "store": _cmd_store,
@@ -1006,6 +1183,15 @@ def main(argv: list[str] | None = None) -> int:
                              "exposition")
     parser.add_argument("--catalog", action="store_true",
                         help="fleet: print the signal catalog page only")
+    parser.add_argument("--capture", action="store_true",
+                        help="forensics: run the chaos capture campaign and "
+                             "print the frozen bundles (the default mode)")
+    parser.add_argument("--show", default=None, metavar="BUNDLE",
+                        help="forensics: reconstruct one frozen bundle's "
+                             "cross-layer timeline by id (e.g. fb-0)")
+    parser.add_argument("--diff", nargs=2, default=None, metavar=("A", "B"),
+                        help="forensics: diff two bundles — faulted-run ids "
+                             "plus the clean-run snapshot 'clean-0'")
     parser.add_argument("--head-rate", type=float, default=1.0,
                         help="trace: deterministic head-sampling rate "
                              "(1.0 = keep every trace)")
@@ -1024,7 +1210,10 @@ def main(argv: list[str] | None = None) -> int:
                              "every scorecard reconciles exactly (scan) or "
                              "the signal catalog is complete "
                              "(catalog/export); store: exit nonzero on any "
-                             "lost or under-replicated object")
+                             "lost or under-replicated object; forensics: "
+                             "exit nonzero unless every fault class matches "
+                             "a bundle, rings reconcile, and bundles are "
+                             "byte-stable on the slow and columnar lanes")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

@@ -302,6 +302,7 @@ class ColumnarSpine:
             cfg.faults is not None or cfg.retry is not None
             or cfg.standby_l1 or cfg.diagnosis is not None
             or cfg.probe is not None or cfg.keep_csv or not cfg.fast_lane
+            or bool(cfg.flightrec)
         ):
             return False
         if world._samplers_running or world._pipeline_samplers_running:

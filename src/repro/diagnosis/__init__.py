@@ -21,6 +21,16 @@ armed or absent (pinned by the property suite).
 
 from repro.diagnosis.alerts import FIRING, PENDING, RESOLVED, Alert, IncidentLog
 from repro.diagnosis.engine import DiagnosisConfig, DiagnosisEngine, WindowView
+from repro.diagnosis.forensics import (
+    BundleDiff,
+    CaptureResult,
+    bundle_timeline,
+    capture_campaign,
+    check_forensics,
+    diff_bundles,
+    match_bundles,
+    timeline_panel,
+)
 from repro.diagnosis.rules import Rule, RuleEval, default_rules
 from repro.diagnosis.scoring import (
     DETECTORS,
@@ -40,6 +50,8 @@ from repro.diagnosis.windows import SeriesWindow
 
 __all__ = [
     "Alert",
+    "BundleDiff",
+    "CaptureResult",
     "DETECTORS",
     "DiagnosisConfig",
     "DiagnosisEngine",
@@ -56,9 +68,15 @@ __all__ = [
     "Signal",
     "SignalCatalog",
     "WindowView",
+    "bundle_timeline",
+    "capture_campaign",
+    "check_forensics",
     "default_catalog",
     "default_rules",
+    "diff_bundles",
     "expected_signals",
     "fault_windows",
+    "match_bundles",
     "score_incidents",
+    "timeline_panel",
 ]

@@ -15,6 +15,7 @@ clock in the world).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["Alert", "IncidentLog", "PENDING", "FIRING", "RESOLVED"]
@@ -38,6 +39,10 @@ class Alert:
     peak_value: float = 0.0
     threshold: float = 0.0
     detail: str = ""
+    #: Position in the :class:`IncidentLog` (assigned when the alert
+    #: fires and is recorded; -1 while pending/discarded).  Forensic
+    #: bundles cross-reference incidents by this id.
+    incident_id: int = -1
 
     def fire(self, now: float) -> None:
         if self.state != PENDING:
@@ -57,9 +62,17 @@ class Alert:
             self.peak_value = value
             self.detail = detail
 
+    @property
+    def duration_s(self) -> float | None:
+        """Firing → resolved span (``None`` until both have happened)."""
+        if self.t_fired is None or self.t_resolved is None:
+            return None
+        return self.t_resolved - self.t_fired
+
     def to_dict(self, epoch: float = 0.0) -> dict:
         """JSON-friendly view, times relative to ``epoch``."""
         return {
+            "id": self.incident_id,
             "rule": self.rule,
             "severity": self.severity,
             "state": self.state,
@@ -68,10 +81,36 @@ class Alert:
             "t_resolved": (
                 None if self.t_resolved is None else self.t_resolved - epoch
             ),
+            "duration_s": self.duration_s,
             "peak_value": self.peak_value,
             "threshold": self.threshold,
             "detail": self.detail,
         }
+
+    def to_json(self, epoch: float = 0.0) -> str:
+        """Byte-stable serialization: sorted keys, compact separators,
+        ``repr`` float formatting (shortest round-trip) — the same
+        stability contract as ``repro trace --json``."""
+        return json.dumps(self.to_dict(epoch), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, d: dict, epoch: float = 0.0) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output (round-trip)."""
+        return cls(
+            rule=d["rule"],
+            severity=d["severity"],
+            t_pending=d["t_pending"] + epoch,
+            state=d["state"],
+            t_fired=None if d["t_fired"] is None else d["t_fired"] + epoch,
+            t_resolved=(
+                None if d["t_resolved"] is None else d["t_resolved"] + epoch
+            ),
+            peak_value=d["peak_value"],
+            threshold=d["threshold"],
+            detail=d["detail"],
+            incident_id=d["id"],
+        )
 
 
 @dataclass
@@ -81,6 +120,7 @@ class IncidentLog:
     incidents: list = field(default_factory=list)
 
     def record(self, alert: Alert) -> None:
+        alert.incident_id = len(self.incidents)
         self.incidents.append(alert)
 
     def firing(self) -> list:
@@ -95,6 +135,17 @@ class IncidentLog:
 
     def __iter__(self):
         return iter(self.incidents)
+
+    def to_dict(self, epoch: float = 0.0) -> dict:
+        return {
+            "incidents": [a.to_dict(epoch) for a in self.incidents],
+            "count": len(self.incidents),
+        }
+
+    def to_json(self, epoch: float = 0.0) -> str:
+        """Byte-stable serialization (see :meth:`Alert.to_json`)."""
+        return json.dumps(self.to_dict(epoch), sort_keys=True,
+                          separators=(",", ":"))
 
     def render_text(self, epoch: float = 0.0) -> str:
         lines = ["== incident log =="]

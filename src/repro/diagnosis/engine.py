@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.diagnosis.alerts import FIRING, PENDING, Alert, IncidentLog
+from repro.diagnosis.alerts import FIRING, PENDING, RESOLVED, Alert, IncidentLog
 from repro.diagnosis.rules import default_rules
 from repro.diagnosis.tail import IngestTail
 from repro.diagnosis.windows import SeriesWindow
@@ -162,6 +162,13 @@ class DiagnosisEngine:
         self._active: dict[str, Alert] = {}
         self.ticks = 0
         self._armed = False
+        #: ``cb(engine, now)`` after each evaluation tick (the flight
+        #: recorder snapshots rule windows here).  Host-side observers
+        #: only: callbacks must be read-only and schedule nothing.
+        self.tick_observers: list = []
+        #: ``cb(alert, transition, now)`` on each lifecycle transition
+        #: (``pending`` / ``firing`` / ``resolved``).  Same purity bar.
+        self.transition_observers: list = []
 
     # -- arming --------------------------------------------------------
 
@@ -171,6 +178,12 @@ class DiagnosisEngine:
             raise RuntimeError("diagnosis engine already armed")
         self._armed = True
         self.world.env.every(self.config.eval_period_s, self.tick, weak=True)
+
+    def add_tick_observer(self, callback) -> None:
+        self.tick_observers.append(callback)
+
+    def add_transition_observer(self, callback) -> None:
+        self.transition_observers.append(callback)
 
     # -- sampling ------------------------------------------------------
 
@@ -246,6 +259,12 @@ class DiagnosisEngine:
             ev = rule.evaluate(view)
             self.rule_series[rule.name].append(now, ev.value)
             self._drive(rule, ev, now)
+        for callback in self.tick_observers:
+            callback(self, now)
+
+    def _notify(self, alert: Alert, transition: str, now: float) -> None:
+        for callback in self.transition_observers:
+            callback(alert, transition, now)
 
     def _drive(self, rule, ev, now: float) -> None:
         alert = self._active.get(rule.name)
@@ -256,6 +275,7 @@ class DiagnosisEngine:
                     t_pending=now, threshold=ev.threshold,
                 )
                 self._active[rule.name] = alert
+                self._notify(alert, PENDING, now)
             alert.observe(ev.value, ev.detail)
             if (
                 alert.state == PENDING
@@ -263,9 +283,11 @@ class DiagnosisEngine:
             ):
                 alert.fire(now)
                 self.incidents.record(alert)
+                self._notify(alert, FIRING, now)
         elif alert is not None:
             if alert.state == FIRING:
                 alert.resolve(now)
+                self._notify(alert, RESOLVED, now)
             # A pending alert whose condition cleared is hysteresis
             # doing its job: discard silently.
             del self._active[rule.name]

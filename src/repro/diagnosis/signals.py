@@ -127,6 +127,7 @@ def expected_signals() -> set:
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
     from repro.telemetry.collector import END_TO_END
+    from repro.telemetry.flightrec import RECORDER_METRICS
     from repro.telemetry.trace import (
         STAGE_BUS,
         STAGE_FORWARD,
@@ -144,6 +145,7 @@ def expected_signals() -> set:
                       STAGE_RECEIVE, STAGE_INGEST, END_TO_END)
     }
     expected |= {name for name, _, _ in PROBE_METRICS}
+    expected |= {name for name, _, _ in RECORDER_METRICS}
     expected |= {"health_score"}
     expected |= {f"score_deduction_{c}" for c in COMPONENT_WEIGHTS}
     return expected
@@ -173,6 +175,7 @@ def default_catalog() -> SignalCatalog:
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
     from repro.telemetry.collector import END_TO_END
+    from repro.telemetry.flightrec import RECORDER_METRICS
     from repro.telemetry.trace import (
         STAGE_BUS,
         STAGE_FORWARD,
@@ -245,6 +248,13 @@ def default_catalog() -> SignalCatalog:
             name=name, unit=unit,
             kind="counter" if name.endswith("_total") else "gauge",
             source="repro.fleet.probe",
+            description=description,
+        ))
+    for name, unit, description in RECORDER_METRICS:
+        catalog.register(Signal(
+            name=name, unit=unit,
+            kind="counter" if name.endswith("_total") else "gauge",
+            source="repro.telemetry.flightrec",
             description=description,
         ))
     catalog.register(Signal(

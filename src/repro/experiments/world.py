@@ -117,6 +117,15 @@ class WorldConfig:
     #: seeded campaign is byte-identical with the probe armed or None —
     #: pinned by the fleet property suite.
     probe: object | None = None
+    #: Arm the black-box flight recorder
+    #: (:class:`~repro.telemetry.flightrec.FlightRecorder`): bounded
+    #: per-stream evidence rings plus forensic-bundle freezing on
+    #: incident triggers.  ``True`` uses default ring/window settings;
+    #: pass a :class:`~repro.telemetry.flightrec.FlightRecorderConfig`
+    #: to tune them.  Recording is weak-tick / observer-only, so a
+    #: seeded campaign is byte-identical with the recorder armed or
+    #: absent on every lane — pinned by the flightrec property suite.
+    flightrec: object = False
 
     @property
     def epoch(self) -> float:
@@ -238,6 +247,25 @@ class World:
 
             self.fault_injector = FaultInjector(self, config.faults)
             self.fault_injector.arm()
+
+        # Black-box flight recorder: armed after the fault injector (so
+        # the applied-fault feed exists to observe) and before the
+        # columnar spine, whose arming guard must see the recorder's
+        # store ingest observer and refuse to virtualize.
+        self.flight_recorder = None
+        if config.flightrec:
+            from repro.telemetry.flightrec import (
+                FlightRecorder,
+                FlightRecorderConfig,
+            )
+
+            fr_config = (
+                config.flightrec
+                if isinstance(config.flightrec, FlightRecorderConfig)
+                else FlightRecorderConfig()
+            )
+            self.flight_recorder = FlightRecorder(self, fr_config)
+            self.flight_recorder.arm()
 
         # Columnar express spine: built last of all so its arming guard
         # sees the finished world.  try_arm refuses whenever anything

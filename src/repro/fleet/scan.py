@@ -81,6 +81,7 @@ class FleetClusterSpec:
                 slo_min_count=8,
             ),
             probe=ProbeConfig(period_s=_SCAN_EVAL_PERIOD_S),
+            flightrec=True,
         )
 
 
@@ -101,6 +102,10 @@ class ClusterReadiness:
     #: daemon) store counters (empty dict on a legacy flat store so
     #: non-replicated payloads stay unchanged).
     store: dict = field(default_factory=dict)
+    #: ``FlightRecorder.stats()`` at scan end — per-stream ring
+    #: ledgers and bundle counters (empty dict when the recorder is
+    #: not armed so legacy payloads stay unchanged).
+    recorder: dict = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -121,6 +126,8 @@ class ClusterReadiness:
         }
         if self.store:
             out["store"] = self.store
+        if self.recorder:
+            out["recorder"] = self.recorder
         return out
 
 
@@ -205,6 +212,8 @@ def scan_cluster(spec: FleetClusterSpec, *,
 
     from repro.diagnosis.engine import SAMPLED_SERIES
 
+    if world.flight_recorder:
+        world.flight_recorder.flush()
     probe_report = world.probe_scanner.report()
     incidents = world.diagnosis.incidents
     health = world.pipeline_health_report()
@@ -231,6 +240,8 @@ def scan_cluster(spec: FleetClusterSpec, *,
         runtime_s=result.runtime_s,
         gauges=gauges,
         store=dsos_cluster.stats_snapshot() if dsos_cluster.sharded else {},
+        recorder=(world.flight_recorder.stats()
+                  if world.flight_recorder else {}),
     )
 
 

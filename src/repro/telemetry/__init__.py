@@ -25,6 +25,14 @@ byte-identical results.
 
 from repro.telemetry.collector import TraceCollector, collector_for, install, uninstall
 from repro.telemetry.exporter import render_openmetrics
+from repro.telemetry.flightrec import (
+    RECORDER_METRICS,
+    BundleLog,
+    FlightRecorder,
+    FlightRecorderConfig,
+    ForensicBundle,
+    RingBuffer,
+)
 from repro.telemetry.histogram import GaugeStats, LogHistogram
 from repro.telemetry.spans import (
     CriticalPath,
@@ -63,6 +71,7 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "BundleLog",
     "CriticalPath",
     "CriticalPathRollup",
     "DELIVERED",
@@ -74,6 +83,9 @@ __all__ = [
     "DUP_IGNORED",
     "FAILOVER",
     "FORWARDED",
+    "FlightRecorder",
+    "FlightRecorderConfig",
+    "ForensicBundle",
     "GaugeStats",
     "HopRecord",
     "LogHistogram",
@@ -81,10 +93,12 @@ __all__ = [
     "PUBLISHED",
     "PipelineHealthReport",
     "PipelineStatsSampler",
+    "RECORDER_METRICS",
     "RECOVERY_OUTCOMES",
     "REDELIVERED",
     "REPLAYED",
     "ReconRow",
+    "RingBuffer",
     "SPILLED",
     "STAGE_BUS",
     "STAGE_FORWARD",

@@ -70,6 +70,11 @@ class TraceCollector:
         #: ``(e2e_latency_s, trace_id)`` of the slowest stored message
         #: seen so far — the live exemplar diagnosis rules cite.
         self.slowest_stored: tuple[float, str] | None = None
+        #: ``cb(trace_id, stage, node, outcome, t)`` fired for hops with
+        #: a recovery outcome (replay, failover, dedup, quorum degrade).
+        #: Empty on a plain collector so the hot path stays one falsy
+        #: check; observers must be read-only host-side appends.
+        self._recovery_observers: list = []
 
     # -- trace lifecycle -----------------------------------------------
 
@@ -127,6 +132,9 @@ class TraceCollector:
         trace = self._trace(trace_id, t_in)
         record = HopRecord(stage=stage, node=node, t_in=t_in, t_out=t_out, outcome=outcome)
         trace.hops.append(record)
+        if self._recovery_observers and outcome in RECOVERY_OUTCOMES:
+            for callback in self._recovery_observers:
+                callback(trace_id, stage, node, outcome, t_out)
         if t_out > t_in:
             self._histogram(stage).observe(t_out - t_in)
         if outcome == STORED and t_out > trace.t_begin:
@@ -135,6 +143,11 @@ class TraceCollector:
             if self.slowest_stored is None or e2e > self.slowest_stored[0]:
                 self.slowest_stored = (e2e, trace_id)
         return record
+
+    def add_recovery_observer(self, callback) -> None:
+        """Subscribe to recovery-outcome hops (the flight recorder's
+        feed).  Purity bar: callbacks observe, they never perturb."""
+        self._recovery_observers.append(callback)
 
     def open_hop(self, trace_id: str, stage: str, node: str) -> None:
         """Mark a hop's entry time (e.g. enqueue into an outbox)."""

@@ -116,6 +116,24 @@ def _collect(report) -> dict[str, list[str]]:
                     emit("store_repair_pulled_total", labels,
                          snap["repair_pulled"])
 
+        # Flight-recorder self-metrics — absent when the recorder is
+        # not armed, so legacy expositions stay byte-identical.
+        recorder = getattr(cluster, "recorder", None)
+        if recorder:
+            emit("flightrec_bundles_frozen_total", base,
+                 recorder["bundles_frozen"])
+            emit("flightrec_bundle_bytes_total", base,
+                 recorder["bundle_bytes"])
+            emit("flightrec_triggers_dropped_total", base,
+                 recorder["triggers_dropped"])
+            for stream, counters in sorted(recorder["streams"].items()):
+                labels = dict(base, stream=stream)
+                emit("flightrec_captured_total", labels,
+                     counters["captured"])
+                emit("flightrec_evicted_total", labels,
+                     counters["evicted"])
+                emit("flightrec_retained", labels, counters["retained"])
+
     return families
 
 

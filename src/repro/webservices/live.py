@@ -77,6 +77,9 @@ class LiveDashboard:
         slow_panel = self._slow_trace_panel()
         if slow_panel is not None:
             panels.append(slow_panel)
+        recorder_panel = self._recorder_panel()
+        if recorder_panel is not None:
+            panels.append(recorder_panel)
         for name, series in sorted(engine.rule_series.items()):
             tail = series.tail(self.window_s)
             panels.append(
@@ -125,6 +128,33 @@ class LiveDashboard:
             )
         return PanelData(
             title=f"slowest traces (top {len(rows)})",
+            viz="table",
+            payload=rows,
+            rows_queried=len(rows),
+        )
+
+    def _recorder_panel(self) -> PanelData | None:
+        """Flight-recorder ring ledgers, when the recorder is armed.
+
+        Read-only over the recorder's counters; absent entirely on
+        worlds without one so legacy panel sets are unchanged.
+        """
+        recorder = getattr(self.engine.world, "flight_recorder", None)
+        if recorder is None:
+            return None
+        rows = [
+            {
+                "stream": name,
+                "captured": ring.captured,
+                "evicted": ring.evicted,
+                "retained": ring.retained,
+                "reconciles": "yes" if ring.reconciles() else "NO",
+            }
+            for name, ring in recorder.rings.items()
+        ]
+        return PanelData(
+            title=(f"flight recorder ({recorder.bundles_frozen} "
+                   f"bundle(s) frozen)"),
             viz="table",
             payload=rows,
             rows_queried=len(rows),

@@ -66,3 +66,61 @@ def test_incident_log_queries_and_render():
     assert log.for_rule("b") == [b]
     text = log.render_text()
     assert "a" in text and "firing" in text and "resolved" in text
+
+
+def test_record_assigns_incident_ids_in_order():
+    log = IncidentLog()
+    alerts = []
+    for i in range(3):
+        a = Alert(rule=f"r{i}", severity="info", t_pending=float(i))
+        a.fire(i + 0.5)
+        assert a.incident_id == -1  # unassigned until recorded
+        log.record(a)
+        alerts.append(a)
+    assert [a.incident_id for a in alerts] == [0, 1, 2]
+
+
+def test_to_dict_includes_id_and_duration():
+    a = Alert(rule="r", severity="warning", t_pending=10.0)
+    a.fire(10.5)
+    assert a.to_dict()["duration_s"] is None  # not resolved yet
+    a.resolve(12.25)
+    a.incident_id = 4
+    d = a.to_dict(epoch=10.0)
+    assert d["id"] == 4
+    assert d["duration_s"] == pytest.approx(1.75)
+
+
+def test_alert_json_round_trip_and_byte_stability():
+    epoch = 1_650_000_000.0
+    a = Alert(rule="store_stall", severity="critical",
+              t_pending=epoch + 0.15, threshold=3.0)
+    a.observe(7.123456789, "pending=7")
+    a.fire(epoch + 0.25)
+    a.resolve(epoch + 0.4)
+    a.incident_id = 2
+
+    blob = a.to_json(epoch)
+    # Byte-stable: same alert, same bytes, keys sorted.
+    assert blob == a.to_json(epoch)
+    keys = list(__import__("json").loads(blob))
+    assert keys == sorted(keys)
+
+    back = Alert.from_dict(__import__("json").loads(blob), epoch)
+    assert back == a
+    assert back.to_json(epoch) == blob
+
+
+def test_incident_log_json_byte_stable():
+    log = IncidentLog()
+    a = Alert(rule="a", severity="critical", t_pending=0.125)
+    a.fire(0.5)
+    log.record(a)
+    blob = log.to_json()
+    assert blob == log.to_json()
+    parsed = __import__("json").loads(blob)
+    assert parsed["count"] == 1
+    assert parsed["incidents"][0]["id"] == 0
+    # Round-trip every incident through from_dict.
+    rebuilt = [Alert.from_dict(d) for d in parsed["incidents"]]
+    assert rebuilt == log.incidents

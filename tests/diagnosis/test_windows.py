@@ -71,3 +71,38 @@ def test_max_over_and_tail():
     assert s.max_over(10.0) == 7.0
     assert s.tail(1.0) == [(2, 3.0), (3, 2.0)]
     assert s.tail(0.0) == [(3, 2.0)]
+
+
+def test_baseline_over_empty_sample_gap():
+    # A long quiet gap between two samples: the baseline windows fall
+    # entirely inside the gap, where the step function is flat, so the
+    # trailing baseline is 0 — a stall after a gap must not divide by
+    # a phantom rate.
+    s = _counter([(0.0, 50.0), (100.0, 50.0)])
+    assert s.baseline_rate(1.0, n_windows=4) == 0.0
+    assert s.rate(1.0) == 0.0
+    # ...and with the gap spanned entirely, the rate reappears.
+    assert s.delta(200.0) == pytest.approx(50.0)
+
+
+def test_single_sample_rate_counts_from_prehistory_zero():
+    # One sample: the window reaches into zero-valued prehistory, so
+    # rate == value / window, never a ZeroDivisionError or IndexError.
+    s = _counter([(5.0, 12.0)])
+    assert s.rate(2.0) == pytest.approx(6.0)
+    assert s.delta(2.0) == pytest.approx(12.0)
+    assert s.baseline_rate(2.0) == 0.0
+    assert s.max_over(2.0) == 12.0
+
+
+def test_delta_across_rearmed_engine_spikes_once():
+    # A re-armed engine starts fresh SeriesWindows while the world's
+    # cumulative counters keep their values, so the first sample lands
+    # late and large.  delta() then reports the whole counter as one
+    # window's growth (prehistory is zero) — a documented one-window
+    # spike, flat again from the second sample on.
+    rearmed = SeriesWindow("stored_total")
+    rearmed.append(60.0, 4000.0)  # first tick after the re-arm
+    assert rearmed.delta(0.25) == pytest.approx(4000.0)  # the spike
+    rearmed.append(60.25, 4000.0)
+    assert rearmed.delta(0.25) == pytest.approx(0.0)  # settled

@@ -21,7 +21,7 @@ def test_default_catalog_is_complete():
     catalog = default_catalog()
     assert catalog.complete()
     assert catalog.missing() == []
-    assert len(catalog) == len(expected_signals()) == 51
+    assert len(catalog) == len(expected_signals()) == 57
 
 
 def test_catalog_covers_every_registry():
@@ -35,13 +35,14 @@ def test_catalog_covers_every_registry():
     assert "score_deduction_probes" in names  # COMPONENT_WEIGHTS
     assert "store_wal_replayed_total" in names  # STORE_METRICS
     assert "alert_under_replication" in names  # replication rules
+    assert "flightrec_captured_total" in names  # RECORDER_METRICS
 
 
 def test_kind_census():
     by_kind = {}
     for signal in default_catalog():
         by_kind[signal.kind] = by_kind.get(signal.kind, 0) + 1
-    assert by_kind == {"counter": 15, "gauge": 12, "histogram": 6,
+    assert by_kind == {"counter": 20, "gauge": 13, "histogram": 6,
                        "alert": 12, "score": 6}
 
 
@@ -96,7 +97,7 @@ def test_iteration_and_lookup():
 
 def test_to_rows_sorted_by_kind_then_name():
     rows = default_catalog().to_rows()
-    assert len(rows) == 51
+    assert len(rows) == 57
     keys = [(r["kind"], r["name"]) for r in rows]
     assert keys == sorted(keys)
     # Un-ruled signals render a dash, not an empty cell.

@@ -180,6 +180,17 @@ def test_repro_cli_diagnose_json(capsys):
     }
     assert payload["clean_run_alerts"] == 0
     assert payload["incidents"]
+    # Incident ids are positional and durations are firing→resolved
+    # spans (null while still firing) — the forensics cross-reference.
+    assert [i["id"] for i in payload["incidents"]] == list(
+        range(len(payload["incidents"]))
+    )
+    for incident in payload["incidents"]:
+        assert "duration_s" in incident
+        if incident["state"] == "resolved":
+            assert incident["duration_s"] >= 0
+        else:
+            assert incident["duration_s"] is None
     for d in payload["score"]["detections"]:
         assert d["detected"] and d["detection_latency_s"] > 0
 
@@ -292,8 +303,9 @@ def test_repro_cli_trace_check_exits_nonzero_on_inexact(monkeypatch, capsys):
         ["chaos", "--seed", "7", "--json"],
         ["profile", "--json"],
         ["trace", "--slowest", "1", "--json"],
+        ["forensics", "--capture", "--json"],
     ],
-    ids=["telemetry", "chaos", "profile", "trace"],
+    ids=["telemetry", "chaos", "profile", "trace", "forensics"],
 )
 def test_repro_cli_json_outputs_are_stable_sorted(argv, capsys):
     """Every --json stdout is byte-stable: 2-space indent, sorted keys."""
@@ -370,8 +382,8 @@ def test_repro_cli_version(capsys):
 def test_repro_cli_fleet_catalog_check(capsys):
     assert repro_main(["fleet", "--catalog", "--check"]) == 0
     out = capsys.readouterr().out
-    assert "== signal catalog (51 signals, complete) ==" in out
-    assert "OK: catalog complete (51 signals)" in out
+    assert "== signal catalog (57 signals, complete) ==" in out
+    assert "OK: catalog complete (57 signals)" in out
 
 
 def test_repro_cli_fleet_catalog_json(capsys):
@@ -381,7 +393,7 @@ def test_repro_cli_fleet_catalog_json(capsys):
     out = capsys.readouterr().out
     payload = json.loads(out)
     assert payload["complete"] is True
-    assert payload["count"] == 51 and payload["missing"] == []
+    assert payload["count"] == 57 and payload["missing"] == []
     assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -417,7 +429,7 @@ def test_repro_cli_fleet_scan_check(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (51 signals, complete) ==" in out
+    assert "== signal catalog (57 signals, complete) ==" in out
     assert ("OK: 3 scorecards reconcile exactly; chaos faults deducted "
             "via matching components") in out
 
@@ -457,3 +469,90 @@ def test_repro_cli_fleet_scan_check_fails_on_broken_reconciliation(
         repro_main(["fleet", "--check"])
     assert exc.value.code == 1
     assert "FAIL: scorecard does not reconcile" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------- repro forensics
+
+
+def test_repro_cli_forensics_capture(capsys):
+    assert repro_main(["forensics", "--capture"]) == 0
+    out = capsys.readouterr().out
+    assert "== applied faults ==" in out
+    assert "== frozen bundles ==" in out
+    assert "fb-0" in out
+    assert "== rings (captured == retained + evicted) ==" in out
+    assert "NO" not in out  # every ring reconciles
+    assert "== fault-class evidence matches ==" in out
+    assert "UNMATCHED" not in out
+    assert "0 trigger(s) dropped" in out
+
+
+def test_repro_cli_forensics_capture_json(capsys):
+    import json
+
+    assert repro_main(["forensics", "--capture", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["reconciles"] is True
+    assert payload["bundles"]
+    for bundle in payload["bundles"]:
+        assert bundle["evidence"]["rules"]
+        assert bundle["evidence"]["signals"]
+    for match in payload["matches"].values():
+        assert match["matched"] is True
+    assert payload["archive_bytes"] > 0
+
+
+def test_repro_cli_forensics_show(capsys):
+    assert repro_main(["forensics", "--show", "fb-0"]) == 0
+    out = capsys.readouterr().out
+    assert "bundle fb-0" in out
+    assert "alerts" in out
+    assert "evidence links:" in out
+
+
+def test_repro_cli_forensics_show_unknown_bundle_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["forensics", "--show", "nope-99"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "no bundle 'nope-99'" in err
+    assert "fb-0" in err  # the error lists what did freeze
+
+
+def test_repro_cli_forensics_diff_against_clean_snapshot(capsys):
+    assert repro_main(["forensics", "--diff", "fb-0", "clean-0"]) == 0
+    out = capsys.readouterr().out
+    assert "diff fb-0 vs clean-0" in out
+    assert "first divergence: stream" in out
+
+
+def test_repro_cli_forensics_modes_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["forensics", "--show", "fb-0", "--diff", "a", "b"])
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_repro_cli_forensics_check_ok(capsys):
+    assert repro_main(["forensics", "--capture", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "OK[slow]" in out
+    assert "OK[columnar]" in out
+    assert "OK: every fault class matched a bundle naming its signal" in out
+
+
+def test_repro_cli_forensics_check_fails_on_unmatched_class(
+    monkeypatch, capsys
+):
+    from repro.diagnosis import forensics
+
+    monkeypatch.setattr(
+        forensics, "match_bundles",
+        lambda applied, bundles, epoch, grace_s=1.0: {
+            "daemon_crash": forensics.ClassMatch("daemon_crash", 1),
+        },
+    )
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["forensics", "--capture", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL" in capsys.readouterr().out

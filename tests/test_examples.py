@@ -83,7 +83,7 @@ def test_fleet_console_runs(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (51 signals, complete) ==" in out
+    assert "== signal catalog (57 signals, complete) ==" in out
     assert "fleet ready: False" in out
     assert "worst: attaway" in out
     assert "OpenMetrics exposition:" in out
@@ -99,3 +99,13 @@ def test_live_diagnosis_runs(capsys):
     assert "recall=100%" in out
     assert "pipeline sim-time profile" in out
     assert "EXACT" in out
+
+
+def test_incident_forensics_runs(capsys):
+    _load("incident_forensics").main()
+    out = capsys.readouterr().out
+    assert "flight recorder after the chaos campaign" in out
+    assert "[ok]" in out and "BROKEN" not in out
+    assert "fb-0: alert_firing" in out
+    assert "first divergence: stream" in out
+    assert "every fault class matched; every ring reconciles" in out
