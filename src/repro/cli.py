@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli store [--topology | --drill] [--no-repair] \\
         [--check] [--no-fast-lane] [--columnar] [--json]
     python -m repro.cli diagnose [--seed 42] [--check] [--no-fast-lane] [--json]
+    python -m repro.cli explain [--job ID] [--seed 42] [--check] \\
+        [--no-fast-lane] [--columnar] [--json]
     python -m repro.cli profile [--seed 42] [--json]
     python -m repro.cli trace [--trace-id ID | --slowest N | --drops] \\
         [--head-rate R] [--tail-latency S] [--check] [--json]
@@ -550,6 +552,93 @@ def _cmd_diagnose(args) -> None:
         if failed:
             raise SystemExit(1)
         print("OK: every fault class detected; clean run silent")
+
+
+def _cmd_explain(args) -> None:
+    """Explainable bottleneck classification, scored against ground truth.
+
+    Runs the four-class explain chaos campaign (aggregation-trunk
+    degrade, store stall, L1 crash and replicated-store crash in
+    disjoint windows), distills the job's stored evidence into a
+    feature vector, emits scored evidence-linked bottleneck verdicts,
+    and scores the verdict classes against the injector's applied-fault
+    record; a clean rerun is the healthy-verdict control.  ``--job ID``
+    explains a specific job from the campaign world (exit 2 when the
+    id has no stored events).  With ``--check``, exits 1 unless every
+    injected fault class is classified correctly (per-class precision
+    and recall 1.0), the clean run's sole verdict is ``healthy``, and
+    the report JSON is byte-stable — on both the slow and columnar
+    lanes.
+    """
+    import json as _json
+    import sys
+
+    from repro.diagnosis.explain import (
+        check_explain,
+        explain_campaign,
+        explain_job,
+        score_verdicts,
+    )
+
+    fast = not args.no_fast_lane
+    columnar = args.columnar
+    if columnar and not fast:
+        print("repro explain: --columnar requires the fast lane "
+              "(drop --no-fast-lane)", file=sys.stderr)
+        raise SystemExit(2)
+
+    if args.check:
+        ok, lines = check_explain(args.seed)
+        for line in lines:
+            print(line)
+        if not ok:
+            raise SystemExit(1)
+        print("OK: every fault class classified, clean run healthy, "
+              "reports byte-stable on the slow and columnar lanes")
+        return
+
+    campaign = explain_campaign(args.seed, fast=fast, columnar=columnar)
+    epoch = campaign.epoch
+    report = campaign.report
+    if args.job is not None and args.job != report.job_id:
+        if not list(campaign.world.query_job(args.job)):
+            print(f"repro explain: no stored events for job {args.job} "
+                  f"(this campaign's job: {report.job_id})",
+                  file=sys.stderr)
+            raise SystemExit(2)  # unknown identifier = usage error
+        report = explain_job(campaign.world, args.job)
+    score = score_verdicts(report.verdicts, campaign.applied)
+
+    clean = explain_campaign(args.seed, fast=fast, columnar=columnar,
+                             faults=None)
+
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "fast_lane": fast,
+            "columnar": columnar,
+            "applied_faults": [
+                {"t": f.t - epoch, "kind": f.kind, "detail": f.detail}
+                for f in campaign.applied
+            ],
+            "report": report.to_dict(epoch),
+            "score": score.to_dict(),
+            "clean_primary": clean.report.primary.cls,
+            "clean_healthy": clean.report.healthy,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("== applied faults ==")
+        for fault in campaign.applied:
+            print(f"  t={fault.t - epoch:9.3f}s "
+                  f"{fault.kind:<16} {fault.detail}")
+        print()
+        print(report.render_text(epoch))
+        print()
+        print(score.render_text())
+        print(f"\nclean-run control: primary verdict "
+              f"{clean.report.primary.cls!r} "
+              f"({'OK' if clean.report.healthy else 'NOT HEALTHY'})")
 
 
 def _cmd_profile(args) -> None:
@@ -1101,6 +1190,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "diagnose": _cmd_diagnose,
+    "explain": _cmd_explain,
     "fleet": _cmd_fleet,
     "forensics": _cmd_forensics,
     "profile": _cmd_profile,
@@ -1157,18 +1247,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="store: disable anti-entropy repair (negative "
                              "control; --check then fails)")
     parser.add_argument("--no-fast-lane", action="store_true",
-                        help="chaos/diagnose/profile/store: per-message "
-                             "reference path instead of the batched fast "
-                             "lane")
+                        help="chaos/diagnose/explain/profile/store: "
+                             "per-message reference path instead of the "
+                             "batched fast lane")
     parser.add_argument("--columnar", action="store_true",
-                        help="chaos: arm the columnar record-batch lane "
-                             "(the express spine stands down under faults; "
-                             "results are bit-identical to the fast lane)")
+                        help="chaos/explain: arm the columnar record-batch "
+                             "lane (the express spine stands down under "
+                             "faults; results are bit-identical to the fast "
+                             "lane)")
     parser.add_argument("--json", action="store_true",
                         help="telemetry/chaos/diagnose/profile: machine-"
                              "readable JSON instead of the text report")
     parser.add_argument("--quick", action="store_true",
                         help="bench: reduced campaign for CI smoke runs")
+    parser.add_argument("--job", type=int, default=None,
+                        help="explain: job id to explain (default: the "
+                             "campaign's own job)")
     parser.add_argument("--trace-id", default=None,
                         help="trace: drill into one retained trace id")
     parser.add_argument("--slowest", type=int, default=5,
@@ -1213,7 +1307,10 @@ def main(argv: list[str] | None = None) -> int:
                              "lost or under-replicated object; forensics: "
                              "exit nonzero unless every fault class matches "
                              "a bundle, rings reconcile, and bundles are "
-                             "byte-stable on the slow and columnar lanes")
+                             "byte-stable on the slow and columnar lanes; "
+                             "explain: exit nonzero unless every injected "
+                             "fault class is classified correctly and the "
+                             "clean run is verdict-healthy on both lanes")
     parser.add_argument("--out", default=None,
                         help="bench: result path (default "
                              "benchmarks/BENCH_pipeline.json)")

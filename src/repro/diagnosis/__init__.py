@@ -21,6 +21,23 @@ armed or absent (pinned by the property suite).
 
 from repro.diagnosis.alerts import FIRING, PENDING, RESOLVED, Alert, IncidentLog
 from repro.diagnosis.engine import DiagnosisConfig, DiagnosisEngine, WindowView
+from repro.diagnosis.explain import (
+    CLASSIFIERS,
+    EXPLAIN_METRICS,
+    STRATEGY_WEIGHTS,
+    VERDICT_CLASSES,
+    BottleneckVerdict,
+    ExplainReport,
+    ExplainScore,
+    Recommendation,
+    check_explain,
+    explain_campaign,
+    explain_gauges,
+    explain_job,
+    explain_plan,
+    score_verdicts,
+)
+from repro.diagnosis.features import FeatureVector, job_features
 from repro.diagnosis.forensics import (
     BundleDiff,
     CaptureResult,
@@ -50,33 +67,49 @@ from repro.diagnosis.windows import SeriesWindow
 
 __all__ = [
     "Alert",
+    "BottleneckVerdict",
     "BundleDiff",
+    "CLASSIFIERS",
     "CaptureResult",
     "DETECTORS",
     "DiagnosisConfig",
     "DiagnosisEngine",
     "DiagnosisScore",
+    "EXPLAIN_METRICS",
+    "ExplainReport",
+    "ExplainScore",
     "FIRING",
     "FaultWindow",
+    "FeatureVector",
     "IncidentLog",
     "IngestTail",
     "PENDING",
     "RESOLVED",
+    "Recommendation",
     "Rule",
     "RuleEval",
+    "STRATEGY_WEIGHTS",
     "SeriesWindow",
     "Signal",
     "SignalCatalog",
+    "VERDICT_CLASSES",
     "WindowView",
     "bundle_timeline",
     "capture_campaign",
+    "check_explain",
     "check_forensics",
     "default_catalog",
     "default_rules",
     "diff_bundles",
     "expected_signals",
+    "explain_campaign",
+    "explain_gauges",
+    "explain_job",
+    "explain_plan",
     "fault_windows",
+    "job_features",
     "match_bundles",
     "score_incidents",
+    "score_verdicts",
     "timeline_panel",
 ]

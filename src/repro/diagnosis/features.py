@@ -1,0 +1,268 @@
+"""Per-job feature vectors for bottleneck explanation.
+
+The explanation layer (:mod:`repro.diagnosis.explain`) never looks at
+raw events — it classifies a :class:`FeatureVector` distilled from what
+the stack already observes about one job:
+
+* **op mix / access sizes** — :func:`~repro.webservices.signatures.io_signature`
+  over the job's stored ``darshan_data`` rows (counts, byte volumes,
+  mean sizes, event rate, workload class);
+* **rank and phase structure** — events per rank (imbalance ratio) and
+  Figure-8 write phases from :mod:`repro.webservices.analysis`;
+* **pipeline dynamics** — whole-run peaks of the diagnosis engine's
+  sampled :class:`~repro.diagnosis.windows.SeriesWindow` set (queue
+  depth, spill, retries, dead letters, failed daemons, store health);
+* **FS contention** — the LASSi-style read/write *risk* (fraction of
+  the job's rank-time spent inside read/write segments) plus the
+  Pearson correlation of op durations against each file system's load
+  factor (:func:`~repro.webservices.correlation.correlate_durations_with_metric`),
+  carrying the ``degenerate`` flag through so "flat load" is
+  distinguishable from "no correlation";
+* **exemplar trace** — the slowest stored end-to-end trace id, the
+  drill-down link every verdict cites.
+
+Everything here is a pure read over a finished world: no events are
+scheduled, no randomness is drawn, nothing is mutated.  A campaign with
+a post-hoc :func:`job_features` call is byte-identical to one without —
+pinned by the explain property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.webservices.analysis import (
+    count_write_phases,
+    rows_to_dataframe,
+    timeline,
+)
+from repro.webservices.correlation import correlate_durations_with_metric
+from repro.webservices.dataframe import DataFrameError
+from repro.webservices.signatures import classify_workload, io_signature
+
+__all__ = ["FeatureVector", "job_features"]
+
+#: Load-factor samples synthesized per job span for the FS correlation.
+_LOAD_SAMPLES = 33
+
+#: Buckets the job span is divided into for the duration/load join.
+_LOAD_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Everything the classifier strategies are allowed to see."""
+
+    job_id: int
+
+    # -- op mix / access sizes (darshan counters) ----------------------
+    workload_class: str = "idle"
+    n_events: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+    n_opens: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    mean_read_size: float = 0.0
+    mean_write_size: float = 0.0
+    mean_op_dur_s: float = 0.0
+    duration_s: float = 0.0
+    event_rate_per_s: float = 0.0
+    #: Fraction of events that are not data ops (opens/closes/etc).
+    metadata_op_fraction: float = 0.0
+    write_phases: int = 0
+
+    # -- rank structure (span trees / per-rank counts) -----------------
+    n_ranks: int = 0
+    #: Busiest rank's event count over the per-rank mean (1.0 = even).
+    rank_imbalance_ratio: float = 0.0
+    busiest_rank: int = -1
+
+    # -- pipeline dynamics (engine series, whole-run peaks) ------------
+    queue_depth_peak: float = 0.0
+    ingest_backlog_peak: float = 0.0
+    spill_parked_peak: float = 0.0
+    slow_pending_peak: float = 0.0
+    retries_total: float = 0.0
+    dead_letters_total: float = 0.0
+    daemons_failed_peak: float = 0.0
+    store_replicas_down_peak: float = 0.0
+    store_under_replicated_peak: float = 0.0
+    store_replica_lag_peak: float = 0.0
+    store_shard_skew_peak: float = 0.0
+
+    # -- FS contention (LASSi-style risk + load correlation) -----------
+    #: File system whose load factor correlates strongest with op
+    #: durations ("" when the join was degenerate everywhere).
+    fs_name: str = ""
+    fs_load_r: float = 0.0
+    fs_load_p: float = 1.0
+    #: True when every bucketed series was constant (quiet world) or
+    #: the join had too few buckets — "no information", not "no
+    #: correlation" (the satellite-hardened correlation contract).
+    fs_load_degenerate: bool = True
+    #: Fraction of the job's rank-time (wall duration × ranks) spent
+    #: inside read segments — the LASSi-style read risk, kept in [0, 1]
+    #: by normalizing concurrent per-rank segments.
+    read_risk: float = 0.0
+    #: Fraction of the job's rank-time spent inside write segments.
+    write_risk: float = 0.0
+
+    # -- exemplar trace ------------------------------------------------
+    slowest_trace_id: str = ""
+    slowest_trace_e2e_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (field order fixed by the dataclass)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _rank_features(df) -> tuple[int, float, int]:
+    """``(n_ranks, imbalance_ratio, busiest_rank)`` from event counts."""
+    ranks = df.col("rank").astype(int)
+    uniq, counts = np.unique(ranks, return_counts=True)
+    if len(uniq) == 0:
+        return 0, 0.0, -1
+    mean = float(counts.mean())
+    busiest = int(np.argmax(counts))
+    ratio = float(counts[busiest]) / mean if mean > 0 else 0.0
+    return int(len(uniq)), ratio, int(uniq[busiest])
+
+
+def _fs_correlation(world, df, t0: float, t1: float) -> dict:
+    """Strongest op-duration/load-factor correlation across the
+    world's file systems, via the shared correlation machinery."""
+    best = {"fs_name": "", "pearson_r": 0.0, "p_value": 1.0,
+            "degenerate": True}
+    span = t1 - t0
+    if span <= 0:
+        return best
+    bucket_s = span / _LOAD_BUCKETS
+    sample_ts = t0 + np.arange(_LOAD_SAMPLES) * (span / (_LOAD_SAMPLES - 1))
+    for fs_name in sorted(world.loads):
+        load = world.loads[fs_name]
+        metric_rows = [
+            {"metric": "load_factor", "timestamp": float(t),
+             "value": float(load.factor(float(t)))}
+            for t in sample_ts
+        ]
+        try:
+            corr = correlate_durations_with_metric(
+                df, metric_rows, bucket_s=bucket_s,
+            )
+        except (DataFrameError, ValueError):
+            continue
+        if corr["degenerate"]:
+            continue
+        if abs(corr["pearson_r"]) > abs(best["pearson_r"]):
+            best = {
+                "fs_name": fs_name,
+                "pearson_r": corr["pearson_r"],
+                "p_value": corr["p_value"],
+                "degenerate": False,
+            }
+    return best
+
+
+def job_features(world, job_id: int) -> FeatureVector:
+    """Distill one job's stored evidence into a :class:`FeatureVector`.
+
+    Requires a diagnosis engine on the world (the pipeline-dynamics
+    block reads its sampled series).  Pure read-only: safe to call on
+    any finished campaign without perturbing it.
+    """
+    engine = getattr(world, "diagnosis", None)
+    if engine is None:
+        raise RuntimeError(
+            "explain needs the diagnosis engine's sampled series; build "
+            "the world with WorldConfig(diagnosis=DiagnosisConfig(...))"
+        )
+
+    rows = list(world.query_job(job_id))
+    if not rows:
+        return FeatureVector(job_id=job_id, busiest_rank=-1)
+    df = rows_to_dataframe(rows)
+
+    sig = io_signature(df)
+    data_ops = sig["n_reads"] + sig["n_writes"]
+    metadata_fraction = 1.0 - data_ops / len(df) if len(df) else 0.0
+
+    tl = timeline(df, job_id)
+    duration = sig["duration_s"]
+    # Phase gap scaled to the job (the Figure-8 default of 2 s assumes
+    # production-length jobs); floor keeps zero-duration jobs defined.
+    gap_s = max(duration / 8.0, 1e-6)
+    phases = count_write_phases(tl, gap_s=gap_s)
+
+    n_ranks, imbalance, busiest = _rank_features(df)
+
+    whole_run = float("inf")
+    peaks = {
+        name: engine.series(name).max_over(whole_run)
+        for name in (
+            "forward_queue_depth", "ingest_backlog", "spill_parked",
+            "slow_pending", "daemons_failed", "store_replicas_down",
+            "store_under_replicated", "store_replica_lag",
+            "store_shard_skew",
+        )
+    }
+
+    stamps = df.col("timestamp").astype(float)
+    t0, t1 = float(stamps.min()), float(stamps.max())
+    corr = _fs_correlation(world, df, t0, t1)
+
+    durs = df.col("seg_dur").astype(float)
+    op = df.col("op")
+    read_time = float(durs[op == "read"].sum())
+    write_time = float(durs[op == "write"].sum())
+    # Ranks do I/O concurrently, so segment time is normalized against
+    # rank-time (duration × ranks) to keep the risks inside [0, 1].
+    rank_time = duration * max(n_ranks, 1)
+    read_risk = read_time / rank_time if rank_time > 0 else 0.0
+    write_risk = write_time / rank_time if rank_time > 0 else 0.0
+
+    slowest = None
+    if getattr(world, "telemetry", None) is not None:
+        slowest = world.telemetry.slowest_stored
+
+    return FeatureVector(
+        job_id=job_id,
+        workload_class=classify_workload(sig),
+        n_events=len(df),
+        n_reads=sig["n_reads"],
+        n_writes=sig["n_writes"],
+        n_opens=sig["n_opens"],
+        bytes_read=sig["bytes_read"],
+        bytes_written=sig["bytes_written"],
+        mean_read_size=sig["mean_read_size"],
+        mean_write_size=sig["mean_write_size"],
+        mean_op_dur_s=sig["mean_op_dur_s"],
+        duration_s=duration,
+        event_rate_per_s=sig["event_rate_per_s"],
+        metadata_op_fraction=metadata_fraction,
+        write_phases=phases,
+        n_ranks=n_ranks,
+        rank_imbalance_ratio=imbalance,
+        busiest_rank=busiest,
+        queue_depth_peak=peaks["forward_queue_depth"],
+        ingest_backlog_peak=peaks["ingest_backlog"],
+        spill_parked_peak=peaks["spill_parked"],
+        slow_pending_peak=peaks["slow_pending"],
+        retries_total=engine.series("retries_total").latest,
+        dead_letters_total=engine.series("dead_letters_total").latest,
+        daemons_failed_peak=peaks["daemons_failed"],
+        store_replicas_down_peak=peaks["store_replicas_down"],
+        store_under_replicated_peak=peaks["store_under_replicated"],
+        store_replica_lag_peak=peaks["store_replica_lag"],
+        store_shard_skew_peak=peaks["store_shard_skew"],
+        fs_name=corr["fs_name"],
+        fs_load_r=corr["pearson_r"],
+        fs_load_p=corr["p_value"],
+        fs_load_degenerate=corr["degenerate"],
+        read_risk=read_risk,
+        write_risk=write_risk,
+        slowest_trace_id="" if slowest is None else slowest[1],
+        slowest_trace_e2e_s=0.0 if slowest is None else slowest[0],
+    )

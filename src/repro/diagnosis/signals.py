@@ -123,6 +123,7 @@ class SignalCatalog:
 def expected_signals() -> set:
     """Every signal name the stack's live registries say it emits."""
     from repro.diagnosis.engine import SAMPLED_SERIES
+    from repro.diagnosis.explain import EXPLAIN_METRICS
     from repro.dsos.cluster import STORE_METRICS
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
@@ -146,6 +147,7 @@ def expected_signals() -> set:
     }
     expected |= {name for name, _, _ in PROBE_METRICS}
     expected |= {name for name, _, _ in RECORDER_METRICS}
+    expected |= {name for name, _, _ in EXPLAIN_METRICS}
     expected |= {"health_score"}
     expected |= {f"score_deduction_{c}" for c in COMPONENT_WEIGHTS}
     return expected
@@ -171,6 +173,7 @@ def default_catalog() -> SignalCatalog:
     """The complete catalog for the current stack, built from the same
     live registries :func:`expected_signals` reads."""
     from repro.diagnosis.engine import SAMPLED_SERIES
+    from repro.diagnosis.explain import EXPLAIN_METRICS
     from repro.dsos.cluster import STORE_METRICS
     from repro.fleet.probe import PROBE_METRICS
     from repro.fleet.scorecard import COMPONENT_WEIGHTS
@@ -255,6 +258,12 @@ def default_catalog() -> SignalCatalog:
             name=name, unit=unit,
             kind="counter" if name.endswith("_total") else "gauge",
             source="repro.telemetry.flightrec",
+            description=description,
+        ))
+    for name, unit, description in EXPLAIN_METRICS:
+        catalog.register(Signal(
+            name=name, unit=unit, kind="gauge",
+            source="repro.diagnosis.explain",
             description=description,
         ))
     catalog.register(Signal(

@@ -106,6 +106,10 @@ class ClusterReadiness:
     #: ledgers and bundle counters (empty dict when the recorder is
     #: not armed so legacy payloads stay unchanged).
     recorder: dict = field(default_factory=dict)
+    #: Post-hoc bottleneck explanation of the scan job (verdict rows +
+    #: the four ``explain_*`` gauges) — empty dict when the scan world
+    #: has no diagnosis engine so legacy payloads stay unchanged.
+    explain: dict = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -128,6 +132,8 @@ class ClusterReadiness:
             out["store"] = self.store
         if self.recorder:
             out["recorder"] = self.recorder
+        if self.explain:
+            out["explain"] = self.explain
         return out
 
 
@@ -221,6 +227,22 @@ def scan_cluster(spec: FleetClusterSpec, *,
         name: world.diagnosis.series(name).latest
         for name, _, _ in SAMPLED_SERIES
     }
+    from repro.diagnosis.explain import explain_gauges, explain_job
+
+    explain_report = explain_job(world, result.job_id)
+    if world.flight_recorder:
+        world.flight_recorder.record_verdicts(explain_report)
+    explain = {
+        "job_id": explain_report.job_id,
+        "primary": explain_report.primary.cls,
+        "healthy": explain_report.healthy,
+        "verdicts": [
+            {"class": v.cls, "score": v.score, "strategy": v.strategy}
+            for v in explain_report.verdicts
+        ],
+        "gauges": explain_gauges(explain_report),
+    }
+
     dsos_cluster = world.dsos.cluster
     score = build_scorecard(
         spec.name,
@@ -242,6 +264,7 @@ def scan_cluster(spec: FleetClusterSpec, *,
         store=dsos_cluster.stats_snapshot() if dsos_cluster.sharded else {},
         recorder=(world.flight_recorder.stats()
                   if world.flight_recorder else {}),
+        explain=explain,
     )
 
 

@@ -134,6 +134,13 @@ def _collect(report) -> dict[str, list[str]]:
                      counters["evicted"])
                 emit("flightrec_retained", labels, counters["retained"])
 
+        # Bottleneck-explanation gauges — absent when the scan carried
+        # no explain report, so legacy expositions stay byte-identical.
+        explain = getattr(cluster, "explain", None)
+        if explain:
+            for name, value in sorted(explain["gauges"].items()):
+                emit(name, base, value)
+
     return families
 
 

@@ -59,6 +59,7 @@ STREAMS = (
     ("store", "store census deltas: replication health changes"),
     ("probes", "probe straggler flags and lost probes"),
     ("faults", "applied faults from the injector's ground-truth log"),
+    ("verdicts", "post-hoc bottleneck verdicts from the explain layer"),
 )
 
 #: Recorder self-metrics, as ``(name, unit, description)`` — registered
@@ -401,6 +402,26 @@ class FlightRecorder:
 
     def _record(self, stream: str, t: float, record: dict) -> None:
         self.rings[stream].append(self._rel(t), record)
+
+    def record_verdicts(self, report) -> None:
+        """Append an explain report's verdicts as evidence records.
+
+        The explain layer runs post-hoc, so this is a host-side append
+        at the current instant — one record per verdict, linking the
+        verdict back to its incidents and exemplar trace.
+        """
+        now = self.world.env.now
+        for verdict in report.verdicts:
+            evidence = verdict.evidence or {}
+            self._record("verdicts", now, {
+                "event": "verdict",
+                "job_id": report.job_id,
+                "class": verdict.cls,
+                "score": verdict.score,
+                "strategy": verdict.strategy,
+                "incidents": list(evidence.get("incidents", ())),
+                "trace_id": evidence.get("trace_id", ""),
+            })
 
     # -- observer hooks ------------------------------------------------
 

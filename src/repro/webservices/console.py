@@ -4,7 +4,8 @@ Where :class:`~repro.webservices.live.LiveDashboard` renders one
 engine's live state, :class:`FleetConsole` renders a whole
 :class:`~repro.fleet.FleetReport` — the fleet overview (one scorecard
 row per cluster), a per-cluster drill-down (scorecard breakdown, probe
-table, incident log), and the signal catalog page — all as the same
+table, incident log, and — when the scan carries one — the bottleneck
+verdict panel), and the signal catalog page — all as the same
 :class:`~repro.webservices.grafana.PanelData` the rest of the stack
 uses, so every page drops into
 :func:`~repro.webservices.grafana.render_ascii` and the HTML renderer
@@ -69,7 +70,7 @@ class FleetConsole:
             }
             for a in cluster.incidents
         ]
-        return [
+        panels = [
             PanelData(
                 title=f"{name}: scorecard ({cluster.score.score}/100, "
                       f"grade {cluster.score.grade})",
@@ -90,6 +91,25 @@ class FleetConsole:
                 rows_queried=len(epoch_incidents),
             ),
         ]
+        explain = getattr(cluster, "explain", None)
+        if explain:
+            verdict_rows = [
+                {
+                    "class": v["class"],
+                    "score": f"{v['score']:.3g}",
+                    "strategy": v["strategy"],
+                }
+                for v in explain["verdicts"]
+            ]
+            panels.append(PanelData(
+                title=f"{name}: bottleneck verdicts "
+                      f"(job {explain['job_id']}, "
+                      f"primary {explain['primary']})",
+                viz="table",
+                payload=verdict_rows,
+                rows_queried=len(verdict_rows),
+            ))
+        return panels
 
     def catalog_panels(self) -> list[PanelData]:
         """The signal catalog page (with the completeness verdict)."""

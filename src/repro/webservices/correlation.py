@@ -51,7 +51,11 @@ def correlate_durations_with_metric(
     ``metric_rows`` — ``ldms_metrics`` query rows.
 
     Returns ``{"pearson_r", "p_value", "n_buckets", "edges",
-    "mean_duration", "mean_metric"}``.
+    "mean_duration", "mean_metric", "degenerate"}``.  When either
+    bucketed series is constant the correlation is undefined; instead
+    of propagating NaN the result is pinned to ``r=0.0, p=1.0`` and
+    flagged ``degenerate=True`` so callers can tell "no correlation"
+    from "no information".
     """
     if bucket_s <= 0:
         raise ValueError("bucket_s must be positive")
@@ -81,7 +85,8 @@ def correlate_durations_with_metric(
             f"only {int(joint.sum())} joint buckets; need >= 3 for a correlation"
         )
     x, y = met_series[joint], dur_series[joint]
-    if np.allclose(x, x[0]) or np.allclose(y, y[0]):
+    degenerate = bool(np.allclose(x, x[0]) or np.allclose(y, y[0]))
+    if degenerate:
         r, p = 0.0, 1.0  # a constant series carries no correlation
     else:
         r, p = _stats.pearsonr(x, y)
@@ -92,4 +97,5 @@ def correlate_durations_with_metric(
         "edges": edges,
         "mean_duration": dur_series,
         "mean_metric": met_series,
+        "degenerate": degenerate,
     }

@@ -21,7 +21,8 @@ __all__ = ["LiveDashboard"]
 class LiveDashboard:
     """Windowed panel view over one diagnosis engine."""
 
-    def __init__(self, engine, window_s: float | None = None, slow_traces: int = 5):
+    def __init__(self, engine, window_s: float | None = None,
+                 slow_traces: int = 5, explain=None):
         self.engine = engine
         #: Trailing window each refresh draws (default: 8 rule windows).
         self.window_s = (
@@ -32,6 +33,9 @@ class LiveDashboard:
         #: How many slowest stored traces the drill-down panel shows
         #: (0 disables the panel).
         self.slow_traces = slow_traces
+        #: A post-hoc :class:`~repro.diagnosis.explain.ExplainReport`;
+        #: when set, the dashboard adds a bottleneck-verdict panel.
+        self.explain = explain
 
     # -- panels --------------------------------------------------------
 
@@ -80,6 +84,9 @@ class LiveDashboard:
         recorder_panel = self._recorder_panel()
         if recorder_panel is not None:
             panels.append(recorder_panel)
+        verdict_panel = self._verdict_panel()
+        if verdict_panel is not None:
+            panels.append(verdict_panel)
         for name, series in sorted(engine.rule_series.items()):
             tail = series.tail(self.window_s)
             panels.append(
@@ -155,6 +162,34 @@ class LiveDashboard:
         return PanelData(
             title=(f"flight recorder ({recorder.bundles_frozen} "
                    f"bundle(s) frozen)"),
+            viz="table",
+            payload=rows,
+            rows_queried=len(rows),
+        )
+
+    def _verdict_panel(self) -> PanelData | None:
+        """Bottleneck verdicts from an attached explain report.
+
+        Absent entirely when no report was attached, so legacy panel
+        sets are unchanged; the report itself is a pure post-hoc read,
+        so attaching one never perturbs the engine.
+        """
+        report = self.explain
+        if report is None:
+            return None
+        rows = [
+            {
+                "class": v.cls,
+                "score": f"{v.score:.3g}",
+                "strategy": v.strategy,
+                "evidence": ", ".join(
+                    (v.evidence or {}).get("rules", ())) or "-",
+            }
+            for v in report.verdicts
+        ]
+        return PanelData(
+            title=(f"bottleneck verdicts (job {report.job_id}, "
+                   f"primary {report.primary.cls})"),
             viz="table",
             payload=rows,
             rows_queried=len(rows),

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.webservices.dataframe import DataFrame, DataFrameError
+from repro.webservices.dataframe import DataFrame
 
 __all__ = ["io_signature", "compare_signatures", "classify_workload"]
 
@@ -24,11 +24,29 @@ def io_signature(df: DataFrame, job_id: int | None = None) -> dict:
     Keys: ``bytes_read``, ``bytes_written``, ``n_reads``, ``n_writes``,
     ``n_opens``, ``mean_read_size``, ``mean_write_size``, ``duration_s``,
     ``event_rate_per_s``, ``read_write_byte_ratio``, ``mean_op_dur_s``.
+
+    Every edge case yields a defined signature: an empty frame (or a
+    ``job_id`` with no events) is all zeros, a single-op job has
+    ``duration_s == 0`` with the event count standing in for the rate,
+    and a job that wrote nothing reports ratio ``inf`` only when it
+    actually read bytes (0.0 when both sides are zero).
     """
     if job_id is not None:
         df = df.filter(df.col("job_id") == job_id)
     if len(df) == 0:
-        raise DataFrameError(f"no events for job {job_id}")
+        return {
+            "bytes_read": 0.0,
+            "bytes_written": 0.0,
+            "n_reads": 0,
+            "n_writes": 0,
+            "n_opens": 0,
+            "mean_read_size": 0.0,
+            "mean_write_size": 0.0,
+            "duration_s": 0.0,
+            "event_rate_per_s": 0.0,
+            "read_write_byte_ratio": 0.0,
+            "mean_op_dur_s": 0.0,
+        }
     op = df.col("op")
     sizes = df.col("seg_len").astype(float)
     durs = df.col("seg_dur").astype(float)
@@ -53,7 +71,8 @@ def io_signature(df: DataFrame, job_id: int | None = None) -> dict:
         "duration_s": duration,
         "event_rate_per_s": len(df) / duration if duration > 0 else float(len(df)),
         "read_write_byte_ratio": (
-            bytes_read / bytes_written if bytes_written else float("inf")
+            bytes_read / bytes_written if bytes_written
+            else float("inf") if bytes_read else 0.0
         ),
         "mean_op_dur_s": float(durs[reads | writes].mean()) if n_reads + n_writes else 0.0,
     }
@@ -64,6 +83,7 @@ def classify_workload(sig: dict) -> str:
 
     Heuristics in priority order:
 
+    * ``idle`` — no events at all (the empty signature);
     * ``metadata-intensive`` — more opens than data ops;
     * ``small-op-streaming`` — high event rate with tiny mean op size
       (the HMMER profile, the connector's worst case);
@@ -72,6 +92,8 @@ def classify_workload(sig: dict) -> str:
     * ``read-intensive`` — read-dominant.
     """
     data_ops = sig["n_reads"] + sig["n_writes"]
+    if data_ops + sig["n_opens"] == 0:
+        return "idle"
     if sig["n_opens"] > data_ops:
         return "metadata-intensive"
     mean_size = max(sig["mean_read_size"], sig["mean_write_size"])

@@ -21,7 +21,7 @@ def test_default_catalog_is_complete():
     catalog = default_catalog()
     assert catalog.complete()
     assert catalog.missing() == []
-    assert len(catalog) == len(expected_signals()) == 57
+    assert len(catalog) == len(expected_signals()) == 61
 
 
 def test_catalog_covers_every_registry():
@@ -42,7 +42,7 @@ def test_kind_census():
     by_kind = {}
     for signal in default_catalog():
         by_kind[signal.kind] = by_kind.get(signal.kind, 0) + 1
-    assert by_kind == {"counter": 20, "gauge": 13, "histogram": 6,
+    assert by_kind == {"counter": 20, "gauge": 17, "histogram": 6,
                        "alert": 12, "score": 6}
 
 
@@ -97,7 +97,7 @@ def test_iteration_and_lookup():
 
 def test_to_rows_sorted_by_kind_then_name():
     rows = default_catalog().to_rows()
-    assert len(rows) == 57
+    assert len(rows) == 61
     keys = [(r["kind"], r["name"]) for r in rows]
     assert keys == sorted(keys)
     # Un-ruled signals render a dash, not an empty cell.

@@ -207,6 +207,71 @@ def test_repro_cli_diagnose_check_exits_nonzero_when_undetected(
     assert "FAIL" in capsys.readouterr().out
 
 
+def test_repro_cli_explain_text(capsys):
+    assert repro_main(["explain"]) == 0
+    out = capsys.readouterr().out
+    assert "== applied faults ==" in out
+    assert "== bottleneck verdicts (job" in out
+    assert "== classification scorecard ==" in out
+    assert "recall=100% precision=100%" in out
+    assert "fired:" in out and "-> " in out
+    assert "clean-run control: primary verdict 'healthy' (OK)" in out
+
+
+def test_repro_cli_explain_json(capsys):
+    import json
+
+    assert repro_main(["explain", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["score"]["ok"] is True
+    assert payload["score"]["recall"] == payload["score"]["precision"] == 1.0
+    assert payload["clean_healthy"] is True
+    assert payload["clean_primary"] == "healthy"
+    report = payload["report"]
+    assert report["primary"] != "healthy"
+    assert {v["class"] for v in report["verdicts"]} == {
+        "fs_contention", "network_transport", "pipeline_self_inflicted",
+    }
+    for verdict in report["verdicts"]:
+        assert verdict["thresholds_fired"]
+        assert verdict["evidence"]["incidents"]
+        assert verdict["recommendations"]
+    assert report["features"]["n_ranks"] == 8
+
+
+def test_repro_cli_explain_check(capsys):
+    assert repro_main(["explain", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "OK[slow]" in out and "OK[columnar]" in out
+    assert "OK: every fault class classified" in out
+
+
+def test_repro_cli_explain_check_exits_nonzero_when_misclassified(
+    monkeypatch, capsys
+):
+    from repro.diagnosis import ExplainScore
+
+    monkeypatch.setattr(ExplainScore, "ok", lambda self: False)
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["explain", "--check"])
+    assert exc.value.code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_repro_cli_explain_unknown_job_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["explain", "--job", "999999"])
+    assert exc.value.code == 2
+    assert "no stored events for job 999999" in capsys.readouterr().err
+
+
+def test_repro_cli_explain_columnar_requires_fast_lane(capsys):
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["explain", "--columnar", "--no-fast-lane"])
+    assert exc.value.code == 2
+    assert "--columnar requires the fast lane" in capsys.readouterr().err
+
+
 def test_repro_cli_profile(capsys):
     assert repro_main(["profile"]) == 0
     out = capsys.readouterr().out
@@ -304,8 +369,9 @@ def test_repro_cli_trace_check_exits_nonzero_on_inexact(monkeypatch, capsys):
         ["profile", "--json"],
         ["trace", "--slowest", "1", "--json"],
         ["forensics", "--capture", "--json"],
+        ["explain", "--json"],
     ],
-    ids=["telemetry", "chaos", "profile", "trace", "forensics"],
+    ids=["telemetry", "chaos", "profile", "trace", "forensics", "explain"],
 )
 def test_repro_cli_json_outputs_are_stable_sorted(argv, capsys):
     """Every --json stdout is byte-stable: 2-space indent, sorted keys."""
@@ -382,8 +448,8 @@ def test_repro_cli_version(capsys):
 def test_repro_cli_fleet_catalog_check(capsys):
     assert repro_main(["fleet", "--catalog", "--check"]) == 0
     out = capsys.readouterr().out
-    assert "== signal catalog (57 signals, complete) ==" in out
-    assert "OK: catalog complete (57 signals)" in out
+    assert "== signal catalog (61 signals, complete) ==" in out
+    assert "OK: catalog complete (61 signals)" in out
 
 
 def test_repro_cli_fleet_catalog_json(capsys):
@@ -393,7 +459,7 @@ def test_repro_cli_fleet_catalog_json(capsys):
     out = capsys.readouterr().out
     payload = json.loads(out)
     assert payload["complete"] is True
-    assert payload["count"] == 57 and payload["missing"] == []
+    assert payload["count"] == 61 and payload["missing"] == []
     assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -429,7 +495,7 @@ def test_repro_cli_fleet_scan_check(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (57 signals, complete) ==" in out
+    assert "== signal catalog (61 signals, complete) ==" in out
     assert ("OK: 3 scorecards reconcile exactly; chaos faults deducted "
             "via matching components") in out
 

@@ -83,11 +83,23 @@ def test_fleet_console_runs(capsys):
     out = capsys.readouterr().out
     assert "== fleet readiness ==" in out
     assert "== attaway: scorecard" in out
-    assert "== signal catalog (57 signals, complete) ==" in out
+    assert "== signal catalog (61 signals, complete) ==" in out
     assert "fleet ready: False" in out
     assert "worst: attaway" in out
     assert "OpenMetrics exposition:" in out
     assert "catalog complete" in out
+
+
+def test_explain_bottleneck_runs(capsys):
+    _load("explain_bottleneck").main()
+    out = capsys.readouterr().out
+    assert "applied faults (ground truth)" in out
+    assert "== feature vector (highlights) ==" in out
+    assert "== bottleneck verdicts (job" in out
+    assert "== classification scorecard ==" in out
+    assert "recall=100% precision=100%" in out
+    assert "clean-run control: primary verdict 'healthy' (OK)" in out
+    assert "flight-recorder verdicts stream:" in out
 
 
 def test_live_diagnosis_runs(capsys):

@@ -119,8 +119,8 @@ def test_unknown_cluster_raises_keyerror(console):
 
 def test_catalog_page_reports_complete(console):
     (panel,) = console.catalog_panels()
-    assert panel.title == "signal catalog (57 signals, complete)"
-    assert len(panel.payload) == 57
+    assert panel.title == "signal catalog (61 signals, complete)"
+    assert len(panel.payload) == 61
 
 
 def test_catalog_page_reports_missing(monkeypatch):
@@ -151,7 +151,7 @@ def test_render_text_contains_every_page(console):
     text = console.render_text(width=100)
     assert "== fleet readiness ==" in text
     assert "== beta: scorecard (60/100, grade C) ==" in text
-    assert "== signal catalog (57 signals, complete) ==" in text
+    assert "== signal catalog (61 signals, complete) ==" in text
     assert "STRAGGLER" not in text and "LOST" in text
 
 

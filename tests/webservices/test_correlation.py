@@ -76,6 +76,37 @@ def test_constant_series_gives_zero_correlation():
     assert result["p_value"] == 1.0
 
 
+def test_constant_series_flagged_degenerate_not_nan():
+    # Regression: pearsonr on a constant series used to surface NaN.
+    # Either side being flat must yield the defined (0.0, 1.0) result
+    # with degenerate=True so callers can tell "no information" apart
+    # from "no correlation".
+    t = np.linspace(0, 100, 50)
+    flat_io = _io_df(t, np.full(50, 0.1))
+    varying = _metric_rows(t, 1.0 + np.sin(t / 10.0) ** 2)
+    for io, metrics in (
+        (flat_io, varying),  # constant durations
+        (flat_io, _metric_rows(t, np.full(50, 2.0))),  # both constant
+        (_io_df(t, 0.1 + t / 1000.0), _metric_rows(t, np.full(50, 2.0))),
+    ):
+        result = correlate_durations_with_metric(io, metrics, bucket_s=10.0)
+        assert not np.isnan(result["pearson_r"])
+        assert not np.isnan(result["p_value"])
+        assert result["pearson_r"] == 0.0
+        assert result["p_value"] == 1.0
+        assert result["degenerate"] is True
+
+
+def test_varying_series_not_degenerate():
+    rng = np.random.default_rng(0)
+    t = np.sort(rng.uniform(0, 1000, 500))
+    load = 1.0 + np.sin(t / 100.0) ** 2 * 3.0
+    result = correlate_durations_with_metric(
+        _io_df(t, load * 0.1), _metric_rows(t, load), bucket_s=50.0
+    )
+    assert result["degenerate"] is False
+
+
 def test_filters_by_op():
     t = np.linspace(0, 100, 20)
     io = _io_df(t, np.full(20, 0.1), op="open")

@@ -9,7 +9,6 @@ from repro.webservices import (
     compare_signatures,
     io_signature,
 )
-from repro.webservices.dataframe import DataFrameError
 
 
 def _df(ops, sizes, durs=None, t0=0.0, dt=1.0, job=1):
@@ -46,8 +45,44 @@ def test_signature_job_filter():
     df2 = _df(["write", "write"], [10, 10], job=2)
     both = DataFrame.from_records(df1.to_records() + df2.to_records())
     assert io_signature(both, job_id=2)["n_writes"] == 2
-    with pytest.raises(DataFrameError):
-        io_signature(both, job_id=99)
+    # An unknown job is an empty-but-defined signature, not an error
+    # (the explain layer feature-izes arbitrary job ids).
+    sig = io_signature(both, job_id=99)
+    assert sig["n_writes"] == sig["n_reads"] == 0
+    assert classify_workload(sig) == "idle"
+
+
+def test_signature_empty_frame_is_all_zeros():
+    sig = io_signature(_df([], []))
+    assert sig["n_reads"] == sig["n_writes"] == sig["n_opens"] == 0
+    assert sig["bytes_read"] == sig["bytes_written"] == 0.0
+    assert sig["mean_read_size"] == sig["mean_write_size"] == 0.0
+    assert sig["duration_s"] == sig["event_rate_per_s"] == 0.0
+    assert sig["read_write_byte_ratio"] == 0.0
+    assert sig["mean_op_dur_s"] == 0.0
+    assert classify_workload(sig) == "idle"
+
+
+def test_signature_single_op_job_is_defined():
+    sig = io_signature(_df(["write"], [100]))
+    assert sig["duration_s"] == 0.0  # one timestamp: no span
+    assert sig["event_rate_per_s"] == 1.0  # event count stands in
+    assert sig["mean_write_size"] == 100.0
+    assert np.isfinite(sig["event_rate_per_s"])
+
+
+def test_signature_zero_duration_job_is_defined():
+    # Several events on the same timestamp: duration 0, the event
+    # count stands in for the rate (finite, never a ZeroDivisionError).
+    sig = io_signature(_df(["write", "read"], [10, 20], dt=0.0))
+    assert sig["duration_s"] == 0.0
+    assert sig["event_rate_per_s"] == 2.0
+    assert sig["read_write_byte_ratio"] == 20.0 / 10.0
+
+
+def test_classify_idle_wins_over_other_classes():
+    sig = io_signature(_df([], []))
+    assert classify_workload(sig) == "idle"
 
 
 def test_signature_no_writes_ratio_inf():
